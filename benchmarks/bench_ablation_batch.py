@@ -1,0 +1,77 @@
+"""Ablation abl-batch: shared scans for heavy query workloads.
+
+Sec. II motivates LONA with "heavy query workloads"; this benchmark
+measures the multi-query optimization: answering q dense queries through
+one shared scan vs q sequential Base runs, and the BatchTopKEngine's
+routing when the workload mixes dense and sparse vectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import figure
+from repro.core.base import base_topk
+from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
+from repro.core.query import QuerySpec
+from repro.relevance.base import ScoreVector
+from repro.relevance.mixture import MixtureRelevance
+
+_CACHE = {}
+NUM_QUERIES = 6
+
+
+def _context():
+    if not _CACHE:
+        spec = figure("fig1")
+        graph = spec.build_graph(scale=0.25)
+        dense = [
+            MixtureRelevance(0.01, zero_fraction=0.0, seed=40 + i).scores(graph)
+            for i in range(NUM_QUERIES)
+        ]
+        sparse = [
+            MixtureRelevance(0.01, binary=True, seed=80 + i).scores(graph)
+            for i in range(NUM_QUERIES // 2)
+        ]
+        _CACHE["graph"] = graph
+        _CACHE["dense"] = dense
+        _CACHE["sparse"] = sparse
+    return _CACHE
+
+
+def test_sequential_base_runs(benchmark):
+    ctx = _context()
+
+    def run():
+        return [
+            base_topk(ctx["graph"], vector.values(), QuerySpec(k=20, hops=2))
+            for vector in ctx["dense"]
+        ]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == NUM_QUERIES
+
+
+def test_shared_scan_batch(benchmark):
+    ctx = _context()
+    queries = [BatchQuery(vector, k=20) for vector in ctx["dense"]]
+
+    def run():
+        return batch_base_topk(ctx["graph"], queries, hops=2)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == NUM_QUERIES
+
+
+def test_mixed_workload_engine(benchmark):
+    ctx = _context()
+    queries = [BatchQuery(vector, k=20) for vector in ctx["dense"]] + [
+        BatchQuery(vector, k=20) for vector in ctx["sparse"]
+    ]
+    engine = BatchTopKEngine(ctx["graph"], hops=2)
+
+    def run():
+        return engine.run(queries)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == len(queries)

@@ -1,0 +1,63 @@
+"""Ablation abl-blacking: sensitivity to the blacking ratio r.
+
+The paper fixes r per figure (0.01 or 0.2).  This sweep varies r on the
+collaboration workload: LONA-Backward's distribution cost grows linearly
+with r (more non-zero nodes to distribute) while Base is r-independent, so
+the speedup shrinks as r grows — the crossover locates the regime where
+backward processing stops paying.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import figure
+from repro.core.backward import backward_topk
+from repro.core.base import base_topk
+from repro.core.query import QuerySpec
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.relevance.mixture import MixtureRelevance
+
+RATIOS = (0.005, 0.01, 0.05, 0.2, 0.5)
+_CACHE = {}
+
+
+def _context():
+    if not _CACHE:
+        spec = figure("fig1")
+        graph = spec.build_graph(scale=0.25)
+        _CACHE["graph"] = graph
+        _CACHE["sizes"] = NeighborhoodSizeIndex.exact(graph, 2)
+        _CACHE["scores"] = {
+            r: MixtureRelevance(r, binary=True, seed=spec.seed + 1)
+            .scores(graph)
+            .values()
+            for r in RATIOS
+        }
+    return _CACHE
+
+
+def test_base_reference(benchmark):
+    ctx = _context()
+    spec = QuerySpec(k=50, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: base_topk(ctx["graph"], ctx["scores"][0.01], spec),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == 50
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_backward_by_blacking_ratio(benchmark, ratio):
+    ctx = _context()
+    spec = QuerySpec(k=50, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: backward_topk(
+            ctx["graph"], ctx["scores"][ratio], spec, sizes=ctx["sizes"]
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["distribution_pushes"] = result.stats.distribution_pushes
+    assert len(result) == 50

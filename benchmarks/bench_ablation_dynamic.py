@@ -1,0 +1,72 @@
+"""Ablation abl-dynamic: incremental maintenance vs recomputation.
+
+For a dynamic network (the paper's intrusion scenario) the relevant
+comparison is the cost of keeping the answer current: repairing the
+maintained view after one event vs re-running Base from scratch.  The
+benchmark applies a fixed mutation script per round so the work is
+identical across rounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.workloads import figure
+from repro.core.base import base_topk
+from repro.core.query import QuerySpec
+from repro.dynamic import DynamicGraph, MaintainedAggregateView
+
+_STATE = {}
+
+
+def _fresh_state():
+    spec = figure("fig3")  # intrusion workload
+    base = spec.build_graph(scale=0.15)
+    scores = spec.build_scores(base).values()
+    return base, scores
+
+
+def _script(graph, seed, count):
+    """A deterministic list of (op, args) mutations valid for `graph`."""
+    rng = random.Random(seed)
+    ops = []
+    present = set()
+    for _ in range(count):
+        u, v = rng.randrange(graph.num_nodes), rng.randrange(graph.num_nodes)
+        if u != v and not graph.has_edge(u, v) and (u, v) not in present:
+            present.add((u, v))
+            ops.append((u, v))
+    return ops
+
+
+def test_maintained_view_per_event(benchmark):
+    base, scores = _fresh_state()
+    inserts = _script(base, seed=3, count=400)
+
+    def run():
+        graph = DynamicGraph.from_graph(base)
+        view = MaintainedAggregateView(graph, scores, hops=2)
+        for u, v in inserts[:25]:
+            view.add_edge(u, v)
+        return view.topk(20, "sum")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 20
+
+
+def test_rescan_per_event(benchmark):
+    base, scores = _fresh_state()
+    inserts = _script(base, seed=3, count=400)
+
+    def run():
+        graph = DynamicGraph.from_graph(base)
+        last = None
+        for u, v in inserts[:25]:
+            graph.add_edge(u, v)
+            last = base_topk(graph, scores, QuerySpec(k=20, hops=2))
+        return last
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result is not None and len(result) == 20

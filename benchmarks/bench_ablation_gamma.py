@@ -1,0 +1,51 @@
+"""Ablation abl-gamma: LONA-Backward's distribution threshold.
+
+Sec. IV: "The backward processing does partial distribution on a subset of
+nodes whose score is higher than a given threshold gamma."  Low gamma
+distributes more nodes (higher distribution cost, tighter bounds, less
+verification); high gamma does the opposite.  This sweep runs on the
+continuous-mixture variant of Fig. 1, where the trade-off is live — with
+binary scores every non-zero node scores 1.0 and gamma collapses to
+all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward import backward_topk
+from repro.core.query import QuerySpec
+
+GAMMAS = (0.1, 0.3, 0.5, 0.8, 1.0)
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_backward_gamma(benchmark, fig_ctx, bench_k, gamma):
+    ctx = fig_ctx("fig1-mixture")
+    spec = QuerySpec(k=bench_k, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: backward_topk(
+            ctx.graph, ctx.scores, spec, gamma=gamma, sizes=ctx.diff_index.sizes
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["distributed_nodes"] = result.stats.extra[
+        "distributed_nodes"
+    ]
+    benchmark.extra_info["candidates_verified"] = result.stats.candidates_verified
+    assert len(result) == bench_k
+
+
+def test_backward_gamma_auto(benchmark, fig_ctx, bench_k):
+    ctx = fig_ctx("fig1-mixture")
+    spec = QuerySpec(k=bench_k, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: backward_topk(
+            ctx.graph, ctx.scores, spec, gamma="auto", sizes=ctx.diff_index.sizes
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["resolved_gamma"] = result.stats.extra["gamma"]
+    assert len(result) == bench_k

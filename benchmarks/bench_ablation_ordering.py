@@ -1,0 +1,36 @@
+"""Ablation abl-order: LONA-Forward queue-ordering strategies.
+
+Algorithm 1 leaves the queue order unspecified; this benchmark quantifies
+the choice on the Fig. 1 workload.  ``ubound`` (descending static bound)
+raises the top-k threshold fastest and is the library default; ``random``
+is the pessimistic control.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.forward import forward_topk
+from repro.core.ordering import ORDERINGS
+from repro.core.query import QuerySpec
+
+
+@pytest.mark.parametrize("ordering", ORDERINGS)
+def test_forward_ordering(benchmark, fig_ctx, bench_k, ordering):
+    ctx = fig_ctx("fig1")
+    spec = QuerySpec(k=bench_k, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: forward_topk(
+            ctx.graph,
+            ctx.scores,
+            spec,
+            diff_index=ctx.diff_index,
+            ordering=ordering,
+            seed=7,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["nodes_evaluated"] = result.stats.nodes_evaluated
+    benchmark.extra_info["pruned_nodes"] = result.stats.pruned_nodes
+    assert len(result) == bench_k

@@ -1,0 +1,54 @@
+"""Ablation abl-views: the offline/online spectrum.
+
+Positions the paper's algorithms between the two classical extremes:
+
+* Base — zero precomputation, full scan per query;
+* LONA-Backward — zero precomputation, work scales with score sparsity;
+* LONA-Forward — score-agnostic structural index, amortized across
+  relevance functions;
+* Materialized view — full precomputation of F(u) for one fixed relevance
+  function (the paper's related work [18]); queries are trivially fast but
+  the view dies with any score update.
+
+extra_info records each approach's offline build seconds next to its
+online query time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.materialized import MaterializedView
+from repro.core.query import QuerySpec
+
+_VIEWS = {}
+
+
+def _view(ctx):
+    key = id(ctx.graph)
+    if key not in _VIEWS:
+        _VIEWS[key] = MaterializedView(ctx.graph, ctx.scores, hops=2)
+    return _VIEWS[key]
+
+
+@pytest.mark.parametrize("algorithm", ("base", "forward", "backward"))
+def test_spectrum_algorithms(benchmark, fig_ctx, run_algorithm, bench_k, algorithm):
+    ctx = fig_ctx("fig1")
+    spec = QuerySpec(k=bench_k, aggregate="sum", hops=2)
+    result = benchmark.pedantic(
+        lambda: run_algorithm(algorithm, ctx, spec), rounds=3, iterations=1
+    )
+    benchmark.extra_info["offline_build_sec"] = (
+        0.0 if algorithm == "base" else "shared diff index"
+    )
+    assert len(result) == bench_k
+
+
+def test_spectrum_materialized(benchmark, fig_ctx, bench_k):
+    ctx = fig_ctx("fig1")
+    view = _view(ctx)
+    result = benchmark.pedantic(
+        lambda: view.topk(bench_k, "sum"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["offline_build_sec"] = view.build_sec
+    assert len(result) == bench_k

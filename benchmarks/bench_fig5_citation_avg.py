@@ -1,0 +1,32 @@
+"""Benchmark for Fig. 5 — Citation (AVG).
+
+Regenerates the fig5 series of the paper at the benchmark scale: runtime of
+Base / LONA-Forward / LONA-Backward for the top-k avg query (citation network, r=0.01).
+The paper sweeps k on the x-axis; pytest-benchmark measures the mid-range
+point k=100, and ``python -m repro.bench.figures --figure 5`` prints the
+full sweep.
+
+Expected shape (see EXPERIMENTS.md): LONA-Backward well below Base
+(paper: up to 10x), LONA-Forward at or below Base.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import QuerySpec
+
+ALGORITHMS = ("base", "forward", "backward")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_citation_avg(benchmark, fig_ctx, run_algorithm, bench_k, algorithm):
+    ctx = fig_ctx("fig5")
+    spec = QuerySpec(k=bench_k, aggregate="avg", hops=2)
+    result = benchmark.pedantic(
+        lambda: run_algorithm(algorithm, ctx, spec), rounds=3, iterations=1
+    )
+    benchmark.extra_info["nodes_evaluated"] = result.stats.nodes_evaluated
+    benchmark.extra_info["pruned_nodes"] = result.stats.pruned_nodes
+    benchmark.extra_info["graph_nodes"] = ctx.graph.num_nodes
+    assert len(result) == bench_k

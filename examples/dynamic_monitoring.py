@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Continuous monitoring of a *dynamic* intrusion network.
+
+The paper's intrusion scenario is explicitly dynamic ("the intrusion
+packets could formulate a large, dynamic intrusion network", Sec. I): new
+attack edges appear as traffic flows, the IDS flags and un-flags hosts.
+Re-running a top-k query from scratch after every event is wasteful; this
+example keeps a :class:`MaintainedAggregateView` live instead — each event
+repairs only the perturbed region, and the current watch-list is always one
+O(n log k) selection away.
+
+Run:  python examples/dynamic_monitoring.py
+"""
+
+import random
+import time
+
+from repro import DynamicGraph, MaintainedAggregateView
+from repro.core import base_topk, QuerySpec
+from repro.datasets import load
+
+
+def main() -> None:
+    rng = random.Random(99)
+    base = load("intrusion_like", scale=0.25, seed=31)
+    graph = DynamicGraph.from_graph(base)
+    # Initial IDS state: 2% of hosts flagged.
+    scores = [1.0 if rng.random() < 0.02 else 0.0 for _ in range(graph.num_nodes)]
+
+    build_start = time.perf_counter()
+    view = MaintainedAggregateView(graph, scores, hops=2)
+    build_time = time.perf_counter() - build_start
+    print(
+        f"network: {graph.num_nodes} IPs, {graph.num_edges} attack edges; "
+        f"view built in {build_time:.2f}s"
+    )
+
+    events = 200
+    start = time.perf_counter()
+    for _ in range(events):
+        roll = rng.random()
+        if roll < 0.55:  # new attack edge observed
+            u, v = rng.randrange(graph.num_nodes), rng.randrange(graph.num_nodes)
+            if u != v and not graph.has_edge(u, v):
+                view.add_edge(u, v)
+        elif roll < 0.8:  # IDS flags a host
+            view.update_score(rng.randrange(graph.num_nodes), 1.0)
+        else:  # a flag expires
+            flagged = [i for i, s in enumerate(view.scores) if s > 0]
+            if flagged:
+                view.update_score(rng.choice(flagged), 0.0)
+    maintain_time = time.perf_counter() - start
+    print(
+        f"{events} events applied in {maintain_time:.2f}s "
+        f"({maintain_time / events * 1000:.1f} ms/event; "
+        f"{view.nodes_repaired} node repairs, "
+        f"{view.arithmetic_updates} arithmetic updates)"
+    )
+
+    # The live answer...
+    k = 10
+    live = view.topk(k, "sum")
+    # ...checked against a from-scratch recomputation.
+    start = time.perf_counter()
+    fresh = base_topk(graph, view.scores, QuerySpec(k=k, hops=2))
+    rescan_time = time.perf_counter() - start
+    assert [round(v, 9) for v in live.values] == [
+        round(v, 9) for v in fresh.values
+    ]
+    print(
+        f"\nlive view answer == full rescan ✓ "
+        f"(rescan alone costs {rescan_time * 1000:.0f} ms; the view amortized "
+        "it across events)"
+    )
+
+    print(f"\ncurrent top-{k} watch-list:")
+    for rank, (ip, value) in enumerate(live.entries, start=1):
+        print(f"  #{rank:2d}: ip-{ip:05d}   flagged activity within 2 hops = {value:.0f}")
+
+
+if __name__ == "__main__":
+    main()

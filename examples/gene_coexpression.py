@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Gene function finding in a co-expression network (the paper's biology
+scenario).
+
+"...or the number of times a gene is co-expressed with a group of known
+genes in co-expression networks" (Sec. I).  Starting from a handful of
+genes with a known function, we score every gene by an iterative collective
+classifier (paper ref [13]) seeded at the known genes, then ask two
+questions:
+
+* SUM:   which genes sit in neighborhoods with the most functional signal?
+  (candidates for the same pathway)
+* AVG:   which genes sit in the *purest* functional neighborhoods?
+  (tight functional modules)
+
+Run:  python examples/gene_coexpression.py
+"""
+
+import random
+
+from repro import IterativeClassifierRelevance, TopKEngine
+from repro.graph.generators import powerlaw_cluster
+
+
+def main() -> None:
+    # Co-expression networks are power-law with strong clustering
+    # (co-regulated modules) — the same structural family as collaboration.
+    graph = powerlaw_cluster(1500, 4, 0.6, seed=5, name="coexpression")
+    print(f"co-expression network: {graph.num_nodes} genes, {graph.num_edges} links")
+
+    # A known functional module: a seed gene and its neighborhood.
+    rng = random.Random(3)
+    anchor = max(graph.nodes(), key=graph.degree)
+    known = {anchor}
+    frontier = list(graph.neighbors(anchor))
+    while len(known) < 8 and frontier:
+        known.add(frontier.pop(rng.randrange(len(frontier))))
+    negatives = rng.sample(
+        [g for g in graph.nodes() if g not in known], 12
+    )
+    print(f"known pathway genes: {sorted(known)}")
+
+    relevance = IterativeClassifierRelevance(
+        positive=known, negative=negatives, prior=0.05, iterations=6
+    )
+    engine = TopKEngine(graph, relevance, hops=2)
+
+    for aggregate, question in (
+        ("sum", "most functional signal within 2 hops"),
+        ("avg", "purest functional neighborhood"),
+    ):
+        result = engine.topk(k=8, aggregate=aggregate)
+        print(f"\ntop genes by {aggregate.upper()} ({question}):")
+        for rank, (gene, value) in enumerate(result.entries, start=1):
+            marker = " *known*" if gene in known else ""
+            print(f"  #{rank}: gene {gene:4d}   score = {value:8.3f}{marker}")
+
+    # Sanity: the anchor's module should dominate the SUM ranking.
+    top = engine.topk(k=8, aggregate="sum")
+    overlap = sum(1 for gene in top.nodes if anchor in graph.neighbors(gene) or gene == anchor)
+    print(
+        f"\n{overlap} of the top-8 SUM genes are the anchor or its direct "
+        "co-expression partners — the classifier's signal stays local, as "
+        "it should."
+    )
+
+
+if __name__ == "__main__":
+    main()

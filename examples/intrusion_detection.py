@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Intrusion-network monitoring (the paper's security scenario).
+
+"...the intrusion packets could formulate a large, dynamic intrusion
+network, where each node corresponds to an IP address and there is an edge
+between two IP addresses if an intrusion attack takes place between them"
+(Sec. I).  Given a set of IPs flagged by an IDS, the 2-hop SUM query finds
+the hosts with the most flagged activity in their network vicinity — the
+natural prioritized watch-list.
+
+This example also shows why LONA-Backward is the right algorithm for the
+job: flagged IPs are sparse, and the backward distribution touches only
+their neighborhoods, finishing orders of magnitude before the full scan.
+
+Run:  python examples/intrusion_detection.py [scale]
+"""
+
+import sys
+import time
+
+from repro import BinaryRelevance, TopKEngine
+from repro.datasets import load, spec_of
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    spec = spec_of("intrusion_like")
+    graph = load("intrusion_like", scale=scale, seed=13)
+    print(
+        f"intrusion network stand-in for: {spec.paper_name}\n"
+        f"  {graph.num_nodes} IPs, {graph.num_edges} attack edges "
+        f"(paper scale: {spec.paper_nodes:,} / {spec.paper_edges:,})"
+    )
+
+    # The IDS flags 2% of IPs as attack sources.
+    flagged = BinaryRelevance(blacking_ratio=0.02, seed=21)
+    engine = TopKEngine(graph, flagged, hops=2)
+    print(f"flagged IPs: {len(engine.scores.nonzero_nodes)}")
+
+    k = 15
+    start = time.perf_counter()
+    naive = engine.topk(k, "sum", "base")
+    naive_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = engine.topk(k, "sum", "backward")
+    fast_time = time.perf_counter() - start
+
+    assert [round(v, 9) for v in naive.values] == [
+        round(v, 9) for v in fast.values
+    ]
+    print(
+        f"\nfull scan:          {naive_time * 1000:8.1f} ms "
+        f"({naive.stats.nodes_evaluated} neighborhoods expanded)"
+    )
+    print(
+        f"backward (LONA):    {fast_time * 1000:8.1f} ms "
+        f"({fast.stats.distribution_pushes} score pushes, "
+        f"{fast.stats.candidates_verified} verifications)"
+    )
+    if fast_time > 0:
+        print(f"speedup:            {naive_time / fast_time:8.1f}x")
+
+    print(f"\ntop {k} IPs to watch (flagged attackers within 2 hops):")
+    for rank, (ip, value) in enumerate(fast.entries, start=1):
+        print(f"  #{rank:2d}: ip-{ip:05d}   flagged neighbors = {value:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Graph traversal vs the relational self-join plan (the paper's Sec. II).
+
+"For 2-hop queries, it has to self-join two gigantic edge tables, if one
+indeed chooses table to store large graphs."  This example runs the *same*
+top-k query both ways — through the graph engine and through the miniature
+column-store relational engine — and prints the row-level work the
+relational formulation manufactures.
+
+Run:  python examples/relational_comparison.py
+"""
+
+import time
+
+from repro import MixtureRelevance
+from repro.core import base_topk, QuerySpec
+from repro.datasets import load
+from repro.relational import RelationalTopKEngine
+
+
+def main() -> None:
+    graph = load("collaboration_like", scale=0.1, seed=4)
+    scores = MixtureRelevance(0.05, seed=6).scores(graph)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    k = 10
+    for hops in (1, 2):
+        spec = QuerySpec(k=k, hops=hops)
+
+        start = time.perf_counter()
+        graph_result = base_topk(graph, scores.values(), spec)
+        graph_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        relational_result = RelationalTopKEngine(graph, scores.values()).topk(
+            k, "sum", hops=hops
+        )
+        relational_time = time.perf_counter() - start
+
+        assert [round(v, 9) for v in graph_result.values] == [
+            round(v, 9) for v in relational_result.values
+        ], "both engines must return the same answer"
+
+        extra = relational_result.stats.extra
+        print(f"\n{hops}-hop top-{k} SUM query (answers identical):")
+        print(
+            f"  graph traversal : {graph_time * 1000:8.1f} ms   "
+            f"edges scanned {graph_result.stats.edges_scanned:,}"
+        )
+        print(
+            f"  relational plan : {relational_time * 1000:8.1f} ms   "
+            f"rows through operators {int(extra['rows_scanned']):,}, "
+            f"join output rows {int(extra['join_matches']):,}"
+        )
+        if graph_time > 0:
+            print(f"  slowdown        : {relational_time / graph_time:8.1f}x")
+
+    print(
+        "\nThe 2-hop plan joins the edge table with itself, materializing one "
+        "row per 2-hop *walk* before DISTINCT collapses them — the row "
+        "counts above are the paper's 'gigantic self-join' argument, "
+        "measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Target marketing on a social network (the paper's Facebook scenario).
+
+"This kind of queries could identify the popularity of a game console in
+one's social circle" (Sec. I).  We build a collaboration-style social
+network, mark a small fraction of members as console owners (binary
+relevance, the paper's 0/1 case), and find the best seeding targets: the
+members whose 2-hop circles contain the most owners.
+
+The example runs all three of the paper's algorithms on the same query and
+prints their agreement and work counters — a miniature of the paper's
+evaluation, on your laptop.
+
+Run:  python examples/social_recommendation.py [scale]
+"""
+
+import sys
+import time
+
+from repro import BinaryRelevance, TopKEngine
+from repro.datasets import load
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    graph = load("collaboration_like", scale=scale, seed=42)
+    print(
+        f"social network: {graph.num_nodes} members, {graph.num_edges} ties "
+        f"(scale={scale})"
+    )
+
+    owners = BinaryRelevance(blacking_ratio=0.02, seed=9)
+    engine = TopKEngine(graph, owners, hops=2)
+    print(
+        f"console owners: {len(engine.scores.nonzero_nodes)} "
+        f"({engine.scores.density:.1%} of members)"
+    )
+
+    build = engine.build_indexes()
+    print(f"offline differential index: {build:.2f}s (paid once, reused per query)\n")
+
+    k = 10
+    results = {}
+    for algorithm in ("base", "forward", "backward"):
+        start = time.perf_counter()
+        results[algorithm] = engine.topk(k, "sum", algorithm)
+        elapsed = time.perf_counter() - start
+        stats = results[algorithm].stats
+        print(
+            f"{algorithm:>8}: {elapsed * 1000:7.1f} ms   "
+            f"balls evaluated: {stats.nodes_evaluated:5d}   "
+            f"pruned: {stats.pruned_nodes:5d}"
+        )
+
+    values = {tuple(round(v, 9) for v in r.values) for r in results.values()}
+    assert len(values) == 1, "algorithms must agree"
+    print("\nall three algorithms returned identical top-k values ✓")
+
+    print(f"\nbest {k} seeding targets (owners within 2 hops):")
+    for rank, (node, value) in enumerate(results["backward"].entries, start=1):
+        print(f"  #{rank:2d}: member {node:5d}   owners in circle = {value:.0f}")
+
+
+if __name__ == "__main__":
+    main()

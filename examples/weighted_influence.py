@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Distance-weighted influence (the paper's footnote 1).
+
+Footnote 1 generalizes the aggregate with connection-strength weights:
+``F(u) = sum w(u, v) f(v)`` where ``w`` is e.g. the inverse of the shortest
+distance.  A friend-of-a-friend's enthusiasm counts, but less than a
+friend's.  This example contrasts three decay profiles on the same social
+network and shows how the ranking shifts — and that the weighted
+LONA-Backward agrees with the weighted scan while doing far less work.
+
+Run:  python examples/weighted_influence.py
+"""
+
+import time
+
+from repro import BinaryRelevance, TopKEngine
+from repro.aggregates import exponential_decay, inverse_distance, uniform_weight
+from repro.datasets import load
+
+
+def main() -> None:
+    graph = load("collaboration_like", scale=0.5, seed=12)
+    engine = TopKEngine(graph, BinaryRelevance(0.03, seed=23), hops=2)
+    print(
+        f"network: {graph.num_nodes} members, {graph.num_edges} ties; "
+        f"{len(engine.scores.nonzero_nodes)} enthusiasts\n"
+    )
+
+    profiles = [
+        ("uniform (plain SUM)", uniform_weight),
+        ("inverse distance (footnote 1)", inverse_distance),
+        ("exponential decay 0.3", exponential_decay(0.3)),
+    ]
+    k = 5
+    rankings = {}
+    for label, profile in profiles:
+        start = time.perf_counter()
+        fast = engine.topk_weighted(k, profile=profile, algorithm="backward")
+        fast_time = time.perf_counter() - start
+        start = time.perf_counter()
+        slow = engine.topk_weighted(k, profile=profile, algorithm="base")
+        slow_time = time.perf_counter() - start
+        assert [round(v, 9) for v in fast.values] == [
+            round(v, 9) for v in slow.values
+        ]
+        rankings[label] = fast
+        speedup = slow_time / fast_time if fast_time > 0 else float("inf")
+        print(f"{label}:")
+        print(
+            f"  backward {fast_time * 1000:6.1f} ms vs scan "
+            f"{slow_time * 1000:6.1f} ms ({speedup:.1f}x), answers identical"
+        )
+        for rank, (node, value) in enumerate(fast.entries, start=1):
+            print(f"    #{rank}: member {node:5d}  weighted influence = {value:.3f}")
+        print()
+
+    plain_top = rankings["uniform (plain SUM)"].nodes
+    decayed_top = rankings["exponential decay 0.3"].nodes
+    moved = [n for n in plain_top if n not in decayed_top]
+    print(
+        f"{len(moved)} of the top-{k} under plain SUM drop out under strong "
+        "decay — their support was mostly 2 hops away, which distance "
+        "weighting discounts."
+    )
+
+
+if __name__ == "__main__":
+    main()

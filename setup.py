@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments without the `wheel` package (pip falls back to
+`setup.py develop` when pyproject.toml has no [build-system] table).
+All metadata lives in pyproject.toml; this file only locates packages.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LONA: top-k neighborhood aggregation queries over large networks "
+        "(reproduction of Yan et al., ICDE 2010)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

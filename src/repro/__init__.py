@@ -1,0 +1,76 @@
+"""repro — reproduction of "Top-K Aggregation Queries over Large Networks".
+
+LONA (Yan, He, Zhu, Han; ICDE 2010) answers *neighborhood aggregation*
+queries — find the k nodes whose h-hop neighborhoods have the highest
+SUM/AVG of a per-node relevance score — with two pruning algorithms that
+beat the naive scan by up to an order of magnitude.
+
+Quickstart::
+
+    from repro import Graph, TopKEngine, MixtureRelevance
+
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    engine = TopKEngine(graph, MixtureRelevance(0.25, seed=7), hops=2)
+    result = engine.topk(k=2, aggregate="sum", algorithm="backward")
+    for node, value in result.entries:
+        print(node, value)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.aggregates import AggregateKind
+from repro.core import (
+    QuerySpec,
+    QueryStats,
+    TopKEngine,
+    TopKResult,
+    backward_topk,
+    base_topk,
+    forward_topk,
+    topk_avg,
+    topk_sum,
+)
+from repro.dynamic import DynamicGraph, MaintainedAggregateView
+from repro.errors import ReproError
+from repro.graph import Graph, GraphBuilder, build_differential_index
+from repro.relevance import (
+    BinaryRelevance,
+    IterativeClassifierRelevance,
+    MixtureRelevance,
+    RandomAssignmentRelevance,
+    RandomWalkRelevance,
+    ScoreVector,
+    indicator_scores,
+    uniform_scores,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Graph",
+    "GraphBuilder",
+    "build_differential_index",
+    "DynamicGraph",
+    "MaintainedAggregateView",
+    "TopKEngine",
+    "QuerySpec",
+    "TopKResult",
+    "QueryStats",
+    "AggregateKind",
+    "base_topk",
+    "forward_topk",
+    "backward_topk",
+    "topk_sum",
+    "topk_avg",
+    "ScoreVector",
+    "MixtureRelevance",
+    "BinaryRelevance",
+    "RandomAssignmentRelevance",
+    "RandomWalkRelevance",
+    "IterativeClassifierRelevance",
+    "uniform_scores",
+    "indicator_scores",
+]

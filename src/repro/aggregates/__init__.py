@@ -1,0 +1,27 @@
+"""Aggregate functions over h-hop neighborhoods (paper P2)."""
+
+from repro.aggregates.functions import (
+    AggregateKind,
+    coerce_aggregate,
+    evaluate_scores,
+    finalize_sum,
+)
+from repro.aggregates.weighted import (
+    DecayProfile,
+    exponential_decay,
+    inverse_distance,
+    uniform_weight,
+    weighted_ball_sum,
+)
+
+__all__ = [
+    "AggregateKind",
+    "coerce_aggregate",
+    "evaluate_scores",
+    "finalize_sum",
+    "DecayProfile",
+    "inverse_distance",
+    "exponential_decay",
+    "uniform_weight",
+    "weighted_ball_sum",
+]

@@ -1,0 +1,105 @@
+"""Neighborhood aggregate functions (paper P2).
+
+The paper develops its pruning machinery for SUM and AVG ("we introduce a
+solution ... by studying the two basic aggregation functions SUM and AVG.
+However, the similar ideas could be extended to other more complicated
+functions", Sec. II).  This module defines those two as first-class citizens
+plus the natural extensions — COUNT, MAX, MIN — that the Base algorithm and
+the engine support out of the box.
+
+The split that matters to the algorithms:
+
+* *sum-convertible* aggregates (SUM, AVG, COUNT) are fully determined by the
+  pair ``(sum of ball scores, ball size)``; all LONA bound formulas work in
+  sum space and convert at the end.  COUNT is SUM over the 0/1 indicator
+  transform of the scores, which the engine applies before running.
+* MAX and MIN are not sum-convertible; Base evaluates them directly, and
+  MAX admits its own cheap upper bound (``max over ball <= max over graph``)
+  used by the engine's generic pruning fallback.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Union
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["AggregateKind", "finalize_sum", "evaluate_scores", "coerce_aggregate"]
+
+
+class AggregateKind(enum.Enum):
+    """The supported neighborhood aggregate functions."""
+
+    SUM = "sum"
+    AVG = "avg"
+    COUNT = "count"
+    MAX = "max"
+    MIN = "min"
+
+    @property
+    def sum_convertible(self) -> bool:
+        """Whether the value is a function of (score sum, ball size)."""
+        return self in (AggregateKind.SUM, AggregateKind.AVG, AggregateKind.COUNT)
+
+    @property
+    def lona_supported(self) -> bool:
+        """Whether the paper's pruning algorithms apply directly."""
+        return self in (AggregateKind.SUM, AggregateKind.AVG, AggregateKind.COUNT)
+
+
+def coerce_aggregate(value: Union[str, AggregateKind]) -> AggregateKind:
+    """Accept ``"sum"`` / ``AggregateKind.SUM`` style inputs uniformly."""
+    if isinstance(value, AggregateKind):
+        return value
+    try:
+        return AggregateKind(str(value).lower())
+    except ValueError:
+        valid = ", ".join(kind.value for kind in AggregateKind)
+        raise InvalidParameterError(
+            f"unknown aggregate {value!r}; expected one of: {valid}"
+        ) from None
+
+
+def finalize_sum(kind: AggregateKind, total: float, ball_size: int) -> float:
+    """Convert a ball's score sum into the aggregate value.
+
+    Only valid for sum-convertible kinds.  ``ball_size`` is ``N(u)``; an
+    empty ball (possible only with ``include_self=False`` on an isolated
+    node) yields 0 for AVG rather than dividing by zero — an isolated node
+    has no neighbors to average over, and 0 is the paper's "not relevant"
+    element.
+    """
+    if kind is AggregateKind.SUM or kind is AggregateKind.COUNT:
+        # For COUNT the caller has already replaced scores by indicators,
+        # so the sum *is* the count.
+        return total
+    if kind is AggregateKind.AVG:
+        if ball_size <= 0:
+            return 0.0
+        return total / ball_size
+    raise InvalidParameterError(f"{kind.value} is not a sum-convertible aggregate")
+
+
+def evaluate_scores(kind: AggregateKind, ball_scores: Iterable[float]) -> float:
+    """Directly evaluate an aggregate over the ball's score multiset.
+
+    Reference implementation used by Base for the non-sum-convertible kinds
+    and by tests as an independent oracle for all kinds.
+    """
+    if kind is AggregateKind.SUM:
+        return sum(ball_scores)
+    if kind is AggregateKind.AVG:
+        values = list(ball_scores)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+    if kind is AggregateKind.COUNT:
+        return float(sum(1 for v in ball_scores if v > 0.0))
+    if kind is AggregateKind.MAX:
+        values = list(ball_scores)
+        return max(values) if values else 0.0
+    if kind is AggregateKind.MIN:
+        values = list(ball_scores)
+        return min(values) if values else 0.0
+    raise InvalidParameterError(f"unknown aggregate kind {kind!r}")

@@ -1,0 +1,28 @@
+"""Benchmark harness: figure workloads, runner, and report writers.
+
+``python -m repro.bench.figures --all`` regenerates every paper figure;
+see :mod:`repro.bench.workloads` for the figure-to-parameters mapping.
+"""
+
+from repro.bench.harness import FigureRun, Measurement, run_figure
+from repro.bench.reporting import (
+    format_figure,
+    format_speedups,
+    write_csv,
+    write_series,
+)
+from repro.bench.workloads import FIGURES, PAPER_KS, FigureSpec, figure
+
+__all__ = [
+    "FigureSpec",
+    "FIGURES",
+    "PAPER_KS",
+    "figure",
+    "run_figure",
+    "FigureRun",
+    "Measurement",
+    "format_figure",
+    "format_speedups",
+    "write_csv",
+    "write_series",
+]

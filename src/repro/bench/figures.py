@@ -1,0 +1,110 @@
+"""Command-line harness: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.bench.figures --figure 1            # Fig. 1
+    python -m repro.bench.figures --all                 # all six figures
+    python -m repro.bench.figures --figure 2 --scale 0.5 --reps 3
+    python -m repro.bench.figures --figure 1-mixture    # continuous relevance
+    python -m repro.bench.figures --all --csv out/ --series out/
+
+Prints the same runtime-vs-k series the paper plots (one table per figure)
+plus speedup-over-base summaries, and can emit CSV / gnuplot data files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import run_figure
+from repro.bench.reporting import format_figure, write_csv, write_series
+from repro.bench.workloads import FIGURES, figure
+
+__all__ = ["main"]
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.figures",
+        description="Regenerate the evaluation figures of the LONA paper.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--figure",
+        help="figure id: 1..6, fig1..fig6, optionally with '-mixture' suffix",
+    )
+    target.add_argument(
+        "--all", action="store_true", help="run all six paper figures"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale factor (1.0 = default bench size)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=1, help="timing repetitions per cell (best-of)"
+    )
+    parser.add_argument(
+        "--ks",
+        type=str,
+        default="",
+        help="comma-separated k values overriding the paper sweep",
+    )
+    parser.add_argument(
+        "--algorithms",
+        type=str,
+        default="",
+        help="comma-separated algorithm list (base,forward,backward,"
+        "backward-indexfree,materialized)",
+    )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print deterministic work counters",
+    )
+    parser.add_argument("--csv", type=str, default="", help="directory for CSV output")
+    parser.add_argument(
+        "--series", type=str, default="", help="directory for gnuplot .dat series"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    figure_ids: List[str] = (
+        sorted(FIGURES) if args.all else [args.figure]
+    )
+    ks = tuple(int(x) for x in args.ks.split(",") if x) or None
+    algorithms = tuple(a for a in args.algorithms.split(",") if a) or None
+
+    for figure_id in figure_ids:
+        spec = figure(figure_id)
+        run = run_figure(
+            spec,
+            scale=args.scale,
+            repetitions=args.reps,
+            ks=ks,
+            algorithms=algorithms,
+        )
+        print(format_figure(run, show_counters=args.counters))
+        print()
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{spec.figure_id}.csv")
+            write_csv(run, path)
+            print(f"[csv] {path}")
+        if args.series:
+            for path in write_series(run, args.series):
+                print(f"[series] {path}")
+        if args.csv or args.series:
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Workload definitions: one spec per paper figure, plus ablation variants.
+
+The paper's evaluation (Sec. V) is six runtime-vs-k figures:
+
+=======  ==============  =========  =====  =====================
+figure   dataset          aggregate  r      note
+=======  ==============  =========  =====  =====================
+Fig. 1   Collaboration    SUM        0.01
+Fig. 2   Citation         SUM        0.01
+Fig. 3   Intrusion        SUM        0.2    (higher blacking ratio)
+Fig. 4   Collaboration    AVG        0.01
+Fig. 5   Citation         AVG        0.01
+Fig. 6   Intrusion        AVG        0.01
+=======  ==============  =========  =====  =====================
+
+All are 2-hop queries ("We tested 2-hop queries since they are much harder
+than 1-hop queries and more popular than 3+ hop queries") over the
+three algorithms Base / LONA-Forward / LONA-Backward.
+
+Relevance regime: each figure is keyed by its blacking ratio alone, and
+Sec. IV develops the zero-skipping argument for 0/1 relevance, so the
+default workloads use the **binary** mixture (fraction ``r`` of nodes score
+exactly 1, the rest 0).  The full continuous mixture (exponential ``fr`` +
+random-walk ``fw``) is exercised by the ``mixture`` ablation variant of
+every figure — see EXPERIMENTS.md for how the two regimes bracket the
+paper's reported behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.relevance.base import ScoreVector
+from repro.relevance.mixture import MixtureRelevance
+from repro.graph.graph import Graph
+from repro.datasets import load as load_dataset
+
+__all__ = ["FigureSpec", "FIGURES", "figure", "PAPER_KS"]
+
+#: The k values swept on the paper's x-axis (0..300).
+PAPER_KS: Tuple[int, ...] = (10, 25, 50, 100, 200, 300)
+
+#: Algorithms plotted in every paper figure.
+PAPER_ALGORITHMS: Tuple[str, ...] = ("base", "forward", "backward")
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Everything needed to regenerate one figure."""
+
+    figure_id: str
+    paper_figure: str
+    dataset: str
+    aggregate: str
+    blacking_ratio: float
+    ks: Tuple[int, ...] = PAPER_KS
+    algorithms: Tuple[str, ...] = PAPER_ALGORITHMS
+    hops: int = 2
+    binary_relevance: bool = True
+    seed: int = 2010  # ICDE 2010 — fixed so every run is reproducible
+    description: str = ""
+
+    def build_graph(self, scale: float = 1.0) -> Graph:
+        """Instantiate the dataset stand-in."""
+        return load_dataset(self.dataset, scale=scale, seed=self.seed)
+
+    def build_scores(self, graph: Graph) -> ScoreVector:
+        """Instantiate the relevance function and materialize scores."""
+        if self.binary_relevance:
+            relevance = MixtureRelevance(
+                self.blacking_ratio, binary=True, seed=self.seed + 1
+            )
+        else:
+            relevance = MixtureRelevance(
+                self.blacking_ratio, zero_fraction=0.0, seed=self.seed + 1
+            )
+        return relevance.scores(graph)
+
+    def with_mixture(self) -> "FigureSpec":
+        """The continuous-mixture ablation variant of this figure."""
+        return replace(
+            self,
+            figure_id=self.figure_id + "-mixture",
+            binary_relevance=False,
+            description=self.description + " (continuous fr+fw mixture)",
+        )
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        FigureSpec(
+            figure_id="fig1",
+            paper_figure="Fig. 1 Collaboration (SUM)",
+            dataset="collaboration_like",
+            aggregate="sum",
+            blacking_ratio=0.01,
+            description="runtime vs k, SUM over 2-hop, collaboration network",
+        ),
+        FigureSpec(
+            figure_id="fig2",
+            paper_figure="Fig. 2 Citation (SUM)",
+            dataset="citation_like",
+            aggregate="sum",
+            blacking_ratio=0.01,
+            description="runtime vs k, SUM over 2-hop, citation network",
+        ),
+        FigureSpec(
+            figure_id="fig3",
+            paper_figure="Fig. 3 Intrusion (SUM)",
+            dataset="intrusion_like",
+            aggregate="sum",
+            blacking_ratio=0.2,
+            description="runtime vs k, SUM over 2-hop, intrusion network (r=0.2)",
+        ),
+        FigureSpec(
+            figure_id="fig4",
+            paper_figure="Fig. 4 Collaboration (AVG)",
+            dataset="collaboration_like",
+            aggregate="avg",
+            blacking_ratio=0.01,
+            description="runtime vs k, AVG over 2-hop, collaboration network",
+        ),
+        FigureSpec(
+            figure_id="fig5",
+            paper_figure="Fig. 5 Citation (AVG)",
+            dataset="citation_like",
+            aggregate="avg",
+            blacking_ratio=0.01,
+            description="runtime vs k, AVG over 2-hop, citation network",
+        ),
+        FigureSpec(
+            figure_id="fig6",
+            paper_figure="Fig. 6 Intrusion (AVG)",
+            dataset="intrusion_like",
+            aggregate="avg",
+            blacking_ratio=0.01,
+            description="runtime vs k, AVG over 2-hop, intrusion network",
+        ),
+    )
+}
+
+
+def figure(figure_id: str) -> FigureSpec:
+    """Look up a figure spec; accepts ``"1"``, ``"fig1"``, ``"fig1-mixture"``."""
+    key = figure_id if figure_id.startswith("fig") else f"fig{figure_id}"
+    if key.endswith("-mixture"):
+        base_key = key[: -len("-mixture")]
+        if base_key in FIGURES:
+            return FIGURES[base_key].with_mixture()
+    if key not in FIGURES:
+        raise InvalidParameterError(
+            f"unknown figure {figure_id!r}; known: {', '.join(sorted(FIGURES))} "
+            "(append '-mixture' for the continuous-relevance variant)"
+        )
+    return FIGURES[key]

@@ -1,0 +1,64 @@
+"""The paper's contribution: LONA top-k neighborhood aggregation.
+
+* :class:`TopKEngine` — facade with index caching and auto algorithm choice.
+* :func:`base_topk` — naive forward baseline ("Base").
+* :func:`forward_topk` — LONA-Forward (differential-index pruning).
+* :func:`backward_topk` — LONA-Backward (partial distribution).
+* :class:`QuerySpec` / :class:`TopKResult` / :class:`QueryStats` — the query
+  and result types shared by all execution paths.
+"""
+
+from repro.core.backward import backward_topk, resolve_gamma
+from repro.core.base import base_topk
+from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
+from repro.core.bounds import (
+    avg_bound,
+    backward_sum_bound,
+    forward_sum_bound,
+    static_sum_bound,
+)
+from repro.core.engine import TopKEngine, topk_avg, topk_sum
+from repro.core.evaluate import evaluate_node, exact_sum_and_size
+from repro.core.forward import forward_topk
+from repro.core.materialized import MaterializedView
+from repro.core.ordering import ORDERINGS, make_order
+from repro.core.planner import CostEstimate, ExecutionPlan, QueryPlanner
+from repro.core.provenance import Contribution, NodeExplanation, explain_node
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.core.weighted import weighted_backward_topk, weighted_base_topk
+
+__all__ = [
+    "TopKEngine",
+    "topk_sum",
+    "topk_avg",
+    "QuerySpec",
+    "TopKResult",
+    "QueryStats",
+    "TopKAccumulator",
+    "base_topk",
+    "forward_topk",
+    "backward_topk",
+    "resolve_gamma",
+    "MaterializedView",
+    "QueryPlanner",
+    "ExecutionPlan",
+    "CostEstimate",
+    "weighted_base_topk",
+    "weighted_backward_topk",
+    "BatchQuery",
+    "BatchTopKEngine",
+    "batch_base_topk",
+    "explain_node",
+    "NodeExplanation",
+    "Contribution",
+    "evaluate_node",
+    "exact_sum_and_size",
+    "static_sum_bound",
+    "forward_sum_bound",
+    "backward_sum_bound",
+    "avg_bound",
+    "ORDERINGS",
+    "make_order",
+]

@@ -1,0 +1,131 @@
+"""The paper's upper-bound formulas, as pure functions.
+
+Both LONA algorithms prune with upper bounds on ``F_sum``; keeping the
+formulas here — free of any algorithm state — lets the property-based tests
+attack each bound independently ("for every graph, every score vector, every
+node: bound >= exact value").
+
+Notation (closed-ball convention, DESIGN.md Sec. 1):
+
+* ``S(v)``: closed h-hop ball of ``v``; ``N(v) = |S(v)|``.
+* ``F_sum(v) = sum(f(w) for w in S(v))``; note ``f(v)`` is included.
+* All scores satisfy ``0 <= f <= 1`` (enforced by ScoreVector).
+
+Eq. 1 (forward / differential):
+    ``F_sum(v) <= F_sum(u) + delta(v-u)``
+    Proof: split ``S(v)`` into ``S(v) ∩ S(u)`` and ``S(v) \\ S(u)``.  The
+    first part's scores all appear inside ``F_sum(u)`` and the remainder of
+    ``F_sum(u)`` is non-negative; the second part has ``delta(v-u)`` members
+    each scoring at most 1.
+
+Static bound:
+    ``F_sum(v) <= (N(v) - 1) + f(v)``
+    (v's own score is known; the other ``N(v) - 1`` ball members score at
+    most 1 each.)
+
+Eq. 3 (backward / partial distribution):
+    ``F_sum(v) <= PS(v) + rest_bound * unknown(v) + f(v)·[v not distributed]``
+    where ``PS(v)`` sums the distributed scores that reached ``v``,
+    ``unknown(v)`` counts ball members whose score was not distributed
+    (excluding ``v`` itself when its own score is added explicitly), and
+    ``rest_bound`` upper-bounds every undistributed score (the descending
+    distribution order makes the last distributed score such a bound; the
+    distribution threshold gamma is another).
+
+AVG (Eq. 2):
+    ``F_avg(v) = F_sum(v) / N(v) <= sum_upper / N_lower``
+    — dividing a sum upper bound by a *lower* bound on the ball size keeps
+    the quotient an upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "static_sum_bound",
+    "forward_sum_bound",
+    "backward_sum_bound",
+    "avg_bound",
+]
+
+
+def static_sum_bound(ball_size_upper: int, own_score: float) -> float:
+    """``(N(v) - 1) + f(v)`` with ``N(v)`` replaced by any upper bound.
+
+    Sound because every non-self ball member scores at most 1.  With
+    ``include_self=False`` callers pass the open-ball size as
+    ``ball_size_upper`` plus ``own_score=0`` (the center does not
+    contribute), which degenerates to ``N_open(v)`` — also sound.
+    """
+    return max(ball_size_upper - 1, 0) + own_score
+
+
+def forward_sum_bound(
+    neighbor_exact_sum: float, delta: int, static_bound: float
+) -> float:
+    """Eq. 1: ``min(F_sum(u) + delta(v-u), static_sum_bound(v))``.
+
+    ``neighbor_exact_sum`` is the exactly-evaluated ``F_sum(u)`` of a
+    processed neighbor ``u``; ``delta`` is the differential-index entry
+    ``delta(v - u) = |S(v) \\ S(u)|``.
+    """
+    if delta < 0:
+        raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+    return min(neighbor_exact_sum + delta, static_bound)
+
+
+def backward_sum_bound(
+    partial_sum: float,
+    covered: int,
+    ball_size_upper: int,
+    own_score: float,
+    rest_bound: float,
+    *,
+    self_distributed: bool,
+) -> float:
+    """Eq. 3 with exact self-score accounting.
+
+    Parameters
+    ----------
+    partial_sum:
+        ``PS(v)``: sum of distributed scores whose h-hop ball contained
+        ``v`` (each such score was deposited on ``v`` once).
+    covered:
+        ``l(v)``: how many distributed nodes deposited on ``v``.
+    ball_size_upper:
+        ``N(v)`` or any upper bound on it.
+    own_score:
+        ``f(v)``, always known exactly.
+    rest_bound:
+        An upper bound on every undistributed node's score (``>= 0``).
+    self_distributed:
+        Whether ``v`` itself was among the distributed nodes; if so its
+        score is already inside ``partial_sum`` and must not be re-added.
+
+    The unknown ball members number ``N(v) - covered`` in total; when ``v``
+    was *not* distributed, one of those unknowns is ``v`` itself whose score
+    we know exactly, so only ``N(v) - covered - 1`` are bounded by
+    ``rest_bound`` and ``f(v)`` is added verbatim.
+    """
+    if rest_bound < 0:
+        raise InvalidParameterError(f"rest_bound must be >= 0, got {rest_bound}")
+    if covered < 0:
+        raise InvalidParameterError(f"covered must be >= 0, got {covered}")
+    if self_distributed:
+        unknown = ball_size_upper - covered
+        extra = 0.0
+    else:
+        unknown = ball_size_upper - covered - 1
+        extra = own_score
+    return partial_sum + rest_bound * max(unknown, 0) + extra
+
+
+def avg_bound(sum_upper: float, ball_size_lower: int) -> float:
+    """Eq. 2 generalized: ``sum_upper / max(N_lower, 1)``.
+
+    Uses a *lower* bound of the ball size so the quotient stays an upper
+    bound on the true average.  A ball-size lower bound below 1 is clamped
+    (every closed ball has at least its center).
+    """
+    return sum_upper / max(ball_size_lower, 1)

@@ -1,0 +1,336 @@
+"""TopKEngine: the library's front door.
+
+Wraps a ``(graph, relevance)`` pair, owns the index lifecycle (differential
+index and neighborhood-size index are built once and reused across queries,
+matching the paper's offline-precompute framing), and dispatches each query
+to Base, LONA-Forward, or LONA-Backward — or picks automatically.
+
+Automatic algorithm choice (``algorithm="auto"``):
+
+* sparse scores (density <= ``auto_density_threshold``) -> **backward**:
+  partial distribution touches only the non-zero nodes, so sparsity is its
+  whole advantage — and it needs no index.
+* otherwise, **forward** when a differential index is already built (its
+  offline cost is sunk), else **base** for MAX/MIN and one-off dense queries
+  where building the index would dominate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.backward import backward_topk
+from repro.core.base import base_topk
+from repro.core.forward import forward_topk
+from repro.core.planner import ExecutionPlan, QueryPlanner
+from repro.core.query import QuerySpec
+from repro.core.results import TopKResult
+from repro.errors import InvalidParameterError
+from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.relevance.base import ScoreVector
+
+__all__ = ["TopKEngine", "topk_sum", "topk_avg"]
+
+ALGORITHMS = ("auto", "planned", "base", "forward", "backward")
+
+
+class TopKEngine:
+    """Query engine for top-k neighborhood aggregation over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    relevance:
+        Either a materialized :class:`ScoreVector` / sequence of floats, or
+        a relevance function object exposing ``scores(graph)``.
+    hops:
+        Neighborhood radius ``h`` shared by this engine's queries
+        (the paper benchmarks h=2, "much harder than 1-hop ... more popular
+        than 3+ hop").
+    include_self:
+        Ball convention (see DESIGN.md Sec. 1).
+    auto_density_threshold:
+        Score density below which ``algorithm="auto"`` picks backward.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        relevance: object,
+        *,
+        hops: int = 2,
+        include_self: bool = True,
+        auto_density_threshold: float = 0.2,
+    ) -> None:
+        self.graph = graph
+        self.hops = hops
+        self.include_self = include_self
+        self.auto_density_threshold = auto_density_threshold
+        self.scores = self._materialize(graph, relevance)
+        self._diff_index: Optional[DifferentialIndex] = None
+        self._size_index: Optional[NeighborhoodSizeIndex] = None
+        self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
+        self._planner: Optional[QueryPlanner] = None
+        self.last_index_build_sec = 0.0
+
+    @staticmethod
+    def _materialize(graph: Graph, relevance: object) -> ScoreVector:
+        if isinstance(relevance, ScoreVector):
+            vector = relevance
+        elif hasattr(relevance, "scores"):
+            vector = relevance.scores(graph)  # type: ignore[attr-defined]
+            if not isinstance(vector, ScoreVector):
+                vector = ScoreVector(vector)
+        else:
+            vector = ScoreVector(relevance)  # type: ignore[arg-type]
+        vector.check_graph(graph)
+        return vector
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def build_indexes(self) -> float:
+        """Build (or reuse) the differential + exact size indexes.
+
+        Returns the build time in seconds (0.0 when already built).  This is
+        the offline step of LONA-Forward; benchmarks call it outside the
+        timed region exactly as the paper excludes index construction from
+        query runtimes.
+        """
+        if self._diff_index is not None:
+            return 0.0
+        start = time.perf_counter()
+        self._diff_index = build_differential_index(
+            self.graph, self.hops, include_self=self.include_self
+        )
+        self._size_index = self._diff_index.sizes
+        self.last_index_build_sec = time.perf_counter() - start
+        return self.last_index_build_sec
+
+    @property
+    def diff_index(self) -> Optional[DifferentialIndex]:
+        """The differential index, if built."""
+        return self._diff_index
+
+    def save_index(self, path: object) -> None:
+        """Persist the differential index (building it first if needed).
+
+        The paper's offline artifact, on disk: pay the build once per graph,
+        reload it in every later process (see
+        :mod:`repro.graph.index_io` for the format and its staleness
+        protection).
+        """
+        from repro.graph.index_io import save_differential_index
+
+        self.build_indexes()
+        assert self._diff_index is not None
+        save_differential_index(self._diff_index, self.graph, path)  # type: ignore[arg-type]
+
+    def load_index(self, path: object) -> None:
+        """Load a persisted differential index for this engine's graph.
+
+        Raises :class:`~repro.errors.IndexNotBuiltError` if the file does
+        not match the graph (wrong graph, mutated graph, wrong format).
+        """
+        from repro.graph.index_io import load_differential_index
+
+        index = load_differential_index(self.graph, path)  # type: ignore[arg-type]
+        index.check_compatible(self.graph, self.hops, self.include_self)
+        self._diff_index = index
+        self._size_index = index.sizes
+
+    def size_index(self, *, exact: bool = False) -> NeighborhoodSizeIndex:
+        """An ``N(v)`` index: exact when requested/available, else estimated."""
+        if exact:
+            self.build_indexes()
+        if self._size_index is not None:
+            return self._size_index
+        if self._estimated_sizes is None:
+            self._estimated_sizes = NeighborhoodSizeIndex.estimated(
+                self.graph, self.hops, include_self=self.include_self
+            )
+        return self._estimated_sizes
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def planner(self) -> QueryPlanner:
+        """The (lazily built) cost-based planner for this engine's setup."""
+        if self._planner is None or (
+            self._planner.index_available != (self._diff_index is not None)
+        ):
+            self._planner = QueryPlanner(
+                self.graph,
+                self.scores.values(),
+                hops=self.hops,
+                include_self=self.include_self,
+                index_available=self._diff_index is not None,
+            )
+        return self._planner
+
+    def explain(
+        self,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        *,
+        amortize_index: bool = True,
+    ) -> ExecutionPlan:
+        """Cost estimates and the planner's choice, without executing."""
+        return self.planner().plan(
+            self.spec(k, aggregate), amortize_index=amortize_index
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spec(self, k: int, aggregate: Union[str, AggregateKind] = "sum") -> QuerySpec:
+        """Build a :class:`QuerySpec` bound to this engine's h and ball."""
+        return QuerySpec(
+            k=k,
+            aggregate=coerce_aggregate(aggregate),
+            hops=self.hops,
+            include_self=self.include_self,
+        )
+
+    def topk(
+        self,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        algorithm: str = "auto",
+        **options: object,
+    ) -> TopKResult:
+        """Answer a top-k query.
+
+        ``options`` are forwarded to the chosen algorithm (e.g. ``gamma`` or
+        ``distribution_fraction`` for backward, ``ordering`` for forward,
+        ``exact_sizes=True`` to force the exact N index in backward).
+        """
+        spec = self.spec(k, aggregate)
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if algorithm == "auto":
+            algorithm = self._choose_algorithm(spec)
+        elif algorithm == "planned":
+            algorithm = self.explain(k, spec.aggregate).chosen
+        if algorithm == "base":
+            return base_topk(self.graph, self.scores, spec)
+        if algorithm == "forward":
+            self.build_indexes()
+            ordering = str(options.pop("ordering", "ubound"))
+            seed = options.pop("seed", None)
+            self._reject_unknown(options)
+            return forward_topk(
+                self.graph,
+                self.scores,
+                spec,
+                diff_index=self._diff_index,
+                ordering=ordering,
+                seed=seed,  # type: ignore[arg-type]
+            )
+        # backward
+        exact_sizes = bool(options.pop("exact_sizes", False))
+        gamma = options.pop("gamma", "auto")
+        fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
+        self._reject_unknown(options)
+        sizes = self.size_index(exact=exact_sizes) if exact_sizes else (
+            self._size_index or self.size_index()
+        )
+        return backward_topk(
+            self.graph,
+            self.scores,
+            spec,
+            gamma=gamma,  # type: ignore[arg-type]
+            distribution_fraction=fraction,
+            sizes=sizes,
+        )
+
+    def topk_weighted(
+        self,
+        k: int,
+        profile=None,
+        algorithm: str = "backward",
+        **options: object,
+    ) -> TopKResult:
+        """Distance-weighted top-k SUM (the paper's footnote 1).
+
+        ``profile`` maps hop distance to a weight in [0, 1]
+        (default: inverse distance).  ``algorithm`` is ``"base"`` or
+        ``"backward"``.
+        """
+        from repro.aggregates.weighted import inverse_distance
+        from repro.core.weighted import weighted_backward_topk, weighted_base_topk
+
+        if profile is None:
+            profile = inverse_distance
+        spec = self.spec(k, AggregateKind.SUM)
+        if algorithm == "base":
+            self._reject_unknown(options)
+            return weighted_base_topk(self.graph, self.scores, spec, profile)
+        if algorithm == "backward":
+            gamma = options.pop("gamma", "auto")
+            fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
+            exact_sizes = bool(options.pop("exact_sizes", False))
+            self._reject_unknown(options)
+            sizes = self.size_index(exact=exact_sizes) if exact_sizes else (
+                self._size_index or self.size_index()
+            )
+            return weighted_backward_topk(
+                self.graph,
+                self.scores,
+                spec,
+                profile,
+                gamma=gamma,  # type: ignore[arg-type]
+                distribution_fraction=fraction,
+                sizes=sizes,
+            )
+        raise InvalidParameterError(
+            f"weighted queries support algorithm 'base' or 'backward', "
+            f"got {algorithm!r}"
+        )
+
+    @staticmethod
+    def _reject_unknown(options: dict) -> None:
+        if options:
+            raise InvalidParameterError(
+                f"unknown query options: {sorted(options)}"
+            )
+
+    def _choose_algorithm(self, spec: QuerySpec) -> str:
+        if not spec.aggregate.lona_supported:
+            return "base"
+        if self.scores.density <= self.auto_density_threshold:
+            return "backward"
+        if self._diff_index is not None:
+            return "forward"
+        return "base"
+
+
+def topk_sum(
+    graph: Graph,
+    relevance: object,
+    k: int,
+    *,
+    hops: int = 2,
+    algorithm: str = "auto",
+) -> TopKResult:
+    """One-shot convenience: top-k SUM query."""
+    return TopKEngine(graph, relevance, hops=hops).topk(k, "sum", algorithm)
+
+
+def topk_avg(
+    graph: Graph,
+    relevance: object,
+    k: int,
+    *,
+    hops: int = 2,
+    algorithm: str = "auto",
+) -> TopKResult:
+    """One-shot convenience: top-k AVG query."""
+    return TopKEngine(graph, relevance, hops=hops).topk(k, "avg", algorithm)

@@ -1,0 +1,57 @@
+"""Exact evaluation of a single node's neighborhood aggregate.
+
+One function, shared by every algorithm that ever needs an exact value —
+Base's full scan, LONA-Forward's non-pruned evaluations, LONA-Backward's
+verification phase, and the distributed workers — so "what exactly is F(u)?"
+has a single answer in the codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.aggregates.functions import AggregateKind, evaluate_scores, finalize_sum
+from repro.graph.graph import Graph
+from repro.graph.traversal import TraversalCounter, hop_ball
+
+__all__ = ["evaluate_node", "exact_sum_and_size"]
+
+
+def exact_sum_and_size(
+    graph: Graph,
+    scores: Sequence[float],
+    node: int,
+    hops: int,
+    *,
+    include_self: bool = True,
+    counter: Optional[TraversalCounter] = None,
+) -> Tuple[float, int]:
+    """``(F_sum(node), N(node))`` by truncated BFS."""
+    ball = hop_ball(graph, node, hops, include_self=include_self, counter=counter)
+    return sum(scores[v] for v in ball), len(ball)
+
+
+def evaluate_node(
+    graph: Graph,
+    scores: Sequence[float],
+    node: int,
+    hops: int,
+    kind: AggregateKind,
+    *,
+    include_self: bool = True,
+    counter: Optional[TraversalCounter] = None,
+) -> float:
+    """Exact aggregate value ``F(node)`` for any supported aggregate."""
+    if kind.sum_convertible:
+        total, size = exact_sum_and_size(
+            graph, scores, node, hops, include_self=include_self, counter=counter
+        )
+        if kind is AggregateKind.COUNT:
+            # COUNT is SUM over the 0/1 indicator; recompute on the ball to
+            # stay correct even when the caller passed raw (non-indicator)
+            # scores directly to this oracle-style entry point.
+            ball = hop_ball(graph, node, hops, include_self=include_self)
+            return float(sum(1 for v in ball if scores[v] > 0.0))
+        return finalize_sum(kind, total, size)
+    ball = hop_ball(graph, node, hops, include_self=include_self, counter=counter)
+    return evaluate_scores(kind, (scores[v] for v in ball))

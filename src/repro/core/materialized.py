@@ -1,0 +1,136 @@
+"""Materialized aggregate view: the full-precompute end of the spectrum.
+
+The design space the paper moves in is "how much work is done offline":
+
+* **Base** — nothing precomputed; every query pays the full scan.
+* **LONA-Forward** — a *score-agnostic* structural index (differential
+  index); queries prune with it for any relevance function.
+* **LONA-Backward** — no precomputation; work scales with score sparsity.
+* **Materialized view** (this module) — precompute ``F_sum(u)`` and
+  ``N(u)`` for one fixed relevance function; queries become top-k selection
+  over stored values, O(n log k), but the view is invalidated by any score
+  change.
+
+The view is the classical RDBMS answer (the paper cites materialized top-k
+view maintenance [18]); benchmark ``abl-views`` positions LONA between the
+no-precompute and full-precompute extremes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import TraversalCounter, hop_ball
+
+__all__ = ["MaterializedView"]
+
+
+class MaterializedView:
+    """Precomputed ``(F_sum(u), N(u))`` for every node.
+
+    Storing the sum/size pair rather than a single aggregate value lets one
+    view serve SUM, AVG, and COUNT queries alike.  The view records a
+    fingerprint of the scores it was built from; querying it after the
+    scores changed raises, because a stale view silently returns wrong
+    answers (the failure mode that makes view maintenance hard, per the
+    paper's related-work discussion).
+    """
+
+    __slots__ = ("hops", "include_self", "_sums", "_counts", "_sizes", "_fingerprint", "build_sec")
+
+    def __init__(
+        self,
+        graph: Graph,
+        scores: Sequence[float],
+        *,
+        hops: int = 2,
+        include_self: bool = True,
+    ) -> None:
+        start = time.perf_counter()
+        counter = TraversalCounter()
+        self.hops = hops
+        self.include_self = include_self
+        self._sums = []
+        self._counts = []
+        self._sizes = []
+        for u in graph.nodes():
+            ball = hop_ball(graph, u, hops, include_self=include_self, counter=counter)
+            total = 0.0
+            nonzero = 0
+            for w in ball:
+                s = scores[w]
+                total += s
+                if s > 0.0:
+                    nonzero += 1
+            self._sums.append(total)
+            self._counts.append(nonzero)
+            self._sizes.append(len(ball))
+        self._fingerprint = self._fingerprint_of(scores)
+        self.build_sec = time.perf_counter() - start
+
+    @staticmethod
+    def _fingerprint_of(scores: Sequence[float]) -> int:
+        return hash(tuple(scores))
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    def check_fresh(self, scores: Sequence[float]) -> None:
+        """Raise if ``scores`` differ from the build-time snapshot."""
+        if self._fingerprint_of(scores) != self._fingerprint:
+            raise InvalidParameterError(
+                "materialized view is stale: the relevance scores changed "
+                "since the view was built; rebuild the view"
+            )
+
+    def value(self, node: int, kind: AggregateKind) -> float:
+        """The stored aggregate value of ``node``."""
+        if kind is AggregateKind.SUM:
+            return self._sums[node]
+        if kind is AggregateKind.COUNT:
+            return float(self._counts[node])
+        if kind is AggregateKind.AVG:
+            size = self._sizes[node]
+            return self._sums[node] / size if size else 0.0
+        raise InvalidParameterError(
+            f"materialized view serves SUM/AVG/COUNT, not {kind.value}"
+        )
+
+    def topk(
+        self,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        *,
+        scores: Sequence[float] = None,
+    ) -> TopKResult:
+        """Answer a query from the view (O(n log k) selection).
+
+        Pass ``scores`` to enable the staleness check; omit it only in
+        benchmarks that manage freshness themselves.
+        """
+        kind = coerce_aggregate(aggregate)
+        spec = QuerySpec(
+            k=k, aggregate=kind, hops=self.hops, include_self=self.include_self
+        )
+        if scores is not None:
+            self.check_fresh(scores)
+        start = time.perf_counter()
+        acc = TopKAccumulator(spec.k)
+        for node in range(len(self._sums)):
+            acc.offer(node, self.value(node, kind))
+        stats = QueryStats(
+            algorithm="materialized",
+            aggregate=kind.value,
+            hops=self.hops,
+            k=k,
+            elapsed_sec=time.perf_counter() - start,
+            index_build_sec=self.build_sec,
+        )
+        return TopKResult(entries=acc.entries(), stats=stats)

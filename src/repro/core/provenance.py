@@ -1,0 +1,139 @@
+"""Answer provenance: explain *why* a node ranks where it does.
+
+Top-k answers over 2-hop neighborhoods are hard to eyeball — a node's score
+is the sum of up to thousands of contributions.  This module decomposes one
+node's aggregate into its provenance: which ball members contribute, how
+much, from which hop ring — the "show your work" facility reviewers and
+production debuggers both reach for.
+
+Used by the examples and by tests as yet another independent check (the sum
+of contributions must equal the algorithm's reported value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.aggregates.weighted import DecayProfile, precompute_weights, uniform_weight
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import hop_ball_with_distances
+
+__all__ = ["Contribution", "NodeExplanation", "explain_node"]
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One ball member's share of the aggregate."""
+
+    node: int
+    distance: int
+    score: float
+    weight: float
+
+    @property
+    def amount(self) -> float:
+        """The value this member adds to the (weighted) sum."""
+        return self.weight * self.score
+
+
+@dataclass
+class NodeExplanation:
+    """Full decomposition of one node's neighborhood aggregate."""
+
+    node: int
+    aggregate: AggregateKind
+    hops: int
+    value: float
+    ball_size: int
+    contributions: List[Contribution]
+    by_distance: Dict[int, float]
+
+    def top_contributors(self, limit: int = 10) -> List[Contribution]:
+        """The largest contributors, descending by amount (ties by id)."""
+        return sorted(
+            self.contributions, key=lambda c: (-c.amount, c.node)
+        )[:limit]
+
+    def describe(self, limit: int = 5) -> str:
+        """Human-readable explanation."""
+        lines = [
+            f"node {self.node}: {self.aggregate.value.upper()} over "
+            f"{self.hops}-hop ball = {self.value:.4f} "
+            f"({self.ball_size} members)",
+            "by hop distance: "
+            + ", ".join(
+                f"d={d}: {total:.3f}"
+                for d, total in sorted(self.by_distance.items())
+            ),
+            f"top contributors:",
+        ]
+        for c in self.top_contributors(limit):
+            lines.append(
+                f"  node {c.node:6d}  d={c.distance}  score={c.score:.3f}"
+                + (f"  weight={c.weight:.3f}" if c.weight != 1.0 else "")
+                + f"  -> {c.amount:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def explain_node(
+    graph: Graph,
+    scores: Sequence[float],
+    node: int,
+    *,
+    hops: int = 2,
+    aggregate: Union[str, AggregateKind] = "sum",
+    include_self: bool = True,
+    profile: Optional[DecayProfile] = None,
+) -> NodeExplanation:
+    """Decompose ``node``'s aggregate into per-member contributions.
+
+    ``profile`` enables the footnote-1 weighted decomposition; omit it for
+    the plain SUM/AVG/COUNT semantics (weight 1 everywhere).
+    """
+    kind = coerce_aggregate(aggregate)
+    if not kind.sum_convertible:
+        raise InvalidParameterError(
+            f"provenance decomposes SUM/AVG/COUNT, not {kind.value}"
+        )
+    if profile is not None and kind is not AggregateKind.SUM:
+        raise InvalidParameterError(
+            "weighted decomposition is defined for SUM (footnote 1)"
+        )
+    weights = precompute_weights(profile or uniform_weight, hops)
+    distances = hop_ball_with_distances(
+        graph, node, hops, include_self=include_self
+    )
+    contributions: List[Contribution] = []
+    by_distance: Dict[int, float] = {}
+    total = 0.0
+    for member, d in sorted(distances.items()):
+        raw = scores[member]
+        score = (
+            (1.0 if raw > 0.0 else 0.0)
+            if kind is AggregateKind.COUNT
+            else raw
+        )
+        contribution = Contribution(
+            node=member, distance=d, score=score, weight=weights[d]
+        )
+        contributions.append(contribution)
+        by_distance[d] = by_distance.get(d, 0.0) + contribution.amount
+        total += contribution.amount
+    size = len(distances)
+    if kind is AggregateKind.AVG:
+        value = total / size if size else 0.0
+    else:
+        value = total
+    return NodeExplanation(
+        node=node,
+        aggregate=kind,
+        hops=hops,
+        value=value,
+        ball_size=size,
+        contributions=contributions,
+        by_distance=by_distance,
+    )

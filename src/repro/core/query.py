@@ -1,0 +1,62 @@
+"""Query specification: what the user asks, validated once.
+
+A :class:`QuerySpec` pins down Definition 3's parameters — ``k``, the
+aggregate function, and the hop radius ``h`` — plus the library's
+``include_self`` convention switch, so every algorithm receives the same
+checked object instead of re-validating loose arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.errors import InvalidParameterError
+
+__all__ = ["QuerySpec"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A validated top-k neighborhood aggregation query.
+
+    Parameters
+    ----------
+    k:
+        How many nodes to return (``>= 1``).
+    aggregate:
+        SUM / AVG (the paper's two), or COUNT / MAX / MIN extensions.
+        Accepts a string or an :class:`AggregateKind`.
+    hops:
+        The neighborhood radius ``h`` (``>= 0``; the paper benchmarks h=2).
+    include_self:
+        Whether ``S_h(u)`` contains ``u`` itself.  Default True — the
+        convention consistent with the paper's bound formulas (DESIGN.md
+        Sec. 1).
+    """
+
+    k: int
+    aggregate: AggregateKind = AggregateKind.SUM
+    hops: int = 2
+    include_self: bool = True
+
+    def __post_init__(self) -> None:
+        # Allow "sum"-style strings at the call-site for convenience.
+        object.__setattr__(self, "aggregate", coerce_aggregate(self.aggregate))
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if self.hops < 0:
+            raise InvalidParameterError(f"hops must be >= 0, got {self.hops}")
+
+    def with_aggregate(self, aggregate: Union[str, AggregateKind]) -> "QuerySpec":
+        """A copy of this spec with a different aggregate."""
+        return replace(self, aggregate=coerce_aggregate(aggregate))
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        ball = "closed" if self.include_self else "open"
+        return (
+            f"top-{self.k} {self.aggregate.value.upper()} over "
+            f"{self.hops}-hop {ball} neighborhoods"
+        )

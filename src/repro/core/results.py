@@ -1,0 +1,120 @@
+"""Result and statistics types returned by every algorithm.
+
+Wall-clock comparisons of pure-Python implementations are noisy and machine
+dependent, so alongside ``elapsed_sec`` the :class:`QueryStats` carry the
+deterministic work counters the paper's cost model is phrased in (edges
+accessed, balls expanded) plus per-algorithm pruning counters.  Benchmarks
+report both; tests assert on the deterministic ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueryStats", "TopKResult"]
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one query execution.
+
+    Counter semantics (all are totals for the single query):
+
+    * ``nodes_evaluated`` — exact ball evaluations performed (each costs one
+      truncated BFS).  Base always evaluates every node; the LONA algorithms
+      evaluate fewer — this is *the* number pruning is trying to shrink.
+    * ``edges_scanned`` / ``nodes_visited`` / ``balls_expanded`` — raw BFS
+      traversal work, the paper's ``m^h |V|`` cost model.
+    * ``pruned_nodes`` — nodes eliminated by a bound without evaluation.
+    * ``bound_evaluations`` — how many upper bounds were computed.
+    * ``distribution_pushes`` — backward only: score deposits made during
+      partial distribution.
+    * ``candidates_verified`` — backward only: exact evaluations in the
+      verification phase (subset of ``nodes_evaluated``).
+    * ``early_terminated`` — backward only: whether the verification loop
+      stopped before exhausting all candidates.
+    * ``index_build_sec`` — offline time spent building indexes *for this
+      call* (0 when a prebuilt index was supplied; reported separately from
+      ``elapsed_sec`` the way the paper treats the differential index as a
+      precomputed artifact).
+    """
+
+    algorithm: str = ""
+    aggregate: str = ""
+    hops: int = 0
+    k: int = 0
+    elapsed_sec: float = 0.0
+    index_build_sec: float = 0.0
+    nodes_evaluated: int = 0
+    edges_scanned: int = 0
+    nodes_visited: int = 0
+    balls_expanded: int = 0
+    pruned_nodes: int = 0
+    bound_evaluations: int = 0
+    distribution_pushes: int = 0
+    candidates_verified: int = 0
+    early_terminated: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (extras inlined) for CSV/report writers."""
+        out: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "aggregate": self.aggregate,
+            "hops": self.hops,
+            "k": self.k,
+            "elapsed_sec": self.elapsed_sec,
+            "index_build_sec": self.index_build_sec,
+            "nodes_evaluated": self.nodes_evaluated,
+            "edges_scanned": self.edges_scanned,
+            "nodes_visited": self.nodes_visited,
+            "balls_expanded": self.balls_expanded,
+            "pruned_nodes": self.pruned_nodes,
+            "bound_evaluations": self.bound_evaluations,
+            "distribution_pushes": self.distribution_pushes,
+            "candidates_verified": self.candidates_verified,
+            "early_terminated": self.early_terminated,
+        }
+        out.update(self.extra)
+        return out
+
+
+@dataclass
+class TopKResult:
+    """The answer to a top-k neighborhood aggregation query.
+
+    ``entries`` are ``(node, value)`` pairs sorted by value descending (ties
+    by ascending node id).  ``stats`` describes the work done to produce
+    them.
+    """
+
+    entries: List[Tuple[int, float]]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def nodes(self) -> List[int]:
+        """The answer nodes, best first."""
+        return [node for node, _value in self.entries]
+
+    @property
+    def values(self) -> List[float]:
+        """The answer values, descending."""
+        return [value for _node, value in self.entries]
+
+    def value_of(self, node: int) -> Optional[float]:
+        """The value of ``node`` in the answer, or None if absent."""
+        for candidate, value in self.entries:
+            if candidate == node:
+                return value
+        return None
+
+    def top(self) -> Tuple[int, float]:
+        """The single best (node, value) pair."""
+        return self.entries[0]

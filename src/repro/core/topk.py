@@ -1,0 +1,91 @@
+"""Bounded top-k accumulator (paper P3).
+
+All three algorithms share the same top-k bookkeeping: a capacity-``k``
+min-heap of ``(value, node)`` pairs whose minimum — the paper's
+``topklbound`` — is the pruning threshold.  Keeping it in one class keeps the
+threshold semantics (and their tie-handling subtleties) identical across
+Base, LONA-Forward, and LONA-Backward, which is what makes their results
+comparable in tests.
+
+Tie semantics: the accumulator keeps the *first-offered* node among equal
+values at the boundary (``heapq`` orders by ``(value, -order)`` so later
+equal offers do not evict earlier ones).  Consequently different algorithms
+may return different node *sets* when values tie at rank k, but always the
+same value multiset — the invariant the test-suite checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["TopKAccumulator"]
+
+
+class TopKAccumulator:
+    """Min-heap of the best ``k`` (value, node) pairs seen so far."""
+
+    __slots__ = ("k", "_heap", "_order")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Heap entries are (value, -arrival_order, node): among equal values
+        # the *earliest* arrival is the largest entry, so it survives longest.
+        self._heap: List[Tuple[float, int, int]] = []
+        self._order = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether ``k`` entries have been accumulated."""
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """The paper's ``topklbound``: the current k-th best value.
+
+        ``-inf`` until the accumulator is full — before that, no node can be
+        pruned, because any value would enter the top-k list.
+        """
+        if len(self._heap) < self.k:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def offer(self, node: int, value: float) -> bool:
+        """Consider ``(node, value)``; return True if it entered the top-k."""
+        self._order += 1
+        entry = (value, -self._order, node)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry <= self._heap[0]:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    def would_accept(self, value: float) -> bool:
+        """Whether a node with this exact value could enter the top-k now.
+
+        Strictly-greater semantics, matching Algorithm 1's
+        ``if F(u) > topklbound`` line: an exact tie with the current k-th
+        value does not displace it.
+        """
+        return len(self._heap) < self.k or value > self._heap[0][0]
+
+    def entries(self) -> List[Tuple[int, float]]:
+        """The top-k as ``(node, value)`` pairs, best first.
+
+        Ties are broken by ascending node id for deterministic output.
+        """
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[2]))
+        return [(node, value) for value, _neg_order, node in ordered]
+
+    def values(self) -> List[float]:
+        """The top-k values only, descending."""
+        return sorted((e[0] for e in self._heap), reverse=True)

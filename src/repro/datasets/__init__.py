@@ -1,0 +1,32 @@
+"""Synthetic stand-ins for the paper's three evaluation networks.
+
+``load("collaboration_like")``, ``load("citation_like")``,
+``load("intrusion_like")`` — see each module's docstring for the
+paper-dataset -> substitute mapping and why it preserves the relevant
+behaviour (summarized in DESIGN.md Sec. 3).
+"""
+
+from repro.datasets.citation import CITATION, build_citation
+from repro.datasets.collaboration import COLLABORATION, build_collaboration
+from repro.datasets.intrusion import INTRUSION, build_intrusion
+from repro.datasets.registry import (
+    DatasetSpec,
+    available,
+    load,
+    register,
+    spec_of,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "available",
+    "load",
+    "register",
+    "spec_of",
+    "COLLABORATION",
+    "CITATION",
+    "INTRUSION",
+    "build_collaboration",
+    "build_citation",
+    "build_intrusion",
+]

@@ -1,0 +1,62 @@
+"""Stand-in for the Condensed Matter Collaboration network (cond-mat 2005).
+
+Paper profile: ~40k nodes, ~180k edges — average degree ~9, undirected,
+power-law degrees, and the very high clustering characteristic of
+co-authorship (each paper contributes a clique among its authors).
+
+Substitute: :func:`repro.graph.generators.coauthorship`, a bipartite
+paper-author projection.  Papers draw geometric team sizes; members are
+drawn preferentially by publication count.  This reproduces the three
+structural properties LONA's behaviour depends on:
+
+* heavy-tailed degrees with a large degree-1/2 author population,
+* clique-level clustering (cond-mat's defining feature), and
+* near-duplicate neighborhoods within a team — the ``delta(v-u) -> 0``
+  regime in which the differential index is informative.
+
+Parameters are tuned so the scale-1.0 graph matches cond-mat's average
+degree (~8-9) with ~16% isolated or near-isolated authors, as in the
+original data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.registry import DatasetSpec, register
+from repro.graph.generators import coauthorship
+from repro.graph.graph import Graph
+
+__all__ = ["COLLABORATION", "build_collaboration"]
+
+#: Nodes at scale=1.0; chosen so a full Base scan (one 2-hop BFS per node)
+#: stays interactive in pure Python while the degree shape matches cond-mat.
+BASE_NODES = 4000
+
+
+def build_collaboration(scale: float = 1.0, seed: Optional[int] = None) -> Graph:
+    """Generate the collaboration stand-in at ``scale``."""
+    n = max(16, int(BASE_NODES * scale))
+    return coauthorship(
+        n,
+        papers_per_author=1.2,
+        team_mean=2.6,
+        max_team=8,
+        seed=seed,
+        name="collaboration_like",
+    )
+
+
+COLLABORATION = register(
+    DatasetSpec(
+        name="collaboration_like",
+        paper_name="Condensed Matter Collaboration (cond-mat 2005)",
+        paper_nodes=40_000,
+        paper_edges=180_000,
+        description=(
+            "bipartite paper-author projection stand-in: clique-structured, "
+            "power-law degrees, avg degree ~8-9, undirected"
+        ),
+        builder=build_collaboration,
+    )
+)

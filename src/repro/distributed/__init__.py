@@ -1,0 +1,28 @@
+"""Simulated distributed execution (the paper's stated future work).
+
+* :class:`Partition` + :func:`hash_partition` / :func:`bfs_partition`.
+* :class:`BSPEngine` — Pregel-style supersteps with local/remote message
+  accounting.
+* :class:`DistributedTopKEngine` — partition, flood, merge.
+"""
+
+from repro.distributed.aggregation import ScoreFloodProgram, SizeFloodProgram
+from repro.distributed.bsp import BSPEngine, MessageStats, VertexContext
+from repro.distributed.coordinator import (
+    DistributedTopKEngine,
+    distributed_topk,
+)
+from repro.distributed.partition import Partition, bfs_partition, hash_partition
+
+__all__ = [
+    "Partition",
+    "hash_partition",
+    "bfs_partition",
+    "BSPEngine",
+    "MessageStats",
+    "VertexContext",
+    "ScoreFloodProgram",
+    "SizeFloodProgram",
+    "DistributedTopKEngine",
+    "distributed_topk",
+]

@@ -1,0 +1,12 @@
+"""Dynamic networks: mutable graphs + incremental aggregate maintenance.
+
+The paper's intrusion scenario is a *dynamic* network (Sec. I); this
+package provides the machinery to keep top-k neighborhood aggregates live
+under edge insertions/deletions and score updates, repairing only the
+perturbed region instead of rebuilding.
+"""
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.maintenance import MaintainedAggregateView
+
+__all__ = ["DynamicGraph", "MaintainedAggregateView"]

@@ -1,0 +1,130 @@
+"""Mutable graph for dynamic-network workloads.
+
+The paper's motivating intrusion scenario is explicitly dynamic: "the
+intrusion packets could formulate a large, dynamic intrusion network"
+(Sec. I).  :class:`DynamicGraph` extends the immutable :class:`Graph` with
+edge/node mutation and a version counter, so downstream artifacts (the
+maintained aggregate view in :mod:`repro.dynamic.maintenance`) can detect
+staleness and repair themselves incrementally.
+
+All traversal and algorithm code operates on the :class:`Graph` interface,
+so a :class:`DynamicGraph` can be queried directly at any point in its
+mutation history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphBuildError
+from repro.graph.graph import Graph
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph(Graph):
+    """A :class:`Graph` that supports edge and node mutation.
+
+    Every successful mutation bumps :attr:`version`; consumers cache
+    against it.  Duplicate edges and self-loops are rejected exactly as in
+    :class:`GraphBuilder`, keeping the simple-graph invariant that all
+    algorithms assume.
+    """
+
+    __slots__ = ("version", "_edge_set")
+
+    def __init__(
+        self,
+        adjacency: Optional[List[List[int]]] = None,
+        *,
+        directed: bool = False,
+        name: str = "",
+    ) -> None:
+        super().__init__(adjacency or [], directed=directed, name=name)
+        self.version = 0
+        self._edge_set: Set[Tuple[int, int]] = set()
+        for u, v in self.arcs():
+            key = (u, v) if directed else (min(u, v), max(u, v))
+            if u == v:
+                raise GraphBuildError(f"self-loop on node {u}")
+            self._edge_set.add(key)
+        if not directed and any(
+            len({(min(u, v), max(u, v)) for v in self._adj[u]}) != len(self._adj[u])
+            for u in self.nodes()
+        ):
+            raise GraphBuildError("duplicate edges in initial adjacency")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicGraph":
+        """A mutable deep copy of an existing graph (weights dropped)."""
+        return cls(
+            graph.adjacency_copy(), directed=graph.directed, name=graph.name
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        num_nodes: Optional[int] = None,
+        directed: bool = False,
+        name: str = "",
+    ) -> "DynamicGraph":
+        """Build a mutable graph from edges (mirrors ``Graph.from_edges``)."""
+        base = Graph.from_edges(
+            edges, num_nodes=num_nodes, directed=directed, name=name
+        )
+        return cls.from_graph(base)
+
+    # ------------------------------------------------------------------
+    def _key(self, u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if self._directed else (min(u, v), max(u, v))
+
+    def add_node(self) -> int:
+        """Append a new isolated node; returns its id."""
+        self._adj.append([])
+        self.version += 1
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the edge ``u - v`` (arc ``u -> v`` if directed)."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphBuildError(f"self-loop on node {u} is not allowed")
+        key = self._key(u, v)
+        if key in self._edge_set:
+            raise GraphBuildError(f"edge ({u}, {v}) already present")
+        self._edge_set.add(key)
+        self._adj[u].append(v)
+        if not self._directed:
+            self._adj[v].append(u)
+        self._num_edges += 1
+        self.version += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``u - v`` (arc ``u -> v`` if directed)."""
+        self._check_node(u)
+        self._check_node(v)
+        key = self._key(u, v)
+        if key not in self._edge_set:
+            raise EdgeNotFoundError(u, v)
+        self._edge_set.discard(key)
+        self._adj[u].remove(v)
+        if not self._directed:
+            self._adj[v].remove(u)
+        self._num_edges -= 1
+        self.version += 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """O(1) membership via the edge set."""
+        self._check_node(u)
+        self._check_node(v)
+        return self._key(u, v) in self._edge_set
+
+    def snapshot(self) -> Graph:
+        """An immutable deep copy at the current version."""
+        return Graph(
+            self.adjacency_copy(), directed=self._directed, name=self.name
+        )

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors (``TypeError``
+from misuse of the Python API itself, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "GraphBuildError",
+    "QueryError",
+    "InvalidParameterError",
+    "IndexNotBuiltError",
+    "RelevanceError",
+    "RelationalError",
+    "SchemaError",
+    "PlanError",
+    "DistributedError",
+    "PartitionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-storage and traversal errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class GraphBuildError(GraphError, ValueError):
+    """Raised when a graph cannot be constructed from the given input."""
+
+
+class QueryError(ReproError):
+    """Base class for query-processing errors."""
+
+
+class InvalidParameterError(QueryError, ValueError):
+    """A query or algorithm parameter is out of its valid domain."""
+
+
+class IndexNotBuiltError(QueryError, RuntimeError):
+    """An algorithm required a precomputed index that was not supplied."""
+
+
+class RelevanceError(ReproError, ValueError):
+    """A relevance function produced or was given invalid scores."""
+
+
+class RelationalError(ReproError):
+    """Base class for the mini relational engine."""
+
+
+class SchemaError(RelationalError, ValueError):
+    """A table schema was violated (unknown column, arity mismatch, ...)."""
+
+
+class PlanError(RelationalError, ValueError):
+    """A logical or physical plan could not be constructed or executed."""
+
+
+class DistributedError(ReproError):
+    """Base class for the simulated distributed engine."""
+
+
+class PartitionError(DistributedError, ValueError):
+    """A graph partitioning was invalid or inconsistent."""

@@ -1,0 +1,75 @@
+"""Graph substrate: storage, traversal, indexes, generators, and IO.
+
+This package is the memory-resident network layer the paper assumes.  The
+pieces most callers need are re-exported here:
+
+* :class:`Graph` / :class:`GraphBuilder` — adjacency-list storage.
+* :func:`hop_ball` — ``S_h(u)`` enumeration (the library's one BFS).
+* :class:`DifferentialIndex` — the per-edge ``delta(v-u)`` index of Sec. III.
+* :class:`NeighborhoodSizeIndex` — exact or estimated ``N(v)`` tables.
+* generators — synthetic networks (see :mod:`repro.graph.generators`).
+"""
+
+from repro.graph.csr import CSRGraph, from_csr, to_csr
+from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.generators import (
+    barabasi_albert,
+    citation_dag,
+    erdos_renyi,
+    powerlaw_cluster,
+    ring_lattice,
+    star_burst,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph, GraphBuilder
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.neighborhood import (
+    NeighborhoodSizeIndex,
+    exact_sizes,
+    lower_estimate,
+    upper_estimate,
+)
+from repro.graph.traversal import (
+    TraversalCounter,
+    ball_size,
+    hop_ball,
+    hop_ball_with_distances,
+    hop_frontiers,
+)
+from repro.graph.validation import (
+    connected_components,
+    degree_histogram,
+    validate_graph,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "CSRGraph",
+    "to_csr",
+    "from_csr",
+    "DifferentialIndex",
+    "build_differential_index",
+    "NeighborhoodSizeIndex",
+    "exact_sizes",
+    "upper_estimate",
+    "lower_estimate",
+    "TraversalCounter",
+    "hop_ball",
+    "hop_ball_with_distances",
+    "hop_frontiers",
+    "ball_size",
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "citation_dag",
+    "star_burst",
+    "ring_lattice",
+    "watts_strogatz",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "validate_graph",
+    "degree_histogram",
+    "connected_components",
+]

@@ -1,0 +1,104 @@
+"""Compressed-sparse-row (CSR) export of a :class:`~repro.graph.graph.Graph`.
+
+The library's hot loops use adjacency lists (faster to iterate from pure
+Python), but vectorized consumers — the random-walk relevance function, the
+degree-based estimates at scale, external analysis — want flat arrays.  This
+module provides the conversion both with and without :mod:`numpy`, keeping
+the core library dependency-free.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = ["CSRGraph", "to_csr", "from_csr"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A frozen CSR view: ``indices[indptr[u]:indptr[u+1]]`` are u's neighbors.
+
+    ``indptr`` has ``num_nodes + 1`` entries; ``weights`` is either ``None``
+    or parallel to ``indices``.  Arrays are ``array('l')``/``array('d')`` by
+    default or numpy arrays when ``use_numpy=True`` was requested.
+    """
+
+    indptr: Sequence[int]
+    indices: Sequence[int]
+    weights: Optional[Sequence[float]]
+    directed: bool
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (2x edges for undirected graphs)."""
+        return len(self.indices)
+
+    def neighbors(self, u: int) -> Sequence[int]:
+        """Neighbor slice of node ``u``."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        """Out-degree of node ``u``."""
+        return self.indptr[u + 1] - self.indptr[u]
+
+
+def to_csr(graph: Graph, *, use_numpy: bool = False) -> CSRGraph:
+    """Convert ``graph`` to CSR.
+
+    ``use_numpy=True`` returns ``numpy.int64`` / ``numpy.float64`` arrays
+    (numpy must be importable); the default uses the stdlib ``array`` module.
+    """
+    indptr = array("l", [0])
+    indices = array("l")
+    weighted = graph.weighted
+    weights = array("d") if weighted else None
+    for u in graph.nodes():
+        nbrs = graph.neighbors(u)
+        indices.extend(nbrs)
+        if weights is not None:
+            weights.extend(graph.neighbor_weights(u))
+        indptr.append(len(indices))
+    if use_numpy:
+        import numpy as np
+
+        return CSRGraph(
+            indptr=np.asarray(indptr, dtype=np.int64),
+            indices=np.asarray(indices, dtype=np.int64),
+            weights=None if weights is None else np.asarray(weights, dtype=np.float64),
+            directed=graph.directed,
+        )
+    return CSRGraph(
+        indptr=indptr, indices=indices, weights=weights, directed=graph.directed
+    )
+
+
+def from_csr(csr: CSRGraph, *, name: str = "") -> Graph:
+    """Rebuild an adjacency-list :class:`Graph` from a CSR view."""
+    n = csr.num_nodes
+    adj: List[List[int]] = []
+    weights: Optional[List[List[float]]] = [] if csr.weights is not None else None
+    for u in range(n):
+        lo, hi = csr.indptr[u], csr.indptr[u + 1]
+        adj.append([int(v) for v in csr.indices[lo:hi]])
+        if weights is not None:
+            assert csr.weights is not None
+            weights.append([float(w) for w in csr.weights[lo:hi]])
+    return Graph(adj, directed=csr.directed, weights=weights, name=name)
+
+
+def degree_array(graph: Graph) -> Any:
+    """All node degrees as a numpy int64 array (numpy required)."""
+    import numpy as np
+
+    return np.fromiter(
+        (graph.degree(u) for u in graph.nodes()), dtype=np.int64, count=graph.num_nodes
+    )

@@ -1,0 +1,194 @@
+"""The differential index (Sec. III of the paper).
+
+For every arc ``u -> v`` the index stores
+
+    ``delta(v - u) = |S_h(v) \\ S_h(u)|``
+
+the number of nodes in ``v``'s h-hop ball that are *not* in ``u``'s.  After a
+forward evaluation of ``u`` has produced the exact ``F(u)``, the index gives
+the differential upper bound of Eq. 1:
+
+    ``F(v) <= F(u) + delta(v - u)``
+
+because every member of ``S(v) ∩ S(u)`` contributes to ``F(u)`` at least what
+it contributes to ``F(v)`` (it contributes exactly ``f(.) <= 1``), and each of
+the ``delta(v - u)`` remaining members contributes at most 1.
+
+The index is direction-sensitive — ``delta(v - u) != delta(u - v)`` in
+general — so it is stored per *arc*, aligned position-for-position with the
+graph's adjacency lists: ``index.delta_row(u)[i]`` corresponds to
+``graph.neighbors(u)[i]``.
+
+Building the index is the offline, paid-once step of LONA-Forward ("The
+differential index adopted by forward processing needs to be pre-computed and
+stored").  The exact per-node ball sizes ``N(v)`` fall out of the same pass
+for free and are exposed as a :class:`NeighborhoodSizeIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.graph.traversal import TraversalCounter, hop_ball
+
+__all__ = ["DifferentialIndex", "build_differential_index"]
+
+
+class DifferentialIndex:
+    """Per-arc ``delta(v-u)`` table plus the exact ball-size index.
+
+    Construct with :func:`build_differential_index` (or
+    :meth:`DifferentialIndex.build`).  Instances are immutable and tied to the
+    ``(graph, hops, include_self)`` triple they were built for; algorithms
+    validate this via :meth:`check_compatible`.
+    """
+
+    __slots__ = ("_rows", "_sizes", "hops", "include_self", "_num_nodes")
+
+    def __init__(
+        self,
+        rows: List[List[int]],
+        sizes: NeighborhoodSizeIndex,
+        *,
+        hops: int,
+        include_self: bool = True,
+    ) -> None:
+        self._rows = rows
+        self._sizes = sizes
+        self.hops = hops
+        self.include_self = include_self
+        self._num_nodes = len(rows)
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        hops: int,
+        *,
+        include_self: bool = True,
+        counter: Optional[TraversalCounter] = None,
+    ) -> "DifferentialIndex":
+        """Alias of :func:`build_differential_index`."""
+        return build_differential_index(
+            graph, hops, include_self=include_self, counter=counter
+        )
+
+    @property
+    def sizes(self) -> NeighborhoodSizeIndex:
+        """The exact ``N(v)`` index obtained during the build."""
+        return self._sizes
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def delta_row(self, u: int) -> Sequence[int]:
+        """Deltas for all of ``u``'s out-arcs, parallel to ``neighbors(u)``.
+
+        ``delta_row(u)[i] == delta(v - u)`` where ``v = graph.neighbors(u)[i]``.
+        """
+        return self._rows[u]
+
+    def delta(self, graph: Graph, u: int, v: int) -> int:
+        """``delta(v - u)`` for the arc ``u -> v`` (linear scan of the row)."""
+        nbrs = graph.neighbors(u)
+        try:
+            i = nbrs.index(v)  # type: ignore[attr-defined]
+        except ValueError:
+            raise IndexNotBuiltError(
+                f"arc ({u}, {v}) is not in the graph the index was built on"
+            ) from None
+        return self._rows[u][i]
+
+    def check_compatible(self, graph: Graph, hops: int, include_self: bool) -> None:
+        """Raise unless the index matches the query's graph and parameters."""
+        if self._num_nodes != graph.num_nodes:
+            raise IndexNotBuiltError(
+                f"differential index built for {self._num_nodes} nodes, "
+                f"graph has {graph.num_nodes}"
+            )
+        if self.hops != hops:
+            raise IndexNotBuiltError(
+                f"differential index built for h={self.hops}, query uses h={hops}"
+            )
+        if self.include_self != include_self:
+            raise IndexNotBuiltError(
+                "differential index built with include_self="
+                f"{self.include_self}, query uses {include_self}"
+            )
+
+
+def build_differential_index(
+    graph: Graph,
+    hops: int,
+    *,
+    include_self: bool = True,
+    counter: Optional[TraversalCounter] = None,
+    max_resident_balls: Optional[int] = None,
+) -> DifferentialIndex:
+    """Precompute ``delta(v-u)`` for every arc and ``N(v)`` for every node.
+
+    Strategy: materialize every node's h-hop ball once, then for each arc
+    ``u -> v`` count ``|S(v) \\ S(u)|`` by probing ``S(u)`` with the members
+    of ``S(v)``.  Worst-case time ``O(sum_over_arcs |S(v)|)``; memory
+    ``O(sum_over_nodes |S(v)|)`` when fully resident.
+
+    ``max_resident_balls`` bounds peak memory: when set, balls are computed
+    in bounded batches and the inner loop recomputes the partner ball when it
+    is not resident.  This trades time for memory for graphs whose ball
+    catalog would not fit; the default (fully resident) is right for the
+    bench scales in this repository.
+    """
+    if hops < 0:
+        raise InvalidParameterError(f"hops must be >= 0, got {hops}")
+    if max_resident_balls is not None and max_resident_balls < 1:
+        raise InvalidParameterError(
+            f"max_resident_balls must be >= 1, got {max_resident_balls}"
+        )
+
+    n = graph.num_nodes
+    rows: List[List[int]] = [[] for _ in range(n)]
+    sizes: List[int] = [0] * n
+
+    if max_resident_balls is None or max_resident_balls >= n:
+        balls: List[Set[int]] = [
+            hop_ball(graph, u, hops, include_self=include_self, counter=counter)
+            for u in range(n)
+        ]
+        for u in range(n):
+            ball_u = balls[u]
+            row = rows[u]
+            sizes[u] = len(ball_u)
+            for v in graph.neighbors(u):
+                ball_v = balls[v]
+                row.append(sum(1 for w in ball_v if w not in ball_u))
+    else:
+        cache: Dict[int, Set[int]] = {}
+
+        def get_ball(node: int) -> Set[int]:
+            ball = cache.get(node)
+            if ball is None:
+                ball = hop_ball(
+                    graph, node, hops, include_self=include_self, counter=counter
+                )
+                if len(cache) >= max_resident_balls:
+                    cache.pop(next(iter(cache)))
+                cache[node] = ball
+            return ball
+
+        for u in range(n):
+            ball_u = get_ball(u)
+            sizes[u] = len(ball_u)
+            row = rows[u]
+            for v in graph.neighbors(u):
+                ball_v = get_ball(v)
+                # get_ball may have evicted ball_u; it is still referenced
+                # locally so correctness is unaffected.
+                row.append(sum(1 for w in ball_v if w not in ball_u))
+
+    size_index = NeighborhoodSizeIndex(
+        sizes, sizes, hops=hops, include_self=include_self, exact=True
+    )
+    return DifferentialIndex(rows, size_index, hops=hops, include_self=include_self)

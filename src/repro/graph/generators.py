@@ -1,0 +1,451 @@
+"""Synthetic graph generators, implemented from scratch.
+
+The paper evaluates on three real networks that are not redistributable here
+(see DESIGN.md Sec. 3); :mod:`repro.datasets` composes the generators below
+into structural stand-ins.  The generators themselves are general-purpose and
+part of the public substrate:
+
+* :func:`erdos_renyi` — G(n, m) uniform random graphs.
+* :func:`barabasi_albert` — preferential attachment (heavy-tailed degrees).
+* :func:`powerlaw_cluster` — Holme-Kim: preferential attachment + triad
+  closure, giving the power-law + high-clustering shape of collaboration
+  networks.
+* :func:`citation_dag` — time-ordered preferential attachment with each new
+  paper citing ``m`` earlier ones (directed, acyclic).
+* :func:`star_burst` — a forest of heavy-tailed stars plus random cross
+  links, mimicking attacker->victim intrusion traffic (few scanners hitting
+  many hosts, most hosts touched once or twice).
+* :func:`ring_lattice` / :func:`watts_strogatz` — small-world controls used
+  in tests and ablations.
+
+All randomness is drawn from an explicit ``random.Random(seed)``; no function
+touches global random state, so every dataset is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "citation_dag",
+    "star_burst",
+    "ring_lattice",
+    "watts_strogatz",
+]
+
+
+def _new_rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def _edges_to_graph(
+    n: int, edges: Set[Tuple[int, int]], *, directed: bool, name: str
+) -> Graph:
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+        if not directed:
+            adj[v].append(u)
+    return Graph(adj, directed=directed, name=name)
+
+
+def erdos_renyi(
+    n: int, m: int, *, seed: Optional[int] = None, name: str = "erdos_renyi"
+) -> Graph:
+    """Uniform random simple graph with exactly ``n`` nodes and ``m`` edges."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    max_edges = n * (n - 1) // 2
+    if m < 0 or m > max_edges:
+        raise InvalidParameterError(
+            f"m must be in [0, {max_edges}] for n={n}, got {m}"
+        )
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    while len(edges) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        edges.add((u, v))
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def _preferential_targets(
+    rng: random.Random, repeated: List[int], count: int, forbidden: Set[int]
+) -> Set[int]:
+    """Sample ``count`` distinct targets proportionally to degree.
+
+    ``repeated`` holds each existing node once per incident edge endpoint, so
+    uniform sampling from it is degree-proportional sampling — the standard
+    O(1)-per-draw preferential-attachment trick.
+    """
+    targets: Set[int] = set()
+    # The forbidden set (the new node itself) can never exhaust `repeated`
+    # because repeated only contains older nodes.
+    while len(targets) < count:
+        candidate = repeated[rng.randrange(len(repeated))]
+        if candidate not in forbidden:
+            targets.add(candidate)
+    return targets
+
+
+def barabasi_albert(
+    n: int, m: int, *, seed: Optional[int] = None, name: str = "barabasi_albert"
+) -> Graph:
+    """Barabasi-Albert preferential attachment: each new node links to ``m``
+    existing nodes chosen proportionally to their degree.
+
+    Produces the power-law degree distribution characteristic of citation and
+    collaboration networks.  Requires ``1 <= m < n``.
+    """
+    if m < 1 or m >= max(n, 1):
+        raise InvalidParameterError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    # Seed with a star on the first m+1 nodes so every node has degree >= 1.
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        edges.add((0, v))
+        repeated.extend((0, v))
+    for u in range(m + 1, n):
+        targets = _preferential_targets(rng, repeated, m, {u})
+        for v in targets:
+            edges.add((min(u, v), max(u, v)))
+            repeated.extend((u, v))
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def powerlaw_cluster(
+    n: int,
+    m: int,
+    triangle_prob: float,
+    *,
+    seed: Optional[int] = None,
+    heavy_tail: bool = False,
+    name: str = "powerlaw_cluster",
+) -> Graph:
+    """Holme-Kim growing graph: preferential attachment with triad closure.
+
+    Like :func:`barabasi_albert`, but after each preferential link to ``v``
+    the next link is, with probability ``triangle_prob``, made to a random
+    neighbor of ``v`` (closing a triangle).  Yields power-law degrees *and*
+    the high clustering measured in collaboration networks, the structural
+    property that makes h-hop balls of adjacent nodes overlap heavily — the
+    exact property LONA-Forward's differential index exploits.
+
+    ``heavy_tail=True`` draws each arriving node's link count from a
+    geometric distribution with mean ``m`` (min 1, capped at ``4 m``)
+    instead of the constant ``m``.  Real collaboration networks have a large
+    population of degree-1/degree-2 authors alongside the hubs; that
+    low-degree mass produces the small, nested neighborhoods whose bounds
+    LONA's pruning feeds on, so the stand-in datasets enable it.
+    """
+    if m < 1 or m >= max(n, 1):
+        raise InvalidParameterError(f"need 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= triangle_prob <= 1.0:
+        raise InvalidParameterError(
+            f"triangle_prob must be in [0, 1], got {triangle_prob}"
+        )
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    adj: List[Set[int]] = [set() for _ in range(n)]
+    repeated: List[int] = []
+
+    def connect(u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            return False
+        edges.add(key)
+        adj[u].add(v)
+        adj[v].add(u)
+        repeated.extend((u, v))
+        return True
+
+    for v in range(1, m + 1):
+        connect(0, v)
+    for u in range(m + 1, n):
+        links = m
+        if heavy_tail:
+            links = min(_geometric(rng, 1.0 / m), 4 * m, u)
+        made = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while made < links and guard < 50 * links + 100:
+            guard += 1
+            if (
+                last_target is not None
+                and adj[last_target]
+                and rng.random() < triangle_prob
+            ):
+                candidate = rng.choice(sorted(adj[last_target]))
+            else:
+                candidate = repeated[rng.randrange(len(repeated))]
+            if connect(u, candidate):
+                made += 1
+                last_target = candidate
+        # Degenerate corner (tiny dense graphs): fall back to any free slot.
+        if made < links:
+            for candidate in range(u):
+                if made >= links:
+                    break
+                if connect(u, candidate):
+                    made += 1
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def citation_dag(
+    n: int,
+    m: int,
+    *,
+    seed: Optional[int] = None,
+    recency_bias: float = 0.3,
+    heavy_tail: bool = False,
+    name: str = "citation_dag",
+) -> Graph:
+    """Directed acyclic citation-style graph.
+
+    Nodes arrive in id order; node ``u`` cites ``m`` earlier nodes, mixing
+    preferential attachment (popular papers accumulate citations — power-law
+    in-degree) with a recency bias (papers mostly cite the recent
+    literature).  ``recency_bias`` is the probability a citation is drawn
+    uniformly from the most recent window rather than preferentially.
+    Arcs point from citing node to cited node (so out-edges = references).
+
+    ``heavy_tail=True`` draws each paper's reference count from a geometric
+    with mean ``m`` (min 1, capped at ``6 m``) instead of the constant ``m``
+    — real reference lists range from a couple of citations to hundreds, and
+    that spread is what creates the neighborhood-size diversity the paper's
+    pruning exploits.
+    """
+    if m < 1 or m >= max(n, 1):
+        raise InvalidParameterError(f"need 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= recency_bias <= 1.0:
+        raise InvalidParameterError(
+            f"recency_bias must be in [0, 1], got {recency_bias}"
+        )
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    repeated: List[int] = list(range(min(m + 1, n)))
+    window = max(4 * m, 16)
+    for u in range(1, n):
+        cites = min(m, u)
+        if heavy_tail:
+            cites = min(_geometric(rng, 1.0 / m), 6 * m, u)
+        chosen: Set[int] = set()
+        guard = 0
+        while len(chosen) < cites and guard < 50 * cites + 100:
+            guard += 1
+            if rng.random() < recency_bias:
+                lo = max(0, u - window)
+                candidate = rng.randrange(lo, u)
+            else:
+                candidate = repeated[rng.randrange(len(repeated))]
+                if candidate >= u:
+                    continue
+            chosen.add(candidate)
+        for v in chosen:
+            edges.add((u, v))
+            repeated.extend((u, v))
+    return _edges_to_graph(n, edges, directed=True, name=name)
+
+
+def star_burst(
+    n: int,
+    *,
+    num_hubs: int,
+    hub_degree_mean: float,
+    cross_link_fraction: float = 0.05,
+    seed: Optional[int] = None,
+    name: str = "star_burst",
+) -> Graph:
+    """Heavy-tailed star forest with sparse cross links (intrusion shape).
+
+    ``num_hubs`` attacker nodes each touch a geometric-distributed number of
+    victim nodes (mean ``hub_degree_mean``); victims are drawn uniformly, so
+    a few victims are hit by several attackers.  A further
+    ``cross_link_fraction * n`` uniform random edges connect the bursts the
+    way shared infrastructure does in IP traffic graphs.  The result matches
+    the paper's intrusion network profile: very low average degree, a few
+    huge hubs, many small components.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if num_hubs < 1 or num_hubs > n:
+        raise InvalidParameterError(
+            f"num_hubs must be in [1, {n}], got {num_hubs}"
+        )
+    if hub_degree_mean <= 0:
+        raise InvalidParameterError(
+            f"hub_degree_mean must be > 0, got {hub_degree_mean}"
+        )
+    if not 0.0 <= cross_link_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"cross_link_fraction must be in [0, 1], got {cross_link_fraction}"
+        )
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    hubs = rng.sample(range(n), num_hubs)
+    geometric_p = 1.0 / hub_degree_mean
+    for hub in hubs:
+        # Geometric number of victims, heavy right tail via mixture: 10% of
+        # hubs are "mass scanners" with 10x the mean.
+        mean = hub_degree_mean * (10.0 if rng.random() < 0.1 else 1.0)
+        p = min(1.0, 1.0 / mean) if mean > 0 else geometric_p
+        victims = _geometric(rng, p)
+        for _ in range(victims):
+            v = rng.randrange(n)
+            if v == hub:
+                continue
+            edges.add((min(hub, v), max(hub, v)))
+    cross = int(cross_link_fraction * n)
+    attempts = 0
+    while cross > 0 and attempts < 20 * n:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            continue
+        edges.add(key)
+        cross -= 1
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def coauthorship(
+    n: int,
+    *,
+    papers_per_author: float = 1.4,
+    team_mean: float = 3.0,
+    max_team: int = 10,
+    prolific_bias: float = 0.6,
+    seed: Optional[int] = None,
+    name: str = "coauthorship",
+) -> Graph:
+    """Collaboration network via bipartite paper-author projection.
+
+    Generates ``round(papers_per_author * n)`` papers; each paper gets a
+    geometric team size (mean ``team_mean``, capped at ``max_team``) whose
+    members are drawn preferentially by publication count with probability
+    ``prolific_bias`` (prolific authors keep publishing) and uniformly
+    otherwise (newcomers).  Each paper contributes a clique among its
+    authors — the defining structure of co-authorship data.
+
+    Compared to edge-rewiring models, the projection reproduces the three
+    properties of cond-mat-2005 that matter to LONA: (i) heavy-tailed
+    degrees with a large degree-1/2 population, (ii) very high clustering,
+    and (iii) near-duplicate neighborhoods *within* a paper's clique, which
+    is precisely when the differential index ``delta(v-u) = |S(v)\\S(u)|``
+    approaches zero and forward pruning propagates through whole teams.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if papers_per_author <= 0:
+        raise InvalidParameterError(
+            f"papers_per_author must be > 0, got {papers_per_author}"
+        )
+    if team_mean < 1.0:
+        raise InvalidParameterError(f"team_mean must be >= 1, got {team_mean}")
+    if max_team < 2:
+        raise InvalidParameterError(f"max_team must be >= 2, got {max_team}")
+    if not 0.0 <= prolific_bias <= 1.0:
+        raise InvalidParameterError(
+            f"prolific_bias must be in [0, 1], got {prolific_bias}"
+        )
+    rng = _new_rng(seed)
+    num_papers = max(1, round(papers_per_author * n))
+    edges: Set[Tuple[int, int]] = set()
+    # Degree-proportional sampling over publication counts, seeded so every
+    # author can be drawn at least once.
+    repeated: List[int] = list(range(n))
+    team_p = 1.0 / team_mean
+    for _ in range(num_papers):
+        size = min(_geometric(rng, team_p), max_team, n)
+        team: Set[int] = set()
+        guard = 0
+        while len(team) < size and guard < 50 * size + 20:
+            guard += 1
+            if rng.random() < prolific_bias:
+                candidate = repeated[rng.randrange(len(repeated))]
+            else:
+                candidate = rng.randrange(n)
+            team.add(candidate)
+        members = sorted(team)
+        for member in members:
+            repeated.append(member)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.add((u, v))
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def ring_lattice(n: int, k: int, *, name: str = "ring_lattice") -> Graph:
+    """Ring where each node links to its ``k`` nearest neighbors each side."""
+    if n < 3:
+        raise InvalidParameterError(f"n must be >= 3, got {n}")
+    if k < 1 or 2 * k >= n:
+        raise InvalidParameterError(f"need 1 <= k and 2k < n, got k={k}, n={n}")
+    edges: Set[Tuple[int, int]] = set()
+    for u in range(n):
+        for offset in range(1, k + 1):
+            v = (u + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    rewire_prob: float,
+    *,
+    seed: Optional[int] = None,
+    name: str = "watts_strogatz",
+) -> Graph:
+    """Watts-Strogatz small world: ring lattice with random rewiring."""
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise InvalidParameterError(
+            f"rewire_prob must be in [0, 1], got {rewire_prob}"
+        )
+    base = ring_lattice(n, k)
+    rng = _new_rng(seed)
+    edges: Set[Tuple[int, int]] = set(base.edges())
+    for u, v in sorted(edges):
+        if rng.random() >= rewire_prob:
+            continue
+        guard = 0
+        while guard < 100:
+            guard += 1
+            w = rng.randrange(n)
+            if w == u:
+                continue
+            key = (min(u, w), max(u, w))
+            if key in edges:
+                continue
+            edges.discard((u, v))
+            edges.add(key)
+            break
+    return _edges_to_graph(n, edges, directed=False, name=name)
+
+
+def _geometric(rng: random.Random, p: float) -> int:
+    """Number of failures before first success + 1 (support {1, 2, ...})."""
+    # Inverse-CDF sampling keeps this exact and branch-free.
+    import math
+
+    u = rng.random()
+    if p >= 1.0:
+        return 1
+    return max(1, int(math.ceil(math.log(1.0 - u) / math.log(1.0 - p))))

@@ -1,0 +1,213 @@
+"""Neighborhood-size indexes: exact ``N(v)`` and index-free estimates.
+
+Both LONA bound formulas consume ``N(v) = |S_h(v)|``:
+
+* Eq. 1 (forward):  ``Fbar_sum(v) = min(F(u) + delta(v-u), N(v) - 1 + f(v))``
+* Eq. 3 (backward): ``Fbar_sum(v) = PS(v) + bound_rest * (N(v) - 1 - l) + f(v)``
+
+LONA-Forward already pays for an offline index pass (the differential index),
+so an exact ``N`` table is free there.  LONA-Backward is advertised as
+index-free, so this module also provides *estimates* computable in one pass
+over the edges:
+
+* :func:`upper_estimate` — ``N_ub(v) >= N(v)``, safe wherever ``N`` appears
+  with a non-negative coefficient in an upper bound (Eqs. 1 and 3).
+* :func:`lower_estimate` — ``N_lb(v) <= N(v)``, safe as the denominator when
+  converting a SUM upper bound into an AVG upper bound (Eq. 2).
+
+The estimates are exact for h <= 1 and become upper/lower bounds for h >= 2
+via degree-sum arguments (see each function's docstring).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import TraversalCounter, hop_ball
+
+__all__ = [
+    "NeighborhoodSizeIndex",
+    "exact_sizes",
+    "upper_estimate",
+    "lower_estimate",
+]
+
+
+def exact_sizes(
+    graph: Graph,
+    hops: int,
+    *,
+    include_self: bool = True,
+    counter: Optional[TraversalCounter] = None,
+) -> List[int]:
+    """Exact ``N(v)`` for every node, by one truncated BFS per node.
+
+    Cost is the same as one full Base scan, which is why this is an *offline*
+    index build, done once per (graph, h) and reused across queries — the
+    same amortization argument the paper makes for the differential index.
+    """
+    if hops < 0:
+        raise InvalidParameterError(f"hops must be >= 0, got {hops}")
+    return [
+        len(hop_ball(graph, u, hops, include_self=include_self, counter=counter))
+        for u in graph.nodes()
+    ]
+
+
+def upper_estimate(graph: Graph, hops: int, *, include_self: bool = True) -> List[int]:
+    """Index-free upper bound on ``N(v)``, one pass over the edges.
+
+    Derivation: the number of *distinct* nodes within ``h`` hops is at most
+    the number of BFS tree slots,
+
+    ``N_ub(v) = 1 + deg(v) + sum_{w in nbrs(v)} (deg(w) - b) + ...``
+
+    where ``b = 1`` on undirected graphs (each non-root BFS node spends one
+    adjacency slot on the edge back to its parent) and ``b = 0`` on directed
+    graphs (out-arcs carry no such back-edge, so every out-neighbor of a
+    level-1 node may be new — subtracting 1 there would *under*-estimate and
+    break bound soundness).  Levels 1 and 2 expand exactly from degrees; the
+    remaining levels are bounded with the maximum degree.  Always
+    ``>= N(v)``; also capped at ``num_nodes``, a trivially valid bound.
+    """
+    if hops < 0:
+        raise InvalidParameterError(f"hops must be >= 0, got {hops}")
+    n = graph.num_nodes
+    self_count = 1 if include_self else 0
+    cap = n if include_self else max(n - 1, 0)
+    if hops == 0:
+        return [self_count] * n
+    degrees = [graph.degree(u) for u in graph.nodes()]
+    max_degree = max(degrees, default=0)
+    back_edge = 0 if graph.directed else 1
+    branch = max(max_degree - back_edge, 0)
+    estimates: List[int] = []
+    for u in graph.nodes():
+        total = self_count + degrees[u]
+        if hops >= 2:
+            level = sum(
+                max(degrees[v] - back_edge, 0) for v in graph.neighbors(u)
+            )
+            total += level
+            # Levels 3..h: each level-(i) node contributes at most `branch`
+            # new nodes.
+            for _ in range(3, hops + 1):
+                level *= branch
+                total += level
+                if total >= cap:
+                    break
+        estimates.append(min(total, cap))
+    return estimates
+
+
+def lower_estimate(graph: Graph, hops: int, *, include_self: bool = True) -> List[int]:
+    """Index-free lower bound on ``N(v)``: the (closed) 1-hop size.
+
+    For ``h >= 1`` the h-hop ball contains the 1-hop ball, so
+    ``N_lb(v) = [self] + deg(v) <= N(v)`` — except on directed graphs, where
+    out-neighbors may repeat... they cannot: adjacency lists are duplicate-
+    free, so out-degree counts distinct 1-hop nodes there too.
+    """
+    if hops < 0:
+        raise InvalidParameterError(f"hops must be >= 0, got {hops}")
+    self_count = 1 if include_self else 0
+    if hops == 0:
+        return [self_count] * graph.num_nodes
+    return [self_count + graph.degree(u) for u in graph.nodes()]
+
+
+class NeighborhoodSizeIndex:
+    """Per-node ``N(v)`` table with sound upper/lower views.
+
+    Three construction modes:
+
+    * :meth:`exact` — offline BFS index (used by LONA-Forward, whose offline
+      pass already exists for the differential index).
+    * :meth:`estimated` — index-free degree-based bounds (used by
+      LONA-Backward when run without any precomputation).
+    * the constructor — from explicit arrays, for tests.
+
+    The query-time contract is:
+
+    * ``upper(v)`` is always ``>= N(v)``,
+    * ``lower(v)`` is always ``<= N(v)``,
+    * when exact, both equal ``N(v)``.
+    """
+
+    __slots__ = ("_upper", "_lower", "_exact", "hops", "include_self")
+
+    def __init__(
+        self,
+        upper: Sequence[int],
+        lower: Sequence[int],
+        *,
+        hops: int,
+        include_self: bool = True,
+        exact: bool = False,
+    ) -> None:
+        if len(upper) != len(lower):
+            raise InvalidParameterError(
+                f"upper/lower length mismatch: {len(upper)} vs {len(lower)}"
+            )
+        for ub, lb in zip(upper, lower):
+            if lb > ub:
+                raise InvalidParameterError(
+                    f"lower estimate {lb} exceeds upper estimate {ub}"
+                )
+        self._upper = list(upper)
+        self._lower = list(lower)
+        self._exact = exact
+        self.hops = hops
+        self.include_self = include_self
+
+    @classmethod
+    def exact(
+        cls,
+        graph: Graph,
+        hops: int,
+        *,
+        include_self: bool = True,
+        counter: Optional[TraversalCounter] = None,
+    ) -> "NeighborhoodSizeIndex":
+        """Build the exact index by BFS (offline pass)."""
+        sizes = exact_sizes(graph, hops, include_self=include_self, counter=counter)
+        return cls(sizes, sizes, hops=hops, include_self=include_self, exact=True)
+
+    @classmethod
+    def estimated(
+        cls, graph: Graph, hops: int, *, include_self: bool = True
+    ) -> "NeighborhoodSizeIndex":
+        """Build index-free degree-based estimates (no BFS)."""
+        return cls(
+            upper_estimate(graph, hops, include_self=include_self),
+            lower_estimate(graph, hops, include_self=include_self),
+            hops=hops,
+            include_self=include_self,
+            exact=False,
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether upper and lower coincide with the true ``N``."""
+        return self._exact
+
+    def __len__(self) -> int:
+        return len(self._upper)
+
+    def upper(self, node: int) -> int:
+        """Sound upper bound on ``N(node)``."""
+        return self._upper[node]
+
+    def lower(self, node: int) -> int:
+        """Sound lower bound on ``N(node)``."""
+        return self._lower[node]
+
+    def value(self, node: int) -> int:
+        """Exact ``N(node)``; raises unless :attr:`is_exact`."""
+        if not self._exact:
+            raise InvalidParameterError(
+                "exact N requested from an estimated NeighborhoodSizeIndex"
+            )
+        return self._upper[node]

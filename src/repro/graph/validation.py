@@ -1,0 +1,80 @@
+"""Structural invariant checks for graphs.
+
+These checks run in tests and at dataset-build time; they are deliberately
+exhaustive rather than fast.  A graph that passes :func:`validate_graph` is a
+simple graph with consistent adjacency — the precondition every algorithm in
+:mod:`repro.core` assumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.errors import GraphBuildError
+from repro.graph.graph import Graph
+
+__all__ = ["validate_graph", "degree_histogram", "connected_components"]
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`GraphBuildError` unless ``graph`` is a simple graph.
+
+    Checks: node ids in range, no self-loops, no duplicate arcs, and (for
+    undirected graphs) adjacency symmetry.
+    """
+    n = graph.num_nodes
+    for u in graph.nodes():
+        nbrs = graph.neighbors(u)
+        seen = set()
+        for v in nbrs:
+            if not (0 <= v < n):
+                raise GraphBuildError(f"node {u} links to out-of-range node {v}")
+            if v == u:
+                raise GraphBuildError(f"self-loop on node {u}")
+            if v in seen:
+                raise GraphBuildError(f"duplicate arc ({u}, {v})")
+            seen.add(v)
+    if not graph.directed:
+        neighbor_sets = [set(graph.neighbors(u)) for u in graph.nodes()]
+        for u in graph.nodes():
+            for v in graph.neighbors(u):
+                if u not in neighbor_sets[v]:
+                    raise GraphBuildError(
+                        f"asymmetric adjacency: {u}->{v} present, {v}->{u} missing"
+                    )
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    return dict(Counter(graph.degree(u) for u in graph.nodes()))
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components (weak components for directed graphs).
+
+    Returned as lists of node ids, largest component first.
+    """
+    n = graph.num_nodes
+    if graph.directed:
+        undirected = graph.as_undirected()
+    else:
+        undirected = graph
+    seen = [False] * n
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        stack = [start]
+        component = [start]
+        while stack:
+            u = stack.pop()
+            for v in undirected.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+                    component.append(v)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components

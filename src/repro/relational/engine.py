@@ -1,0 +1,70 @@
+"""RelationalTopKEngine: the RDBMS-style baseline, measured.
+
+Answers the same :class:`~repro.core.query.QuerySpec` as the graph
+algorithms but through the relational plan of
+:mod:`repro.relational.planner`, and reports both wall-clock and row-level
+work so the "gigantic self-join" cost is visible in benchmark output
+(ablation ``abl-rdbms`` in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Union
+
+from repro.aggregates.functions import AggregateKind
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.graph.graph import Graph
+from repro.relational.operators import OperatorStats
+from repro.relational.planner import topk_plan
+
+__all__ = ["RelationalTopKEngine", "relational_topk"]
+
+
+class RelationalTopKEngine:
+    """Run top-k neighborhood aggregation through the relational plan."""
+
+    def __init__(self, graph: Graph, scores: Sequence[float]) -> None:
+        self.graph = graph
+        self.scores = scores
+
+    def topk(
+        self,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        *,
+        hops: int = 2,
+        include_self: bool = True,
+    ) -> TopKResult:
+        """Answer the query; stats carry row-level work in ``extra``."""
+        spec = QuerySpec(
+            k=k, aggregate=aggregate, hops=hops, include_self=include_self
+        )
+        return relational_topk(self.graph, self.scores, spec)
+
+
+def relational_topk(
+    graph: Graph, scores: Sequence[float], spec: QuerySpec
+) -> TopKResult:
+    """Functional entry point used by benchmarks and tests."""
+    op_stats = OperatorStats()
+    start = time.perf_counter()
+    result_table = topk_plan(graph, scores, spec, stats=op_stats)
+    elapsed = time.perf_counter() - start
+
+    nodes = result_table.column("src")
+    values = result_table.column("agg")
+    entries = sorted(
+        zip(nodes, (float(v) for v in values)),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    stats = QueryStats(
+        algorithm="relational",
+        aggregate=spec.aggregate.value,
+        hops=spec.hops,
+        k=spec.k,
+        elapsed_sec=elapsed,
+    )
+    stats.extra.update(op_stats.as_dict())
+    return TopKResult(entries=entries, stats=stats)

@@ -1,0 +1,295 @@
+"""Physical operators of the mini relational engine.
+
+Materializing operators over :class:`~repro.relational.table.Table`, each
+threading an :class:`OperatorStats` so plans can report exactly how many
+intermediate rows the relational formulation of a graph query manufactures —
+the quantitative form of the paper's "self-join two gigantic edge tables"
+argument.
+
+Operators are deliberately textbook: hash join, hash distinct, hash group-by
+aggregation, heap-based order-by-limit.  No secondary indexes, no pipelining
+— the point of this subsystem is to be a fair, understandable baseline, not
+a competitive RDBMS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import PlanError, SchemaError
+from repro.relational.table import Table
+
+__all__ = [
+    "OperatorStats",
+    "filter_rows",
+    "hash_join",
+    "distinct",
+    "group_aggregate",
+    "order_by_limit",
+    "union_all",
+    "append_constant",
+]
+
+
+@dataclass
+class OperatorStats:
+    """Row-level work accounting across a plan's operators."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    join_probes: int = 0
+    join_matches: int = 0
+    peak_intermediate_rows: int = 0
+    operator_invocations: int = 0
+    per_operator: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, operator: str, in_rows: int, out_rows: int) -> None:
+        """Record one operator execution."""
+        self.operator_invocations += 1
+        self.rows_scanned += in_rows
+        self.rows_output += out_rows
+        self.peak_intermediate_rows = max(self.peak_intermediate_rows, out_rows)
+        self.per_operator[operator] = self.per_operator.get(operator, 0) + out_rows
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view for reports."""
+        out: Dict[str, float] = {
+            "rows_scanned": float(self.rows_scanned),
+            "rows_output": float(self.rows_output),
+            "join_probes": float(self.join_probes),
+            "join_matches": float(self.join_matches),
+            "peak_intermediate_rows": float(self.peak_intermediate_rows),
+            "operator_invocations": float(self.operator_invocations),
+        }
+        for op, rows in self.per_operator.items():
+            out[f"rows_{op}"] = float(rows)
+        return out
+
+
+def filter_rows(
+    table: Table, predicate: Callable[[Tuple[Any, ...]], bool], stats: OperatorStats
+) -> Table:
+    """Keep rows satisfying ``predicate`` (applied to full row tuples)."""
+    names = table.column_names
+    kept = [row for row in table.iter_rows() if predicate(row)]
+    result = Table.from_rows(names, kept, name=table.name)
+    stats.record("filter", table.num_rows, result.num_rows)
+    return result
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    *,
+    left_key: str,
+    right_key: str,
+    stats: OperatorStats,
+    right_suffix: str = "_r",
+) -> Table:
+    """Equi-join ``left.left_key == right.right_key`` (hash build on right).
+
+    Output schema: all left columns, then all right columns except the join
+    key; right columns colliding with a left name get ``right_suffix``.
+    """
+    if not left.has_column(left_key):
+        raise SchemaError(f"left table lacks join key {left_key!r}")
+    if not right.has_column(right_key):
+        raise SchemaError(f"right table lacks join key {right_key!r}")
+
+    right_cols = [col for col in right.column_names if col != right_key]
+    out_names = list(left.column_names)
+    right_out_names = []
+    for col in right_cols:
+        out_name = col if col not in out_names else col + right_suffix
+        if out_name in out_names or out_name in right_out_names:
+            raise SchemaError(f"join output column collision on {out_name!r}")
+        right_out_names.append(out_name)
+    out_names.extend(right_out_names)
+
+    # Build phase.
+    build: Dict[Any, List[int]] = {}
+    right_key_col = right.column(right_key)
+    for i, key in enumerate(right_key_col):
+        build.setdefault(key, []).append(i)
+
+    # Probe phase.
+    out_columns: Dict[str, List[Any]] = {colname: [] for colname in out_names}
+    left_names = left.column_names
+    right_col_data = [right.column(col) for col in right_cols]
+    probes = 0
+    matches = 0
+    left_key_idx = left_names.index(left_key)
+    for row in left.iter_rows():
+        probes += 1
+        hits = build.get(row[left_key_idx])
+        if not hits:
+            continue
+        for j in hits:
+            matches += 1
+            for col_name, value in zip(left_names, row):
+                out_columns[col_name].append(value)
+            for col_name, data in zip(right_out_names, right_col_data):
+                out_columns[col_name].append(data[j])
+
+    result = Table(out_columns, name=f"{left.name}⋈{right.name}")
+    stats.join_probes += probes
+    stats.join_matches += matches
+    stats.record("hash_join", left.num_rows + right.num_rows, result.num_rows)
+    return result
+
+
+def distinct(table: Table, stats: OperatorStats) -> Table:
+    """Remove duplicate rows (hash-set based, order of first appearance)."""
+    seen = set()
+    kept: List[Tuple[Any, ...]] = []
+    for row in table.iter_rows():
+        if row not in seen:
+            seen.add(row)
+            kept.append(row)
+    result = Table.from_rows(table.column_names, kept, name=table.name)
+    stats.record("distinct", table.num_rows, result.num_rows)
+    return result
+
+
+_AGG_FUNCS = ("sum", "count", "avg", "min", "max")
+
+
+def group_aggregate(
+    table: Table,
+    *,
+    key: str,
+    aggregations: Dict[str, Tuple[str, str]],
+    stats: OperatorStats,
+) -> Table:
+    """Hash group-by on ``key`` with the given aggregations.
+
+    ``aggregations`` maps output column name to ``(func, input_column)``
+    where func is one of sum/count/avg/min/max (count ignores its input
+    column and counts rows).
+    """
+    if not table.has_column(key):
+        raise SchemaError(f"unknown group key {key!r}")
+    for out_name, (func, col) in aggregations.items():
+        if func not in _AGG_FUNCS:
+            raise PlanError(f"unknown aggregate function {func!r} for {out_name!r}")
+        if func != "count" and not table.has_column(col):
+            raise SchemaError(f"unknown aggregation column {col!r}")
+
+    key_col = table.column(key)
+    groups: Dict[Any, Dict[str, Any]] = {}
+    # state per group per output: sum -> float, count -> int, min/max -> value
+    agg_items = list(aggregations.items())
+    input_cols = {
+        col: table.column(col)
+        for _out, (func, col) in agg_items
+        if func != "count"
+    }
+    for i, group_key in enumerate(key_col):
+        state = groups.get(group_key)
+        if state is None:
+            state = {"__count__": 0}
+            for out_name, (func, _col) in agg_items:
+                if func in ("sum", "avg"):
+                    state[out_name] = 0.0
+                elif func in ("min", "max"):
+                    state[out_name] = None
+            groups[group_key] = state
+        state["__count__"] += 1
+        for out_name, (func, col) in agg_items:
+            if func == "count":
+                continue
+            value = input_cols[col][i]
+            if func in ("sum", "avg"):
+                state[out_name] += value
+            elif func == "min":
+                current = state[out_name]
+                state[out_name] = value if current is None else min(current, value)
+            elif func == "max":
+                current = state[out_name]
+                state[out_name] = value if current is None else max(current, value)
+
+    out_columns: Dict[str, List[Any]] = {key: []}
+    for out_name in aggregations:
+        out_columns[out_name] = []
+    for group_key, state in groups.items():
+        out_columns[key].append(group_key)
+        for out_name, (func, _col) in agg_items:
+            if func == "count":
+                out_columns[out_name].append(state["__count__"])
+            elif func == "avg":
+                count = state["__count__"]
+                out_columns[out_name].append(
+                    state[out_name] / count if count else 0.0
+                )
+            else:
+                out_columns[out_name].append(state[out_name])
+
+    result = Table(out_columns, name=f"γ({table.name})")
+    stats.record("group_aggregate", table.num_rows, result.num_rows)
+    return result
+
+
+def order_by_limit(
+    table: Table,
+    *,
+    column: str,
+    k: int,
+    descending: bool = True,
+    tie_column: str = "",
+    stats: OperatorStats,
+) -> Table:
+    """Top-``k`` rows by ``column`` (heap-based; ties by ``tie_column`` asc)."""
+    if k < 1:
+        raise PlanError(f"limit must be >= 1, got {k}")
+    values = table.column(column)
+    ties = table.column(tie_column) if tie_column else None
+    if descending:
+        keyed = (
+            (values[i], -(ties[i] if ties else i), i) for i in range(table.num_rows)
+        )
+        best = heapq.nlargest(k, keyed)
+    else:
+        keyed = (
+            (values[i], (ties[i] if ties else i), i) for i in range(table.num_rows)
+        )
+        best = heapq.nsmallest(k, keyed)
+    rows = [table.row(i) for _value, _tie, i in best]
+    result = Table.from_rows(table.column_names, rows, name=table.name)
+    stats.record("order_by_limit", table.num_rows, result.num_rows)
+    return result
+
+
+def union_all(tables: Sequence[Table], stats: OperatorStats) -> Table:
+    """Concatenate tables with identical schemas."""
+    if not tables:
+        raise PlanError("union_all needs at least one input")
+    schema = tables[0].column_names
+    for t in tables[1:]:
+        if t.column_names != schema:
+            raise SchemaError(
+                f"union schema mismatch: {schema} vs {t.column_names}"
+            )
+    columns: Dict[str, List[Any]] = {col: [] for col in schema}
+    total_in = 0
+    for t in tables:
+        total_in += t.num_rows
+        for col in schema:
+            columns[col].extend(t.column(col))
+    result = Table(columns, name="∪".join(t.name or "?" for t in tables))
+    stats.record("union_all", total_in, result.num_rows)
+    return result
+
+
+def append_constant(
+    table: Table, column: str, value: Any, stats: OperatorStats
+) -> Table:
+    """Add a constant column (used for weight/hop tagging in plans)."""
+    if table.has_column(column):
+        raise SchemaError(f"column {column!r} already exists")
+    columns = {col: table.column(col) for col in table.column_names}
+    columns[column] = [value] * table.num_rows
+    result = Table(columns, name=table.name)
+    stats.record("append_constant", table.num_rows, result.num_rows)
+    return result

@@ -1,0 +1,139 @@
+"""Column-oriented in-memory tables for the mini relational engine.
+
+The paper's introduction motivates LONA against the relational alternative:
+"For 2-hop queries, it has to self-join two gigantic edge tables, if one
+indeed chooses table to store large graphs" (Sec. II).  To measure that
+claim rather than assert it, :mod:`repro.relational` implements a small but
+honest column-store query engine; this module is its storage layer.
+
+A :class:`Table` is an ordered mapping of column name -> Python list, all of
+equal length.  Tables are immutable by convention: operators build new
+tables rather than mutating inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable column-store table."""
+
+    __slots__ = ("_columns", "_names", "_num_rows", "name")
+
+    def __init__(self, columns: Dict[str, List[Any]], *, name: str = "") -> None:
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            detail = {col: len(values) for col, values in columns.items()}
+            raise SchemaError(f"ragged columns: {detail}")
+        self._columns = dict(columns)
+        self._names = list(columns.keys())
+        self._num_rows = next(iter(lengths))
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        column_names: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        *,
+        name: str = "",
+    ) -> "Table":
+        """Build from row tuples (arity checked against ``column_names``)."""
+        names = list(column_names)
+        columns: Dict[str, List[Any]] = {col: [] for col in names}
+        if len(columns) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        for i, row in enumerate(rows):
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row {i} has {len(row)} values for {len(names)} columns"
+                )
+            for col, value in zip(names, row):
+                columns[col].append(value)
+        return cls(columns, name=name)
+
+    @classmethod
+    def empty(cls, column_names: Sequence[str], *, name: str = "") -> "Table":
+        """A zero-row table with the given schema."""
+        return cls({col: [] for col in column_names}, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        """Schema column names, in order."""
+        return list(self._names)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Table{label} cols={self._names} rows={self._num_rows}>"
+
+    def has_column(self, column: str) -> bool:
+        """Whether ``column`` is in the schema."""
+        return column in self._columns
+
+    def column(self, column: str) -> List[Any]:
+        """The raw column list (callers must not mutate it)."""
+        try:
+            return self._columns[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r}; table has {self._names}"
+            ) from None
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """One row as a tuple, in schema order."""
+        return tuple(self._columns[col][index] for col in self._names)
+
+    def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate all rows as tuples."""
+        cols = [self._columns[col] for col in self._names]
+        return zip(*cols) if cols else iter(())
+
+    # ------------------------------------------------------------------
+    # Schema-level helpers (row data is shared, never copied needlessly)
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[str], *, name: str = "") -> "Table":
+        """Keep only ``columns`` (shares the underlying lists)."""
+        missing = [col for col in columns if col not in self._columns]
+        if missing:
+            raise SchemaError(f"unknown columns {missing}; table has {self._names}")
+        return Table(
+            {col: self._columns[col] for col in columns},
+            name=name or self.name,
+        )
+
+    def rename(self, mapping: Dict[str, str], *, name: str = "") -> "Table":
+        """Rename columns per ``mapping`` (missing keys are errors)."""
+        missing = [col for col in mapping if col not in self._columns]
+        if missing:
+            raise SchemaError(f"unknown columns {missing}; table has {self._names}")
+        renamed: Dict[str, List[Any]] = {}
+        for col in self._names:
+            renamed[mapping.get(col, col)] = self._columns[col]
+        if len(renamed) != len(self._names):
+            raise SchemaError(f"rename {mapping} collides with existing columns")
+        return Table(renamed, name=name or self.name)
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """All rows, materialized (for tests and small results)."""
+        return list(self.iter_rows())

@@ -1,0 +1,40 @@
+"""Relevance functions: the ``f : V -> [0, 1]`` layer (paper P1).
+
+Public surface:
+
+* :class:`ScoreVector` — validated, materialized per-node scores.
+* :class:`MixtureRelevance` — the paper's experimental ``fr + fw`` mixture.
+* :class:`BinaryRelevance` / :class:`RandomAssignmentRelevance` — the raw
+  blacking-ratio assignment (binary and exponential-tail variants).
+* :class:`RandomWalkRelevance` — diffusion smoothing of any base function.
+* :class:`IterativeClassifierRelevance` — collective-classification scores.
+* :func:`uniform_scores` / :func:`indicator_scores` — constant and seed-set
+  score vectors for COUNT-style queries.
+"""
+
+from repro.relevance.base import (
+    RelevanceFunction,
+    ScoreVector,
+    indicator_scores,
+    uniform_scores,
+)
+from repro.relevance.classifier import IterativeClassifierRelevance
+from repro.relevance.mixture import MixtureRelevance
+from repro.relevance.random_assignment import (
+    BinaryRelevance,
+    RandomAssignmentRelevance,
+)
+from repro.relevance.random_walk import RandomWalkRelevance, walk_diffusion
+
+__all__ = [
+    "ScoreVector",
+    "RelevanceFunction",
+    "uniform_scores",
+    "indicator_scores",
+    "MixtureRelevance",
+    "BinaryRelevance",
+    "RandomAssignmentRelevance",
+    "RandomWalkRelevance",
+    "walk_diffusion",
+    "IterativeClassifierRelevance",
+]

@@ -1,0 +1,135 @@
+"""Relevance-function core types.
+
+Definition 1 of the paper: a relevance function ``f : V -> [0, 1]`` assigns
+each node a query-specific score; 0 means irrelevant, 1 fully relevant.  The
+library separates the *function* (how scores are produced — P1 in the paper's
+problem decomposition) from the *score vector* (the materialized per-node
+values every aggregation algorithm consumes).
+
+:class:`ScoreVector` is the materialized form.  It validates the [0, 1]
+range once at construction, after which algorithms can trust it, and it
+precomputes the two things LONA-Backward needs: the set of non-zero nodes and
+their descending-score order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Protocol, Sequence, Tuple
+
+from repro.errors import RelevanceError
+from repro.graph.graph import Graph
+
+__all__ = ["ScoreVector", "RelevanceFunction", "uniform_scores", "indicator_scores"]
+
+
+class ScoreVector:
+    """Immutable per-node relevance scores in ``[0, 1]``.
+
+    Supports ``scores[node]``, ``len``, and iteration.  Construction
+    validates every value; all downstream bound math relies on the
+    ``0 <= f(v) <= 1`` invariant (the "all unknown scores are at most 1"
+    arguments behind Eq. 1, and "at most the last distributed score" behind
+    Eq. 3).
+    """
+
+    __slots__ = ("_values", "_nonzero", "_is_binary")
+
+    def __init__(self, values: Iterable[float]) -> None:
+        vals = [float(v) for v in values]
+        for i, v in enumerate(vals):
+            if not 0.0 <= v <= 1.0:
+                raise RelevanceError(
+                    f"relevance score out of range at node {i}: {v}"
+                )
+        self._values: List[float] = vals
+        self._nonzero: Tuple[int, ...] = tuple(
+            i for i, v in enumerate(vals) if v > 0.0
+        )
+        self._is_binary = all(v in (0.0, 1.0) for v in vals)
+
+    def __getitem__(self, node: int) -> float:
+        return self._values[node]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ScoreVector n={len(self._values)} nonzero={len(self._nonzero)}"
+            f"{' binary' if self._is_binary else ''}>"
+        )
+
+    @property
+    def is_binary(self) -> bool:
+        """True when every score is exactly 0 or 1."""
+        return self._is_binary
+
+    @property
+    def nonzero_nodes(self) -> Tuple[int, ...]:
+        """Nodes with strictly positive score, ascending id order."""
+        return self._nonzero
+
+    @property
+    def density(self) -> float:
+        """Fraction of nodes with non-zero score."""
+        if not self._values:
+            return 0.0
+        return len(self._nonzero) / len(self._values)
+
+    def total(self) -> float:
+        """Sum of all scores."""
+        return sum(self._values)
+
+    def descending_nonzero(self) -> List[int]:
+        """Non-zero nodes sorted by score descending (ties by id).
+
+        This is exactly the distribution order LONA-Backward requires:
+        "we distribute nodes according to their scores in a descending
+        order" (Sec. IV).
+        """
+        return sorted(self._nonzero, key=lambda u: (-self._values[u], u))
+
+    def values(self) -> List[float]:
+        """A fresh list copy of the raw values."""
+        return list(self._values)
+
+    def check_graph(self, graph: Graph) -> None:
+        """Raise unless this vector covers exactly ``graph``'s nodes."""
+        if len(self._values) != graph.num_nodes:
+            raise RelevanceError(
+                f"score vector has {len(self._values)} entries, "
+                f"graph has {graph.num_nodes} nodes"
+            )
+
+
+class RelevanceFunction(Protocol):
+    """Anything that materializes a :class:`ScoreVector` for a graph.
+
+    Implementations must be deterministic given their constructor arguments
+    (all randomness comes from an explicit seed) so experiments are exactly
+    reproducible.
+    """
+
+    def scores(self, graph: Graph) -> ScoreVector:
+        """Produce the per-node scores for ``graph``."""
+        ...  # pragma: no cover - protocol
+
+
+def uniform_scores(graph: Graph, value: float) -> ScoreVector:
+    """Every node gets ``value`` (useful for COUNT-style queries and tests)."""
+    if not 0.0 <= value <= 1.0:
+        raise RelevanceError(f"value must be in [0, 1], got {value}")
+    return ScoreVector([value] * graph.num_nodes)
+
+
+def indicator_scores(graph: Graph, relevant: Sequence[int]) -> ScoreVector:
+    """1.0 on ``relevant`` nodes, 0.0 elsewhere (the paper's 1/0 case)."""
+    values = [0.0] * graph.num_nodes
+    for node in relevant:
+        if not (0 <= node < graph.num_nodes):
+            raise RelevanceError(f"relevant node {node} not in graph")
+        values[node] = 1.0
+    return ScoreVector(values)

@@ -1,0 +1,113 @@
+"""Iterative collective classification as a relevance function.
+
+The paper's P1 allows ``f`` to be "a classification function, e.g., how
+likely a user is a database expert", citing Neville & Jensen's iterative
+classification [13].  This module supplies that flavor of relevance function
+so examples and tests can exercise non-synthetic score fields:
+
+:class:`IterativeClassifierRelevance` starts from labeled seed nodes
+(positive / negative) and runs iterative classification: each round, every
+unlabeled node's class probability is re-estimated from its own prior and the
+current probabilities of its neighbors (a logistic link over the relational
+feature "weighted fraction of positive neighbors").  Probabilities converge
+to a smooth field in [0, 1] — structurally the same kind of relevance signal
+a learned classifier would emit, without requiring training data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from repro.errors import RelevanceError
+from repro.graph.graph import Graph
+from repro.relevance.base import ScoreVector
+
+__all__ = ["IterativeClassifierRelevance"]
+
+
+def _logistic(x: float) -> float:
+    # Guard exp overflow for extreme inputs.
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+class IterativeClassifierRelevance:
+    """Relational iterative classification (ICA) relevance scores.
+
+    Parameters
+    ----------
+    positive / negative:
+        Seed node sets with known labels; they are clamped to 1.0 / 0.0 for
+        the whole run (and in the output).
+    prior:
+        Class prior used as every unlabeled node's starting probability.
+    weight:
+        Slope of the logistic link on the relational feature.  Higher values
+        sharpen decisions toward the neighborhood majority.
+    iterations:
+        Number of synchronous update rounds.
+    """
+
+    def __init__(
+        self,
+        positive: Iterable[int],
+        negative: Iterable[int] = (),
+        *,
+        prior: float = 0.1,
+        weight: float = 4.0,
+        iterations: int = 5,
+    ) -> None:
+        if not 0.0 <= prior <= 1.0:
+            raise RelevanceError(f"prior must be in [0, 1], got {prior}")
+        if iterations < 0:
+            raise RelevanceError(f"iterations must be >= 0, got {iterations}")
+        self.positive = frozenset(positive)
+        self.negative = frozenset(negative)
+        overlap = self.positive & self.negative
+        if overlap:
+            raise RelevanceError(
+                f"nodes {sorted(overlap)} are both positive and negative seeds"
+            )
+        self.prior = prior
+        self.weight = weight
+        self.iterations = iterations
+
+    def scores(self, graph: Graph) -> ScoreVector:
+        """Run ICA on ``graph`` and return the converged probabilities."""
+        n = graph.num_nodes
+        for node in self.positive | self.negative:
+            if not (0 <= node < n):
+                raise RelevanceError(f"seed node {node} not in graph")
+        prob: Dict[int, float] = {}
+        current = [self.prior] * n
+        for u in self.positive:
+            current[u] = 1.0
+        for u in self.negative:
+            current[u] = 0.0
+        # The logit offset centers the link so an all-prior neighborhood maps
+        # back to (approximately) the prior.
+        offset = (
+            math.log(self.prior / (1.0 - self.prior))
+            if 0.0 < self.prior < 1.0
+            else 0.0
+        )
+        for _ in range(self.iterations):
+            nxt = list(current)
+            for u in range(n):
+                if u in self.positive or u in self.negative:
+                    continue
+                nbrs = graph.neighbors(u)
+                if not nbrs:
+                    continue
+                positive_mass = sum(current[v] for v in nbrs)
+                fraction = positive_mass / len(nbrs)
+                nxt[u] = _logistic(
+                    offset + self.weight * (fraction - self.prior)
+                )
+            current = nxt
+        prob.clear()
+        return ScoreVector(current)

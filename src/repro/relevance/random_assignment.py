@@ -1,0 +1,115 @@
+"""The paper's random-assignment component ``fr`` (Sec. V, Relevance
+Functions).
+
+Quoting the experimental setup: *"fr assigns a score whose range is between 0
+and 1 [and] has an exponential distribution.  It has a blacking ratio
+parameter r, which controls the percentage of nodes to be assigned '1'."*
+
+Concretely, with blacking ratio ``r``:
+
+* a fraction ``r`` of nodes (chosen uniformly at random) are "blacked":
+  assigned score exactly 1.0;
+* the remainder draw from a truncated exponential on [0, 1) (most mass near
+  0), scaled by ``rate``; or exactly 0.0 in the *binary* variant, which is
+  the 0/1 case LONA-Backward's zero-skipping exploits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.errors import RelevanceError
+from repro.graph.graph import Graph
+from repro.relevance.base import ScoreVector
+
+__all__ = ["RandomAssignmentRelevance", "BinaryRelevance"]
+
+
+def _check_ratio(blacking_ratio: float) -> None:
+    if not 0.0 <= blacking_ratio <= 1.0:
+        raise RelevanceError(
+            f"blacking_ratio must be in [0, 1], got {blacking_ratio}"
+        )
+
+
+class RandomAssignmentRelevance:
+    """``fr``: blacking ratio + truncated-exponential tail.
+
+    Parameters
+    ----------
+    blacking_ratio:
+        Fraction ``r`` of nodes assigned exactly 1.0.
+    rate:
+        Rate of the exponential for non-blacked nodes; larger means scores
+        concentrate nearer 0.  The draw is inverse-CDF of an exponential
+        truncated to [0, 1), so values stay in range without clipping bias.
+    zero_fraction:
+        Fraction of the *non-blacked* nodes forced to exactly 0.0 (sparse
+        workloads; the paper's intrusion experiments are effectively sparse).
+    seed:
+        Seed for the private RNG; identical seeds give identical vectors.
+    """
+
+    def __init__(
+        self,
+        blacking_ratio: float,
+        *,
+        rate: float = 8.0,
+        zero_fraction: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        _check_ratio(blacking_ratio)
+        if rate <= 0:
+            raise RelevanceError(f"rate must be > 0, got {rate}")
+        if not 0.0 <= zero_fraction <= 1.0:
+            raise RelevanceError(
+                f"zero_fraction must be in [0, 1], got {zero_fraction}"
+            )
+        self.blacking_ratio = blacking_ratio
+        self.rate = rate
+        self.zero_fraction = zero_fraction
+        self.seed = seed
+
+    def scores(self, graph: Graph) -> ScoreVector:
+        """Materialize the score vector for ``graph``."""
+        rng = random.Random(self.seed)
+        n = graph.num_nodes
+        values = [0.0] * n
+        num_black = round(self.blacking_ratio * n)
+        blacked = set(rng.sample(range(n), num_black)) if num_black else set()
+        # Normalizing constant of the exponential truncated to [0, 1).
+        z = 1.0 - math.exp(-self.rate)
+        for u in range(n):
+            if u in blacked:
+                values[u] = 1.0
+            elif self.zero_fraction and rng.random() < self.zero_fraction:
+                values[u] = 0.0
+            else:
+                # Inverse CDF: F(x) = (1 - e^{-rate x}) / z on [0, 1).
+                values[u] = -math.log(1.0 - z * rng.random()) / self.rate
+        return ScoreVector(values)
+
+
+class BinaryRelevance:
+    """Pure 0/1 relevance: fraction ``r`` of nodes are 1, the rest 0.
+
+    This is the "relevance function is 0-1 binary" special case in Sec. IV
+    under which backward distribution "can skip nodes with 0 score".
+    """
+
+    def __init__(self, blacking_ratio: float, *, seed: Optional[int] = None) -> None:
+        _check_ratio(blacking_ratio)
+        self.blacking_ratio = blacking_ratio
+        self.seed = seed
+
+    def scores(self, graph: Graph) -> ScoreVector:
+        """Materialize the 0/1 score vector for ``graph``."""
+        rng = random.Random(self.seed)
+        n = graph.num_nodes
+        values = [0.0] * n
+        num_black = round(self.blacking_ratio * n)
+        for u in rng.sample(range(n), num_black) if num_black else ():
+            values[u] = 1.0
+        return ScoreVector(values)

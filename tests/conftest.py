@@ -1,0 +1,151 @@
+"""Shared fixtures and reference implementations for the test suite.
+
+The reference implementations here are deliberately *independent* of the
+library code paths they check: ``ref_ball`` uses a dict-based Dijkstra-style
+expansion rather than the library's BFS, and ``ref_topk_values`` aggregates
+by brute force.  Tests compare library output against these oracles so a
+bug cannot hide in shared code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set, Tuple
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+# ---------------------------------------------------------------------------
+# Independent reference implementations (oracles)
+# ---------------------------------------------------------------------------
+def ref_ball(graph: Graph, center: int, hops: int, *, include_self: bool = True) -> Set[int]:
+    """Reference h-hop ball: repeated one-step neighbor expansion over sets."""
+    current = {center}
+    reached = {center}
+    for _ in range(hops):
+        nxt = set()
+        for u in current:
+            nxt.update(graph.neighbors(u))
+        nxt -= reached
+        reached |= nxt
+        current = nxt
+    if not include_self:
+        reached.discard(center)
+    return reached
+
+
+def ref_aggregate(
+    graph: Graph,
+    scores: Sequence[float],
+    node: int,
+    hops: int,
+    kind: str,
+    *,
+    include_self: bool = True,
+) -> float:
+    """Reference aggregate of one node by brute force."""
+    ball = ref_ball(graph, node, hops, include_self=include_self)
+    values = [scores[v] for v in ball]
+    if kind == "sum":
+        return sum(values)
+    if kind == "avg":
+        return sum(values) / len(values) if values else 0.0
+    if kind == "count":
+        return float(sum(1 for v in values if v > 0.0))
+    if kind == "max":
+        return max(values) if values else 0.0
+    if kind == "min":
+        return min(values) if values else 0.0
+    raise ValueError(kind)
+
+
+def ref_topk_values(
+    graph: Graph,
+    scores: Sequence[float],
+    k: int,
+    hops: int,
+    kind: str,
+    *,
+    include_self: bool = True,
+) -> List[float]:
+    """The exact multiset of top-k values, descending (the oracle answer)."""
+    all_values = [
+        ref_aggregate(graph, scores, u, hops, kind, include_self=include_self)
+        for u in graph.nodes()
+    ]
+    return sorted(all_values, reverse=True)[:k]
+
+
+def rounded(values: Sequence[float], places: int = 9) -> List[float]:
+    """Round a value list for float-tolerant comparison."""
+    return [round(v, places) for v in values]
+
+
+def random_graph(
+    n: int, edge_prob: float, seed: int, *, directed: bool = False
+) -> Graph:
+    """A small uniform random graph for property-style tests."""
+    rng = random.Random(seed)
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if directed:
+                if u != v and rng.random() < edge_prob:
+                    edges.append((u, v))
+            else:
+                if u < v and rng.random() < edge_prob:
+                    edges.append((u, v))
+    return Graph.from_edges(edges, num_nodes=n, directed=directed)
+
+
+def random_scores(n: int, seed: int, *, density: float = 0.5) -> List[float]:
+    """Random score vector in [0, 1] with roughly the given density."""
+    rng = random.Random(seed)
+    return [
+        rng.random() if rng.random() < density else 0.0 for _ in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fixture graphs
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def path_graph() -> Graph:
+    """0 - 1 - 2 - 3 - 4."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Center 0 with leaves 1..5."""
+    return Graph.from_edges([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """3-clique."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """A triangle (0,1,2) and an edge (3,4), plus isolated node 5."""
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (0, 2), (3, 4)], num_nodes=6
+    )
+
+
+@pytest.fixture
+def directed_cycle() -> Graph:
+    """0 -> 1 -> 2 -> 3 -> 0."""
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 0)], directed=True
+    )
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A 60-node random graph used by the cross-algorithm agreement tests."""
+    return random_graph(60, 0.08, seed=99)

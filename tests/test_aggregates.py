@@ -1,0 +1,129 @@
+"""Tests for aggregate functions and distance-weighted aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.functions import (
+    AggregateKind,
+    coerce_aggregate,
+    evaluate_scores,
+    finalize_sum,
+)
+from repro.aggregates.weighted import (
+    exponential_decay,
+    inverse_distance,
+    precompute_weights,
+    uniform_weight,
+    weighted_ball_sum,
+)
+from repro.errors import InvalidParameterError
+from tests.conftest import random_graph, random_scores, ref_ball
+
+
+class TestAggregateKind:
+    def test_coerce_strings(self):
+        assert coerce_aggregate("sum") is AggregateKind.SUM
+        assert coerce_aggregate("AVG") is AggregateKind.AVG
+        assert coerce_aggregate(AggregateKind.MIN) is AggregateKind.MIN
+
+    def test_coerce_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            coerce_aggregate("median")
+
+    def test_sum_convertible_partition(self):
+        convertible = {k for k in AggregateKind if k.sum_convertible}
+        assert convertible == {
+            AggregateKind.SUM,
+            AggregateKind.AVG,
+            AggregateKind.COUNT,
+        }
+
+    def test_lona_supported(self):
+        assert AggregateKind.SUM.lona_supported
+        assert not AggregateKind.MAX.lona_supported
+
+
+class TestFinalizeAndEvaluate:
+    def test_finalize_sum(self):
+        assert finalize_sum(AggregateKind.SUM, 4.5, 9) == 4.5
+
+    def test_finalize_avg(self):
+        assert finalize_sum(AggregateKind.AVG, 4.5, 9) == 0.5
+
+    def test_finalize_avg_empty_ball(self):
+        assert finalize_sum(AggregateKind.AVG, 0.0, 0) == 0.0
+
+    def test_finalize_rejects_max(self):
+        with pytest.raises(InvalidParameterError):
+            finalize_sum(AggregateKind.MAX, 1.0, 2)
+
+    def test_evaluate_all_kinds(self):
+        values = [0.0, 0.5, 1.0]
+        assert evaluate_scores(AggregateKind.SUM, values) == 1.5
+        assert evaluate_scores(AggregateKind.AVG, values) == 0.5
+        assert evaluate_scores(AggregateKind.COUNT, values) == 2.0
+        assert evaluate_scores(AggregateKind.MAX, values) == 1.0
+        assert evaluate_scores(AggregateKind.MIN, values) == 0.0
+
+    def test_evaluate_empty(self):
+        assert evaluate_scores(AggregateKind.AVG, []) == 0.0
+        assert evaluate_scores(AggregateKind.MAX, []) == 0.0
+
+
+class TestDecayProfiles:
+    def test_inverse_distance(self):
+        assert inverse_distance(0) == 1.0
+        assert inverse_distance(1) == 1.0
+        assert inverse_distance(2) == 0.5
+        assert inverse_distance(4) == 0.25
+
+    def test_exponential_decay(self):
+        profile = exponential_decay(0.5)
+        assert profile(0) == 1.0
+        assert profile(2) == 0.25
+
+    def test_exponential_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_decay(0.0)
+        with pytest.raises(InvalidParameterError):
+            exponential_decay(1.5)
+
+    def test_uniform(self):
+        assert uniform_weight(5) == 1.0
+
+    def test_precompute_validates_range(self):
+        with pytest.raises(InvalidParameterError):
+            precompute_weights(lambda d: 2.0, 2)
+
+
+class TestWeightedBallSum:
+    def test_path_inverse_distance(self, path_graph):
+        scores = [0.0, 1.0, 0.0, 1.0, 0.0]
+        # From node 1 with h=2: itself (w=1) at d0, nodes 0,2 at d1 (w=1),
+        # node 3 at d2 (w=0.5).
+        value = weighted_ball_sum(path_graph, scores, 1, 2)
+        assert value == pytest.approx(1.0 + 0.5)
+
+    def test_uniform_weight_equals_plain_sum(self):
+        g = random_graph(30, 0.15, seed=91)
+        scores = random_scores(30, seed=92)
+        for u in range(0, 30, 7):
+            plain = sum(scores[v] for v in ref_ball(g, u, 2))
+            weighted = weighted_ball_sum(g, scores, u, 2, uniform_weight)
+            assert weighted == pytest.approx(plain)
+
+    def test_weighted_never_exceeds_plain(self):
+        g = random_graph(30, 0.15, seed=93)
+        scores = random_scores(30, seed=94)
+        for u in range(0, 30, 5):
+            plain = sum(scores[v] for v in ref_ball(g, u, 2))
+            weighted = weighted_ball_sum(g, scores, u, 2)
+            assert weighted <= plain + 1e-12
+
+    def test_open_ball(self, star_graph):
+        scores = [1.0, 0.5, 0.0, 0.0, 0.0, 0.0]
+        value = weighted_ball_sum(
+            star_graph, scores, 0, 1, include_self=False
+        )
+        assert value == pytest.approx(0.5)

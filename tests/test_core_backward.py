@@ -1,0 +1,161 @@
+"""Tests for LONA-Backward: correctness, gamma policy, shortcut paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backward import backward_topk, resolve_gamma
+from repro.core.base import base_topk
+from repro.core.query import QuerySpec
+from repro.errors import InvalidParameterError
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.relevance import BinaryRelevance
+from tests.conftest import random_graph, random_scores, rounded
+
+
+class TestGammaResolution:
+    def test_float_passthrough(self):
+        assert resolve_gamma(0.4, [0.9, 0.5, 0.1]) == 0.4
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_gamma(-0.1, [0.5])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_gamma("magic", [0.5])
+
+    def test_auto_picks_fraction_depth(self):
+        ordered = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05]
+        assert resolve_gamma("auto", ordered, distribution_fraction=0.3) == 0.7
+
+    def test_auto_binary_distributes_everything(self):
+        assert resolve_gamma("auto", [1.0] * 40) == 1.0
+
+    def test_auto_empty_scores(self):
+        assert resolve_gamma("auto", []) == 1.0
+
+    def test_auto_bad_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_gamma("auto", [0.5], distribution_fraction=0.0)
+
+
+class TestAgreementWithBase:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("hops", [1, 2])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_random_graph_agreement(self, aggregate, hops, k):
+        g = random_graph(45, 0.1, seed=51)
+        scores = random_scores(45, seed=52)
+        spec = QuerySpec(k=k, hops=hops, aggregate=aggregate)
+        expected = base_topk(g, scores, spec)
+        actual = backward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.2, 0.5, 0.9, 1.0, "auto"])
+    def test_any_gamma_is_correct(self, gamma, medium_graph):
+        scores = random_scores(60, seed=53)
+        spec = QuerySpec(k=6)
+        expected = base_topk(medium_graph, scores, spec)
+        actual = backward_topk(medium_graph, scores, spec, gamma=gamma)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_gamma_above_max_score_degenerates_to_scan(self, medium_graph):
+        scores = random_scores(60, seed=54)
+        spec = QuerySpec(k=6)
+        expected = base_topk(medium_graph, scores, spec)
+        actual = backward_topk(medium_graph, scores, spec, gamma=5.0)
+        assert rounded(actual.values) == rounded(expected.values)
+        assert actual.stats.extra["distributed_nodes"] == 0.0
+
+    def test_exact_sizes_index(self, medium_graph):
+        scores = random_scores(60, seed=55)
+        sizes = NeighborhoodSizeIndex.exact(medium_graph, 2)
+        spec = QuerySpec(k=6)
+        expected = base_topk(medium_graph, scores, spec)
+        actual = backward_topk(medium_graph, scores, spec, sizes=sizes)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_directed_graph_agreement(self):
+        g = random_graph(35, 0.08, seed=56, directed=True)
+        scores = random_scores(35, seed=57)
+        spec = QuerySpec(k=5)
+        expected = base_topk(g, scores, spec)
+        actual = backward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_directed_avg_agreement(self):
+        g = random_graph(30, 0.1, seed=58, directed=True)
+        scores = random_scores(30, seed=59)
+        spec = QuerySpec(k=5, aggregate="avg")
+        expected = base_topk(g, scores, spec)
+        actual = backward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_open_ball_agreement(self):
+        g = random_graph(35, 0.12, seed=60)
+        scores = random_scores(35, seed=61)
+        spec = QuerySpec(k=6, include_self=False)
+        expected = base_topk(g, scores, spec)
+        actual = backward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_all_zero_scores(self, medium_graph):
+        result = backward_topk(medium_graph, [0.0] * 60, QuerySpec(k=4))
+        assert result.values == [0.0] * 4
+
+
+class TestShortcutAndStats:
+    def test_binary_uses_exact_shortcut(self):
+        g = powerlaw_cluster(300, 3, 0.5, seed=62)
+        scores = BinaryRelevance(0.05, seed=63).scores(g).values()
+        sizes = NeighborhoodSizeIndex.exact(g, 2)
+        result = backward_topk(g, scores, QuerySpec(k=10), sizes=sizes)
+        assert result.stats.extra["exact_shortcut"] == 1.0
+        assert result.stats.candidates_verified == 0
+        expected = base_topk(g, scores, QuerySpec(k=10))
+        assert rounded(result.values) == rounded(expected.values)
+
+    def test_binary_avg_shortcut_needs_exact_sizes(self):
+        g = powerlaw_cluster(200, 3, 0.5, seed=64)
+        scores = BinaryRelevance(0.05, seed=65).scores(g).values()
+        spec = QuerySpec(k=5, aggregate="avg")
+        # Index-free: estimated sizes cannot shortcut AVG, must verify.
+        indexfree = backward_topk(g, scores, spec)
+        assert indexfree.stats.extra["exact_shortcut"] == 0.0
+        exact = backward_topk(
+            g, scores, spec, sizes=NeighborhoodSizeIndex.exact(g, 2)
+        )
+        assert exact.stats.extra["exact_shortcut"] == 1.0
+        assert rounded(indexfree.values) == rounded(exact.values)
+
+    def test_continuous_scores_verify_candidates(self, medium_graph):
+        scores = random_scores(60, seed=66)
+        result = backward_topk(medium_graph, scores, QuerySpec(k=5))
+        assert result.stats.extra["exact_shortcut"] == 0.0
+        assert result.stats.candidates_verified >= 5
+
+    def test_distribution_stats(self, medium_graph):
+        scores = random_scores(60, seed=67)
+        result = backward_topk(
+            medium_graph, scores, QuerySpec(k=5), gamma=0.5
+        )
+        stats = result.stats
+        assert stats.algorithm == "backward"
+        assert stats.extra["gamma"] == 0.5
+        assert stats.distribution_pushes > 0
+        assert stats.bound_evaluations == 60
+
+    def test_early_termination_flag_on_sparse(self):
+        g = powerlaw_cluster(300, 3, 0.5, seed=68)
+        scores = BinaryRelevance(0.02, seed=69).scores(g).values()
+        result = backward_topk(
+            g, scores, QuerySpec(k=3), sizes=NeighborhoodSizeIndex.exact(g, 2)
+        )
+        assert result.stats.early_terminated
+        assert result.stats.pruned_nodes > 0
+
+    def test_max_min_rejected(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            backward_topk(medium_graph, [0.1] * 60, QuerySpec(k=2, aggregate="min"))

@@ -1,0 +1,130 @@
+"""Tests for the Base algorithm against hand-computed and oracle answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import base_topk
+from repro.core.evaluate import evaluate_node, exact_sum_and_size
+from repro.core.query import QuerySpec
+from repro.aggregates.functions import AggregateKind
+from tests.conftest import random_graph, random_scores, ref_topk_values, rounded
+
+
+class TestHandComputed:
+    def test_path_sum_one_hop(self, path_graph):
+        scores = [1.0, 0.0, 1.0, 0.0, 1.0]
+        result = base_topk(path_graph, scores, QuerySpec(k=1, hops=1))
+        # F(1) = f(0)+f(1)+f(2) = 2; F(3) = f(2)+f(3)+f(4) = 2; F(2) = 1 ...
+        assert result.values == [2.0]
+        assert result.nodes[0] in (1, 3)
+
+    def test_star_sum(self, star_graph):
+        scores = [0.0, 1.0, 1.0, 1.0, 0.0, 0.0]
+        result = base_topk(star_graph, scores, QuerySpec(k=2, hops=1))
+        # center sees all three 1s; each leaf sees itself + center.
+        assert result.entries[0] == (0, 3.0)
+        assert result.entries[1][1] == 1.0
+
+    def test_avg_prefers_dense_small_ball(self, two_components):
+        scores = [1.0, 1.0, 1.0, 1.0, 1.0, 0.0]
+        result = base_topk(
+            two_components, scores, QuerySpec(k=1, hops=1, aggregate="avg")
+        )
+        # The triangle and the edge pair both average 1.0; first node wins tie.
+        assert result.values == [1.0]
+
+    def test_count_aggregate(self, path_graph):
+        scores = [0.5, 0.0, 0.0, 0.0, 0.7]
+        result = base_topk(
+            path_graph, scores, QuerySpec(k=5, hops=1, aggregate="count")
+        )
+        assert result.value_of(0) == 1.0
+        assert result.value_of(2) == 0.0
+
+    def test_max_aggregate(self, path_graph):
+        scores = [0.9, 0.1, 0.2, 0.1, 0.3]
+        result = base_topk(
+            path_graph, scores, QuerySpec(k=1, hops=1, aggregate="max")
+        )
+        assert result.values == [0.9]
+        assert result.nodes[0] in (0, 1)
+
+    def test_min_aggregate(self, triangle_graph):
+        scores = [0.5, 0.6, 0.7]
+        result = base_topk(
+            triangle_graph, scores, QuerySpec(k=3, hops=1, aggregate="min")
+        )
+        assert result.values == [0.5, 0.5, 0.5]
+
+    def test_zero_hops_closed_is_own_score(self, path_graph):
+        scores = [0.1, 0.9, 0.2, 0.3, 0.4]
+        result = base_topk(path_graph, scores, QuerySpec(k=1, hops=0))
+        assert result.entries == [(1, 0.9)]
+
+    def test_open_ball_excludes_self(self, star_graph):
+        scores = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        spec = QuerySpec(k=6, hops=1, include_self=False)
+        result = base_topk(star_graph, scores, spec)
+        # each leaf sees only the center (score 1); center sees only zeros.
+        assert result.value_of(0) == 0.0
+        assert result.value_of(3) == 1.0
+
+    def test_isolated_node_avg_is_zero_open_ball(self, two_components):
+        scores = [0.0] * 5 + [1.0]
+        spec = QuerySpec(k=6, hops=2, aggregate="avg", include_self=False)
+        result = base_topk(two_components, scores, spec)
+        assert result.value_of(5) == 0.0
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count", "max", "min"])
+    @pytest.mark.parametrize("hops", [1, 2])
+    def test_random_graphs(self, aggregate, hops):
+        g = random_graph(40, 0.1, seed=21)
+        scores = random_scores(40, seed=22)
+        result = base_topk(g, scores, QuerySpec(k=7, hops=hops, aggregate=aggregate))
+        assert rounded(result.values) == rounded(
+            ref_topk_values(g, scores, 7, hops, aggregate)
+        )
+
+    def test_k_larger_than_graph(self, triangle_graph):
+        result = base_topk(triangle_graph, [0.1, 0.2, 0.3], QuerySpec(k=50))
+        assert len(result) == 3
+
+    def test_stats_populated(self, path_graph):
+        result = base_topk(path_graph, [0.5] * 5, QuerySpec(k=2))
+        stats = result.stats
+        assert stats.algorithm == "base"
+        assert stats.nodes_evaluated == 5
+        assert stats.balls_expanded == 5
+        assert stats.edges_scanned > 0
+        assert stats.elapsed_sec >= 0.0
+
+    def test_custom_node_order_same_values(self, medium_graph):
+        scores = random_scores(60, seed=23)
+        spec = QuerySpec(k=6)
+        forward_order = base_topk(medium_graph, scores, spec)
+        reverse_order = base_topk(
+            medium_graph, scores, spec, node_order=list(reversed(range(60)))
+        )
+        assert rounded(forward_order.values) == rounded(reverse_order.values)
+
+
+class TestEvaluateHelpers:
+    def test_exact_sum_and_size(self, path_graph):
+        total, size = exact_sum_and_size(path_graph, [1.0] * 5, 2, 2)
+        assert (total, size) == (5.0, 5)
+
+    def test_evaluate_node_all_kinds(self, star_graph):
+        scores = [0.2, 1.0, 0.0, 0.0, 0.0, 0.4]
+        for kind, expected in [
+            (AggregateKind.SUM, 1.6),
+            (AggregateKind.AVG, 1.6 / 6),
+            (AggregateKind.COUNT, 3.0),
+            (AggregateKind.MAX, 1.0),
+            (AggregateKind.MIN, 0.0),
+        ]:
+            assert evaluate_node(star_graph, scores, 0, 1, kind) == pytest.approx(
+                expected
+            )

@@ -1,0 +1,143 @@
+"""Tests for batch (multi-query) processing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import base_topk
+from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
+from repro.core.query import QuerySpec
+from repro.errors import InvalidParameterError, RelevanceError
+from repro.relevance import BinaryRelevance, ScoreVector
+from tests.conftest import random_graph, random_scores, rounded
+
+
+@pytest.fixture(scope="module")
+def batch_graph():
+    return random_graph(50, 0.1, seed=191)
+
+
+def _vectors(n, count, seed):
+    return [ScoreVector(random_scores(n, seed=seed + i)) for i in range(count)]
+
+
+class TestBatchBase:
+    def test_matches_individual_base(self, batch_graph):
+        vectors = _vectors(50, 4, seed=200)
+        queries = [BatchQuery(v, k=5 + i) for i, v in enumerate(vectors)]
+        results = batch_base_topk(batch_graph, queries, hops=2)
+        assert len(results) == 4
+        for query, result in zip(queries, results):
+            expected = base_topk(
+                batch_graph, query.scores.values(), QuerySpec(k=query.k, hops=2)
+            )
+            assert rounded(result.values) == rounded(expected.values)
+
+    def test_mixed_aggregates(self, batch_graph):
+        vector = ScoreVector(random_scores(50, seed=210))
+        queries = [
+            BatchQuery(vector, k=5, aggregate="sum"),
+            BatchQuery(vector, k=5, aggregate="avg"),
+            BatchQuery(vector, k=5, aggregate="count"),
+        ]
+        results = batch_base_topk(batch_graph, queries, hops=2)
+        for query, result in zip(queries, results):
+            expected = base_topk(
+                batch_graph,
+                vector.values(),
+                QuerySpec(k=5, hops=2, aggregate=query.aggregate),
+            )
+            assert rounded(result.values) == rounded(expected.values)
+
+    def test_tuple_shorthand(self, batch_graph):
+        scores = random_scores(50, seed=220)
+        results = batch_base_topk(
+            batch_graph, [(scores, 3), (scores, 7, "avg")], hops=2
+        )
+        assert len(results[0]) == 3
+        assert len(results[1]) == 7
+        assert results[1].stats.aggregate == "avg"
+
+    def test_shared_traversal_cost(self, batch_graph):
+        """The whole batch does one Base run's traversal, not q of them."""
+        vectors = _vectors(50, 5, seed=230)
+        results = batch_base_topk(
+            batch_graph, [BatchQuery(v, k=4) for v in vectors], hops=2
+        )
+        single = base_topk(
+            batch_graph, vectors[0].values(), QuerySpec(k=4, hops=2)
+        )
+        for result in results:
+            assert result.stats.edges_scanned == single.stats.edges_scanned
+            assert result.stats.extra["batch_size"] == 5.0
+
+    def test_empty_batch(self, batch_graph):
+        assert batch_base_topk(batch_graph, []) == []
+
+    def test_open_ball(self, batch_graph):
+        vector = ScoreVector(random_scores(50, seed=240))
+        results = batch_base_topk(
+            batch_graph, [BatchQuery(vector, k=5)], hops=2, include_self=False
+        )
+        expected = base_topk(
+            batch_graph,
+            vector.values(),
+            QuerySpec(k=5, hops=2, include_self=False),
+        )
+        assert rounded(results[0].values) == rounded(expected.values)
+
+    def test_wrong_length_rejected(self, batch_graph):
+        with pytest.raises(RelevanceError):
+            batch_base_topk(
+                batch_graph, [BatchQuery(ScoreVector([0.5] * 10), k=2)]
+            )
+
+    def test_max_rejected(self, batch_graph):
+        vector = ScoreVector(random_scores(50, seed=250))
+        with pytest.raises(InvalidParameterError):
+            batch_base_topk(
+                batch_graph, [BatchQuery(vector, k=2, aggregate="max")]
+            )
+
+    def test_malformed_entry_rejected(self, batch_graph):
+        with pytest.raises(InvalidParameterError):
+            batch_base_topk(batch_graph, [42])  # type: ignore[list-item]
+
+
+class TestBatchEngine:
+    def test_routing_and_correctness(self, batch_graph):
+        sparse = BinaryRelevance(0.02, seed=260).scores(batch_graph)
+        dense = ScoreVector(random_scores(50, seed=261, density=0.9))
+        engine = BatchTopKEngine(batch_graph, hops=2, sparse_threshold=0.05)
+        results = engine.run(
+            [BatchQuery(sparse, k=4), BatchQuery(dense, k=6)]
+        )
+        assert results[0].stats.algorithm == "backward"
+        assert results[1].stats.algorithm == "batch-base"
+        for vector, result in ((sparse, results[0]), (dense, results[1])):
+            expected = base_topk(
+                batch_graph, vector.values(), QuerySpec(k=result.stats.k, hops=2)
+            )
+            assert rounded(result.values) == rounded(expected.values)
+
+    def test_all_sparse_batch(self, batch_graph):
+        vectors = [
+            BinaryRelevance(0.02, seed=270 + i).scores(batch_graph)
+            for i in range(3)
+        ]
+        engine = BatchTopKEngine(batch_graph, hops=2)
+        results = engine.run([BatchQuery(v, k=3) for v in vectors])
+        assert all(r.stats.algorithm == "backward" for r in results)
+
+    def test_results_in_input_order(self, batch_graph):
+        sparse = BinaryRelevance(0.02, seed=280).scores(batch_graph)
+        dense = ScoreVector(random_scores(50, seed=281, density=0.9))
+        engine = BatchTopKEngine(batch_graph, hops=2)
+        results = engine.run(
+            [
+                BatchQuery(dense, k=2),
+                BatchQuery(sparse, k=3),
+                BatchQuery(dense, k=4),
+            ]
+        )
+        assert [len(r) for r in results] == [2, 3, 4]

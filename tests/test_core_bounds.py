@@ -1,0 +1,132 @@
+"""Unit and soundness tests for the paper's bound formulas.
+
+The exhaustive random-graph soundness checks live here (with plain loops)
+and in test_properties.py (with hypothesis); these tests pin the exact
+algebra of each formula on hand-computed cases first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    avg_bound,
+    backward_sum_bound,
+    forward_sum_bound,
+    static_sum_bound,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.diffindex import build_differential_index
+from tests.conftest import random_graph, random_scores, ref_aggregate, ref_ball
+
+
+class TestStaticBound:
+    def test_formula(self):
+        assert static_sum_bound(5, 0.3) == 4.3
+
+    def test_zero_size_clamped(self):
+        assert static_sum_bound(0, 0.7) == 0.7
+
+    def test_is_upper_bound_everywhere(self):
+        g = random_graph(30, 0.12, seed=1)
+        scores = random_scores(30, seed=2)
+        for u in range(30):
+            ball = ref_ball(g, u, 2)
+            exact = sum(scores[v] for v in ball)
+            assert static_sum_bound(len(ball), scores[u]) >= exact - 1e-12
+
+
+class TestForwardBound:
+    def test_takes_minimum(self):
+        assert forward_sum_bound(3.0, 2, 10.0) == 5.0
+        assert forward_sum_bound(9.0, 4, 10.0) == 10.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            forward_sum_bound(1.0, -1, 5.0)
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    @pytest.mark.parametrize("hops", [1, 2])
+    def test_eq1_sound_on_every_arc(self, seed, hops):
+        g = random_graph(25, 0.15, seed=seed)
+        scores = random_scores(25, seed=seed + 50)
+        idx = build_differential_index(g, hops)
+        exact = {
+            u: ref_aggregate(g, scores, u, hops, "sum") for u in range(25)
+        }
+        sizes = idx.sizes
+        for u, v in g.arcs():
+            static = static_sum_bound(sizes.value(v), scores[v])
+            bound = forward_sum_bound(exact[u], idx.delta(g, u, v), static)
+            assert bound >= exact[v] - 1e-9, (u, v)
+
+
+class TestBackwardBound:
+    def test_not_distributed_adds_own_score(self):
+        # PS=2.0 from 3 covered; ball 10; rest 0.5; f(v)=0.4, v undistributed:
+        # unknown others = 10 - 3 - 1 = 6 -> 2.0 + 3.0 + 0.4
+        value = backward_sum_bound(2.0, 3, 10, 0.4, 0.5, self_distributed=False)
+        assert value == pytest.approx(5.4)
+
+    def test_self_distributed_excludes_own_score(self):
+        # unknown = 10 - 3 = 7 -> 2.0 + 3.5
+        value = backward_sum_bound(2.0, 3, 10, 0.4, 0.5, self_distributed=True)
+        assert value == pytest.approx(5.5)
+
+    def test_negative_unknown_clamped(self):
+        value = backward_sum_bound(4.0, 9, 5, 0.2, 0.5, self_distributed=True)
+        assert value == 4.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            backward_sum_bound(1.0, 1, 5, 0.1, -0.2, self_distributed=False)
+        with pytest.raises(InvalidParameterError):
+            backward_sum_bound(1.0, -1, 5, 0.1, 0.2, self_distributed=False)
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    @pytest.mark.parametrize("gamma", [0.0, 0.3, 0.7, 1.1])
+    def test_eq3_sound_after_partial_distribution(self, seed, gamma):
+        """Simulate the distribution phase and check Eq. 3 for every node."""
+        g = random_graph(25, 0.15, seed=seed)
+        scores = random_scores(25, seed=seed + 60)
+        hops = 2
+        distributed = [u for u in range(25) if scores[u] >= gamma and scores[u] > 0]
+        rest = max(
+            (scores[u] for u in range(25) if u not in distributed), default=0.0
+        )
+        partial = [0.0] * 25
+        covered = [0] * 25
+        for u in distributed:
+            for v in ref_ball(g, u, hops):
+                partial[v] += scores[u]
+                covered[v] += 1
+        for v in range(25):
+            exact = ref_aggregate(g, scores, v, hops, "sum")
+            ball = len(ref_ball(g, v, hops))
+            bound = backward_sum_bound(
+                partial[v],
+                covered[v],
+                ball,
+                scores[v],
+                rest,
+                self_distributed=v in distributed,
+            )
+            assert bound >= exact - 1e-9
+
+
+class TestAvgBound:
+    def test_formula(self):
+        assert avg_bound(6.0, 3) == 2.0
+
+    def test_zero_size_clamped(self):
+        assert avg_bound(6.0, 0) == 6.0
+
+    def test_lower_denominator_keeps_upper_bound(self):
+        g = random_graph(20, 0.2, seed=8)
+        scores = random_scores(20, seed=9)
+        for v in range(20):
+            ball = ref_ball(g, v, 2)
+            exact_avg = ref_aggregate(g, scores, v, 2, "avg")
+            sum_upper = static_sum_bound(len(ball), scores[v])
+            lower_size = 1 + g.degree(v)  # 1-hop closed ball
+            assert avg_bound(sum_upper, lower_size) >= exact_avg - 1e-9

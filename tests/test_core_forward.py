@@ -1,0 +1,138 @@
+"""Tests for LONA-Forward: correctness, pruning behavior, configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import base_topk
+from repro.core.forward import forward_topk
+from repro.core.ordering import ORDERINGS, make_order
+from repro.core.query import QuerySpec
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+from repro.graph.diffindex import build_differential_index
+from repro.graph.generators import powerlaw_cluster
+from repro.relevance import BinaryRelevance
+from tests.conftest import random_graph, random_scores, rounded
+
+
+class TestAgreementWithBase:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("hops", [1, 2])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_random_graph_agreement(self, aggregate, hops, k):
+        g = random_graph(45, 0.1, seed=31)
+        scores = random_scores(45, seed=32)
+        spec = QuerySpec(k=k, hops=hops, aggregate=aggregate)
+        expected = base_topk(g, scores, spec)
+        actual = forward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_every_ordering_agrees(self, ordering, medium_graph):
+        scores = random_scores(60, seed=33, density=0.3)
+        spec = QuerySpec(k=8)
+        expected = base_topk(medium_graph, scores, spec)
+        actual = forward_topk(
+            medium_graph, scores, spec, ordering=ordering, seed=5
+        )
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_open_ball_agreement(self):
+        g = random_graph(35, 0.12, seed=34)
+        scores = random_scores(35, seed=35)
+        spec = QuerySpec(k=6, include_self=False)
+        expected = base_topk(g, scores, spec)
+        actual = forward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_directed_graph_agreement(self):
+        g = random_graph(35, 0.08, seed=36, directed=True)
+        scores = random_scores(35, seed=37)
+        spec = QuerySpec(k=5)
+        expected = base_topk(g, scores, spec)
+        actual = forward_topk(g, scores, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_sparse_binary_agreement(self):
+        g = powerlaw_cluster(300, 3, 0.6, seed=38, heavy_tail=True)
+        scores = BinaryRelevance(0.03, seed=39).scores(g).values()
+        for k in (1, 10, 50):
+            spec = QuerySpec(k=k)
+            expected = base_topk(g, scores, spec)
+            actual = forward_topk(g, scores, spec)
+            assert rounded(actual.values) == rounded(expected.values)
+
+    def test_all_zero_scores(self, medium_graph):
+        spec = QuerySpec(k=4)
+        result = forward_topk(medium_graph, [0.0] * 60, spec)
+        assert result.values == [0.0] * 4
+
+    def test_all_one_scores(self, medium_graph):
+        spec = QuerySpec(k=4)
+        expected = base_topk(medium_graph, [1.0] * 60, spec)
+        actual = forward_topk(medium_graph, [1.0] * 60, spec)
+        assert rounded(actual.values) == rounded(expected.values)
+
+
+class TestPruningBehavior:
+    def test_pruning_reduces_evaluations(self):
+        g = powerlaw_cluster(400, 3, 0.6, seed=40, heavy_tail=True)
+        scores = BinaryRelevance(0.05, seed=41).scores(g).values()
+        spec = QuerySpec(k=5)
+        base = base_topk(g, scores, spec)
+        fwd = forward_topk(g, scores, spec)
+        assert fwd.stats.nodes_evaluated < base.stats.nodes_evaluated
+        assert fwd.stats.pruned_nodes > 0
+        assert (
+            fwd.stats.nodes_evaluated + fwd.stats.pruned_nodes
+            <= g.num_nodes
+        )
+
+    def test_prebuilt_index_reused(self, medium_graph):
+        scores = random_scores(60, seed=42)
+        idx = build_differential_index(medium_graph, 2)
+        result = forward_topk(
+            medium_graph, scores, QuerySpec(k=3), diff_index=idx
+        )
+        assert result.stats.index_build_sec == 0.0
+
+    def test_index_built_when_missing(self, medium_graph):
+        scores = random_scores(60, seed=43)
+        result = forward_topk(medium_graph, scores, QuerySpec(k=3))
+        assert result.stats.index_build_sec > 0.0
+
+    def test_incompatible_index_rejected(self, medium_graph):
+        scores = random_scores(60, seed=44)
+        idx = build_differential_index(medium_graph, 1)
+        with pytest.raises(IndexNotBuiltError):
+            forward_topk(medium_graph, scores, QuerySpec(k=3, hops=2), diff_index=idx)
+
+    def test_stats_fields(self, medium_graph):
+        scores = random_scores(60, seed=45)
+        result = forward_topk(medium_graph, scores, QuerySpec(k=3))
+        assert result.stats.algorithm == "forward"
+        assert result.stats.extra["ordering"] == "ubound"
+        assert result.stats.balls_expanded == result.stats.nodes_evaluated
+
+
+class TestConfiguration:
+    def test_max_min_rejected(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            forward_topk(medium_graph, [0.1] * 60, QuerySpec(k=2, aggregate="max"))
+
+    def test_unknown_ordering_rejected(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            forward_topk(
+                medium_graph, [0.1] * 60, QuerySpec(k=2), ordering="sideways"
+            )
+
+    def test_make_order_requires_sizes_for_ubound(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            make_order("ubound", medium_graph, [0.1] * 60)
+
+    def test_make_order_shapes(self, path_graph):
+        assert make_order("arbitrary", path_graph, [0.0] * 5) == [0, 1, 2, 3, 4]
+        by_degree = make_order("degree", path_graph, [0.0] * 5)
+        assert by_degree[0] in (1, 2, 3)
+        shuffled = make_order("random", path_graph, [0.0] * 5, seed=1)
+        assert sorted(shuffled) == [0, 1, 2, 3, 4]

@@ -1,0 +1,72 @@
+"""Tests for the materialized aggregate view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import base_topk
+from repro.core.materialized import MaterializedView
+from repro.core.query import QuerySpec
+from repro.errors import InvalidParameterError
+from tests.conftest import random_graph, random_scores, rounded
+
+
+@pytest.fixture
+def view_setup():
+    g = random_graph(40, 0.12, seed=81)
+    scores = random_scores(40, seed=82)
+    return g, scores, MaterializedView(g, scores, hops=2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    def test_matches_base(self, view_setup, aggregate):
+        g, scores, view = view_setup
+        expected = base_topk(g, scores, QuerySpec(k=7, aggregate=aggregate))
+        actual = view.topk(7, aggregate)
+        assert rounded(actual.values) == rounded(expected.values)
+
+    def test_open_ball_view(self):
+        g = random_graph(30, 0.15, seed=83)
+        scores = random_scores(30, seed=84)
+        view = MaterializedView(g, scores, hops=2, include_self=False)
+        expected = base_topk(g, scores, QuerySpec(k=5, include_self=False))
+        assert rounded(view.topk(5, "sum").values) == rounded(expected.values)
+
+    def test_value_accessor(self, view_setup):
+        g, scores, view = view_setup
+        from repro.aggregates.functions import AggregateKind
+
+        base = base_topk(g, scores, QuerySpec(k=40))
+        for node, value in base.entries:
+            assert view.value(node, AggregateKind.SUM) == pytest.approx(value)
+
+    def test_max_rejected(self, view_setup):
+        _g, _scores, view = view_setup
+        from repro.aggregates.functions import AggregateKind
+
+        with pytest.raises(InvalidParameterError):
+            view.value(0, AggregateKind.MAX)
+
+
+class TestStaleness:
+    def test_fresh_scores_pass(self, view_setup):
+        _g, scores, view = view_setup
+        view.check_fresh(scores)
+        view.topk(3, "sum", scores=scores)
+
+    def test_stale_scores_raise(self, view_setup):
+        _g, scores, view = view_setup
+        changed = list(scores)
+        changed[0] = 0.123456
+        with pytest.raises(InvalidParameterError):
+            view.check_fresh(changed)
+        with pytest.raises(InvalidParameterError):
+            view.topk(3, "sum", scores=changed)
+
+    def test_stats_report_build_cost(self, view_setup):
+        _g, _scores, view = view_setup
+        result = view.topk(3, "sum")
+        assert result.stats.algorithm == "materialized"
+        assert result.stats.index_build_sec > 0.0
+        assert result.stats.nodes_evaluated == 0

@@ -1,0 +1,97 @@
+"""Tests for answer provenance (explain_node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.weighted import inverse_distance
+from repro.core.base import base_topk
+from repro.core.provenance import explain_node
+from repro.core.query import QuerySpec
+from repro.core.weighted import weighted_base_topk
+from repro.errors import InvalidParameterError
+from tests.conftest import random_graph, random_scores
+
+
+class TestDecomposition:
+    def test_contributions_sum_to_reported_value(self):
+        g = random_graph(40, 0.1, seed=301)
+        scores = random_scores(40, seed=302)
+        result = base_topk(g, scores, QuerySpec(k=5, hops=2))
+        for node, value in result.entries:
+            explanation = explain_node(g, scores, node, hops=2)
+            assert explanation.value == pytest.approx(value)
+            assert sum(c.amount for c in explanation.contributions) == pytest.approx(
+                value
+            )
+
+    def test_avg_decomposition(self):
+        g = random_graph(30, 0.15, seed=303)
+        scores = random_scores(30, seed=304)
+        result = base_topk(g, scores, QuerySpec(k=3, hops=2, aggregate="avg"))
+        node, value = result.top()
+        explanation = explain_node(g, scores, node, hops=2, aggregate="avg")
+        assert explanation.value == pytest.approx(value)
+
+    def test_count_decomposition(self, star_graph):
+        scores = [0.0, 0.4, 0.0, 0.9, 0.0, 0.0]
+        explanation = explain_node(
+            star_graph, scores, 0, hops=1, aggregate="count"
+        )
+        assert explanation.value == 2.0
+        assert all(c.score in (0.0, 1.0) for c in explanation.contributions)
+
+    def test_weighted_decomposition_matches_weighted_query(self):
+        g = random_graph(30, 0.12, seed=305)
+        scores = random_scores(30, seed=306)
+        result = weighted_base_topk(
+            g, scores, QuerySpec(k=3, hops=2), inverse_distance
+        )
+        node, value = result.top()
+        explanation = explain_node(
+            g, scores, node, hops=2, profile=inverse_distance
+        )
+        assert explanation.value == pytest.approx(value)
+
+    def test_by_distance_totals(self, path_graph):
+        scores = [1.0, 0.0, 0.5, 0.0, 1.0]
+        explanation = explain_node(path_graph, scores, 2, hops=2)
+        assert explanation.by_distance[0] == pytest.approx(0.5)
+        assert explanation.by_distance[1] == pytest.approx(0.0)
+        assert explanation.by_distance[2] == pytest.approx(2.0)
+
+    def test_top_contributors_sorted(self):
+        g = random_graph(30, 0.15, seed=307)
+        scores = random_scores(30, seed=308)
+        explanation = explain_node(g, scores, 0, hops=2)
+        top = explanation.top_contributors(4)
+        amounts = [c.amount for c in top]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_describe_output(self, star_graph):
+        scores = [0.2, 1.0, 0.0, 0.0, 0.0, 0.4]
+        text = explain_node(star_graph, scores, 0, hops=1).describe()
+        assert "node 0" in text
+        assert "top contributors" in text
+
+    def test_open_ball(self, star_graph):
+        scores = [1.0, 0.5, 0.0, 0.0, 0.0, 0.0]
+        explanation = explain_node(
+            star_graph, scores, 0, hops=1, include_self=False
+        )
+        assert explanation.value == pytest.approx(0.5)
+        assert all(c.node != 0 for c in explanation.contributions)
+
+    def test_max_rejected(self, star_graph):
+        with pytest.raises(InvalidParameterError):
+            explain_node(star_graph, [0.1] * 6, 0, aggregate="max")
+
+    def test_weighted_avg_rejected(self, star_graph):
+        with pytest.raises(InvalidParameterError):
+            explain_node(
+                star_graph,
+                [0.1] * 6,
+                0,
+                aggregate="avg",
+                profile=inverse_distance,
+            )

@@ -1,0 +1,77 @@
+"""Tests for QuerySpec validation and result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.functions import AggregateKind
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.errors import InvalidParameterError
+
+
+class TestQuerySpec:
+    def test_defaults(self):
+        spec = QuerySpec(k=5)
+        assert spec.aggregate is AggregateKind.SUM
+        assert spec.hops == 2
+        assert spec.include_self
+
+    def test_string_aggregate_coerced(self):
+        spec = QuerySpec(k=1, aggregate="avg")
+        assert spec.aggregate is AggregateKind.AVG
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(InvalidParameterError):
+            QuerySpec(k=1, aggregate="median")
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            QuerySpec(k=0)
+
+    def test_invalid_hops(self):
+        with pytest.raises(InvalidParameterError):
+            QuerySpec(k=1, hops=-1)
+
+    def test_with_aggregate(self):
+        spec = QuerySpec(k=3, aggregate="sum")
+        avg = spec.with_aggregate("avg")
+        assert avg.aggregate is AggregateKind.AVG
+        assert avg.k == 3
+        assert spec.aggregate is AggregateKind.SUM  # original untouched
+
+    def test_describe(self):
+        text = QuerySpec(k=7, aggregate="avg", hops=3).describe()
+        assert "top-7" in text and "AVG" in text and "3-hop" in text
+
+    def test_frozen(self):
+        spec = QuerySpec(k=1)
+        with pytest.raises(AttributeError):
+            spec.k = 2  # type: ignore[misc]
+
+
+class TestResultTypes:
+    def _result(self):
+        stats = QueryStats(algorithm="base", aggregate="sum", hops=2, k=2)
+        return TopKResult(entries=[(4, 9.0), (1, 7.5)], stats=stats)
+
+    def test_accessors(self):
+        result = self._result()
+        assert len(result) == 2
+        assert result.nodes == [4, 1]
+        assert result.values == [9.0, 7.5]
+        assert result.top() == (4, 9.0)
+        assert list(result) == [(4, 9.0), (1, 7.5)]
+
+    def test_value_of(self):
+        result = self._result()
+        assert result.value_of(1) == 7.5
+        assert result.value_of(99) is None
+
+    def test_stats_as_dict_includes_extra(self):
+        stats = QueryStats(algorithm="backward", k=3)
+        stats.extra["gamma"] = 0.5
+        flat = stats.as_dict()
+        assert flat["algorithm"] == "backward"
+        assert flat["gamma"] == 0.5
+        assert "nodes_evaluated" in flat

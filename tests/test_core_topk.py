@@ -1,0 +1,102 @@
+"""Tests for the bounded top-k accumulator."""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+
+
+class TestBasics:
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TopKAccumulator(0)
+
+    def test_underfull_threshold_is_neg_inf(self):
+        acc = TopKAccumulator(3)
+        acc.offer(0, 10.0)
+        assert acc.threshold == float("-inf")
+        assert not acc.is_full
+
+    def test_threshold_is_kth_best(self):
+        acc = TopKAccumulator(2)
+        for node, value in enumerate([5.0, 1.0, 3.0]):
+            acc.offer(node, value)
+        assert acc.is_full
+        assert acc.threshold == 3.0
+
+    def test_entries_sorted_descending(self):
+        acc = TopKAccumulator(3)
+        for node, value in enumerate([2.0, 9.0, 4.0, 7.0]):
+            acc.offer(node, value)
+        assert acc.entries() == [(1, 9.0), (3, 7.0), (2, 4.0)]
+
+    def test_values(self):
+        acc = TopKAccumulator(2)
+        for node, value in enumerate([1.0, 3.0, 2.0]):
+            acc.offer(node, value)
+        assert acc.values() == [3.0, 2.0]
+
+    def test_len(self):
+        acc = TopKAccumulator(5)
+        acc.offer(0, 1.0)
+        acc.offer(1, 2.0)
+        assert len(acc) == 2
+
+    def test_offer_returns_acceptance(self):
+        acc = TopKAccumulator(1)
+        assert acc.offer(0, 1.0)
+        assert not acc.offer(1, 0.5)
+        assert acc.offer(2, 2.0)
+
+
+class TestTieSemantics:
+    def test_equal_value_does_not_evict_earlier(self):
+        acc = TopKAccumulator(1)
+        acc.offer(7, 5.0)
+        accepted = acc.offer(8, 5.0)
+        assert not accepted
+        assert acc.entries() == [(7, 5.0)]
+
+    def test_would_accept_strictly_greater(self):
+        acc = TopKAccumulator(1)
+        acc.offer(0, 5.0)
+        assert not acc.would_accept(5.0)
+        assert acc.would_accept(5.0001)
+
+    def test_would_accept_when_underfull(self):
+        acc = TopKAccumulator(2)
+        acc.offer(0, 5.0)
+        assert acc.would_accept(0.0)
+
+    def test_entries_tie_broken_by_node_id(self):
+        acc = TopKAccumulator(3)
+        acc.offer(9, 1.0)
+        acc.offer(4, 1.0)
+        acc.offer(6, 1.0)
+        assert acc.entries() == [(4, 1.0), (6, 1.0), (9, 1.0)]
+
+
+class TestAgainstSortModel:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_values_match_sorted_model(self, seed, k):
+        rng = random.Random(seed)
+        values = [round(rng.random() * 10, 3) for _ in range(50)]
+        acc = TopKAccumulator(k)
+        for node, value in enumerate(values):
+            acc.offer(node, value)
+        assert acc.values() == sorted(values, reverse=True)[:k]
+
+    def test_threshold_never_decreases(self):
+        rng = random.Random(1234)
+        acc = TopKAccumulator(5)
+        last = float("-inf")
+        for node in range(200):
+            acc.offer(node, rng.random())
+            assert acc.threshold >= last
+            last = acc.threshold

@@ -1,0 +1,88 @@
+"""Tests for the dataset registry and the structural stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import available, load, spec_of
+from repro.datasets.registry import DatasetSpec, register
+from repro.errors import InvalidParameterError
+from repro.graph.validation import validate_graph
+
+
+class TestRegistry:
+    def test_three_datasets_registered(self):
+        names = available()
+        assert "collaboration_like" in names
+        assert "citation_like" in names
+        assert "intrusion_like" in names
+
+    def test_spec_metadata(self):
+        spec = spec_of("collaboration_like")
+        assert spec.paper_nodes == 40_000
+        assert spec.paper_edges == 180_000
+        assert "cond-mat" in spec.paper_name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load("facebook_like")
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            load("collaboration_like", scale=0.0)
+
+    def test_duplicate_registration_rejected(self):
+        spec = spec_of("collaboration_like")
+        clone = DatasetSpec(
+            name=spec.name,
+            paper_name=spec.paper_name,
+            paper_nodes=1,
+            paper_edges=1,
+            description="dup",
+            builder=spec.builder,
+        )
+        with pytest.raises(InvalidParameterError):
+            register(clone)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ["collaboration_like", "citation_like", "intrusion_like"])
+    def test_valid_simple_graphs(self, name):
+        g = load(name, scale=0.1, seed=1)
+        validate_graph(g)
+        assert g.num_nodes > 0
+
+    @pytest.mark.parametrize("name", ["collaboration_like", "citation_like", "intrusion_like"])
+    def test_deterministic_by_seed(self, name):
+        a = load(name, scale=0.1, seed=7)
+        b = load(name, scale=0.1, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_scale_changes_size(self):
+        small = load("collaboration_like", scale=0.1, seed=2)
+        big = load("collaboration_like", scale=0.3, seed=2)
+        assert big.num_nodes > small.num_nodes
+
+    def test_collaboration_profile(self):
+        g = load("collaboration_like", scale=0.5, seed=3)
+        avg_degree = 2 * g.num_edges / g.num_nodes
+        assert 5.0 <= avg_degree <= 14.0
+        assert not g.directed
+
+    def test_citation_profile(self):
+        g = load("citation_like", scale=0.5, seed=4)
+        # undirected view of the DAG (see dataset docstring)
+        assert not g.directed
+        avg_degree = 2 * g.num_edges / g.num_nodes
+        assert 6.0 <= avg_degree <= 16.0
+
+    def test_intrusion_profile(self):
+        g = load("intrusion_like", scale=0.5, seed=5)
+        avg_degree = 2 * g.num_edges / g.num_nodes
+        assert avg_degree <= 5.0  # very sparse, like IP traffic
+        degrees = sorted((g.degree(u) for u in g.nodes()), reverse=True)
+        assert degrees[0] > 10 * max(degrees[len(degrees) // 2], 1)
+
+    def test_tiny_scale_clamped(self):
+        g = load("collaboration_like", scale=0.0001, seed=6)
+        assert g.num_nodes >= 16

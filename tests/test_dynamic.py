@@ -1,0 +1,190 @@
+"""Tests for the dynamic graph and incremental aggregate maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import base_topk
+from repro.core.query import QuerySpec
+from repro.dynamic import DynamicGraph, MaintainedAggregateView
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphBuildError,
+    InvalidParameterError,
+    RelevanceError,
+)
+from repro.graph.generators import erdos_renyi
+from tests.conftest import random_scores, rounded
+
+
+class TestDynamicGraph:
+    def test_from_graph_copies(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        dg.add_edge(0, 4)
+        assert not path_graph.has_edge(0, 4)
+        assert dg.has_edge(0, 4)
+
+    def test_version_bumps(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        v0 = dg.version
+        dg.add_edge(0, 2)
+        assert dg.version == v0 + 1
+        dg.remove_edge(0, 2)
+        assert dg.version == v0 + 2
+        dg.add_node()
+        assert dg.version == v0 + 3
+
+    def test_duplicate_edge_rejected(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        with pytest.raises(GraphBuildError):
+            dg.add_edge(0, 1)
+        with pytest.raises(GraphBuildError):
+            dg.add_edge(1, 0)  # undirected duplicate
+
+    def test_self_loop_rejected(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        with pytest.raises(GraphBuildError):
+            dg.add_edge(2, 2)
+
+    def test_remove_missing_edge(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        with pytest.raises(EdgeNotFoundError):
+            dg.remove_edge(0, 3)
+
+    def test_edge_counts_maintained(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        assert dg.num_edges == 4
+        dg.add_edge(0, 3)
+        assert dg.num_edges == 5
+        dg.remove_edge(0, 1)
+        assert dg.num_edges == 4
+
+    def test_directed_dynamic(self, directed_cycle):
+        dg = DynamicGraph.from_graph(directed_cycle)
+        dg.add_edge(0, 2)
+        assert dg.has_edge(0, 2)
+        assert not dg.has_edge(2, 0)
+        dg.add_edge(2, 0)  # reverse arc is distinct
+        assert dg.num_edges == 6
+
+    def test_snapshot_immutable(self, path_graph):
+        dg = DynamicGraph.from_graph(path_graph)
+        snap = dg.snapshot()
+        dg.add_edge(0, 4)
+        assert not snap.has_edge(0, 4)
+
+    def test_from_edges(self):
+        dg = DynamicGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        assert dg.num_nodes == 4
+        assert dg.num_edges == 2
+
+
+class TestMaintainedView:
+    def _fresh(self, seed=1, n=40, m=80):
+        dg = DynamicGraph.from_graph(erdos_renyi(n, m, seed=seed))
+        scores = random_scores(n, seed=seed + 100)
+        return dg, MaintainedAggregateView(dg, scores, hops=2)
+
+    def _assert_consistent(self, dg, view):
+        for aggregate in ("sum", "avg"):
+            expected = base_topk(
+                dg, view.scores, QuerySpec(k=dg.num_nodes, hops=2, aggregate=aggregate)
+            )
+            got = view.topk(dg.num_nodes, aggregate)
+            assert rounded(got.values) == rounded(expected.values), aggregate
+
+    def test_initial_consistency(self):
+        dg, view = self._fresh()
+        self._assert_consistent(dg, view)
+
+    def test_edge_insertion(self):
+        dg, view = self._fresh(seed=2)
+        affected = view.add_edge(0, 1) if not dg.has_edge(0, 1) else 0
+        self._assert_consistent(dg, view)
+        if affected:
+            assert affected >= 2
+
+    def test_edge_deletion(self):
+        dg, view = self._fresh(seed=3)
+        u, v = next(iter(dg.edges()))
+        view.remove_edge(u, v)
+        self._assert_consistent(dg, view)
+
+    def test_score_update_is_arithmetic_only(self):
+        dg, view = self._fresh(seed=4)
+        before = view.nodes_repaired
+        view.update_score(5, 1.0)
+        assert view.nodes_repaired == before  # no BFS re-evaluation
+        assert view.arithmetic_updates > 0
+        self._assert_consistent(dg, view)
+
+    def test_noop_score_update(self):
+        dg, view = self._fresh(seed=5)
+        current = view.scores[3]
+        assert view.update_score(3, current) == 0
+
+    def test_add_node_then_connect(self):
+        dg, view = self._fresh(seed=6)
+        node = view.add_node()
+        assert view.value(node, "sum") == 0.0
+        view.add_edge(node, 0)
+        view.update_score(node, 0.8)
+        self._assert_consistent(dg, view)
+
+    def test_random_mutation_stress(self):
+        rng = random.Random(77)
+        dg, view = self._fresh(seed=7, n=30, m=50)
+        for _step in range(40):
+            op = rng.random()
+            if op < 0.35:
+                u, v = rng.randrange(dg.num_nodes), rng.randrange(dg.num_nodes)
+                if u != v and not dg.has_edge(u, v):
+                    view.add_edge(u, v)
+            elif op < 0.6:
+                edges = list(dg.edges())
+                if edges:
+                    u, v = edges[rng.randrange(len(edges))]
+                    view.remove_edge(u, v)
+            else:
+                view.update_score(
+                    rng.randrange(dg.num_nodes), round(rng.random(), 3)
+                )
+        self._assert_consistent(dg, view)
+
+    def test_directed_maintenance(self):
+        dg = DynamicGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)], directed=True
+        )
+        view = MaintainedAggregateView(dg, [0.5, 0.2, 0.9, 0.1], hops=2)
+        view.add_edge(0, 2)
+        view.update_score(2, 0.3)
+        view.remove_edge(1, 3)
+        expected = base_topk(dg, view.scores, QuerySpec(k=4, hops=2))
+        assert rounded(view.topk(4).values) == rounded(expected.values)
+
+    def test_external_mutation_detected(self):
+        dg, view = self._fresh(seed=8)
+        dg.add_node()  # bypasses the view
+        with pytest.raises(InvalidParameterError):
+            view.topk(3)
+
+    def test_score_validation(self):
+        dg, view = self._fresh(seed=9)
+        with pytest.raises(RelevanceError):
+            view.update_score(0, 1.5)
+        with pytest.raises(RelevanceError):
+            MaintainedAggregateView(dg, [2.0] * dg.num_nodes)
+
+    def test_max_rejected(self):
+        dg, view = self._fresh(seed=10)
+        with pytest.raises(InvalidParameterError):
+            view.topk(3, "max")
+
+    def test_stats_exposed(self):
+        dg, view = self._fresh(seed=11)
+        view.update_score(0, 1.0)
+        result = view.topk(3)
+        assert result.stats.algorithm == "maintained-view"
+        assert result.stats.extra["arithmetic_updates_total"] > 0

@@ -1,0 +1,152 @@
+"""Tests for CSR conversion, edge-list IO, and structural validation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphBuildError
+from repro.graph.csr import from_csr, to_csr
+from repro.graph.graph import Graph
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.validation import (
+    connected_components,
+    degree_histogram,
+    validate_graph,
+)
+from tests.conftest import random_graph
+
+
+class TestCSR:
+    def test_roundtrip_undirected(self):
+        g = random_graph(25, 0.2, seed=1)
+        csr = to_csr(g)
+        back = from_csr(csr)
+        assert back.num_nodes == g.num_nodes
+        for u in g.nodes():
+            assert list(back.neighbors(u)) == list(g.neighbors(u))
+
+    def test_roundtrip_directed(self):
+        g = random_graph(20, 0.15, seed=2, directed=True)
+        back = from_csr(to_csr(g))
+        assert back.directed
+        for u in g.nodes():
+            assert list(back.neighbors(u)) == list(g.neighbors(u))
+
+    def test_csr_accessors(self, star_graph):
+        csr = to_csr(star_graph)
+        assert csr.num_nodes == 6
+        assert csr.num_arcs == 10  # 5 edges both directions
+        assert csr.degree(0) == 5
+        assert list(csr.neighbors(1)) == [0]
+
+    def test_weighted_roundtrip(self):
+        g = Graph.from_weighted_edges([(0, 1, 0.5), (1, 2, 2.0)])
+        back = from_csr(to_csr(g))
+        assert back.weighted
+        assert back.edge_weight(1, 2) == 2.0
+
+    def test_numpy_arrays(self):
+        numpy = pytest.importorskip("numpy")
+        g = random_graph(10, 0.3, seed=3)
+        csr = to_csr(g, use_numpy=True)
+        assert isinstance(csr.indptr, numpy.ndarray)
+        assert csr.indptr[-1] == csr.num_arcs
+
+
+class TestEdgeListIO:
+    def test_parse_simple(self):
+        g = parse_edge_list("a b\nb c\n")
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.has_labels
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list("# header\n\na b\n  \n# more\nb c\n")
+        assert g.num_edges == 2
+
+    def test_duplicates_merged(self):
+        g = parse_edge_list("a b\nb a\na b\n")
+        assert g.num_edges == 1
+
+    def test_self_loops_skipped(self):
+        g = parse_edge_list("a a\na b\n")
+        assert g.num_edges == 1
+        assert g.num_nodes == 2
+
+    def test_weighted_parse(self):
+        g = parse_edge_list("a b 2.5\nb c 1.0\n", weighted=True)
+        assert g.weighted
+        assert g.edge_weight(g.id_of("a"), g.id_of("b")) == 2.5
+
+    def test_bad_weight_raises(self):
+        with pytest.raises(GraphBuildError):
+            parse_edge_list("a b xyz\n", weighted=True)
+
+    def test_short_line_raises(self):
+        with pytest.raises(GraphBuildError):
+            parse_edge_list("lonely\n")
+
+    def test_directed_parse(self):
+        g = parse_edge_list("a b\nb a\n", directed=True)
+        assert g.num_edges == 2
+
+    def test_write_read_roundtrip(self):
+        g = parse_edge_list("a b\nb c\nc d\na d\n")
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        back = read_edge_list(io.StringIO(buffer.getvalue()))
+        assert back.num_nodes == g.num_nodes
+        assert back.num_edges == g.num_edges
+
+    def test_write_includes_header(self):
+        g = parse_edge_list("a b\n")
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        assert buffer.getvalue().startswith("#")
+
+    def test_file_roundtrip(self, tmp_path):
+        g = parse_edge_list("x y\ny z\n")
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_edges == 2
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, path_graph):
+        validate_graph(path_graph)
+
+    def test_asymmetric_adjacency_caught(self):
+        bad = Graph([[1], []])  # 0 -> 1 present, 1 -> 0 missing
+        with pytest.raises(GraphBuildError):
+            validate_graph(bad)
+
+    def test_self_loop_caught(self):
+        bad = Graph([[0]], directed=True)
+        with pytest.raises(GraphBuildError):
+            validate_graph(bad)
+
+    def test_duplicate_arc_caught(self):
+        bad = Graph([[1, 1], [0, 0]])
+        with pytest.raises(GraphBuildError):
+            validate_graph(bad)
+
+    def test_out_of_range_caught(self):
+        bad = Graph([[5]], directed=True)
+        with pytest.raises(GraphBuildError):
+            validate_graph(bad)
+
+    def test_degree_histogram(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist == {5: 1, 1: 5}
+
+    def test_connected_components(self, two_components):
+        comps = connected_components(two_components)
+        assert [sorted(c) for c in comps] == [[0, 1, 2], [3, 4], [5]]
+
+    def test_components_directed_weak(self, directed_cycle):
+        comps = connected_components(directed_cycle)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3]

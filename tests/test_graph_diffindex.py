@@ -1,0 +1,107 @@
+"""Tests for the differential index against brute-force set computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+from repro.graph.diffindex import build_differential_index
+from repro.graph.graph import Graph
+from tests.conftest import random_graph, ref_ball
+
+
+def brute_delta(graph: Graph, u: int, v: int, hops: int, include_self: bool = True) -> int:
+    ball_u = ref_ball(graph, u, hops, include_self=include_self)
+    ball_v = ref_ball(graph, v, hops, include_self=include_self)
+    return len(ball_v - ball_u)
+
+
+class TestDeltaValues:
+    def test_path_graph_one_hop(self, path_graph):
+        idx = build_differential_index(path_graph, 1)
+        # For arc 2 -> 3: S(3) = {2,3,4}, S(2) = {1,2,3}; delta = |{4}| = 1.
+        assert idx.delta(path_graph, 2, 3) == 1
+        # For arc 0 -> 1: S(1) = {0,1,2}, S(0) = {0,1}; delta = 1.
+        assert idx.delta(path_graph, 0, 1) == 1
+
+    def test_star_center_vs_leaf(self, star_graph):
+        idx = build_differential_index(star_graph, 1)
+        # S(leaf) = {leaf, 0} subset of S(0) = everything: delta(leaf-0) = 0.
+        assert idx.delta(star_graph, 0, 1) == 0
+        # S(0) has 4 nodes not in S(leaf).
+        assert idx.delta(star_graph, 1, 0) == 4
+
+    def test_clique_deltas_zero(self, triangle_graph):
+        idx = build_differential_index(triangle_graph, 1)
+        for u, v in triangle_graph.arcs():
+            assert idx.delta(triangle_graph, u, v) == 0
+
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, hops, seed):
+        g = random_graph(30, 0.12, seed=seed)
+        idx = build_differential_index(g, hops)
+        for u, v in g.arcs():
+            assert idx.delta(g, u, v) == brute_delta(g, u, v, hops)
+
+    def test_directed_graph(self, directed_cycle):
+        idx = build_differential_index(directed_cycle, 1)
+        # Arc 0 -> 1: S(1) = {1, 2}, S(0) = {0, 1}: delta = 1.
+        assert idx.delta(directed_cycle, 0, 1) == 1
+
+    def test_open_ball_deltas(self):
+        g = random_graph(25, 0.15, seed=7)
+        idx = build_differential_index(g, 2, include_self=False)
+        for u, v in list(g.arcs())[:50]:
+            assert idx.delta(g, u, v) == brute_delta(g, u, v, 2, include_self=False)
+
+
+class TestIndexStructure:
+    def test_rows_align_with_adjacency(self, path_graph):
+        idx = build_differential_index(path_graph, 1)
+        for u in path_graph.nodes():
+            assert len(idx.delta_row(u)) == path_graph.degree(u)
+
+    def test_sizes_are_exact(self, path_graph):
+        idx = build_differential_index(path_graph, 2)
+        assert idx.sizes.is_exact
+        assert [idx.sizes.value(u) for u in range(5)] == [3, 4, 5, 4, 3]
+
+    def test_bounded_memory_mode_matches_full(self):
+        g = random_graph(25, 0.15, seed=11)
+        full = build_differential_index(g, 2)
+        bounded = build_differential_index(g, 2, max_resident_balls=4)
+        for u in g.nodes():
+            assert list(full.delta_row(u)) == list(bounded.delta_row(u))
+
+    def test_delta_unknown_arc(self, path_graph):
+        idx = build_differential_index(path_graph, 1)
+        with pytest.raises(IndexNotBuiltError):
+            idx.delta(path_graph, 0, 4)
+
+    def test_invalid_parameters(self, path_graph):
+        with pytest.raises(InvalidParameterError):
+            build_differential_index(path_graph, -1)
+        with pytest.raises(InvalidParameterError):
+            build_differential_index(path_graph, 1, max_resident_balls=0)
+
+
+class TestCompatibility:
+    def test_check_compatible_passes(self, path_graph):
+        idx = build_differential_index(path_graph, 2)
+        idx.check_compatible(path_graph, 2, True)
+
+    def test_wrong_hops(self, path_graph):
+        idx = build_differential_index(path_graph, 2)
+        with pytest.raises(IndexNotBuiltError):
+            idx.check_compatible(path_graph, 1, True)
+
+    def test_wrong_ball_convention(self, path_graph):
+        idx = build_differential_index(path_graph, 2)
+        with pytest.raises(IndexNotBuiltError):
+            idx.check_compatible(path_graph, 2, False)
+
+    def test_wrong_graph_size(self, path_graph, star_graph):
+        idx = build_differential_index(path_graph, 2)
+        with pytest.raises(IndexNotBuiltError):
+            idx.check_compatible(star_graph, 2, True)

@@ -1,0 +1,228 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import (
+    barabasi_albert,
+    citation_dag,
+    coauthorship,
+    erdos_renyi,
+    powerlaw_cluster,
+    ring_lattice,
+    star_burst,
+    watts_strogatz,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestErdosRenyi:
+    def test_exact_counts(self):
+        g = erdos_renyi(50, 100, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 100
+        validate_graph(g)
+
+    def test_deterministic_by_seed(self):
+        a = erdos_renyi(30, 60, seed=5)
+        b = erdos_renyi(30, 60, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(30, 60, seed=5)
+        b = erdos_renyi(30, 60, seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_zero_edges(self):
+        g = erdos_renyi(10, 0, seed=1)
+        assert g.num_edges == 0
+
+    def test_complete_graph(self):
+        g = erdos_renyi(6, 15, seed=1)
+        assert g.num_edges == 15
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(4, 7, seed=1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(-1, 0)
+
+
+class TestBarabasiAlbert:
+    def test_counts_and_validity(self):
+        g = barabasi_albert(100, 3, seed=2)
+        assert g.num_nodes == 100
+        validate_graph(g)
+        # every non-seed node adds exactly m edges
+        assert g.num_edges == 3 + (100 - 4) * 3
+
+    def test_min_degree(self):
+        g = barabasi_albert(80, 2, seed=3)
+        assert min(g.degree(u) for u in g.nodes()) >= 2
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(300, 2, seed=4)
+        degrees = sorted((g.degree(u) for u in g.nodes()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_m(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(10, 0)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(10, 10)
+
+
+class TestPowerlawCluster:
+    def test_validity(self):
+        g = powerlaw_cluster(150, 3, 0.6, seed=5)
+        assert g.num_nodes == 150
+        validate_graph(g)
+
+    def test_triangle_prob_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            powerlaw_cluster(20, 2, 1.5)
+
+    def test_clustering_increases_with_triangle_prob(self):
+        def triangles(graph):
+            count = 0
+            for u in graph.nodes():
+                nbrs = set(graph.neighbors(u))
+                for v in nbrs:
+                    count += len(nbrs & set(graph.neighbors(v)))
+            return count
+
+        low = powerlaw_cluster(300, 3, 0.0, seed=6)
+        high = powerlaw_cluster(300, 3, 0.9, seed=6)
+        assert triangles(high) > triangles(low)
+
+    def test_heavy_tail_creates_low_degree_nodes(self):
+        uniform = powerlaw_cluster(400, 4, 0.5, seed=7)
+        heavy = powerlaw_cluster(400, 4, 0.5, seed=7, heavy_tail=True)
+        low_uniform = sum(1 for u in uniform.nodes() if uniform.degree(u) <= 2)
+        low_heavy = sum(1 for u in heavy.nodes() if heavy.degree(u) <= 2)
+        assert low_heavy > low_uniform
+
+    def test_deterministic(self):
+        a = powerlaw_cluster(100, 3, 0.5, seed=8, heavy_tail=True)
+        b = powerlaw_cluster(100, 3, 0.5, seed=8, heavy_tail=True)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestCitationDag:
+    def test_validity_and_direction(self):
+        g = citation_dag(120, 4, seed=9)
+        assert g.directed
+        validate_graph(g)
+
+    def test_acyclic_arcs_point_backward(self):
+        g = citation_dag(200, 5, seed=10)
+        for u, v in g.arcs():
+            assert v < u, "citations must reference earlier nodes"
+
+    def test_in_degree_skew(self):
+        g = citation_dag(400, 4, seed=11)
+        indeg = [0] * 400
+        for _u, v in g.arcs():
+            indeg[v] += 1
+        top = max(indeg)
+        assert top >= 15
+
+    def test_heavy_tail_spreads_out_degree(self):
+        g = citation_dag(300, 5, seed=12, heavy_tail=True)
+        outs = {g.degree(u) for u in g.nodes()}
+        assert len(outs) > 5
+
+    def test_invalid_recency(self):
+        with pytest.raises(InvalidParameterError):
+            citation_dag(50, 3, recency_bias=2.0)
+
+
+class TestStarBurst:
+    def test_validity_and_sparsity(self):
+        g = star_burst(500, num_hubs=30, hub_degree_mean=8.0, seed=13)
+        validate_graph(g)
+        assert g.num_edges < 4 * g.num_nodes
+
+    def test_hub_heavy_tail(self):
+        g = star_burst(800, num_hubs=50, hub_degree_mean=10.0, seed=14)
+        degrees = sorted((g.degree(u) for u in g.nodes()), reverse=True)
+        assert degrees[0] >= 10
+        assert degrees[len(degrees) // 2] <= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            star_burst(1, num_hubs=1, hub_degree_mean=2.0)
+        with pytest.raises(InvalidParameterError):
+            star_burst(10, num_hubs=0, hub_degree_mean=2.0)
+        with pytest.raises(InvalidParameterError):
+            star_burst(10, num_hubs=2, hub_degree_mean=-1.0)
+        with pytest.raises(InvalidParameterError):
+            star_burst(10, num_hubs=2, hub_degree_mean=2.0, cross_link_fraction=1.5)
+
+
+class TestCoauthorship:
+    def test_validity(self):
+        g = coauthorship(300, seed=15)
+        assert g.num_nodes == 300
+        validate_graph(g)
+
+    def test_clique_structure_gives_triangles(self):
+        g = coauthorship(300, team_mean=3.5, seed=16)
+        triangle_nodes = 0
+        for u in g.nodes():
+            nbrs = set(g.neighbors(u))
+            if any(set(g.neighbors(v)) & nbrs for v in nbrs):
+                triangle_nodes += 1
+        assert triangle_nodes > 50
+
+    def test_deterministic(self):
+        a = coauthorship(200, seed=17)
+        b = coauthorship(200, seed=17)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            coauthorship(1)
+        with pytest.raises(InvalidParameterError):
+            coauthorship(10, papers_per_author=0.0)
+        with pytest.raises(InvalidParameterError):
+            coauthorship(10, team_mean=0.5)
+        with pytest.raises(InvalidParameterError):
+            coauthorship(10, max_team=1)
+        with pytest.raises(InvalidParameterError):
+            coauthorship(10, prolific_bias=-0.1)
+
+
+class TestLatticeAndSmallWorld:
+    def test_ring_lattice_degrees(self):
+        g = ring_lattice(20, 3)
+        assert all(g.degree(u) == 6 for u in g.nodes())
+        validate_graph(g)
+
+    def test_ring_lattice_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ring_lattice(2, 1)
+        with pytest.raises(InvalidParameterError):
+            ring_lattice(10, 5)
+
+    def test_watts_strogatz_preserves_edge_count(self):
+        base = ring_lattice(30, 2)
+        ws = watts_strogatz(30, 2, 0.3, seed=18)
+        assert ws.num_edges == base.num_edges
+        validate_graph(ws)
+
+    def test_watts_strogatz_zero_prob_is_lattice(self):
+        ws = watts_strogatz(30, 2, 0.0, seed=19)
+        assert sorted(ws.edges()) == sorted(ring_lattice(30, 2).edges())
+
+    def test_watts_strogatz_rewires(self):
+        ws = watts_strogatz(40, 2, 0.9, seed=20)
+        assert sorted(ws.edges()) != sorted(ring_lattice(40, 2).edges())
+
+    def test_invalid_rewire_prob(self):
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz(20, 2, -0.1)

@@ -1,0 +1,220 @@
+"""Unit tests for the Graph/GraphBuilder storage layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphBuildError,
+    NodeNotFoundError,
+)
+from repro.graph.graph import Graph, GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_add_edge_grows_nodes(self):
+        b = GraphBuilder()
+        b.add_edge(0, 5)
+        g = b.build()
+        assert g.num_nodes == 6
+        assert g.num_edges == 1
+
+    def test_undirected_symmetry(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g = b.build()
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+
+    def test_directed_one_way(self):
+        b = GraphBuilder(directed=True)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == []
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphBuildError):
+            b.add_edge(3, 3)
+
+    def test_duplicate_edge_rejected(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        with pytest.raises(GraphBuildError):
+            b.add_edge(1, 0)  # same undirected edge
+
+    def test_duplicate_allowed_when_opted_in(self):
+        b = GraphBuilder(allow_duplicates=True)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        g = b.build()
+        assert g.num_edges == 1
+
+    def test_directed_reverse_is_distinct_edge(self):
+        b = GraphBuilder(directed=True)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        g = b.build()
+        assert g.num_edges == 2
+
+    def test_negative_node_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphBuildError):
+            b.add_edge(-1, 2)
+
+    def test_build_twice_rejected(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.build()
+        with pytest.raises(GraphBuildError):
+            b.build()
+
+    def test_add_after_build_rejected(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.build()
+        with pytest.raises(GraphBuildError):
+            b.add_edge(1, 2)
+
+    def test_labeled_edges_intern(self):
+        b = GraphBuilder()
+        b.add_labeled_edge("alice", "bob")
+        b.add_labeled_edge("bob", "carol")
+        g = b.build()
+        assert g.num_nodes == 3
+        assert g.has_labels
+        assert g.label_of(g.id_of("alice")) == "alice"
+        assert g.id_of("carol") == 2
+
+    def test_weighted_edges(self):
+        b = GraphBuilder(weighted=True)
+        b.add_edge(0, 1, weight=2.5)
+        g = b.build()
+        assert g.weighted
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(1, 0) == 2.5
+
+    def test_ensure_node_creates_isolated(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.ensure_node(4)
+        g = b.build()
+        assert g.num_nodes == 5
+        assert g.degree(4) == 0
+
+
+class TestGraphAccessors:
+    def test_from_edges(self, path_graph):
+        assert path_graph.num_nodes == 5
+        assert path_graph.num_edges == 4
+        assert not path_graph.directed
+
+    def test_from_edges_num_nodes_pads(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=4)
+        assert g.num_nodes == 4
+
+    def test_len_and_contains(self, path_graph):
+        assert len(path_graph) == 5
+        assert 4 in path_graph
+        assert 5 not in path_graph
+        assert "x" not in path_graph
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(1) == 1
+
+    def test_degree_unknown_node(self, star_graph):
+        with pytest.raises(NodeNotFoundError):
+            star_graph.degree(77)
+
+    def test_edges_undirected_yielded_once(self, triangle_graph):
+        edges = sorted(triangle_graph.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_arcs_both_directions(self, triangle_graph):
+        arcs = sorted(triangle_graph.arcs())
+        assert len(arcs) == 6
+        assert (1, 0) in arcs and (0, 1) in arcs
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(1, 2)
+        assert path_graph.has_edge(2, 1)
+        assert not path_graph.has_edge(0, 4)
+
+    def test_edge_weight_default_unweighted(self, path_graph):
+        assert path_graph.edge_weight(0, 1) == 1.0
+
+    def test_edge_weight_missing_edge(self, path_graph):
+        with pytest.raises(EdgeNotFoundError):
+            path_graph.edge_weight(0, 4)
+        assert path_graph.edge_weight(0, 4, default=0.0) == 0.0
+
+    def test_neighbor_weights_unweighted(self, star_graph):
+        assert list(star_graph.neighbor_weights(0)) == [1.0] * 5
+
+    def test_from_weighted_edges(self):
+        g = Graph.from_weighted_edges([(0, 1, 0.5), (1, 2, 1.5)])
+        assert g.edge_weight(1, 2) == 1.5
+        assert list(g.neighbor_weights(1)) == [0.5, 1.5]
+
+    def test_label_passthrough_when_unlabeled(self, path_graph):
+        assert path_graph.label_of(3) == 3
+        assert path_graph.id_of(3) == 3
+        with pytest.raises(NodeNotFoundError):
+            path_graph.id_of("nope")
+
+
+class TestGraphViews:
+    def test_reversed_directed(self, directed_cycle):
+        r = directed_cycle.reversed()
+        assert list(r.neighbors(0)) == [3]
+        assert list(r.neighbors(1)) == [0]
+
+    def test_reversed_undirected_is_self(self, path_graph):
+        assert path_graph.reversed() is path_graph
+
+    def test_as_undirected(self, directed_cycle):
+        u = directed_cycle.as_undirected()
+        assert not u.directed
+        assert u.num_edges == 4
+        assert sorted(u.neighbors(0)) == [1, 3]
+
+    def test_as_undirected_merges_antiparallel(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], directed=True)
+        u = g.as_undirected()
+        assert u.num_edges == 1
+
+    def test_subgraph(self, two_components):
+        sub, mapping = two_components.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+        assert mapping == [0, 1, 2]
+
+    def test_subgraph_drops_external_edges(self, path_graph):
+        sub, mapping = path_graph.subgraph([1, 2])
+        assert sub.num_edges == 1
+        assert mapping == [1, 2]
+
+    def test_subgraph_invalid_node(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            path_graph.subgraph([0, 9])
+
+    def test_adjacency_copy_is_deep(self, path_graph):
+        copy = path_graph.adjacency_copy()
+        copy[0].append(99)
+        assert 99 not in path_graph.neighbors(0)
+
+    def test_label_uniqueness_enforced(self):
+        with pytest.raises(GraphBuildError):
+            Graph([[1], [0]], labels=["same", "same"])
+
+    def test_label_length_enforced(self):
+        with pytest.raises(GraphBuildError):
+            Graph([[1], [0]], labels=["only-one"])

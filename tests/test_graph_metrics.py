@@ -1,0 +1,98 @@
+"""Tests for structural graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import barabasi_albert, erdos_renyi, ring_lattice
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    average_clustering,
+    ball_size_stats,
+    clustering_coefficient,
+    component_stats,
+    degree_stats,
+    profile_graph,
+    sample_ball_sizes,
+)
+
+
+class TestDegreeStats:
+    def test_path(self, path_graph):
+        stats = degree_stats(path_graph)
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+        assert stats.mean == pytest.approx(8 / 5)
+        assert stats.median == 2.0
+
+    def test_star_heavy_tail_detection(self):
+        hub = Graph.from_edges([(0, i) for i in range(1, 60)])
+        assert degree_stats(hub).is_heavy_tailed()
+        assert not degree_stats(ring_lattice(30, 2)).is_heavy_tailed()
+
+    def test_gini_uniform_is_zero(self):
+        stats = degree_stats(ring_lattice(20, 2))
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_increases_with_skew(self):
+        uniform = degree_stats(ring_lattice(100, 3)).gini
+        skewed = degree_stats(barabasi_albert(100, 3, seed=1)).gini
+        assert skewed > uniform
+
+    def test_empty_graph(self):
+        stats = degree_stats(Graph([]))
+        assert stats.mean == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle_graph):
+        assert clustering_coefficient(triangle_graph, 0) == 1.0
+
+    def test_star_center_unclustered(self, star_graph):
+        assert clustering_coefficient(star_graph, 0) == 0.0
+
+    def test_leaf_degenerate(self, path_graph):
+        assert clustering_coefficient(path_graph, 0) == 0.0
+
+    def test_average_full_vs_sample(self, triangle_graph):
+        assert average_clustering(triangle_graph) == 1.0
+        assert average_clustering(triangle_graph, sample=2, seed=1) == 1.0
+
+    def test_sample_validation(self, triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            average_clustering(triangle_graph, sample=0)
+
+
+class TestBallStats:
+    def test_sample_covers_whole_small_graph(self, path_graph):
+        sizes = sample_ball_sizes(path_graph, 1, sample=100, seed=1)
+        assert sorted(sizes) == [2, 2, 3, 3, 3]
+
+    def test_stats_fields(self):
+        g = erdos_renyi(80, 160, seed=2)
+        stats = ball_size_stats(g, 2, sample=40, seed=3)
+        assert stats.hops == 2
+        assert stats.sample_size == 40
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert 0.0 <= stats.gini <= 1.0
+
+    def test_sample_validation(self, path_graph):
+        with pytest.raises(InvalidParameterError):
+            sample_ball_sizes(path_graph, 1, sample=0)
+
+
+class TestProfile:
+    def test_component_stats(self, two_components):
+        count, largest, fraction = component_stats(two_components)
+        assert count == 3
+        assert largest == 3
+        assert fraction == pytest.approx(0.5)
+
+    def test_profile_describe(self):
+        g = erdos_renyi(50, 100, seed=4)
+        profile = profile_graph(g, hops=2, sample=25, seed=5)
+        text = profile.describe()
+        assert "nodes=50" in text
+        assert "2-hop balls" in text
+        assert profile.num_components >= 1

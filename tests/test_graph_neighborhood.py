@@ -1,0 +1,120 @@
+"""Tests for neighborhood-size indexes: exact values and estimate soundness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.neighborhood import (
+    NeighborhoodSizeIndex,
+    exact_sizes,
+    lower_estimate,
+    upper_estimate,
+)
+from tests.conftest import random_graph, ref_ball
+
+
+class TestExactSizes:
+    def test_path_two_hops(self, path_graph):
+        assert exact_sizes(path_graph, 2) == [3, 4, 5, 4, 3]
+
+    def test_open_ball(self, path_graph):
+        assert exact_sizes(path_graph, 1, include_self=False) == [1, 2, 2, 2, 1]
+
+    def test_zero_hops(self, path_graph):
+        assert exact_sizes(path_graph, 0) == [1] * 5
+
+    def test_matches_reference(self):
+        g = random_graph(40, 0.1, seed=17)
+        sizes = exact_sizes(g, 2)
+        for u in range(40):
+            assert sizes[u] == len(ref_ball(g, u, 2))
+
+    def test_negative_hops_rejected(self, path_graph):
+        with pytest.raises(InvalidParameterError):
+            exact_sizes(path_graph, -2)
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_upper_estimate_is_upper_bound(self, hops, seed):
+        g = random_graph(35, 0.12, seed=seed)
+        exact = exact_sizes(g, hops)
+        upper = upper_estimate(g, hops)
+        for u in range(35):
+            assert upper[u] >= exact[u]
+
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lower_estimate_is_lower_bound(self, hops, seed):
+        g = random_graph(35, 0.12, seed=seed)
+        exact = exact_sizes(g, hops)
+        lower = lower_estimate(g, hops)
+        for u in range(35):
+            assert lower[u] <= exact[u]
+
+    def test_estimates_exact_for_one_hop(self, star_graph):
+        assert upper_estimate(star_graph, 1) == exact_sizes(star_graph, 1)
+        assert lower_estimate(star_graph, 1) == exact_sizes(star_graph, 1)
+
+    def test_upper_capped_at_num_nodes(self, triangle_graph):
+        assert all(v <= 3 for v in upper_estimate(triangle_graph, 5))
+
+    def test_open_ball_estimates(self):
+        g = random_graph(30, 0.15, seed=9)
+        exact = exact_sizes(g, 2, include_self=False)
+        upper = upper_estimate(g, 2, include_self=False)
+        lower = lower_estimate(g, 2, include_self=False)
+        for u in range(30):
+            assert lower[u] <= exact[u] <= upper[u]
+
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_directed_estimates_bracket_exact(self, hops, seed):
+        """Regression: directed out-arcs have no back-edge, so the level-2
+        expansion must not subtract one slot per neighbor (found by
+        hypothesis as an unsound Eq. 3 bound on a directed chain)."""
+        g = random_graph(30, 0.1, seed=seed, directed=True)
+        exact = exact_sizes(g, hops)
+        upper = upper_estimate(g, hops)
+        lower = lower_estimate(g, hops)
+        for u in range(30):
+            assert lower[u] <= exact[u] <= upper[u]
+
+    def test_directed_chain_regression(self):
+        """Minimal case: 0 -> 1 -> 2; N_2(0) = 3, the old estimate said 2."""
+        from repro.graph.graph import Graph
+
+        chain = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        assert upper_estimate(chain, 2)[0] >= 3
+
+
+class TestIndexObject:
+    def test_exact_mode(self, path_graph):
+        idx = NeighborhoodSizeIndex.exact(path_graph, 2)
+        assert idx.is_exact
+        assert idx.value(2) == 5
+        assert idx.upper(2) == idx.lower(2) == 5
+        assert len(idx) == 5
+
+    def test_estimated_mode(self, path_graph):
+        idx = NeighborhoodSizeIndex.estimated(path_graph, 2)
+        assert not idx.is_exact
+        with pytest.raises(InvalidParameterError):
+            idx.value(0)
+
+    def test_estimated_brackets_exact(self):
+        g = random_graph(30, 0.1, seed=4)
+        est = NeighborhoodSizeIndex.estimated(g, 2)
+        exact = NeighborhoodSizeIndex.exact(g, 2)
+        for u in range(30):
+            assert est.lower(u) <= exact.value(u) <= est.upper(u)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NeighborhoodSizeIndex([1, 2], [1], hops=1)
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NeighborhoodSizeIndex([1, 2], [2, 3], hops=1)

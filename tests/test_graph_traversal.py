@@ -1,0 +1,157 @@
+"""Tests for BFS traversal primitives, cross-checked against oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError, NodeNotFoundError
+from repro.graph.traversal import (
+    TraversalCounter,
+    ball_size,
+    hop_ball,
+    hop_ball_with_distances,
+    hop_frontiers,
+)
+from tests.conftest import random_graph, ref_ball
+
+networkx = pytest.importorskip("networkx", reason="networkx used as oracle")
+
+
+class TestHopBall:
+    def test_zero_hops_closed(self, path_graph):
+        assert hop_ball(path_graph, 2, 0) == {2}
+
+    def test_zero_hops_open(self, path_graph):
+        assert hop_ball(path_graph, 2, 0, include_self=False) == set()
+
+    def test_one_hop(self, path_graph):
+        assert hop_ball(path_graph, 2, 1) == {1, 2, 3}
+
+    def test_two_hops(self, path_graph):
+        assert hop_ball(path_graph, 2, 2) == {0, 1, 2, 3, 4}
+
+    def test_open_ball_excludes_center_only(self, path_graph):
+        assert hop_ball(path_graph, 2, 2, include_self=False) == {0, 1, 3, 4}
+
+    def test_ball_larger_than_graph(self, path_graph):
+        assert hop_ball(path_graph, 0, 100) == {0, 1, 2, 3, 4}
+
+    def test_isolated_node(self, two_components):
+        assert hop_ball(two_components, 5, 3) == {5}
+
+    def test_component_boundary(self, two_components):
+        assert hop_ball(two_components, 3, 5) == {3, 4}
+
+    def test_directed_follows_out_edges(self, directed_cycle):
+        assert hop_ball(directed_cycle, 0, 1) == {0, 1}
+        assert hop_ball(directed_cycle, 0, 2) == {0, 1, 2}
+
+    def test_negative_hops_rejected(self, path_graph):
+        with pytest.raises(InvalidParameterError):
+            hop_ball(path_graph, 0, -1)
+
+    def test_unknown_center_rejected(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            hop_ball(path_graph, 11, 1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_matches_reference_on_random_graphs(self, seed, hops):
+        g = random_graph(40, 0.1, seed=seed)
+        for center in range(0, 40, 7):
+            assert hop_ball(g, center, hops) == ref_ball(g, center, hops)
+
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_matches_networkx(self, hops):
+        g = random_graph(50, 0.08, seed=42)
+        nxg = networkx.Graph()
+        nxg.add_nodes_from(range(50))
+        nxg.add_edges_from(g.edges())
+        for center in range(0, 50, 11):
+            expected = set(
+                networkx.single_source_shortest_path_length(
+                    nxg, center, cutoff=hops
+                )
+            )
+            assert hop_ball(g, center, hops) == expected
+
+
+class TestDistances:
+    def test_distances_on_path(self, path_graph):
+        dist = hop_ball_with_distances(path_graph, 0, 3)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_distances_truncated(self, path_graph):
+        dist = hop_ball_with_distances(path_graph, 0, 1)
+        assert dist == {0: 0, 1: 1}
+
+    def test_distances_open_ball(self, path_graph):
+        dist = hop_ball_with_distances(path_graph, 0, 2, include_self=False)
+        assert dist == {1: 1, 2: 2}
+
+    def test_distances_match_networkx(self):
+        g = random_graph(40, 0.1, seed=5)
+        nxg = networkx.Graph()
+        nxg.add_nodes_from(range(40))
+        nxg.add_edges_from(g.edges())
+        for center in (0, 13, 27):
+            expected = networkx.single_source_shortest_path_length(
+                nxg, center, cutoff=2
+            )
+            assert hop_ball_with_distances(g, center, 2) == dict(expected)
+
+    def test_ball_and_distances_agree(self):
+        g = random_graph(30, 0.15, seed=8)
+        for center in range(0, 30, 5):
+            ball = hop_ball(g, center, 2)
+            dist = hop_ball_with_distances(g, center, 2)
+            assert ball == set(dist)
+
+
+class TestFrontiers:
+    def test_frontier_levels(self, path_graph):
+        levels = dict()
+        for d, frontier in hop_frontiers(path_graph, 0, 3):
+            levels[d] = sorted(frontier)
+        assert levels == {0: [0], 1: [1], 2: [2], 3: [3]}
+
+    def test_frontier_stops_when_exhausted(self, triangle_graph):
+        levels = list(hop_frontiers(triangle_graph, 0, 10))
+        assert len(levels) == 2  # distance 0 and 1 cover the triangle
+
+    def test_frontier_union_equals_ball(self):
+        g = random_graph(35, 0.12, seed=3)
+        union = set()
+        for _d, frontier in hop_frontiers(g, 0, 2):
+            union.update(frontier)
+        assert union == hop_ball(g, 0, 2)
+
+
+class TestCounterAndSize:
+    def test_ball_size(self, star_graph):
+        assert ball_size(star_graph, 0, 1) == 6
+        assert ball_size(star_graph, 1, 1) == 2
+        assert ball_size(star_graph, 1, 2) == 6  # whole graph
+
+    def test_counter_accumulates(self, star_graph):
+        counter = TraversalCounter()
+        hop_ball(star_graph, 0, 2, counter=counter)
+        assert counter.balls_expanded == 1
+        assert counter.nodes_visited == 6
+        # center scans 5 edges, each leaf scans back 1
+        assert counter.edges_scanned == 10
+
+    def test_counter_merge_and_snapshot(self):
+        a = TraversalCounter()
+        b = TraversalCounter()
+        a.edges_scanned = 3
+        b.edges_scanned = 4
+        b.balls_expanded = 2
+        a.merge(b)
+        assert a.edges_scanned == 7
+        assert a.snapshot()["balls_expanded"] == 2
+
+    def test_zero_hop_scans_no_edges(self, star_graph):
+        counter = TraversalCounter()
+        hop_ball(star_graph, 0, 0, counter=counter)
+        assert counter.edges_scanned == 0

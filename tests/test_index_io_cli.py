@@ -1,0 +1,291 @@
+"""Tests for index persistence and the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import IndexNotBuiltError
+from repro.graph.diffindex import build_differential_index
+from repro.graph.index_io import (
+    graph_fingerprint,
+    load_differential_index,
+    save_differential_index,
+)
+from tests.conftest import random_graph
+
+
+class TestFingerprint:
+    def test_stable(self):
+        g = random_graph(30, 0.15, seed=171)
+        assert graph_fingerprint(g) == graph_fingerprint(g)
+
+    def test_sensitive_to_structure(self):
+        a = random_graph(30, 0.15, seed=172)
+        b = random_graph(30, 0.15, seed=173)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_sensitive_to_direction(self):
+        edges = [(0, 1), (1, 2)]
+        from repro.graph.graph import Graph
+
+        undirected = Graph.from_edges(edges)
+        directed = Graph.from_edges(edges, num_nodes=3, directed=True)
+        assert graph_fingerprint(undirected) != graph_fingerprint(directed)
+
+
+class TestIndexRoundtrip:
+    def test_roundtrip_file(self, tmp_path):
+        g = random_graph(25, 0.15, seed=174)
+        idx = build_differential_index(g, 2)
+        path = tmp_path / "graph.lonaidx"
+        save_differential_index(idx, g, path)
+        loaded = load_differential_index(g, path)
+        assert loaded.hops == 2
+        assert loaded.include_self
+        for u in g.nodes():
+            assert list(loaded.delta_row(u)) == list(idx.delta_row(u))
+            assert loaded.sizes.value(u) == idx.sizes.value(u)
+
+    def test_roundtrip_buffer(self):
+        g = random_graph(15, 0.2, seed=175)
+        idx = build_differential_index(g, 1)
+        buffer = io.BytesIO()
+        save_differential_index(idx, g, buffer)
+        buffer.seek(0)
+        loaded = load_differential_index(g, buffer)
+        assert list(loaded.delta_row(0)) == list(idx.delta_row(0))
+
+    def test_wrong_graph_rejected(self, tmp_path):
+        a = random_graph(20, 0.2, seed=176)
+        b = random_graph(20, 0.2, seed=177)
+        idx = build_differential_index(a, 2)
+        path = tmp_path / "a.lonaidx"
+        save_differential_index(idx, a, path)
+        with pytest.raises(IndexNotBuiltError):
+            load_differential_index(b, path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not an index at all")
+        g = random_graph(10, 0.2, seed=178)
+        with pytest.raises(IndexNotBuiltError):
+            load_differential_index(g, path)
+
+    def test_truncated_rejected(self, tmp_path):
+        g = random_graph(20, 0.2, seed=179)
+        idx = build_differential_index(g, 2)
+        path = tmp_path / "full.lonaidx"
+        save_differential_index(idx, g, path)
+        truncated = tmp_path / "trunc.lonaidx"
+        truncated.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(IndexNotBuiltError):
+            load_differential_index(g, truncated)
+
+    def test_loaded_index_answers_queries(self, tmp_path):
+        from repro.core.base import base_topk
+        from repro.core.forward import forward_topk
+        from repro.core.query import QuerySpec
+        from tests.conftest import random_scores, rounded
+
+        g = random_graph(30, 0.12, seed=180)
+        scores = random_scores(30, seed=181)
+        idx = build_differential_index(g, 2)
+        path = tmp_path / "q.lonaidx"
+        save_differential_index(idx, g, path)
+        loaded = load_differential_index(g, path)
+        spec = QuerySpec(k=6, hops=2)
+        expected = base_topk(g, scores, spec)
+        actual = forward_topk(g, scores, spec, diff_index=loaded)
+        assert rounded(actual.values) == rounded(expected.values)
+
+
+class TestCLI:
+    def test_query_dataset(self, capsys):
+        code = cli_main(
+            [
+                "query",
+                "--dataset",
+                "intrusion_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--binary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert len(lines) == 3
+
+    def test_query_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\nb c\nc d\na c\n")
+        code = cli_main(
+            ["query", "--edge-list", str(path), "--k", "2", "--blacking-ratio", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1\t" in out
+
+    def test_query_with_scores_file(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.txt"
+        graph_path.write_text("a b\nb c\n")
+        scores_path = tmp_path / "s.txt"
+        scores_path.write_text("a 1.0\nb 0.5\n# comment\nc 0.0\n")
+        code = cli_main(
+            [
+                "query",
+                "--edge-list",
+                str(graph_path),
+                "--scores",
+                str(scores_path),
+                "--k",
+                "1",
+                "--hops",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # a sees {a, b} = 1.5 and b sees {a, b, c} = 1.5: a tie at the top;
+        # the accumulator keeps the first-offered node (a).
+        assert "\t1.500000" in out
+
+    def test_explain_subcommand(self, capsys):
+        code = cli_main(
+            [
+                "explain",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "5",
+                "--binary",
+            ]
+        )
+        assert code == 0
+        assert "chosen algorithm" in capsys.readouterr().out
+
+    def test_profile_subcommand(self, capsys):
+        code = cli_main(
+            ["profile", "--dataset", "citation_like", "--scale", "0.05"]
+        )
+        assert code == 0
+        assert "degree:" in capsys.readouterr().out
+
+    def test_build_index_and_query_with_it(self, tmp_path, capsys):
+        index_path = tmp_path / "collab.lonaidx"
+        code = cli_main(
+            [
+                "build-index",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--out",
+                str(index_path),
+            ]
+        )
+        assert code == 0
+        assert index_path.exists()
+        code = cli_main(
+            [
+                "query",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--algorithm",
+                "forward",
+                "--index",
+                str(index_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm=forward" in out
+
+    def test_query_with_mismatched_index(self, tmp_path, capsys):
+        index_path = tmp_path / "tiny.lonaidx"
+        assert (
+            cli_main(
+                [
+                    "build-index",
+                    "--dataset",
+                    "intrusion_like",
+                    "--scale",
+                    "0.05",
+                    "--out",
+                    str(index_path),
+                ]
+            )
+            == 0
+        )
+        code = cli_main(
+            [
+                "query",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--index",
+                str(index_path),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_engine_save_load_roundtrip(self, tmp_path):
+        from repro.core.engine import TopKEngine
+        from tests.conftest import random_scores, rounded
+
+        g = random_graph(25, 0.15, seed=182)
+        scores = random_scores(25, seed=183)
+        writer = TopKEngine(g, scores, hops=2)
+        path = tmp_path / "engine.lonaidx"
+        writer.save_index(path)
+        reader = TopKEngine(g, scores, hops=2)
+        reader.load_index(path)
+        assert reader.diff_index is not None
+        fast = reader.topk(5, "sum", "forward")
+        assert fast.stats.index_build_sec == 0.0
+        assert rounded(fast.values) == rounded(writer.topk(5, "sum", "base").values)
+
+    def test_engine_load_wrong_hops(self, tmp_path):
+        from repro.core.engine import TopKEngine
+
+        g = random_graph(20, 0.2, seed=184)
+        writer = TopKEngine(g, [0.0] * 20, hops=1)
+        path = tmp_path / "h1.lonaidx"
+        writer.save_index(path)
+        reader = TopKEngine(g, [0.0] * 20, hops=2)
+        with pytest.raises(IndexNotBuiltError):
+            reader.load_index(path)
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        bad_scores = tmp_path / "bad.txt"
+        bad_scores.write_text("only-one-token\n")
+        graph_path = tmp_path / "g.txt"
+        graph_path.write_text("a b\n")
+        code = cli_main(
+            [
+                "query",
+                "--edge-list",
+                str(graph_path),
+                "--scores",
+                str(bad_scores),
+                "--k",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,99 @@
+"""Fill-in tests for smaller public surfaces not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_figure
+from repro.bench.workloads import FIGURES
+from repro.graph.csr import degree_array
+from repro.graph.io import iter_edge_lines, parse_edge_list
+from repro.graph.graph import Graph
+from tests.conftest import random_graph
+
+
+class TestIOIterators:
+    def test_iter_edge_lines(self):
+        g = parse_edge_list("a b\nb c\n")
+        lines = list(iter_edge_lines(g))
+        assert lines == ["a b", "b c"]
+
+    def test_iter_edge_lines_unlabeled(self, path_graph):
+        lines = list(iter_edge_lines(path_graph))
+        assert lines[0] == "0 1"
+        assert len(lines) == 4
+
+
+class TestCSRHelpers:
+    def test_degree_array(self):
+        numpy = pytest.importorskip("numpy")
+        g = random_graph(20, 0.2, seed=311)
+        degrees = degree_array(g)
+        assert degrees.shape == (20,)
+        assert int(degrees[0]) == g.degree(0)
+        assert int(degrees.sum()) == 2 * g.num_edges
+
+
+class TestHarnessVerification:
+    def test_verification_catches_divergence(self, monkeypatch):
+        """If an algorithm returned wrong values, run_figure must raise."""
+        from repro.bench import harness as harness_module
+
+        original = harness_module._run_algorithm
+
+        def corrupted(algorithm, graph, scores, spec, diff_index, view):
+            result = original(algorithm, graph, scores, spec, diff_index, view)
+            if algorithm == "backward":
+                broken = [(n, v + 1.0) for n, v in result.entries]
+                result.entries = broken
+            return result
+
+        monkeypatch.setattr(harness_module, "_run_algorithm", corrupted)
+        with pytest.raises(AssertionError):
+            run_figure(FIGURES["fig1"], scale=0.03, ks=[3])
+
+    def test_verification_can_be_disabled(self, monkeypatch):
+        from repro.bench import harness as harness_module
+
+        original = harness_module._run_algorithm
+
+        def corrupted(algorithm, graph, scores, spec, diff_index, view):
+            result = original(algorithm, graph, scores, spec, diff_index, view)
+            if algorithm == "backward":
+                result.entries = [(n, v + 1.0) for n, v in result.entries]
+            return result
+
+        monkeypatch.setattr(harness_module, "_run_algorithm", corrupted)
+        run = run_figure(FIGURES["fig1"], scale=0.03, ks=[3], verify=False)
+        assert len(run.measurements) == 3
+
+
+class TestGraphEdgeCases:
+    def test_single_node_graph_queries(self):
+        from repro.core.base import base_topk
+        from repro.core.backward import backward_topk
+        from repro.core.forward import forward_topk
+        from repro.core.query import QuerySpec
+
+        g = Graph([[]])
+        spec = QuerySpec(k=1, hops=2)
+        for func in (base_topk, forward_topk, backward_topk):
+            result = func(g, [0.7], spec)
+            assert result.entries == [(0, 0.7)]
+
+    def test_empty_graph_queries(self):
+        from repro.core.base import base_topk
+        from repro.core.query import QuerySpec
+
+        g = Graph([])
+        result = base_topk(g, [], QuerySpec(k=3))
+        assert result.entries == []
+
+    def test_two_node_directed_asymmetry(self):
+        from repro.core.base import base_topk
+        from repro.core.query import QuerySpec
+
+        g = Graph.from_edges([(0, 1)], num_nodes=2, directed=True)
+        result = base_topk(g, [0.0, 1.0], QuerySpec(k=2, hops=1))
+        # 0 sees {0, 1} = 1.0; 1 sees only itself = 1.0.
+        assert result.values == [1.0, 1.0]

@@ -1,0 +1,172 @@
+"""Tests for the relational physical operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.relational.operators import (
+    OperatorStats,
+    append_constant,
+    distinct,
+    filter_rows,
+    group_aggregate,
+    hash_join,
+    order_by_limit,
+    union_all,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def stats():
+    return OperatorStats()
+
+
+class TestFilterAndDistinct:
+    def test_filter(self, stats):
+        t = Table({"a": [1, 2, 3, 4]})
+        out = filter_rows(t, lambda row: row[0] % 2 == 0, stats)
+        assert out.column("a") == [2, 4]
+        assert stats.rows_scanned == 4
+        assert stats.rows_output == 2
+
+    def test_distinct(self, stats):
+        t = Table({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        out = distinct(t, stats)
+        assert out.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_distinct_keeps_first_occurrence_order(self, stats):
+        t = Table({"a": [3, 1, 3, 2]})
+        out = distinct(t, stats)
+        assert out.column("a") == [3, 1, 2]
+
+
+class TestHashJoin:
+    def test_inner_join(self, stats):
+        left = Table({"src": [0, 1, 2], "dst": [1, 2, 3]})
+        right = Table({"node": [1, 2], "score": [0.5, 0.7]})
+        out = hash_join(left, right, left_key="dst", right_key="node", stats=stats)
+        assert sorted(out.to_rows()) == [(0, 1, 0.5), (1, 2, 0.7)]
+        assert out.column_names == ["src", "dst", "score"]
+
+    def test_join_multiplicity(self, stats):
+        left = Table({"k": [1, 1]})
+        right = Table({"k": [1, 1], "v": ["a", "b"]})
+        out = hash_join(left, right, left_key="k", right_key="k", stats=stats)
+        assert out.num_rows == 4
+        assert stats.join_matches == 4
+        assert stats.join_probes == 2
+
+    def test_join_no_match(self, stats):
+        left = Table({"k": [9]})
+        right = Table({"k": [1], "v": [2]})
+        out = hash_join(left, right, left_key="k", right_key="k", stats=stats)
+        assert out.num_rows == 0
+
+    def test_join_column_collision_suffix(self, stats):
+        left = Table({"k": [1], "v": [10]})
+        right = Table({"k2": [1], "v": [20]})
+        out = hash_join(left, right, left_key="k", right_key="k2", stats=stats)
+        assert out.column_names == ["k", "v", "v_r"]
+        assert out.row(0) == (1, 10, 20)
+
+    def test_join_missing_key(self, stats):
+        left = Table({"a": [1]})
+        right = Table({"b": [1]})
+        with pytest.raises(SchemaError):
+            hash_join(left, right, left_key="zzz", right_key="b", stats=stats)
+
+
+class TestGroupAggregate:
+    def test_sum_and_count(self, stats):
+        t = Table({"g": [1, 1, 2], "v": [1.0, 2.0, 5.0]})
+        out = group_aggregate(
+            t,
+            key="g",
+            aggregations={"total": ("sum", "v"), "n": ("count", "v")},
+            stats=stats,
+        )
+        rows = {row[0]: row[1:] for row in out.to_rows()}
+        assert rows[1] == (3.0, 2)
+        assert rows[2] == (5.0, 1)
+
+    def test_avg_min_max(self, stats):
+        t = Table({"g": ["a", "a", "b"], "v": [2.0, 4.0, 7.0]})
+        out = group_aggregate(
+            t,
+            key="g",
+            aggregations={
+                "mean": ("avg", "v"),
+                "lo": ("min", "v"),
+                "hi": ("max", "v"),
+            },
+            stats=stats,
+        )
+        rows = {row[0]: row[1:] for row in out.to_rows()}
+        assert rows["a"] == (3.0, 2.0, 4.0)
+        assert rows["b"] == (7.0, 7.0, 7.0)
+
+    def test_unknown_function(self, stats):
+        t = Table({"g": [1], "v": [1.0]})
+        with pytest.raises(PlanError):
+            group_aggregate(
+                t, key="g", aggregations={"x": ("median", "v")}, stats=stats
+            )
+
+    def test_unknown_column(self, stats):
+        t = Table({"g": [1], "v": [1.0]})
+        with pytest.raises(SchemaError):
+            group_aggregate(
+                t, key="g", aggregations={"x": ("sum", "zzz")}, stats=stats
+            )
+
+
+class TestOrderByLimitAndUnion:
+    def test_top_k_descending(self, stats):
+        t = Table({"n": [0, 1, 2, 3], "v": [5.0, 9.0, 1.0, 7.0]})
+        out = order_by_limit(t, column="v", k=2, stats=stats)
+        assert out.to_rows() == [(1, 9.0), (3, 7.0)]
+
+    def test_ascending(self, stats):
+        t = Table({"n": [0, 1, 2], "v": [5.0, 9.0, 1.0]})
+        out = order_by_limit(t, column="v", k=1, descending=False, stats=stats)
+        assert out.to_rows() == [(2, 1.0)]
+
+    def test_tie_column(self, stats):
+        t = Table({"n": [9, 3], "v": [1.0, 1.0]})
+        out = order_by_limit(t, column="v", k=1, tie_column="n", stats=stats)
+        assert out.to_rows() == [(3, 1.0)]
+
+    def test_limit_validation(self, stats):
+        t = Table({"v": [1.0]})
+        with pytest.raises(PlanError):
+            order_by_limit(t, column="v", k=0, stats=stats)
+
+    def test_union_all(self, stats):
+        a = Table({"x": [1]})
+        b = Table({"x": [2, 3]})
+        out = union_all([a, b], stats)
+        assert out.column("x") == [1, 2, 3]
+
+    def test_union_schema_mismatch(self, stats):
+        with pytest.raises(SchemaError):
+            union_all([Table({"x": [1]}), Table({"y": [1]})], stats)
+
+    def test_union_empty_list(self, stats):
+        with pytest.raises(PlanError):
+            union_all([], stats)
+
+    def test_append_constant(self, stats):
+        t = Table({"x": [1, 2]})
+        out = append_constant(t, "w", 0.5, stats)
+        assert out.column("w") == [0.5, 0.5]
+        with pytest.raises(SchemaError):
+            append_constant(out, "w", 1.0, stats)
+
+    def test_stats_as_dict(self, stats):
+        t = Table({"x": [1, 2]})
+        distinct(t, stats)
+        flat = stats.as_dict()
+        assert flat["rows_scanned"] == 2.0
+        assert "rows_distinct" in flat

@@ -1,0 +1,91 @@
+"""Tests for the column-store Table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.table import Table
+
+
+class TestConstruction:
+    def test_from_columns(self):
+        t = Table({"a": [1, 2], "b": ["x", "y"]})
+        assert t.num_rows == 2
+        assert t.column_names == ["a", "b"]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({})
+
+    def test_from_rows(self):
+        t = Table.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_from_rows_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(["a", "b"], [(1,)])
+
+    def test_from_rows_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(["a", "a"], [(1, 2)])
+
+    def test_empty(self):
+        t = Table.empty(["a", "b"])
+        assert t.num_rows == 0
+        assert len(t) == 0
+
+
+class TestAccess:
+    def test_unknown_column(self):
+        t = Table({"a": [1]})
+        with pytest.raises(SchemaError):
+            t.column("z")
+
+    def test_row_and_iter(self):
+        t = Table({"a": [1, 2], "b": [10, 20]})
+        assert t.row(1) == (2, 20)
+        assert list(t.iter_rows()) == [(1, 10), (2, 20)]
+
+    def test_has_column(self):
+        t = Table({"a": [1]})
+        assert t.has_column("a")
+        assert not t.has_column("b")
+
+    def test_to_rows(self):
+        t = Table({"a": [3, 4]})
+        assert t.to_rows() == [(3,), (4,)]
+
+
+class TestSchemaOps:
+    def test_project(self):
+        t = Table({"a": [1], "b": [2], "c": [3]})
+        p = t.project(["c", "a"])
+        assert p.column_names == ["c", "a"]
+        assert p.row(0) == (3, 1)
+
+    def test_project_unknown(self):
+        t = Table({"a": [1]})
+        with pytest.raises(SchemaError):
+            t.project(["zzz"])
+
+    def test_rename(self):
+        t = Table({"a": [1], "b": [2]})
+        r = t.rename({"a": "x"})
+        assert r.column_names == ["x", "b"]
+        assert r.column("x") == [1]
+
+    def test_rename_unknown(self):
+        t = Table({"a": [1]})
+        with pytest.raises(SchemaError):
+            t.rename({"q": "x"})
+
+    def test_rename_collision(self):
+        t = Table({"a": [1], "b": [2]})
+        with pytest.raises(SchemaError):
+            t.rename({"a": "b"})
