@@ -1,0 +1,104 @@
+"""Ablation: pure-Python vs vectorized-numpy execution backend.
+
+Two parts:
+
+* pytest-benchmark cells timing every (algorithm, backend) pair on the
+  fig1 (collaboration, SUM) and fig2 (citation, SUM) workloads at the
+  bench scale, so backend regressions show up in the recorded timings;
+* a speedup gate at the full seed scale (``scale=1.0``, independent of
+  ``REPRO_BENCH_SCALE``): the numpy backend must answer the fig1 top-k SUM
+  query at least 3x faster than the Python backend for both LONA
+  algorithms, with entry-for-entry identical results.  Offline artifacts
+  (differential index, CSR view, flat deltas) are excluded from the timed
+  region, matching the paper's treatment of precomputation.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation_backend.py -v
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.backward import backward_topk
+from repro.core.forward import forward_topk
+from repro.core.query import QuerySpec
+
+numpy = pytest.importorskip("numpy")
+
+BACKENDS = ("python", "numpy")
+ALGORITHMS = ("forward", "backward")
+
+
+@pytest.mark.parametrize("figure_id", ["fig1", "fig2"])
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_backend_ablation(benchmark, fig_ctx, run_algorithm, bench_k, figure_id, backend, algorithm):
+    ctx = fig_ctx(figure_id)
+    spec = QuerySpec(k=bench_k, aggregate="sum", hops=2, backend=backend)
+    result = benchmark.pedantic(
+        lambda: run_algorithm(algorithm, ctx, spec), rounds=3, iterations=1
+    )
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["nodes_evaluated"] = result.stats.nodes_evaluated
+    benchmark.extra_info["graph_nodes"] = ctx.graph.num_nodes
+    assert result.stats.backend == backend
+    assert len(result) == bench_k
+
+
+@pytest.fixture(scope="module")
+def full_scale_fig1():
+    """fig1 at the full seed scale with all offline artifacts prebuilt."""
+    from repro.bench.workloads import figure
+    from repro.graph.csr import to_csr
+    from repro.graph.diffindex import build_differential_index
+
+    spec = figure("fig1")
+    graph = spec.build_graph(1.0)
+    scores = spec.build_scores(graph).values()
+    diff_index = build_differential_index(graph, spec.hops, include_self=True)
+    csr = to_csr(graph, use_numpy=True)
+    diff_index.flat_deltas()
+    return graph, scores, diff_index, csr
+
+
+def _best_of(fn, reps=3):
+    best_time = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        candidate = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best_time:
+            best_time, result = elapsed, candidate
+    return best_time, result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_numpy_backend_3x_speedup_at_full_scale(full_scale_fig1, algorithm):
+    """Acceptance gate: >= 3x on the fig1 collaboration-SUM workload."""
+    graph, scores, diff_index, csr = full_scale_fig1
+    spec_py = QuerySpec(k=100, aggregate="sum", hops=2, backend="python")
+    spec_np = spec_py.with_backend("numpy")
+
+    if algorithm == "forward":
+        def run(spec, csr_arg):
+            return forward_topk(graph, scores, spec, diff_index=diff_index, csr=csr_arg)
+    else:
+        def run(spec, csr_arg):
+            return backward_topk(graph, scores, spec, sizes=diff_index.sizes, csr=csr_arg)
+
+    python_time, python_result = _best_of(lambda: run(spec_py, None))
+    numpy_time, numpy_result = _best_of(lambda: run(spec_np, csr))
+
+    # Binary relevance makes every aggregate an exact small integer, so the
+    # two backends must agree entry-for-entry, bit-for-bit.
+    assert python_result.entries == numpy_result.entries
+    speedup = python_time / numpy_time
+    assert speedup >= 3.0, (
+        f"{algorithm}: numpy backend only {speedup:.2f}x faster "
+        f"({python_time * 1000:.1f}ms python vs {numpy_time * 1000:.1f}ms numpy)"
+    )

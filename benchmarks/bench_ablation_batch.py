@@ -8,13 +8,10 @@ routing when the workload mixes dense and sparse vectors.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.workloads import figure
 from repro.core.base import base_topk
 from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
 from repro.core.query import QuerySpec
-from repro.relevance.base import ScoreVector
 from repro.relevance.mixture import MixtureRelevance
 
 _CACHE = {}

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.bench.workloads import figure
 from repro.core.base import base_topk
 from repro.core.query import QuerySpec

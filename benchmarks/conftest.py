@@ -19,7 +19,6 @@ from typing import Dict, NamedTuple
 import pytest
 
 from repro.bench.workloads import figure
-from repro.core.engine import TopKEngine
 from repro.graph.diffindex import DifferentialIndex, build_differential_index
 from repro.graph.graph import Graph
 from repro.relevance.base import ScoreVector

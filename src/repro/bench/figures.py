@@ -62,6 +62,13 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         "backward-indexfree,materialized)",
     )
     parser.add_argument(
+        "--backends",
+        type=str,
+        default="",
+        help="comma-separated execution backends to sweep as extra columns "
+        "(python,numpy); default runs each cell once on 'auto'",
+    )
+    parser.add_argument(
         "--counters",
         action="store_true",
         help="also print deterministic work counters",
@@ -81,6 +88,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     ks = tuple(int(x) for x in args.ks.split(",") if x) or None
     algorithms = tuple(a for a in args.algorithms.split(",") if a) or None
+    backends = tuple(b for b in args.backends.split(",") if b) or None
 
     for figure_id in figure_ids:
         spec = figure(figure_id)
@@ -90,6 +98,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             repetitions=args.reps,
             ks=ks,
             algorithms=algorithms,
+            backends=backends,
         )
         print(format_figure(run, show_counters=args.counters))
         print()

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.bench.workloads import FigureSpec
 from repro.core.backward import backward_topk
 from repro.core.base import base_topk
 from repro.core.forward import forward_topk
@@ -26,14 +27,28 @@ from repro.core.query import QuerySpec
 from repro.core.results import TopKResult
 from repro.errors import InvalidParameterError
 from repro.graph.diffindex import DifferentialIndex, build_differential_index
-from repro.bench.workloads import FigureSpec
 
 __all__ = ["Measurement", "FigureRun", "run_figure"]
 
 
+#: Algorithms whose execution dispatches on ``spec.backend``.  Base and the
+#: materialized view have a single (pure Python) implementation, so backend
+#: sweeps run them once instead of producing duplicate mislabeled cells.
+BACKEND_AWARE_ALGORITHMS = frozenset(
+    {"forward", "backward", "backward-indexfree"}
+)
+
+
+def cell_label(algorithm: str, backend: str) -> str:
+    """Display label of one cell: algorithm, backend-qualified when pinned."""
+    if backend == "auto":
+        return algorithm
+    return f"{algorithm}[{backend}]"
+
+
 @dataclass
 class Measurement:
-    """One (algorithm, k) cell of a figure."""
+    """One (algorithm, backend, k) cell of a figure."""
 
     algorithm: str
     k: int
@@ -42,7 +57,13 @@ class Measurement:
     edges_scanned: int
     pruned_nodes: int
     top_value: float
+    backend: str = "auto"
     extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Column label (see :func:`cell_label`)."""
+        return cell_label(self.algorithm, self.backend)
 
 
 @dataclass
@@ -57,18 +78,45 @@ class FigureRun:
     index_build_sec: float
     measurements: List[Measurement] = field(default_factory=list)
 
-    def series(self, algorithm: str) -> List[Measurement]:
-        """The runtime-vs-k series of one algorithm, ascending k."""
-        points = [m for m in self.measurements if m.algorithm == algorithm]
+    def series(
+        self, algorithm: str, backend: Optional[str] = None
+    ) -> List[Measurement]:
+        """The runtime-vs-k series of one algorithm, ascending k.
+
+        ``backend`` narrows to one backend's cells (None = all backends,
+        the right filter for single-backend runs).
+        """
+        points = [
+            m
+            for m in self.measurements
+            if m.algorithm == algorithm
+            and (backend is None or m.backend == backend)
+        ]
         return sorted(points, key=lambda m: m.k)
 
-    def speedup_over_base(self, algorithm: str) -> Dict[int, float]:
-        """Per-k speedup of ``algorithm`` relative to base."""
-        base = {m.k: m.elapsed_sec for m in self.series("base")}
+    def speedup_over_base(
+        self, algorithm: str, backend: Optional[str] = None
+    ) -> Dict[int, float]:
+        """Per-k speedup of ``algorithm`` relative to base (same backend)."""
+        base_points = self.series("base", backend) or self.series("base")
+        base = {m.k: m.elapsed_sec for m in base_points}
         out: Dict[int, float] = {}
-        for m in self.series(algorithm):
+        for m in self.series(algorithm, backend):
             if m.k in base and m.elapsed_sec > 0:
                 out[m.k] = base[m.k] / m.elapsed_sec
+        return out
+
+    def backend_speedup(self, algorithm: str) -> Dict[int, float]:
+        """Per-k speedup of the numpy backend over python, per algorithm.
+
+        Only meaningful for runs that swept both backends (see
+        ``run_figure(..., backends=...)``); empty otherwise.
+        """
+        python = {m.k: m.elapsed_sec for m in self.series(algorithm, "python")}
+        out: Dict[int, float] = {}
+        for m in self.series(algorithm, "numpy"):
+            if m.k in python and m.elapsed_sec > 0:
+                out[m.k] = python[m.k] / m.elapsed_sec
         return out
 
 
@@ -79,16 +127,22 @@ def _run_algorithm(
     spec: QuerySpec,
     diff_index: Optional[DifferentialIndex],
     view: Optional[MaterializedView],
+    csr=None,
+    rev_csr=None,
 ) -> TopKResult:
     if algorithm == "base":
         return base_topk(graph, scores, spec)
     if algorithm == "forward":
-        return forward_topk(graph, scores, spec, diff_index=diff_index)
+        return forward_topk(graph, scores, spec, diff_index=diff_index, csr=csr)
     if algorithm == "backward":
         sizes = diff_index.sizes if diff_index is not None else None
-        return backward_topk(graph, scores, spec, sizes=sizes)
+        return backward_topk(
+            graph, scores, spec, sizes=sizes, csr=csr, rev_csr=rev_csr
+        )
     if algorithm == "backward-indexfree":
-        return backward_topk(graph, scores, spec, sizes=None)
+        return backward_topk(
+            graph, scores, spec, sizes=None, csr=csr, rev_csr=rev_csr
+        )
     if algorithm == "materialized":
         if view is None:
             raise InvalidParameterError("materialized view was not built")
@@ -103,13 +157,18 @@ def run_figure(
     repetitions: int = 1,
     ks: Optional[Sequence[int]] = None,
     algorithms: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
     verify: bool = True,
 ) -> FigureRun:
     """Execute one figure's sweep and return all measurements.
 
     ``repetitions`` takes the minimum wall-clock over that many runs per
     cell (paper-style best-of timing; counters are identical across reps).
-    ``ks`` / ``algorithms`` override the spec for ablations.
+    ``ks`` / ``algorithms`` override the spec for ablations.  ``backends``
+    optionally sweeps execution backends as an extra cell dimension (e.g.
+    ``("python", "numpy")`` for backend-ablation columns); the default runs
+    each cell once on the ``"auto"`` backend.  Cross-checking covers every
+    (algorithm, backend) cell, so a backend sweep doubles as a parity test.
     """
     if repetitions < 1:
         raise InvalidParameterError(
@@ -122,6 +181,22 @@ def run_figure(
     sweep_algorithms = (
         tuple(algorithms) if algorithms is not None else figure_spec.algorithms
     )
+    sweep_backends = tuple(backends) if backends else ("auto",)
+    csr = None
+    rev_csr = None
+    if any(b in ("auto", "numpy") for b in sweep_backends):
+        from repro.core.backends import numpy_available
+
+        if numpy_available():
+            from repro.graph.csr import to_csr
+
+            # Offline artifacts like the indexes below: built once,
+            # excluded from per-cell timings.
+            csr = to_csr(graph, use_numpy=True)
+            if graph.directed and any(
+                a.startswith("backward") for a in sweep_algorithms
+            ):
+                rev_csr = to_csr(graph.reversed(), use_numpy=True)
 
     # Offline artifacts, shared by every cell.
     index_build_sec = 0.0
@@ -147,38 +222,55 @@ def run_figure(
     )
 
     for k in sweep_ks:
-        qspec = QuerySpec(k=k, aggregate=figure_spec.aggregate, hops=figure_spec.hops)
         reference_values: Optional[List[float]] = None
         for algorithm in sweep_algorithms:
-            best: Optional[TopKResult] = None
-            best_time = float("inf")
-            for _ in range(repetitions):
-                result = _run_algorithm(
-                    algorithm, graph, scores, qspec, diff_index, view
-                )
-                if result.stats.elapsed_sec < best_time:
-                    best = result
-                    best_time = result.stats.elapsed_sec
-            assert best is not None
-            if verify:
-                values = [round(v, 9) for v in best.values]
-                if reference_values is None:
-                    reference_values = values
-                elif values != reference_values:
-                    raise AssertionError(
-                        f"{figure_spec.figure_id} k={k}: {algorithm} returned "
-                        "different top-k values than the first algorithm"
-                    )
-            run.measurements.append(
-                Measurement(
-                    algorithm=algorithm,
+            if algorithm in BACKEND_AWARE_ALGORITHMS:
+                algorithm_backends = sweep_backends
+            elif sweep_backends == ("auto",):
+                algorithm_backends = ("auto",)
+            else:
+                # Single-implementation algorithms run once per k during a
+                # backend sweep, labeled with the backend they actually use.
+                algorithm_backends = ("python",)
+            for backend in algorithm_backends:
+                qspec = QuerySpec(
                     k=k,
-                    elapsed_sec=best_time,
-                    nodes_evaluated=best.stats.nodes_evaluated,
-                    edges_scanned=best.stats.edges_scanned,
-                    pruned_nodes=best.stats.pruned_nodes,
-                    top_value=best.values[0] if best.values else 0.0,
-                    extra=dict(best.stats.extra),
+                    aggregate=figure_spec.aggregate,
+                    hops=figure_spec.hops,
+                    backend=backend,
                 )
-            )
+                best: Optional[TopKResult] = None
+                best_time = float("inf")
+                for _ in range(repetitions):
+                    result = _run_algorithm(
+                        algorithm, graph, scores, qspec, diff_index, view,
+                        csr, rev_csr,
+                    )
+                    if result.stats.elapsed_sec < best_time:
+                        best = result
+                        best_time = result.stats.elapsed_sec
+                assert best is not None
+                if verify:
+                    values = [round(v, 9) for v in best.values]
+                    if reference_values is None:
+                        reference_values = values
+                    elif values != reference_values:
+                        raise AssertionError(
+                            f"{figure_spec.figure_id} k={k}: "
+                            f"{algorithm}[{backend}] returned different "
+                            "top-k values than the first cell"
+                        )
+                run.measurements.append(
+                    Measurement(
+                        algorithm=algorithm,
+                        k=k,
+                        elapsed_sec=best_time,
+                        nodes_evaluated=best.stats.nodes_evaluated,
+                        edges_scanned=best.stats.edges_scanned,
+                        pruned_nodes=best.stats.pruned_nodes,
+                        top_value=best.values[0] if best.values else 0.0,
+                        backend=backend,
+                        extra=dict(best.stats.extra),
+                    )
+                )
     return run

@@ -10,11 +10,10 @@ with gnuplot, matching the visual style of the original figures.
 from __future__ import annotations
 
 import csv
-import io
 import os
 from typing import IO, List, Sequence, Union
 
-from repro.bench.harness import FigureRun
+from repro.bench.harness import FigureRun, cell_label
 
 __all__ = ["format_figure", "write_csv", "write_series", "format_speedups"]
 
@@ -55,26 +54,26 @@ def format_figure(run: FigureRun, *, show_counters: bool = False) -> str:
         "(excluded from query times, as in the paper)",
         "",
     ]
-    algorithms = list(dict.fromkeys(m.algorithm for m in run.measurements))
-    rows: List[List[str]] = [["k"] + [f"{a} (s)" for a in algorithms]]
+    labels = list(dict.fromkeys(m.label for m in run.measurements))
+    rows: List[List[str]] = [["k"] + [f"{lbl} (s)" for lbl in labels]]
     ks = sorted({m.k for m in run.measurements})
-    by_cell = {(m.algorithm, m.k): m for m in run.measurements}
+    by_cell = {(m.label, m.k): m for m in run.measurements}
     for k in ks:
         row = [str(k)]
-        for a in algorithms:
-            m = by_cell.get((a, k))
+        for lbl in labels:
+            m = by_cell.get((lbl, k))
             row.append(f"{m.elapsed_sec:.4f}" if m else "-")
         rows.append(row)
     body = _render_table(rows)
     parts = header + [body]
     if show_counters:
         counter_rows: List[List[str]] = [
-            ["k"] + [f"{a} evals" for a in algorithms]
+            ["k"] + [f"{lbl} evals" for lbl in labels]
         ]
         for k in ks:
             row = [str(k)]
-            for a in algorithms:
-                m = by_cell.get((a, k))
+            for lbl in labels:
+                m = by_cell.get((lbl, k))
                 row.append(str(m.nodes_evaluated) if m else "-")
             counter_rows.append(row)
         parts += ["", "exact ball evaluations per query:", _render_table(counter_rows)]
@@ -83,23 +82,38 @@ def format_figure(run: FigureRun, *, show_counters: bool = False) -> str:
 
 
 def format_speedups(run: FigureRun) -> str:
-    """Speedup-over-base summary lines, paper-style."""
-    algorithms = [
-        a
-        for a in dict.fromkeys(m.algorithm for m in run.measurements)
-        if a != "base"
-    ]
+    """Speedup-over-base (and numpy-over-python) summary lines."""
+    cells = list(
+        dict.fromkeys((m.algorithm, m.backend) for m in run.measurements)
+    )
     lines = []
-    for a in algorithms:
-        speedups = run.speedup_over_base(a)
+    for algorithm, backend in cells:
+        if algorithm == "base":
+            continue
+        speedups = run.speedup_over_base(algorithm, backend)
         if not speedups:
             continue
+        label = cell_label(algorithm, backend)
         best_k = max(speedups, key=lambda k: speedups[k])
         lines.append(
-            f"speedup over base — {a}: "
+            f"speedup over base — {label}: "
             + ", ".join(f"k={k}: {s:.1f}x" for k, s in sorted(speedups.items()))
             + f"  (best {speedups[best_k]:.1f}x at k={best_k})"
         )
+    backends = {m.backend for m in run.measurements}
+    if {"python", "numpy"} <= backends:
+        for algorithm in dict.fromkeys(m.algorithm for m in run.measurements):
+            speedups = run.backend_speedup(algorithm)
+            if not speedups:
+                continue
+            best_k = max(speedups, key=lambda k: speedups[k])
+            lines.append(
+                f"numpy over python — {algorithm}: "
+                + ", ".join(
+                    f"k={k}: {s:.1f}x" for k, s in sorted(speedups.items())
+                )
+                + f"  (best {speedups[best_k]:.1f}x at k={best_k})"
+            )
     return "\n".join(lines) if lines else "(no base series; speedups unavailable)"
 
 
@@ -117,6 +131,7 @@ def write_csv(run: FigureRun, sink: PathOrFile) -> None:
                 "r",
                 "scale",
                 "algorithm",
+                "backend",
                 "k",
                 "elapsed_sec",
                 "nodes_evaluated",
@@ -134,6 +149,7 @@ def write_csv(run: FigureRun, sink: PathOrFile) -> None:
                     run.spec.blacking_ratio,
                     run.scale,
                     m.algorithm,
+                    m.backend,
                     m.k,
                     f"{m.elapsed_sec:.6f}",
                     m.nodes_evaluated,
@@ -148,15 +164,25 @@ def write_csv(run: FigureRun, sink: PathOrFile) -> None:
 
 
 def write_series(run: FigureRun, directory: Union[str, "os.PathLike[str]"]) -> List[str]:
-    """Write gnuplot-style ``<figure>_<algorithm>.dat`` files; returns paths."""
+    """Write gnuplot-style ``<figure>_<algorithm>.dat`` files; returns paths.
+
+    Backend-sweep runs get one file per (algorithm, backend) cell, suffixed
+    ``_<backend>``.
+    """
     os.makedirs(directory, exist_ok=True)
     written: List[str] = []
-    algorithms = dict.fromkeys(m.algorithm for m in run.measurements)
-    for a in algorithms:
-        path = os.path.join(os.fspath(directory), f"{run.spec.figure_id}_{a}.dat")
+    cells = dict.fromkeys((m.algorithm, m.backend) for m in run.measurements)
+    for algorithm, backend in cells:
+        stem = (
+            f"{run.spec.figure_id}_{algorithm}"
+            if backend == "auto"
+            else f"{run.spec.figure_id}_{algorithm}_{backend}"
+        )
+        path = os.path.join(os.fspath(directory), f"{stem}.dat")
+        label = cell_label(algorithm, backend)
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(f"# {run.spec.paper_figure} — {a}\n# k runtime_sec\n")
-            for m in run.series(a):
+            handle.write(f"# {run.spec.paper_figure} — {label}\n# k runtime_sec\n")
+            for m in run.series(algorithm, backend):
                 handle.write(f"{m.k} {m.elapsed_sec:.6f}\n")
         written.append(path)
     return written

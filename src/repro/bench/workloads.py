@@ -28,14 +28,14 @@ paper's reported behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
 
+from repro.datasets import load as load_dataset
 from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
 from repro.relevance.base import ScoreVector
 from repro.relevance.mixture import MixtureRelevance
-from repro.graph.graph import Graph
-from repro.datasets import load as load_dataset
 
 __all__ = ["FigureSpec", "FIGURES", "figure", "PAPER_KS"]
 

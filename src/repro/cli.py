@@ -103,14 +103,15 @@ def _build_scores(args: argparse.Namespace, graph: Graph) -> ScoreVector:
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     scores = _build_scores(args, graph)
-    engine = TopKEngine(graph, scores, hops=args.hops)
+    engine = TopKEngine(graph, scores, hops=args.hops, backend=args.backend)
     if getattr(args, "index", None):
         engine.load_index(args.index)
     result = engine.topk(args.k, args.aggregate, args.algorithm)
     stats = result.stats
     print(
         f"# {graph.num_nodes} nodes, {graph.num_edges} edges; "
-        f"algorithm={stats.algorithm}; {stats.elapsed_sec * 1000:.1f} ms; "
+        f"algorithm={stats.algorithm}; backend={stats.backend}; "
+        f"{stats.elapsed_sec * 1000:.1f} ms; "
         f"{stats.nodes_evaluated} balls evaluated"
     )
     for rank, (node, value) in enumerate(result.entries, start=1):
@@ -122,7 +123,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     scores = _build_scores(args, graph)
-    engine = TopKEngine(graph, scores, hops=args.hops)
+    engine = TopKEngine(graph, scores, hops=args.hops, backend=args.backend)
     plan = engine.explain(
         args.k, args.aggregate, amortize_index=not args.cold
     )
@@ -174,6 +175,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=("auto", "planned", "base", "forward", "backward"),
     )
     query.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "python", "numpy"),
+        help="execution backend (auto = vectorized when numpy is installed)",
+    )
+    query.add_argument(
         "--index", help="path to a persisted differential index (see build-index)"
     )
     query.set_defaults(func=_cmd_query)
@@ -199,6 +206,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--aggregate", default="sum", choices=("sum", "avg", "count")
     )
     explain.add_argument("--hops", type=int, default=2)
+    explain.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "python", "numpy"),
+        help="execution backend the plan will run on",
+    )
     explain.add_argument(
         "--cold",
         action="store_true",

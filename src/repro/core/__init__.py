@@ -6,8 +6,11 @@
 * :func:`backward_topk` — LONA-Backward (partial distribution).
 * :class:`QuerySpec` / :class:`TopKResult` / :class:`QueryStats` — the query
   and result types shared by all execution paths.
+* :mod:`repro.core.backends` — execution-backend selection (pure Python vs
+  vectorized numpy CSR); every algorithm runs identically on either.
 """
 
+from repro.core.backends import BACKENDS, numpy_available, resolve_backend
 from repro.core.backward import backward_topk, resolve_gamma
 from repro.core.base import base_topk
 from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
@@ -33,6 +36,9 @@ __all__ = [
     "TopKEngine",
     "topk_sum",
     "topk_avg",
+    "BACKENDS",
+    "numpy_available",
+    "resolve_backend",
     "QuerySpec",
     "TopKResult",
     "QueryStats",

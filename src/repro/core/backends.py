@@ -1,0 +1,78 @@
+"""Execution-backend selection: pure Python vs vectorized NumPy.
+
+The library ships two interchangeable execution backends for the LONA
+algorithms:
+
+* ``"python"`` — the dependency-free adjacency-list loops.  Always
+  available; the reference implementation every other backend is tested
+  against.
+* ``"numpy"``  — vectorized execution over :class:`~repro.graph.csr.CSRGraph`
+  flat arrays (see :mod:`repro.core.vectorized`).  Requires :mod:`numpy`.
+
+``"auto"`` (the default everywhere) resolves to ``"numpy"`` when numpy is
+importable and falls back to ``"python"`` otherwise, so the library keeps
+working — with identical answers — on a bare interpreter.  Both backends
+return *entry-for-entry identical* top-k results; only the work counters
+(pruning/traversal accounting) may differ, because the vectorized backend
+processes candidates in blocks.
+
+This module is the seam later execution strategies (sharded, GPU, ...) plug
+into: they add a name here and a dispatch arm in the algorithm front doors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import BackendUnavailableError, InvalidParameterError
+
+__all__ = [
+    "BACKENDS",
+    "numpy_available",
+    "numpy_or_none",
+    "resolve_backend",
+]
+
+#: Recognized backend names (``"auto"`` is resolved, never executed).
+BACKENDS = ("auto", "python", "numpy")
+
+_NUMPY_AVAILABLE: Optional[bool] = None
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when it is not importable."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+        return None
+    return numpy
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run in this interpreter."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        _NUMPY_AVAILABLE = numpy_or_none() is not None
+    return _NUMPY_AVAILABLE
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a backend request to a concrete executable backend.
+
+    ``"auto"`` prefers ``"numpy"`` and silently falls back to ``"python"``;
+    asking for ``"numpy"`` explicitly when numpy is absent raises
+    :class:`~repro.errors.BackendUnavailableError` instead of silently
+    changing performance class.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if numpy_available() else "python"
+    if backend == "numpy" and not numpy_available():
+        raise BackendUnavailableError(
+            "backend 'numpy' requested but numpy is not importable; "
+            "install numpy or use backend='auto'/'python'"
+        )
+    return backend

@@ -24,6 +24,10 @@ Three phases:
    the next upper bound the scan stops — the classic threshold-algorithm
    termination.  When ``rest_bound == 0`` the bound *is* the exact value and
    verification needs no BFS at all (Algorithm 2's fast path).
+
+This module is the pure-Python execution backend; ``spec.backend`` routes
+the same query to the vectorized CSR implementation in
+:mod:`repro.core.vectorized` when numpy is available.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.backends import resolve_backend
 from repro.core.bounds import avg_bound, backward_sum_bound
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
@@ -88,8 +93,14 @@ def backward_topk(
     gamma: Union[float, str] = "auto",
     distribution_fraction: float = 0.1,
     sizes: Optional[NeighborhoodSizeIndex] = None,
+    csr: Optional[object] = None,
+    rev_csr: Optional[object] = None,
 ) -> TopKResult:
     """Answer ``spec`` with LONA-Backward.
+
+    Dispatches on ``spec.backend`` (``"auto"`` prefers the vectorized numpy
+    implementation, falling back to this module's pure-Python loop when
+    numpy is absent).
 
     Parameters
     ----------
@@ -104,7 +115,27 @@ def backward_topk(
         estimates are used (upper bound for the SUM term, lower bound for
         the AVG denominator), keeping the algorithm precomputation-free as
         the paper advertises.
+    csr:
+        Optional prebuilt numpy :class:`~repro.graph.csr.CSRGraph` view of
+        ``graph``.  Ignored by the Python backend.
+    rev_csr:
+        Optional prebuilt numpy CSR view of ``graph.reversed()`` (directed
+        graphs only — distribution walks the reversed arcs).  Ignored by
+        the Python backend.
     """
+    if resolve_backend(spec.backend) == "numpy":
+        from repro.core.vectorized import backward_topk_numpy
+
+        return backward_topk_numpy(
+            graph,
+            scores,
+            spec,
+            gamma=gamma,
+            distribution_fraction=distribution_fraction,
+            sizes=sizes,
+            csr=csr,  # type: ignore[arg-type]
+            rev_csr=rev_csr,  # type: ignore[arg-type]
+        )
     kind = spec.aggregate
     if not kind.lona_supported:
         raise InvalidParameterError(
@@ -205,7 +236,9 @@ def backward_topk(
             total = partial[v]
             if not self_distributed[v] and spec.include_self:
                 total += scores[v]
-            value = total / sizes.value(v) if is_avg else total
+            # An isolated node's open ball is empty (N = 0); its average is
+            # 0 by the same convention the BFS branch below uses.
+            value = (total / sizes.value(v) if sizes.value(v) else 0.0) if is_avg else total
         else:
             ball = hop_ball(
                 graph, v, spec.hops, include_self=spec.include_self, counter=counter

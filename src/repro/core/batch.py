@@ -25,11 +25,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.backends import resolve_backend
 from repro.core.backward import backward_topk
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
-from repro.errors import InvalidParameterError, RelevanceError
+from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import NeighborhoodSizeIndex
 from repro.graph.traversal import TraversalCounter, hop_ball
@@ -52,13 +53,16 @@ class BatchQuery:
         if self.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {self.k}")
 
-    def spec(self, hops: int, include_self: bool) -> QuerySpec:
+    def spec(
+        self, hops: int, include_self: bool, backend: str = "auto"
+    ) -> QuerySpec:
         """The full QuerySpec for this batch entry."""
         return QuerySpec(
             k=self.k,
             aggregate=self.aggregate,
             hops=hops,
             include_self=include_self,
+            backend=backend,
         )
 
 
@@ -97,12 +101,19 @@ def batch_base_topk(
     *,
     hops: int = 2,
     include_self: bool = True,
+    backend: str = "auto",
+    csr=None,
 ) -> List[TopKResult]:
     """Answer all ``queries`` with one shared scan.
 
     One BFS per node; each ball is folded into every query's accumulator
     before the next ball is expanded.  Results are returned in input order
-    and are bit-identical to running each query through Base alone.
+    and match running each query through Base alone.  ``backend`` selects
+    the execution backend: the numpy path expands node blocks with one
+    multi-source BFS and folds each query with a vectorized gather instead
+    of a per-member Python loop.  ``csr`` optionally supplies a prebuilt
+    numpy CSR view of ``graph`` (``BatchTopKEngine`` caches one across
+    runs); ignored by the Python backend.
     """
     batch = _normalize(graph, queries)
     if not batch:
@@ -120,19 +131,16 @@ def batch_base_topk(
         else:
             folded_scores.append(entry.scores.values())
 
-    for u in graph.nodes():
-        ball = hop_ball(graph, u, hops, include_self=include_self, counter=counter)
-        size = len(ball)
-        for i, entry in enumerate(batch):
-            scores = folded_scores[i]
-            total = 0.0
-            for v in ball:
-                total += scores[v]
-            if entry.aggregate is AggregateKind.AVG:
-                value = total / size if size else 0.0
-            else:
-                value = total
-            accumulators[i].offer(u, value)
+    concrete = resolve_backend(backend)
+    if concrete == "numpy":
+        _shared_scan_numpy(
+            graph, batch, folded_scores, accumulators, hops, include_self,
+            counter, csr=csr,
+        )
+    else:
+        _shared_scan_python(
+            graph, batch, folded_scores, accumulators, hops, include_self, counter
+        )
 
     elapsed = time.perf_counter() - start
     results: List[TopKResult] = []
@@ -140,6 +148,7 @@ def batch_base_topk(
         stats = QueryStats(
             algorithm="batch-base",
             aggregate=entry.aggregate.value,
+            backend=concrete,
             hops=hops,
             k=entry.k,
             # Whole-batch wall clock and traversal work are attributed to
@@ -156,13 +165,90 @@ def batch_base_topk(
     return results
 
 
+def _shared_scan_python(
+    graph: Graph,
+    batch: List[BatchQuery],
+    folded_scores: List[Sequence[float]],
+    accumulators: List[TopKAccumulator],
+    hops: int,
+    include_self: bool,
+    counter: TraversalCounter,
+) -> None:
+    """Reference shared scan: one Python BFS per node, q accumulations."""
+    for u in graph.nodes():
+        ball = hop_ball(graph, u, hops, include_self=include_self, counter=counter)
+        size = len(ball)
+        for i, entry in enumerate(batch):
+            scores = folded_scores[i]
+            total = 0.0
+            for v in ball:
+                total += scores[v]
+            if entry.aggregate is AggregateKind.AVG:
+                value = total / size if size else 0.0
+            else:
+                value = total
+            accumulators[i].offer(u, value)
+
+
+def _shared_scan_numpy(
+    graph: Graph,
+    batch: List[BatchQuery],
+    folded_scores: List[Sequence[float]],
+    accumulators: List[TopKAccumulator],
+    hops: int,
+    include_self: bool,
+    counter: TraversalCounter,
+    csr=None,
+    block_size: int = 256,
+) -> None:
+    """Vectorized shared scan: multi-source BFS blocks + bincount folds."""
+    import numpy as np
+
+    from repro.core.vectorized import _effective_block_size
+    from repro.graph.csr import batched_hop_balls, to_csr
+
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    matrix = np.asarray(folded_scores, dtype=np.float64)
+    n = graph.num_nodes
+    block_size = _effective_block_size(block_size, n)
+    is_avg = [entry.aggregate is AggregateKind.AVG for entry in batch]
+    for lo in range(0, n, block_size):
+        centers = np.arange(lo, min(lo + block_size, n), dtype=np.int64)
+        owners, members, edges = batched_hop_balls(
+            csr, centers, hops, include_self=include_self
+        )
+        count = int(centers.size)
+        counter.edges_scanned += edges
+        counter.nodes_visited += int(members.size) + (0 if include_self else count)
+        counter.balls_expanded += count
+        sizes = np.bincount(owners, minlength=count)
+        for i in range(len(batch)):
+            totals = np.bincount(
+                owners, weights=matrix[i, members], minlength=count
+            )
+            if is_avg[i]:
+                values = np.divide(
+                    totals,
+                    sizes,
+                    out=np.zeros(count, dtype=np.float64),
+                    where=sizes > 0,
+                )
+            else:
+                values = totals
+            offer = accumulators[i].offer
+            for j in range(count):
+                offer(int(centers[j]), float(values[j]))
+
+
 class BatchTopKEngine:
     """Policy layer: share scans for dense queries, peel off sparse ones.
 
     A query whose score density is below ``sparse_threshold`` runs faster
     through LONA-Backward alone than through any shared scan (its cost is
     proportional to its non-zero count, not to n); everything else joins
-    the shared scan.  Answers are independent of the routing.
+    the shared scan.  Answers are independent of the routing (and of the
+    execution ``backend``, which both routes honor).
     """
 
     def __init__(
@@ -173,12 +259,16 @@ class BatchTopKEngine:
         include_self: bool = True,
         sparse_threshold: float = 0.05,
         sizes: Optional[NeighborhoodSizeIndex] = None,
+        backend: str = "auto",
     ) -> None:
         self.graph = graph
         self.hops = hops
         self.include_self = include_self
         self.sparse_threshold = sparse_threshold
         self.sizes = sizes
+        self.backend = backend
+        resolve_backend(backend)  # fail fast on unknown/unavailable backends
+        self._csr = None  # cached numpy CSR view, shared across run() calls
 
     def run(
         self, queries: Sequence[Union[BatchQuery, Tuple[object, int]]]
@@ -192,17 +282,23 @@ class BatchTopKEngine:
                 results[i] = backward_topk(
                     self.graph,
                     entry.scores.values(),
-                    entry.spec(self.hops, self.include_self),
+                    entry.spec(self.hops, self.include_self, self.backend),
                     sizes=self.sizes,
                 )
             else:
                 shared_indices.append(i)
         if shared_indices:
+            if self._csr is None and resolve_backend(self.backend) == "numpy":
+                from repro.graph.csr import to_csr
+
+                self._csr = to_csr(self.graph, use_numpy=True)
             shared_results = batch_base_topk(
                 self.graph,
                 [batch[i] for i in shared_indices],
                 hops=self.hops,
                 include_self=self.include_self,
+                backend=self.backend,
+                csr=self._csr,
             )
             for i, result in zip(shared_indices, shared_results):
                 results[i] = result

@@ -18,9 +18,10 @@ Automatic algorithm choice (``algorithm="auto"``):
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.backends import resolve_backend
 from repro.core.backward import backward_topk
 from repro.core.base import base_topk
 from repro.core.forward import forward_topk
@@ -56,6 +57,12 @@ class TopKEngine:
         Ball convention (see DESIGN.md Sec. 1).
     auto_density_threshold:
         Score density below which ``algorithm="auto"`` picks backward.
+    backend:
+        Execution backend for this engine's queries: ``"auto"`` (default,
+        vectorized when numpy is importable), ``"python"``, or ``"numpy"``.
+        Individual queries may override via ``topk(..., backend=...)``.
+        The engine caches the numpy CSR view of the graph across queries,
+        so the conversion cost is paid once, like the other indexes.
     """
 
     def __init__(
@@ -66,16 +73,23 @@ class TopKEngine:
         hops: int = 2,
         include_self: bool = True,
         auto_density_threshold: float = 0.2,
+        backend: str = "auto",
     ) -> None:
         self.graph = graph
         self.hops = hops
         self.include_self = include_self
         self.auto_density_threshold = auto_density_threshold
+        self.backend = backend
+        resolve_backend(backend)  # fail fast on unknown/unavailable backends
         self.scores = self._materialize(graph, relevance)
         self._diff_index: Optional[DifferentialIndex] = None
         self._size_index: Optional[NeighborhoodSizeIndex] = None
         self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
         self._planner: Optional[QueryPlanner] = None
+        # Cached numpy CSR views for the vectorized backend (reversed view
+        # only materializes for directed graphs, on first backward query).
+        self._csr = None
+        self._rev_csr = None
         self.last_index_build_sec = 0.0
 
     @staticmethod
@@ -144,6 +158,30 @@ class TopKEngine:
         self._diff_index = index
         self._size_index = index.sizes
 
+    def csr_view(self):
+        """The (lazily built, cached) numpy CSR view of the graph.
+
+        Only meaningful for the numpy backend; raises when numpy is absent.
+        """
+        if self._csr is None:
+            from repro.graph.csr import to_csr
+
+            self._csr = to_csr(self.graph, use_numpy=True)
+        return self._csr
+
+    def rev_csr_view(self):
+        """Cached numpy CSR view of the reversed graph (directed only).
+
+        Returns None for undirected graphs, whose reversal is themselves.
+        """
+        if not self.graph.directed:
+            return None
+        if self._rev_csr is None:
+            from repro.graph.csr import to_csr
+
+            self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
+        return self._rev_csr
+
     def size_index(self, *, exact: bool = False) -> NeighborhoodSizeIndex:
         """An ``N(v)`` index: exact when requested/available, else estimated."""
         if exact:
@@ -170,6 +208,7 @@ class TopKEngine:
                 hops=self.hops,
                 include_self=self.include_self,
                 index_available=self._diff_index is not None,
+                backend=self.backend,
             )
         return self._planner
 
@@ -188,13 +227,20 @@ class TopKEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def spec(self, k: int, aggregate: Union[str, AggregateKind] = "sum") -> QuerySpec:
-        """Build a :class:`QuerySpec` bound to this engine's h and ball."""
+    def spec(
+        self,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        *,
+        backend: Optional[str] = None,
+    ) -> QuerySpec:
+        """Build a :class:`QuerySpec` bound to this engine's h, ball, backend."""
         return QuerySpec(
             k=k,
             aggregate=coerce_aggregate(aggregate),
             hops=self.hops,
             include_self=self.include_self,
+            backend=backend if backend is not None else self.backend,
         )
 
     def topk(
@@ -209,8 +255,11 @@ class TopKEngine:
         ``options`` are forwarded to the chosen algorithm (e.g. ``gamma`` or
         ``distribution_fraction`` for backward, ``ordering`` for forward,
         ``exact_sizes=True`` to force the exact N index in backward).
+        ``backend="python"|"numpy"|"auto"`` overrides the engine's backend
+        for this query alone.
         """
-        spec = self.spec(k, aggregate)
+        backend = options.pop("backend", None)
+        spec = self.spec(k, aggregate, backend=backend)  # type: ignore[arg-type]
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
@@ -220,7 +269,10 @@ class TopKEngine:
         elif algorithm == "planned":
             algorithm = self.explain(k, spec.aggregate).chosen
         if algorithm == "base":
+            self._reject_unknown(options)
             return base_topk(self.graph, self.scores, spec)
+        vectorized = resolve_backend(spec.backend) == "numpy"
+        csr = self.csr_view() if vectorized else None
         if algorithm == "forward":
             self.build_indexes()
             ordering = str(options.pop("ordering", "ubound"))
@@ -233,6 +285,7 @@ class TopKEngine:
                 diff_index=self._diff_index,
                 ordering=ordering,
                 seed=seed,  # type: ignore[arg-type]
+                csr=csr,
             )
         # backward
         exact_sizes = bool(options.pop("exact_sizes", False))
@@ -249,6 +302,8 @@ class TopKEngine:
             gamma=gamma,  # type: ignore[arg-type]
             distribution_fraction=fraction,
             sizes=sizes,
+            csr=csr,
+            rev_csr=self.rev_csr_view() if vectorized else None,
         )
 
     def topk_weighted(

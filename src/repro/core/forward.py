@@ -28,6 +28,11 @@ exceed the BFS work being saved.  The formulas live in
 :mod:`repro.core.bounds` where the property tests attack them; this module
 repeats them in flat form and the equivalence is covered by the
 algorithm-agreement tests.
+
+This module is the pure-Python execution backend; ``spec.backend`` routes
+the same query to the vectorized CSR implementation in
+:mod:`repro.core.vectorized` when numpy is available.  The two backends
+return entry-for-entry identical results (asserted by the parity suite).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.backends import resolve_backend
 from repro.core.ordering import make_order
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
@@ -56,8 +62,13 @@ def forward_topk(
     diff_index: Optional[DifferentialIndex] = None,
     ordering: str = "ubound",
     seed: Optional[int] = None,
+    csr: Optional[object] = None,
 ) -> TopKResult:
     """Answer ``spec`` with LONA-Forward.
+
+    Dispatches on ``spec.backend`` (``"auto"`` prefers the vectorized numpy
+    implementation, falling back to this module's pure-Python loop when
+    numpy is absent).
 
     Parameters
     ----------
@@ -70,7 +81,23 @@ def forward_topk(
         Queue order strategy (see :mod:`repro.core.ordering`).
     seed:
         Only used by the ``"random"`` ordering.
+    csr:
+        Optional prebuilt numpy :class:`~repro.graph.csr.CSRGraph` view of
+        ``graph`` (the engine caches one across queries).  Ignored by the
+        Python backend.
     """
+    if resolve_backend(spec.backend) == "numpy":
+        from repro.core.vectorized import forward_topk_numpy
+
+        return forward_topk_numpy(
+            graph,
+            scores,
+            spec,
+            diff_index=diff_index,
+            ordering=ordering,
+            seed=seed,
+            csr=csr,  # type: ignore[arg-type]
+        )
     kind = spec.aggregate
     if not kind.lona_supported:
         raise InvalidParameterError(

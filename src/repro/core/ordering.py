@@ -18,8 +18,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from repro.core.bounds import avg_bound, static_sum_bound
 from repro.aggregates.functions import AggregateKind
+from repro.core.bounds import avg_bound, static_sum_bound
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import NeighborhoodSizeIndex

@@ -36,9 +36,10 @@ dense-continuous with index -> forward, tiny graphs -> base).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.backends import resolve_backend
 from repro.core.backward import resolve_gamma
 from repro.core.query import QuerySpec
 from repro.errors import InvalidParameterError
@@ -75,6 +76,11 @@ class ExecutionPlan:
     chosen: str
     estimates: List[CostEstimate] = field(default_factory=list)
     amortize_index: bool = True
+    #: Concrete execution backend the chosen algorithm will run on.  The
+    #: cost model is phrased in ball expansions, a backend-independent
+    #: currency, so the backend changes the constant factor, not the
+    #: algorithm ranking.
+    backend: str = "python"
 
     def estimate_for(self, algorithm: str) -> CostEstimate:
         """The estimate of one algorithm."""
@@ -89,6 +95,8 @@ class ExecutionPlan:
             f"query: {self.spec.describe()}",
             f"chosen algorithm: {self.chosen} "
             f"({'index cost amortized' if self.amortize_index else 'index cost charged to this query'})",
+            f"execution backend: {self.backend}"
+            + (" (vectorized CSR)" if self.backend == "numpy" else ""),
             "",
             "estimated cost (ball expansions):",
         ]
@@ -123,6 +131,7 @@ class QueryPlanner:
         include_self: bool = True,
         index_available: bool = False,
         distribution_fraction: float = 0.1,
+        backend: str = "auto",
     ) -> None:
         self.graph = graph
         self.scores = list(scores)
@@ -130,6 +139,7 @@ class QueryPlanner:
         self.include_self = include_self
         self.index_available = index_available
         self.distribution_fraction = distribution_fraction
+        self.backend = resolve_backend(backend)
         # One O(n log n) statistics pass, shared by all plan() calls.
         self._size_ub = sorted(
             upper_estimate(graph, hops, include_self=include_self), reverse=True
@@ -246,4 +256,5 @@ class QueryPlanner:
             chosen=chosen,
             estimates=estimates,
             amortize_index=amortize_index,
+            backend=self.backend,
         )

@@ -8,10 +8,11 @@ checked object instead of re-validating loose arguments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.backends import BACKENDS
 from repro.errors import InvalidParameterError
 
 __all__ = ["QuerySpec"]
@@ -34,12 +35,18 @@ class QuerySpec:
         Whether ``S_h(u)`` contains ``u`` itself.  Default True — the
         convention consistent with the paper's bound formulas (DESIGN.md
         Sec. 1).
+    backend:
+        Execution backend (see :mod:`repro.core.backends`): ``"python"``,
+        ``"numpy"``, or ``"auto"`` (default — vectorized when numpy is
+        importable, pure Python otherwise).  Backends return identical
+        answers; the choice only moves the work between interpreters.
     """
 
     k: int
     aggregate: AggregateKind = AggregateKind.SUM
     hops: int = 2
     include_self: bool = True
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         # Allow "sum"-style strings at the call-site for convenience.
@@ -48,10 +55,18 @@ class QuerySpec:
             raise InvalidParameterError(f"k must be >= 1, got {self.k}")
         if self.hops < 0:
             raise InvalidParameterError(f"hops must be >= 0, got {self.hops}")
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     def with_aggregate(self, aggregate: Union[str, AggregateKind]) -> "QuerySpec":
         """A copy of this spec with a different aggregate."""
         return replace(self, aggregate=coerce_aggregate(aggregate))
+
+    def with_backend(self, backend: str) -> "QuerySpec":
+        """A copy of this spec pinned to an execution backend."""
+        return replace(self, backend=backend)
 
     def describe(self) -> str:
         """Human-readable one-liner for logs and reports."""

@@ -38,10 +38,15 @@ class QueryStats:
       call* (0 when a prebuilt index was supplied; reported separately from
       ``elapsed_sec`` the way the paper treats the differential index as a
       precomputed artifact).
+    * ``backend`` — the execution backend that produced the result
+      (``"python"`` or ``"numpy"``).  Results are backend-independent; the
+      work counters above may differ because the vectorized backend
+      processes candidates in blocks.
     """
 
     algorithm: str = ""
     aggregate: str = ""
+    backend: str = "python"
     hops: int = 0
     k: int = 0
     elapsed_sec: float = 0.0
@@ -62,6 +67,7 @@ class QueryStats:
         out: Dict[str, object] = {
             "algorithm": self.algorithm,
             "aggregate": self.aggregate,
+            "backend": self.backend,
             "hops": self.hops,
             "k": self.k,
             "elapsed_sec": self.elapsed_sec,

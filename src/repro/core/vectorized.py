@@ -1,0 +1,439 @@
+"""Vectorized NumPy execution backend for LONA-Forward and LONA-Backward.
+
+Same algorithms, same answers, different substrate: instead of walking
+adjacency lists node-by-node, both algorithms here run over
+:class:`~repro.graph.csr.CSRGraph` flat arrays with the bound state
+(``static_ub`` / ``ubound_sum`` / ``pruned`` / ``evaluated``) resident in
+numpy arrays, so the Eq. 1 / Eq. 3 bound arithmetic — exactly the bulk
+bound-maintenance the threshold-algorithm literature identifies as
+array-shaped work — executes without per-edge Python calls.
+
+How each phase vectorizes
+-------------------------
+* **Ball evaluation** (forward): candidates are taken from the processing
+  order in *blocks*; one frontier-batched multi-source BFS
+  (:func:`~repro.graph.csr.batched_hop_balls`) expands every block member's
+  ball simultaneously and ``np.bincount`` reduces the per-ball score sums.
+  Evaluating a node the pure-Python loop would have pruned moments later is
+  harmless: its exact value is offered to the accumulator, which rejects
+  anything that cannot *exceed* the k-th best — so results are identical and
+  only the work counters differ.
+* **Differential pruning** (forward): after a block is evaluated, every
+  evaluated node's neighbor slice is gathered from the CSR arrays in one
+  shot and the Eq. 1 running minimum is maintained with ``np.minimum.at``
+  over the batched ``F(u) + delta(v-u)`` bounds.
+* **Distribution / bounding** (backward): per-ball score deposits are fancy-
+  indexed adds; the Eq. 3 bound of *every* node is one array expression.
+
+Float parity: balls are aggregated in sorted-member order, one canonical
+order per ball set, so nodes with identical neighborhoods get bit-identical
+aggregates in this backend (as they do in the Python backend) and tie
+handling agrees between the two.  The parity suite asserts entry-for-entry
+equality on every aggregate and both ball conventions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from repro.aggregates.functions import AggregateKind
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+from repro.graph.csr import (
+    CSRBallCache,
+    CSRGraph,
+    batched_hop_balls,
+    slab_positions,
+    to_csr,
+)
+from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.graph.traversal import TraversalCounter
+
+__all__ = ["forward_topk_numpy", "backward_topk_numpy", "DEFAULT_BLOCK_SIZE"]
+
+#: Candidates evaluated per multi-source BFS round in LONA-Forward.  Larger
+#: blocks amortize numpy call overhead; smaller blocks re-check the rising
+#: threshold more often (less over-evaluation).  64-256 are all reasonable.
+DEFAULT_BLOCK_SIZE = 128
+
+#: Cap on the ``block * num_nodes`` visited buffer of a multi-source BFS
+#: round (bools, so this is bytes).  32 MiB keeps blocks of 128 up to
+#: ~260k-node graphs and degrades gracefully to smaller blocks beyond.
+_MAX_BLOCK_CELLS = 1 << 25
+
+
+def _effective_block_size(block_size: int, num_nodes: int) -> int:
+    """Shrink the requested block so the visited buffer stays bounded."""
+    return max(4, min(block_size, _MAX_BLOCK_CELLS // max(num_nodes, 1)))
+
+
+def _as_scores_array(np, scores: Sequence[float], kind: AggregateKind):
+    """Materialize scores as float64, folding COUNT to its 0/1 indicator."""
+    arr = np.asarray(scores, dtype=np.float64)
+    if kind is AggregateKind.COUNT:
+        arr = np.where(arr > 0.0, 1.0, 0.0)
+        kind = AggregateKind.SUM
+    return arr, kind
+
+
+def _ubound_order(np, kind, scores_arr, sizes: NeighborhoodSizeIndex):
+    """Vectorized "ubound" processing order, identical to make_order's.
+
+    Same formulas, same ``(-bound, node)`` tie-break: ``np.lexsort`` with the
+    node id as the secondary key reproduces the stable Python sort exactly.
+    """
+    upper = np.asarray(sizes.upper_values(), dtype=np.int64)
+    key = np.maximum(upper - 1, 0) + scores_arr
+    if kind is AggregateKind.AVG:
+        lower = np.asarray(sizes.lower_values(), dtype=np.int64)
+        key = key / np.maximum(lower, 1)
+    return np.lexsort((np.arange(key.size), -key))
+
+
+def forward_topk_numpy(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    diff_index: Optional[DifferentialIndex] = None,
+    ordering: str = "ubound",
+    seed: Optional[int] = None,
+    csr: Optional[CSRGraph] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> TopKResult:
+    """LONA-Forward over CSR flat arrays (see module docstring).
+
+    Mirrors :func:`repro.core.forward.forward_topk` argument-for-argument;
+    ``csr`` optionally supplies a prebuilt numpy CSR view (the engine caches
+    one across queries), ``block_size`` tunes the evaluation batching.
+    """
+    import numpy as np
+
+    kind = spec.aggregate
+    if not kind.lona_supported:
+        raise InvalidParameterError(
+            f"LONA-Forward supports SUM/AVG/COUNT, not {kind.value}; "
+            "use algorithm='base' for MAX/MIN"
+        )
+    scores_arr, kind = _as_scores_array(np, scores, kind)
+    is_avg = kind is AggregateKind.AVG
+
+    build_sec = 0.0
+    if diff_index is None:
+        build_start = time.perf_counter()
+        diff_index = build_differential_index(
+            graph, spec.hops, include_self=spec.include_self
+        )
+        build_sec = time.perf_counter() - build_start
+    diff_index.check_compatible(graph, spec.hops, spec.include_self)
+
+    start = time.perf_counter()
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    deltas = diff_index.flat_deltas()
+    n = graph.num_nodes
+    hops = spec.hops
+    include_self = spec.include_self
+    sizes = np.asarray(diff_index.sizes.upper_values(), dtype=np.int64)
+
+    # Static Eq. 1 arm for every node at once.
+    if include_self:
+        static_ub = np.maximum(sizes - 1, 0) + scores_arr
+    else:
+        static_ub = sizes.astype(np.float64)
+    ubound_sum = static_ub.copy()
+    inv_size = 1.0 / np.maximum(sizes, 1) if is_avg else None
+
+    pruned = np.zeros(n, dtype=bool)
+    evaluated = np.zeros(n, dtype=bool)
+
+    stats = QueryStats(
+        algorithm="forward",
+        aggregate=spec.aggregate.value,
+        backend="numpy",
+        hops=hops,
+        k=spec.k,
+        index_build_sec=build_sec,
+    )
+
+    if ordering == "ubound":
+        order = _ubound_order(np, kind, scores_arr, diff_index.sizes)
+    else:
+        from repro.core.ordering import make_order
+
+        order = np.asarray(
+            make_order(
+                ordering, graph, scores_arr.tolist(), kind=kind,
+                sizes=diff_index.sizes, seed=seed,
+            ),
+            dtype=np.int64,
+        )
+
+    acc = TopKAccumulator(spec.k)
+    bound_evals = 0
+    pruned_count = 0
+    evaluated_count = 0
+    edges_scanned = 0
+    nodes_visited = 0
+    neg_inf = float("-inf")
+    block_size = _effective_block_size(block_size, n)
+
+    position = 0
+    while position < order.size:
+        block = order[position : position + block_size]
+        position += block_size
+        live = block[~(evaluated[block] | pruned[block])]
+        if live.size == 0:
+            continue
+        threshold = acc.threshold
+        # Lazy running-minimum bound check for the whole block at once.
+        effective = ubound_sum[live] * inv_size[live] if is_avg else ubound_sum[live]
+        if threshold != neg_inf:
+            cut = effective <= threshold
+            newly_pruned = live[cut]
+            pruned[newly_pruned] = True
+            pruned_count += int(newly_pruned.size)
+            live = live[~cut]
+            if live.size == 0:
+                continue
+
+        # Exact forward processing of the whole block: one multi-source BFS.
+        owners, members, edges = batched_hop_balls(
+            csr, live, hops, include_self=include_self
+        )
+        edges_scanned += edges
+        nodes_visited += int(members.size) + (0 if include_self else int(live.size))
+        ball_sizes = np.bincount(owners, minlength=live.size)
+        ball_sums = np.bincount(
+            owners, weights=scores_arr[members], minlength=live.size
+        )
+        evaluated[live] = True
+        evaluated_count += int(live.size)
+        if is_avg:
+            values = np.divide(
+                ball_sums,
+                ball_sizes,
+                out=np.zeros(live.size, dtype=np.float64),
+                where=ball_sizes > 0,
+            )
+        else:
+            values = ball_sums
+        offer = acc.offer
+        for node, value in zip(live.tolist(), values.tolist()):
+            offer(node, value)
+        threshold = acc.threshold
+
+        # pruneNodes for the block: the differential arm can only prune
+        # while F_sum(u) <= topklbound (delta >= 0), so gate first, then
+        # batch every surviving node's neighbor slice in one gather.
+        gate = ball_sums <= threshold
+        sources = live[gate]
+        if sources.size == 0:
+            continue
+        positions, counts = slab_positions(csr, sources)
+        if positions.size == 0:
+            continue
+        neighbors = csr.indices[positions]
+        bounds = np.repeat(ball_sums[gate], counts) + deltas[positions]
+        open_mask = ~(evaluated[neighbors] | pruned[neighbors])
+        targets = neighbors[open_mask]
+        bound_evals += int(targets.size)
+        if targets.size == 0:
+            continue
+        np.minimum.at(ubound_sum, targets, bounds[open_mask])
+        candidates = np.unique(targets)
+        effective = (
+            ubound_sum[candidates] * inv_size[candidates]
+            if is_avg
+            else ubound_sum[candidates]
+        )
+        newly_pruned = candidates[effective <= threshold]
+        pruned[newly_pruned] = True
+        pruned_count += int(newly_pruned.size)
+
+    stats.nodes_evaluated = evaluated_count
+    stats.pruned_nodes = pruned_count
+    stats.bound_evaluations = bound_evals
+    stats.elapsed_sec = time.perf_counter() - start
+    stats.edges_scanned = edges_scanned
+    stats.nodes_visited = nodes_visited
+    stats.balls_expanded = evaluated_count
+    stats.extra["ordering"] = ordering
+    stats.extra["block_size"] = float(block_size)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def backward_topk_numpy(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    gamma: Union[float, str] = "auto",
+    distribution_fraction: float = 0.1,
+    sizes: Optional[NeighborhoodSizeIndex] = None,
+    csr: Optional[CSRGraph] = None,
+    rev_csr: Optional[CSRGraph] = None,
+) -> TopKResult:
+    """LONA-Backward over CSR flat arrays (see module docstring).
+
+    Mirrors :func:`repro.core.backward.backward_topk` argument-for-argument;
+    ``csr`` optionally supplies a prebuilt numpy CSR view of ``graph`` and
+    ``rev_csr`` one of ``graph.reversed()`` (only consulted on directed
+    graphs, where distribution walks the reversed arcs; without it the
+    reversal is rebuilt per query).
+    """
+    import numpy as np
+
+    from repro.core.backward import resolve_gamma
+
+    kind = spec.aggregate
+    if not kind.lona_supported:
+        raise InvalidParameterError(
+            f"LONA-Backward supports SUM/AVG/COUNT, not {kind.value}; "
+            "use algorithm='base' for MAX/MIN"
+        )
+    scores_arr, kind = _as_scores_array(np, scores, kind)
+    is_avg = kind is AggregateKind.AVG
+
+    build_sec = 0.0
+    if sizes is None:
+        build_start = time.perf_counter()
+        sizes = NeighborhoodSizeIndex.estimated(
+            graph, spec.hops, include_self=spec.include_self
+        )
+        build_sec = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    counter = TraversalCounter()
+    n = graph.num_nodes
+    include_self = spec.include_self
+    stats = QueryStats(
+        algorithm="backward",
+        aggregate=spec.aggregate.value,
+        backend="numpy",
+        hops=spec.hops,
+        k=spec.k,
+        index_build_sec=build_sec,
+    )
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+
+    # ------------------------------------------------------------------
+    # Phase 1: partial distribution in descending score order.
+    # ------------------------------------------------------------------
+    nonzero_ids = np.nonzero(scores_arr > 0.0)[0]
+    nonzero_scores = scores_arr[nonzero_ids]
+    desc = np.lexsort((nonzero_ids, -nonzero_scores))
+    ordered_ids = nonzero_ids[desc]
+    ordered_scores = nonzero_scores[desc]
+    effective_gamma = resolve_gamma(
+        gamma, ordered_scores.tolist(), distribution_fraction=distribution_fraction
+    )
+    cut = int(np.searchsorted(-ordered_scores, -effective_gamma, side="right"))
+    distributed = ordered_ids[:cut]
+    rest_bound = float(ordered_scores[cut]) if cut < ordered_scores.size else 0.0
+
+    if not graph.directed:
+        dist_csr = csr
+    elif rev_csr is not None:
+        dist_csr = rev_csr
+    else:
+        dist_csr = to_csr(graph.reversed(), use_numpy=True)
+    partial = np.zeros(n, dtype=np.float64)
+    covered = np.zeros(n, dtype=np.int64)
+    self_distributed = np.zeros(n, dtype=bool)
+    pushes = 0
+    # Deposits stay in descending score order (block order preserves it and
+    # bincount accumulates in pair order), so every node's partial sum is
+    # built by the same float addition sequence as the Python backend's.
+    block_size = _effective_block_size(DEFAULT_BLOCK_SIZE, n)
+    for lo in range(0, int(distributed.size), block_size):
+        block = distributed[lo : lo + block_size]
+        owners, members, edges = batched_hop_balls(
+            dist_csr, block, spec.hops, include_self=include_self
+        )
+        counter.edges_scanned += edges
+        counter.nodes_visited += int(members.size) + (
+            0 if include_self else int(block.size)
+        )
+        counter.balls_expanded += int(block.size)
+        ball_sizes = np.bincount(owners, minlength=block.size)
+        partial += np.bincount(
+            members, weights=np.repeat(scores_arr[block], ball_sizes), minlength=n
+        )
+        covered += np.bincount(members, minlength=n)
+        pushes += int(members.size)
+    stats.distribution_pushes = pushes
+    if include_self:
+        self_distributed[distributed] = True
+
+    # ------------------------------------------------------------------
+    # Phase 2: Eq. 3 upper bound for every node, one array expression.
+    # ------------------------------------------------------------------
+    upper = np.asarray(sizes.upper_values(), dtype=np.int64)
+    self_known = self_distributed | (not include_self)
+    unknown = np.where(self_known, upper - covered, upper - covered - 1)
+    extra = np.where(self_known, 0.0, scores_arr)
+    sum_bounds = partial + rest_bound * np.maximum(unknown, 0) + extra
+    if is_avg:
+        lower = np.asarray(sizes.lower_values(), dtype=np.int64)
+        bounds = sum_bounds / np.maximum(lower, 1)
+    else:
+        bounds = sum_bounds
+    stats.bound_evaluations = n
+    candidate_order = np.lexsort((np.arange(n), -bounds))
+
+    # ------------------------------------------------------------------
+    # Phase 3: verification in descending bound order, TA-style stop.
+    # ------------------------------------------------------------------
+    exact_shortcut = rest_bound == 0.0 and (not is_avg or sizes.is_exact)
+    shortcut_values = None
+    if exact_shortcut:
+        totals = partial + np.where(
+            ~self_distributed & include_self, scores_arr, 0.0
+        )
+        if is_avg:
+            size_values = np.asarray(sizes.upper_values(), dtype=np.int64)
+            shortcut_values = totals / np.maximum(size_values, 1)
+        else:
+            shortcut_values = totals
+    verify_cache = CSRBallCache(
+        csr, spec.hops, include_self=include_self, counter=counter
+    )
+    acc = TopKAccumulator(spec.k)
+    offered = 0
+    for v in candidate_order:
+        bound = float(bounds[v])
+        if acc.is_full and bound <= acc.threshold:
+            stats.early_terminated = True
+            break
+        node = int(v)
+        if exact_shortcut:
+            value = float(shortcut_values[v])
+        else:
+            ball = verify_cache.ball(node)
+            # cumsum, not sum: sequential left-to-right accumulation over
+            # the sorted members, the same float result the Python loop
+            # gets (np.sum's pairwise order would differ in the last ulp).
+            total = float(scores_arr[ball].cumsum()[-1]) if ball.size else 0.0
+            value = (total / ball.size if ball.size else 0.0) if is_avg else total
+            stats.nodes_evaluated += 1
+            stats.candidates_verified += 1
+        acc.offer(node, value)
+        offered += 1
+
+    stats.pruned_nodes = n - offered
+    stats.elapsed_sec = time.perf_counter() - start
+    stats.edges_scanned = counter.edges_scanned
+    stats.nodes_visited = counter.nodes_visited
+    stats.balls_expanded = counter.balls_expanded
+    stats.extra["gamma"] = effective_gamma
+    stats.extra["distributed_nodes"] = float(distributed.size)
+    stats.extra["rest_bound"] = rest_bound
+    stats.extra["exact_shortcut"] = float(exact_shortcut)
+    return TopKResult(entries=acc.entries(), stats=stats)

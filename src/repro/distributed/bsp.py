@@ -21,10 +21,10 @@ The programming model is the standard one:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
 
-from repro.errors import DistributedError
 from repro.distributed.partition import Partition
+from repro.errors import DistributedError
 from repro.graph.graph import Graph
 
 __all__ = ["VertexContext", "VertexProgram", "MessageStats", "BSPEngine"]

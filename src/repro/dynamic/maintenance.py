@@ -26,7 +26,7 @@ counter and refuses to serve stale answers.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Set, Union
+from typing import List, Sequence, Set, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
 from repro.core.query import QuerySpec

@@ -17,6 +17,7 @@ __all__ = [
     "QueryError",
     "InvalidParameterError",
     "IndexNotBuiltError",
+    "BackendUnavailableError",
     "RelevanceError",
     "RelationalError",
     "SchemaError",
@@ -65,6 +66,10 @@ class InvalidParameterError(QueryError, ValueError):
 
 class IndexNotBuiltError(QueryError, RuntimeError):
     """An algorithm required a precomputed index that was not supplied."""
+
+
+class BackendUnavailableError(QueryError, RuntimeError):
+    """An execution backend was requested whose dependency is missing."""
 
 
 class RelevanceError(ReproError, ValueError):

@@ -1,21 +1,42 @@
 """Compressed-sparse-row (CSR) export of a :class:`~repro.graph.graph.Graph`.
 
-The library's hot loops use adjacency lists (faster to iterate from pure
-Python), but vectorized consumers — the random-walk relevance function, the
-degree-based estimates at scale, external analysis — want flat arrays.  This
-module provides the conversion both with and without :mod:`numpy`, keeping
-the core library dependency-free.
+The adjacency-list loops stay the dependency-free reference implementation,
+but the vectorized execution backend (:mod:`repro.core.vectorized`) and other
+bulk consumers — the random-walk relevance function, the degree-based
+estimates at scale, external analysis — run over this module's flat arrays.
+Beyond the plain conversion, it provides the numpy kernels the backend is
+built from:
+
+* :func:`neighbor_slab` — gather the concatenated neighbor lists of a whole
+  frontier in one vectorized indexing expression (no per-node Python calls);
+* :func:`csr_hop_ball` / :class:`CSRBallCache` — single-center hop-ball
+  expansion over the flat arrays, optionally cached across queries;
+* :func:`batched_hop_balls` — multi-center frontier-batched expansion, the
+  kernel the vectorized LONA-Forward evaluates candidate blocks with.
+
+Everything numpy-flavored imports numpy lazily so the module itself stays
+importable on a bare interpreter.
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 
-__all__ = ["CSRGraph", "to_csr", "from_csr"]
+__all__ = [
+    "CSRGraph",
+    "to_csr",
+    "from_csr",
+    "degree_array",
+    "neighbor_slab",
+    "slab_positions",
+    "csr_hop_ball",
+    "batched_hop_balls",
+    "CSRBallCache",
+]
 
 
 @dataclass(frozen=True)
@@ -23,8 +44,10 @@ class CSRGraph:
     """A frozen CSR view: ``indices[indptr[u]:indptr[u+1]]`` are u's neighbors.
 
     ``indptr`` has ``num_nodes + 1`` entries; ``weights`` is either ``None``
-    or parallel to ``indices``.  Arrays are ``array('l')``/``array('d')`` by
-    default or numpy arrays when ``use_numpy=True`` was requested.
+    or parallel to ``indices``.  Arrays are ``array('q')``/``array('d')`` by
+    default (``'q'`` is a fixed 8-byte int on every platform, unlike ``'l'``
+    which is 4 bytes on Windows/ILP32) or numpy arrays when ``use_numpy=True``
+    was requested.
     """
 
     indptr: Sequence[int]
@@ -56,9 +79,12 @@ def to_csr(graph: Graph, *, use_numpy: bool = False) -> CSRGraph:
 
     ``use_numpy=True`` returns ``numpy.int64`` / ``numpy.float64`` arrays
     (numpy must be importable); the default uses the stdlib ``array`` module.
+    The neighbor order of every slice matches ``graph.neighbors(u)`` exactly,
+    so per-arc tables built against the adjacency lists (e.g. the
+    differential index rows) stay position-aligned with ``indices``.
     """
-    indptr = array("l", [0])
-    indices = array("l")
+    indptr = array("q", [0])
+    indices = array("q")
     weighted = graph.weighted
     weights = array("d") if weighted else None
     for u in graph.nodes():
@@ -102,3 +128,263 @@ def degree_array(graph: Graph) -> Any:
     return np.fromiter(
         (graph.degree(u) for u in graph.nodes()), dtype=np.int64, count=graph.num_nodes
     )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized expansion kernels (numpy-backed CSRGraph required)
+# ---------------------------------------------------------------------------
+def _require_numpy_csr(csr: CSRGraph):
+    import numpy as np
+
+    if not isinstance(csr.indptr, np.ndarray):  # pragma: no cover - misuse guard
+        raise TypeError(
+            "this operation needs a numpy-backed CSRGraph; "
+            "build it with to_csr(graph, use_numpy=True)"
+        )
+    return np
+
+
+def neighbor_slab(csr: CSRGraph, frontier: Any) -> Tuple[Any, Any]:
+    """Concatenated neighbors of every node in ``frontier``, one gather.
+
+    Returns ``(neighbors, counts)`` where ``neighbors`` is the concatenation
+    of each frontier node's neighbor slice (frontier order preserved) and
+    ``counts[i]`` is the degree of ``frontier[i]``.  The gather is a single
+    fancy-indexing expression — no per-node Python iteration — which is what
+    makes frontier-batched BFS levels cheap.
+    """
+    positions, counts = slab_positions(csr, frontier)
+    return csr.indices[positions], counts
+
+
+def slab_positions(csr: CSRGraph, frontier: Any) -> Tuple[Any, Any]:
+    """Flat positions into ``indices`` covering every frontier node's slab.
+
+    ``indices[positions]`` are the concatenated neighbor slices; the same
+    positions index any arc-aligned side table (edge weights, the
+    differential index's flat deltas), which is how the vectorized backend
+    gathers ``delta(v-u)`` together with the neighbors.
+    """
+    np = _require_numpy_csr(csr)
+    indptr = csr.indptr
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, counts
+    # Position j of the output belongs to frontier node i where j falls in
+    # i's slab; shift each slab's arange to its start in one repeat.
+    shifts = np.cumsum(counts) - counts
+    positions = np.arange(total, dtype=np.int64) + np.repeat(starts - shifts, counts)
+    return positions, counts
+
+
+def _expand_ball(
+    np, csr: CSRGraph, center: int, hops: int, include_self: bool, stamp: Any, generation: int
+) -> Tuple[Any, int]:
+    """Shared single-center expansion; returns (sorted ball, edges gathered)."""
+    stamp[center] = generation
+    frontier = np.array([center], dtype=np.int64)
+    levels = [frontier]
+    edges = 0
+    for _ in range(hops):
+        neighbors, _counts = neighbor_slab(csr, frontier)
+        if neighbors.size == 0:
+            break
+        edges += int(neighbors.size)
+        candidates = np.unique(neighbors)
+        fresh = candidates[stamp[candidates] != generation]
+        if fresh.size == 0:
+            break
+        stamp[fresh] = generation
+        levels.append(fresh)
+        frontier = fresh
+    if not include_self:
+        levels = levels[1:]
+    if not levels:
+        return np.empty(0, dtype=np.int64), edges
+    ball = np.concatenate(levels) if len(levels) > 1 else levels[0]
+    ball.sort()
+    return ball, edges
+
+
+def csr_hop_ball(
+    csr: CSRGraph,
+    center: int,
+    hops: int,
+    *,
+    include_self: bool = True,
+) -> Any:
+    """``S_h(center)`` over the flat arrays, as a sorted int64 array.
+
+    Frontier-batched BFS: each level gathers the whole frontier's neighbor
+    slabs at once and dedups with ``np.unique``.  Callers expanding many
+    balls should use :class:`CSRBallCache` instead, which reuses the
+    visited-marking array across expansions.
+
+    The result is sorted ascending so that every caller aggregates ball
+    members in one canonical order — two nodes with identical balls then get
+    bit-identical float aggregates, preserving the tie behavior of the pure
+    Python backend.
+    """
+    np = _require_numpy_csr(csr)
+    stamp = np.zeros(csr.num_nodes, dtype=np.int64)
+    ball, _edges = _expand_ball(np, csr, center, hops, include_self, stamp, 1)
+    return ball
+
+
+def batched_hop_balls(
+    csr: CSRGraph, centers: Any, hops: int, *, include_self: bool = True
+) -> Tuple[Any, Any, int]:
+    """Expand the h-hop balls of many centers in one frontier-batched sweep.
+
+    Returns ``(owners, members, edges_scanned)``: parallel arrays listing
+    every (ball, member) pair — ``members[i]`` belongs to the ball of
+    ``centers[owners[i]]`` — sorted by ``(owner, member)``, plus the number
+    of adjacency entries gathered.  Per-center aggregates then reduce with
+    ``np.bincount(owners, ...)``.
+
+    Membership pairs are encoded as ``owner * n + node`` keys; a flat
+    boolean visited buffer filters already-reached keys per BFS level (one
+    gather + one scatter, no hashing), per-level fresh keys are collected
+    as they appear, and one final sort merges the levels into the canonical
+    ``(owner, member)`` order while squeezing out the last level's
+    duplicates.  The buffer is ``len(centers) * num_nodes`` bools; callers
+    bound their block size accordingly (see
+    :data:`repro.core.vectorized.DEFAULT_BLOCK_SIZE`).
+    """
+    np = _require_numpy_csr(csr)
+    n = csr.num_nodes
+    count = int(centers.size)
+    if count == 0 or n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, 0
+    owners = np.arange(count, dtype=np.int64)
+    visited = np.zeros(count * n, dtype=bool)
+    frontier_keys = owners * n + centers.astype(np.int64, copy=False)
+    visited[frontier_keys] = True
+    parts = [frontier_keys]
+    edges = 0
+    for level in range(hops):
+        frontier_owners, frontier_nodes = np.divmod(frontier_keys, n)
+        neighbors, counts = neighbor_slab(csr, frontier_nodes)
+        if neighbors.size == 0:
+            break
+        edges += int(neighbors.size)
+        keys = np.repeat(frontier_owners, counts) * n + neighbors
+        fresh = keys[~visited[keys]]
+        if level == hops - 1:
+            # Last level: no further expansion, so skip the visited
+            # bookkeeping — intra-level duplicates fall out in the final
+            # sort+dedup below.
+            parts.append(fresh)
+            break
+        if level > 0:
+            # A key can be reached from two frontier members of the same
+            # ball; levels past the first need an explicit dedup to keep
+            # the next frontier duplicate-free.  (Level 1 is a single
+            # node's duplicate-free adjacency list per ball.)
+            fresh = _sorted_unique(np, fresh)
+        if fresh.size == 0:
+            break
+        visited[fresh] = True
+        parts.append(fresh)
+        frontier_keys = fresh
+    keys_out = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    keys_out = _sorted_unique(np, keys_out)
+    owners_out, members = np.divmod(keys_out, n)
+    if not include_self:
+        keep = members != centers[owners_out]
+        owners_out = owners_out[keep]
+        members = members[keep]
+    return owners_out, members, edges
+
+
+def _sorted_unique(np, keys: Any) -> Any:
+    """Sort ``keys`` and drop duplicates (cheaper than np.unique's hashing)."""
+    if keys.size <= 1:
+        return keys
+    keys = np.sort(keys)
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+class CSRBallCache:
+    """Cached frontier-batched ball expansion for one ``(csr, h, ball)`` triple.
+
+    LONA-Backward expands the same node's ball in the distribution and
+    verification phases (and repeated queries over one engine expand the same
+    balls again); this cache pays each expansion once.  Set ``cached=False``
+    for a pure expander that reuses the visited-stamp array but stores
+    nothing — the right mode when every center is expanded at most once.
+
+    The stamp array makes each expansion O(ball size): instead of a fresh
+    n-sized visited mask per ball, nodes are marked with a per-ball
+    generation counter.  When a ``counter`` is supplied, only *actual*
+    expansions are charged to it — cache hits are free, which is the honest
+    accounting for the "raw BFS work" counters.
+    """
+
+    __slots__ = (
+        "csr",
+        "hops",
+        "include_self",
+        "counter",
+        "_cache",
+        "_cached",
+        "_stamp",
+        "_gen",
+        "_np",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        hops: int,
+        *,
+        include_self: bool = True,
+        cached: bool = True,
+        counter: Optional[Any] = None,
+    ) -> None:
+        np = _require_numpy_csr(csr)
+        self.csr = csr
+        self.hops = hops
+        self.include_self = include_self
+        self.counter = counter
+        self._cached = cached
+        self._cache: Dict[int, Any] = {}
+        self._stamp = np.zeros(csr.num_nodes, dtype=np.int64)
+        self._gen = 0
+        self._np = np
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def ball(self, center: int) -> Any:
+        """The sorted member array of ``S_h(center)`` (treat as read-only)."""
+        ball = self._cache.get(center)
+        if ball is None:
+            self._gen += 1
+            ball, edges = _expand_ball(
+                self._np,
+                self.csr,
+                center,
+                self.hops,
+                self.include_self,
+                self._stamp,
+                self._gen,
+            )
+            if self._cached:
+                self._cache[center] = ball
+            if self.counter is not None:
+                # Same convention as hop_ball: nodes_visited counts the
+                # closed ball (the center is visited even when excluded).
+                self.counter.edges_scanned += edges
+                self.counter.nodes_visited += int(ball.size) + (
+                    0 if self.include_self else 1
+                )
+                self.counter.balls_expanded += 1
+        return ball

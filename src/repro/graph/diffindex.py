@@ -46,7 +46,7 @@ class DifferentialIndex:
     validate this via :meth:`check_compatible`.
     """
 
-    __slots__ = ("_rows", "_sizes", "hops", "include_self", "_num_nodes")
+    __slots__ = ("_rows", "_sizes", "hops", "include_self", "_num_nodes", "_flat")
 
     def __init__(
         self,
@@ -61,6 +61,7 @@ class DifferentialIndex:
         self.hops = hops
         self.include_self = include_self
         self._num_nodes = len(rows)
+        self._flat = None  # lazily built arc-major numpy view
 
     @classmethod
     def build(
@@ -90,6 +91,26 @@ class DifferentialIndex:
         ``delta_row(u)[i] == delta(v - u)`` where ``v = graph.neighbors(u)[i]``.
         """
         return self._rows[u]
+
+    def flat_deltas(self):
+        """All delta rows concatenated arc-major, as a numpy int64 array.
+
+        Position-aligned with the ``indices`` array of
+        ``to_csr(graph, use_numpy=True)`` for the graph this index was built
+        on (both follow adjacency-list order), which is what lets the
+        vectorized backend apply Eq. 1 with one gather per evaluated node.
+        Built on first use and cached; requires numpy.
+        """
+        if self._flat is None:
+            from itertools import chain
+
+            import numpy as np
+
+            total = sum(len(row) for row in self._rows)
+            self._flat = np.fromiter(
+                chain.from_iterable(self._rows), dtype=np.int64, count=total
+            )
+        return self._flat
 
     def delta(self, graph: Graph, u: int, v: int) -> int:
         """``delta(v - u)`` for the arc ``u -> v`` (linear scan of the row)."""

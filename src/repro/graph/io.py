@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import io
 import os
-from typing import IO, Iterator, Optional, Tuple, Union
+from typing import IO, Iterator, Union
 
 from repro.errors import GraphBuildError
 from repro.graph.graph import Graph, GraphBuilder

@@ -200,6 +200,14 @@ class NeighborhoodSizeIndex:
         """Sound upper bound on ``N(node)``."""
         return self._upper[node]
 
+    def upper_values(self) -> Sequence[int]:
+        """The whole upper-bound table (read-only; for bulk/vectorized use)."""
+        return self._upper
+
+    def lower_values(self) -> Sequence[int]:
+        """The whole lower-bound table (read-only; for bulk/vectorized use)."""
+        return self._lower
+
     def lower(self, node: int) -> int:
         """Sound lower bound on ``N(node)``."""
         return self._lower[node]

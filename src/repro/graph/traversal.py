@@ -20,6 +20,7 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "hop_ball",
+    "hop_ball_csr",
     "hop_ball_with_distances",
     "hop_frontiers",
     "ball_size",
@@ -117,6 +118,32 @@ def hop_ball(
     if not include_self:
         visited.discard(center)
     return visited
+
+
+def hop_ball_csr(
+    csr,
+    center: int,
+    hops: int,
+    *,
+    include_self: bool = True,
+    counter: Optional[TraversalCounter] = None,
+):
+    """:func:`hop_ball` over a numpy-backed CSR view (numpy required).
+
+    Returns a *sorted* ``numpy.int64`` array instead of a set — the
+    canonical member order the vectorized backend aggregates in.  Work is
+    charged to ``counter`` with the same conventions as :func:`hop_ball`.
+    Callers expanding many balls should hold a
+    :class:`~repro.graph.csr.CSRBallCache` instead, which reuses its
+    visited-marking array (and optionally the balls) across expansions.
+    """
+    from repro.graph.csr import CSRBallCache
+
+    _check_hops(hops)
+    expander = CSRBallCache(
+        csr, hops, include_self=include_self, cached=False, counter=counter
+    )
+    return expander.ball(center)
 
 
 def hop_ball_with_distances(

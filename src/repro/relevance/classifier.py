@@ -17,7 +17,7 @@ a learned classifier would emit, without requiring training data.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.errors import RelevanceError
 from repro.graph.graph import Graph

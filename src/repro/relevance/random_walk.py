@@ -16,7 +16,7 @@ experiments reproduce exactly without a seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.errors import RelevanceError
 from repro.graph.graph import Graph

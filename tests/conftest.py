@@ -10,7 +10,7 @@ bug cannot hide in shared code.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set
 
 import pytest
 

@@ -1,0 +1,265 @@
+"""Backend parity: the vectorized numpy backend must agree with Python.
+
+The contract (see :mod:`repro.core.backends`):
+
+* identical node selections in identical order, for every algorithm,
+  aggregate, ball convention, and graph shape;
+* bit-exact entries on integer-valued (binary / COUNT) scores, where float
+  summation order cannot matter;
+* values within 1e-9 on continuous scores (the two backends accumulate
+  floats in different orders, so the last ulp may differ).
+
+These tests are the safety net that lets ``backend="auto"`` default to the
+vectorized path: any divergence is a bug, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.backends import BACKENDS, resolve_backend
+from repro.core.backward import backward_topk
+from repro.core.batch import BatchQuery, batch_base_topk
+from repro.core.engine import TopKEngine
+from repro.core.forward import forward_topk
+from repro.core.query import QuerySpec
+from repro.errors import InvalidParameterError
+from repro.graph.diffindex import build_differential_index
+from repro.relevance.base import ScoreVector
+from tests.conftest import random_graph, random_scores, rounded
+
+np = pytest.importorskip("numpy")
+
+
+def binary_scores(n: int, seed: int, density: float = 0.3):
+    rng = random.Random(seed)
+    return [1.0 if rng.random() < density else 0.0 for _ in range(n)]
+
+
+def spec_pair(k=7, aggregate="sum", hops=2, include_self=True):
+    py = QuerySpec(
+        k=k, aggregate=aggregate, hops=hops, include_self=include_self,
+        backend="python",
+    )
+    return py, py.with_backend("numpy")
+
+
+def assert_same_answer(a, b):
+    """Same nodes in the same order; values equal to 1e-9."""
+    assert a.nodes == b.nodes
+    assert rounded(a.values) == rounded(b.values)
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("include_self", [True, False])
+    def test_binary_scores_bit_exact(self, aggregate, include_self):
+        for seed in range(4):
+            g = random_graph(45, 0.09, seed=seed)
+            scores = binary_scores(45, seed + 10)
+            di = build_differential_index(g, 2, include_self=include_self)
+            py, npy = spec_pair(aggregate=aggregate, include_self=include_self)
+            a = forward_topk(g, scores, py, diff_index=di)
+            b = forward_topk(g, scores, npy, diff_index=di)
+            assert a.entries == b.entries
+
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_continuous_scores(self, aggregate, hops):
+        for seed in range(3):
+            g = random_graph(40, 0.1, seed=seed)
+            scores = random_scores(40, seed=seed + 50, density=0.6)
+            di = build_differential_index(g, hops)
+            py, npy = spec_pair(aggregate=aggregate, hops=hops)
+            assert_same_answer(
+                forward_topk(g, scores, py, diff_index=di),
+                forward_topk(g, scores, npy, diff_index=di),
+            )
+
+    def test_directed_graphs(self):
+        for seed in range(3):
+            g = random_graph(35, 0.08, seed=seed, directed=True)
+            scores = binary_scores(35, seed + 20)
+            di = build_differential_index(g, 2)
+            py, npy = spec_pair()
+            a = forward_topk(g, scores, py, diff_index=di)
+            b = forward_topk(g, scores, npy, diff_index=di)
+            assert a.entries == b.entries
+
+    @pytest.mark.parametrize("ordering", ["arbitrary", "degree", "ubound", "random"])
+    def test_every_ordering(self, ordering):
+        g = random_graph(40, 0.1, seed=3)
+        scores = binary_scores(40, 13)
+        di = build_differential_index(g, 2)
+        py, npy = spec_pair()
+        a = forward_topk(g, scores, py, diff_index=di, ordering=ordering, seed=5)
+        b = forward_topk(g, scores, npy, diff_index=di, ordering=ordering, seed=5)
+        assert a.entries == b.entries
+
+    def test_block_size_does_not_change_answers(self):
+        from repro.core.vectorized import forward_topk_numpy
+
+        g = random_graph(50, 0.1, seed=8)
+        scores = random_scores(50, seed=9, density=0.5)
+        di = build_differential_index(g, 2)
+        spec = QuerySpec(k=10, backend="numpy")
+        reference = forward_topk_numpy(g, scores, spec, diff_index=di, block_size=1)
+        for block_size in (3, 17, 1000):
+            result = forward_topk_numpy(
+                g, scores, spec, diff_index=di, block_size=block_size
+            )
+            assert_same_answer(reference, result)
+
+    def test_max_min_rejected(self):
+        g = random_graph(20, 0.2, seed=1)
+        with pytest.raises(InvalidParameterError):
+            forward_topk(
+                g, binary_scores(20, 2), QuerySpec(k=3, aggregate="max", backend="numpy")
+            )
+
+    def test_stats_backend_tagged(self):
+        g = random_graph(25, 0.15, seed=2)
+        scores = binary_scores(25, 3)
+        di = build_differential_index(g, 2)
+        py, npy = spec_pair(k=4)
+        assert forward_topk(g, scores, py, diff_index=di).stats.backend == "python"
+        assert forward_topk(g, scores, npy, diff_index=di).stats.backend == "numpy"
+
+
+class TestBackwardParity:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("include_self", [True, False])
+    def test_binary_scores_bit_exact(self, aggregate, include_self):
+        for seed in range(4):
+            g = random_graph(45, 0.09, seed=seed)
+            scores = binary_scores(45, seed + 30)
+            di = build_differential_index(g, 2, include_self=include_self)
+            py, npy = spec_pair(aggregate=aggregate, include_self=include_self)
+            a = backward_topk(g, scores, py, sizes=di.sizes)
+            b = backward_topk(g, scores, npy, sizes=di.sizes)
+            assert a.entries == b.entries
+
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count"])
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_continuous_scores_exact_and_estimated_sizes(self, aggregate, hops):
+        for seed in range(3):
+            g = random_graph(40, 0.1, seed=seed)
+            scores = random_scores(40, seed=seed + 70, density=0.4)
+            di = build_differential_index(g, hops)
+            py, npy = spec_pair(aggregate=aggregate, hops=hops)
+            assert_same_answer(
+                backward_topk(g, scores, py, sizes=di.sizes),
+                backward_topk(g, scores, npy, sizes=di.sizes),
+            )
+            assert_same_answer(
+                backward_topk(g, scores, py),
+                backward_topk(g, scores, npy),
+            )
+
+    def test_directed_distribution_uses_reversed_arcs(self):
+        for seed in range(3):
+            g = random_graph(35, 0.08, seed=seed, directed=True)
+            scores = random_scores(35, seed=seed + 90, density=0.3)
+            py, npy = spec_pair()
+            assert_same_answer(
+                backward_topk(g, scores, py),
+                backward_topk(g, scores, npy),
+            )
+
+    @pytest.mark.parametrize("gamma", [0.25, 0.75, "auto"])
+    def test_gamma_policies(self, gamma):
+        g = random_graph(40, 0.1, seed=4)
+        scores = random_scores(40, seed=44, density=0.5)
+        di = build_differential_index(g, 2)
+        py, npy = spec_pair()
+        a = backward_topk(g, scores, py, gamma=gamma, sizes=di.sizes)
+        b = backward_topk(g, scores, npy, gamma=gamma, sizes=di.sizes)
+        assert_same_answer(a, b)
+        assert a.stats.extra["gamma"] == b.stats.extra["gamma"]
+        assert a.stats.extra["distributed_nodes"] == b.stats.extra["distributed_nodes"]
+        assert a.stats.extra["rest_bound"] == b.stats.extra["rest_bound"]
+
+    def test_exact_shortcut_taken_by_both(self):
+        g = random_graph(40, 0.1, seed=6)
+        scores = binary_scores(40, 66, density=0.2)
+        di = build_differential_index(g, 2)
+        py, npy = spec_pair()
+        a = backward_topk(g, scores, py, gamma=1.0, sizes=di.sizes)
+        b = backward_topk(g, scores, npy, gamma=1.0, sizes=di.sizes)
+        assert a.stats.extra["exact_shortcut"] == 1.0
+        assert b.stats.extra["exact_shortcut"] == 1.0
+        assert a.entries == b.entries
+
+
+class TestBackendSelection:
+    def test_auto_resolves_to_numpy_when_available(self):
+        assert resolve_backend("auto") == "numpy"
+
+    def test_explicit_backends_resolve_to_themselves(self):
+        assert resolve_backend("python") == "python"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_backend("fortran")
+        with pytest.raises(InvalidParameterError):
+            QuerySpec(k=1, backend="fortran")
+
+    def test_spec_backend_roundtrip(self):
+        spec = QuerySpec(k=3, backend="python")
+        assert spec.with_backend("numpy").backend == "numpy"
+        assert spec.backend == "python"
+        assert "auto" in BACKENDS
+
+    def test_engine_backend_override_per_query(self):
+        g = random_graph(40, 0.1, seed=7)
+        scores = binary_scores(40, 77)
+        engine = TopKEngine(g, scores, hops=2, backend="python")
+        engine.build_indexes()
+        a = engine.topk(5, "sum", "forward")
+        b = engine.topk(5, "sum", "forward", backend="numpy")
+        assert a.stats.backend == "python"
+        assert b.stats.backend == "numpy"
+        assert a.entries == b.entries
+
+    def test_engine_rejects_unknown_backend(self):
+        g = random_graph(10, 0.2, seed=8)
+        with pytest.raises(InvalidParameterError):
+            TopKEngine(g, binary_scores(10, 1), backend="gpu")
+
+    def test_planner_surfaces_backend(self):
+        g = random_graph(30, 0.1, seed=9)
+        engine = TopKEngine(g, binary_scores(30, 5), hops=2, backend="numpy")
+        plan = engine.explain(5)
+        assert plan.backend == "numpy"
+        assert "execution backend: numpy" in plan.explain()
+
+    def test_engine_csr_cached_across_queries(self):
+        g = random_graph(30, 0.1, seed=10)
+        engine = TopKEngine(g, binary_scores(30, 6), hops=2, backend="numpy")
+        engine.topk(3, "sum", "backward")
+        first = engine.csr_view()
+        engine.topk(3, "sum", "backward")
+        assert engine.csr_view() is first
+
+
+class TestBatchParity:
+    def test_shared_scan_backends_agree(self):
+        g = random_graph(50, 0.08, seed=11)
+        queries = [
+            BatchQuery(
+                scores=ScoreVector(random_scores(50, seed=100 + i, density=0.7)),
+                k=5,
+                aggregate=agg,
+            )
+            for i, agg in enumerate(["sum", "avg", "count"])
+        ]
+        py = batch_base_topk(g, queries, hops=2, backend="python")
+        npy = batch_base_topk(g, queries, hops=2, backend="numpy")
+        for a, b in zip(py, npy):
+            assert_same_answer(a, b)
+            assert a.stats.edges_scanned == b.stats.edges_scanned
+            assert a.stats.balls_expanded == b.stats.balls_expanded
+        assert npy[0].stats.backend == "numpy"

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.aggregates.functions import AggregateKind
 from repro.core.base import base_topk
 from repro.core.evaluate import evaluate_node, exact_sum_and_size
 from repro.core.query import QuerySpec
-from repro.aggregates.functions import AggregateKind
 from tests.conftest import random_graph, random_scores, ref_topk_values, rounded
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.base import base_topk
 from repro.core.engine import TopKEngine
 from repro.core.planner import QueryPlanner
 from repro.core.query import QuerySpec
@@ -11,7 +12,6 @@ from repro.errors import InvalidParameterError
 from repro.graph.generators import powerlaw_cluster
 from repro.relevance import BinaryRelevance, MixtureRelevance
 from tests.conftest import random_graph, random_scores, rounded
-from repro.core.base import base_topk
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ import pytest
 from repro.core.base import base_topk
 from repro.core.query import QuerySpec
 from repro.distributed.aggregation import ScoreFloodProgram, SizeFloodProgram
-from repro.distributed.bsp import BSPEngine, MessageStats
+from repro.distributed.bsp import BSPEngine
 from repro.distributed.coordinator import DistributedTopKEngine
 from repro.distributed.partition import Partition, bfs_partition, hash_partition
 from repro.errors import DistributedError, InvalidParameterError, PartitionError

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.backward import backward_topk
 from repro.core.base import base_topk
 from repro.core.forward import forward_topk
 from repro.core.query import QuerySpec
-from repro.distributed.bsp import BSPEngine
 from repro.distributed.aggregation import ScoreFloodProgram
+from repro.distributed.bsp import BSPEngine
 from repro.distributed.partition import hash_partition
 from repro.graph.graph import Graph
 from repro.relational.operators import (

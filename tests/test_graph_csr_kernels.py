@@ -1,0 +1,188 @@
+"""Property tests for the CSR layer: round-trips and expansion kernels.
+
+Two families:
+
+* ``to_csr``/``from_csr`` round-trips over randomized graph shapes —
+  weighted, directed, empty, isolated-node — asserting the reconstruction
+  is arc-for-arc (and weight-for-weight) identical, plus the platform-width
+  regression (``array('q')`` is 8 bytes everywhere; ``'l'`` is 4 on
+  Windows/ILP32).
+* the numpy expansion kernels (``neighbor_slab`` / ``csr_hop_ball`` /
+  ``batched_hop_balls`` / ``CSRBallCache``) checked against the pure-Python
+  :func:`~repro.graph.traversal.hop_ball` oracle on the same randomized
+  shapes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.graph.csr as csr_module
+from repro.graph.csr import CSRGraph, from_csr, to_csr
+from repro.graph.graph import Graph
+from repro.graph.traversal import TraversalCounter, hop_ball
+from tests.conftest import random_graph
+
+
+def random_weighted_graph(n: int, edge_prob: float, seed: int, *, directed: bool) -> Graph:
+    rng = random.Random(seed)
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            if not directed and u > v:
+                continue
+            if rng.random() < edge_prob:
+                edges.append((u, v, round(rng.uniform(0.1, 5.0), 3)))
+    return Graph.from_weighted_edges(edges, num_nodes=n, directed=directed)
+
+
+def assert_graphs_equal(a: Graph, b: Graph) -> None:
+    assert a.num_nodes == b.num_nodes
+    assert a.num_edges == b.num_edges
+    assert a.directed == b.directed
+    assert a.weighted == b.weighted
+    for u in a.nodes():
+        assert list(a.neighbors(u)) == list(b.neighbors(u))
+        if a.weighted:
+            assert list(a.neighbor_weights(u)) == list(b.neighbor_weights(u))
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_random_graphs(self, seed, directed):
+        g = random_graph(
+            10 + seed * 7, 0.05 + 0.03 * (seed % 4), seed=seed, directed=directed
+        )
+        assert_graphs_equal(g, from_csr(to_csr(g)))
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_random_weighted_graphs(self, seed, directed):
+        g = random_weighted_graph(12 + seed * 5, 0.1, seed=seed, directed=directed)
+        assert_graphs_equal(g, from_csr(to_csr(g)))
+
+    def test_empty_graph(self):
+        g = Graph([])
+        back = from_csr(to_csr(g))
+        assert back.num_nodes == 0
+        assert back.num_edges == 0
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges([], num_nodes=5)
+        back = from_csr(to_csr(g))
+        assert back.num_nodes == 5
+        assert back.num_edges == 0
+
+    def test_isolated_nodes_preserved(self):
+        # Nodes 3, 5, 6 have no edges; indptr must keep their empty slabs.
+        g = Graph.from_edges([(0, 1), (1, 2), (4, 0)], num_nodes=7)
+        csr = to_csr(g)
+        assert csr.degree(3) == csr.degree(5) == csr.degree(6) == 0
+        assert_graphs_equal(g, from_csr(csr))
+
+    def test_fixed_width_arrays(self):
+        """array('q') pins 8-byte ints on every platform (the 'l' bug)."""
+        csr = to_csr(Graph.from_edges([(0, 1)]))
+        assert csr.indptr.itemsize == 8
+        assert csr.indices.itemsize == 8
+
+    def test_degree_array_exported(self):
+        assert "degree_array" in csr_module.__all__
+        numpy = pytest.importorskip("numpy")
+        g = random_graph(15, 0.2, seed=3)
+        degrees = csr_module.degree_array(g)
+        assert isinstance(degrees, numpy.ndarray)
+        assert degrees.tolist() == [g.degree(u) for u in g.nodes()]
+
+    def test_numpy_roundtrip(self):
+        pytest.importorskip("numpy")
+        g = random_weighted_graph(20, 0.15, seed=9, directed=True)
+        assert_graphs_equal(g, from_csr(to_csr(g, use_numpy=True)))
+
+
+class TestExpansionKernels:
+    """The numpy kernels against the pure-Python BFS oracle."""
+
+    @pytest.fixture(autouse=True)
+    def _numpy(self):
+        self.np = pytest.importorskip("numpy")
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("directed", [False, True])
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_csr_hop_ball_matches_hop_ball(self, seed, directed, hops):
+        g = random_graph(30, 0.1, seed=seed, directed=directed)
+        csr = to_csr(g, use_numpy=True)
+        for include_self in (True, False):
+            for center in range(0, 30, 7):
+                expected = sorted(
+                    hop_ball(g, center, hops, include_self=include_self)
+                )
+                actual = csr_module.csr_hop_ball(
+                    csr, center, hops, include_self=include_self
+                )
+                assert actual.tolist() == expected
+
+    def test_neighbor_slab_concatenates_adjacency(self):
+        g = random_graph(25, 0.15, seed=2)
+        csr = to_csr(g, use_numpy=True)
+        frontier = self.np.array([3, 0, 17], dtype=self.np.int64)
+        neighbors, counts = csr_module.neighbor_slab(csr, frontier)
+        expected = list(g.neighbors(3)) + list(g.neighbors(0)) + list(g.neighbors(17))
+        assert neighbors.tolist() == expected
+        assert counts.tolist() == [g.degree(3), g.degree(0), g.degree(17)]
+
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    @pytest.mark.parametrize("include_self", [True, False])
+    def test_batched_hop_balls_matches_per_ball(self, hops, include_self):
+        g = random_graph(35, 0.1, seed=4)
+        csr = to_csr(g, use_numpy=True)
+        centers = self.np.array([5, 0, 11, 29, 34], dtype=self.np.int64)
+        owners, members, _edges = csr_module.batched_hop_balls(
+            csr, centers, hops, include_self=include_self
+        )
+        for i, center in enumerate(centers.tolist()):
+            ball = members[owners == i]
+            expected = sorted(hop_ball(g, center, hops, include_self=include_self))
+            assert ball.tolist() == expected
+
+    def test_batched_hop_balls_empty_centers(self):
+        csr = to_csr(random_graph(10, 0.2, seed=5), use_numpy=True)
+        owners, members, edges = csr_module.batched_hop_balls(
+            csr, self.np.empty(0, dtype=self.np.int64), 2
+        )
+        assert owners.size == 0 and members.size == 0 and edges == 0
+
+    def test_ball_cache_caches_and_counts(self):
+        g = random_graph(30, 0.12, seed=6)
+        csr = to_csr(g, use_numpy=True)
+        counter = TraversalCounter()
+        cache = csr_module.CSRBallCache(csr, 2, counter=counter)
+        first = cache.ball(4)
+        assert counter.balls_expanded == 1
+        again = cache.ball(4)
+        assert again is first  # cache hit
+        assert counter.balls_expanded == 1  # hits are free
+        oracle = TraversalCounter()
+        expected = hop_ball(g, 4, 2, counter=oracle)
+        assert first.tolist() == sorted(expected)
+        assert counter.edges_scanned == oracle.edges_scanned
+        assert counter.nodes_visited == oracle.nodes_visited
+
+    def test_uncached_expander_stores_nothing(self):
+        csr = to_csr(random_graph(20, 0.15, seed=7), use_numpy=True)
+        expander = csr_module.CSRBallCache(csr, 2, cached=False)
+        expander.ball(1)
+        expander.ball(2)
+        assert len(expander) == 0
+
+    def test_plain_csr_rejected_by_kernels(self):
+        csr = to_csr(random_graph(10, 0.2, seed=8))  # stdlib arrays
+        assert isinstance(csr, CSRGraph)
+        with pytest.raises(TypeError):
+            csr_module.csr_hop_ball(csr, 0, 2)

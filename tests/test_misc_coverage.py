@@ -7,8 +7,8 @@ import pytest
 from repro.bench.harness import run_figure
 from repro.bench.workloads import FIGURES
 from repro.graph.csr import degree_array
-from repro.graph.io import iter_edge_lines, parse_edge_list
 from repro.graph.graph import Graph
+from repro.graph.io import iter_edge_lines, parse_edge_list
 from tests.conftest import random_graph
 
 
@@ -41,8 +41,8 @@ class TestHarnessVerification:
 
         original = harness_module._run_algorithm
 
-        def corrupted(algorithm, graph, scores, spec, diff_index, view):
-            result = original(algorithm, graph, scores, spec, diff_index, view)
+        def corrupted(algorithm, *args, **kwargs):
+            result = original(algorithm, *args, **kwargs)
             if algorithm == "backward":
                 broken = [(n, v + 1.0) for n, v in result.entries]
                 result.entries = broken
@@ -57,8 +57,8 @@ class TestHarnessVerification:
 
         original = harness_module._run_algorithm
 
-        def corrupted(algorithm, graph, scores, spec, diff_index, view):
-            result = original(algorithm, graph, scores, spec, diff_index, view)
+        def corrupted(algorithm, *args, **kwargs):
+            result = original(algorithm, *args, **kwargs)
             if algorithm == "backward":
                 result.entries = [(n, v + 1.0) for n, v in result.entries]
             return result

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
