@@ -18,7 +18,7 @@ Run:  python examples/gene_coexpression.py
 
 import random
 
-from repro import IterativeClassifierRelevance, TopKEngine
+from repro import IterativeClassifierRelevance, Network
 from repro.graph.generators import powerlaw_cluster
 
 
@@ -43,20 +43,20 @@ def main() -> None:
     relevance = IterativeClassifierRelevance(
         positive=known, negative=negatives, prior=0.05, iterations=6
     )
-    engine = TopKEngine(graph, relevance, hops=2)
+    net = Network(graph, hops=2).add_scores("pathway", relevance)
 
     for aggregate, question in (
         ("sum", "most functional signal within 2 hops"),
         ("avg", "purest functional neighborhood"),
     ):
-        result = engine.topk(k=8, aggregate=aggregate)
+        result = net.query("pathway").limit(8).aggregate(aggregate).run()
         print(f"\ntop genes by {aggregate.upper()} ({question}):")
         for rank, (gene, value) in enumerate(result.entries, start=1):
             marker = " *known*" if gene in known else ""
             print(f"  #{rank}: gene {gene:4d}   score = {value:8.3f}{marker}")
 
     # Sanity: the anchor's module should dominate the SUM ranking.
-    top = engine.topk(k=8, aggregate="sum")
+    top = net.query("pathway").limit(8).run()
     overlap = sum(1 for gene in top.nodes if anchor in graph.neighbors(gene) or gene == anchor)
     print(
         f"\n{overlap} of the top-8 SUM genes are the anchor or its direct "

@@ -18,7 +18,7 @@ Run:  python examples/intrusion_detection.py [scale]
 import sys
 import time
 
-from repro import BinaryRelevance, TopKEngine
+from repro import BinaryRelevance, Network
 from repro.datasets import load, spec_of
 
 
@@ -34,16 +34,16 @@ def main() -> None:
 
     # The IDS flags 2% of IPs as attack sources.
     flagged = BinaryRelevance(blacking_ratio=0.02, seed=21)
-    engine = TopKEngine(graph, flagged, hops=2)
-    print(f"flagged IPs: {len(engine.scores.nonzero_nodes)}")
+    net = Network(graph, hops=2).add_scores("flagged", flagged)
+    print(f"flagged IPs: {len(net.scores_of('flagged').nonzero_nodes)}")
 
     k = 15
     start = time.perf_counter()
-    naive = engine.topk(k, "sum", "base")
+    naive = net.query("flagged").limit(k).algorithm("base").run()
     naive_time = time.perf_counter() - start
 
     start = time.perf_counter()
-    fast = engine.topk(k, "sum", "backward")
+    fast = net.query("flagged").limit(k).algorithm("backward").run()
     fast_time = time.perf_counter() - start
 
     assert [round(v, 9) for v in naive.values] == [

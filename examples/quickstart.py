@@ -1,15 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: top-k neighborhood aggregation in a dozen lines.
+"""Quickstart: top-k neighborhood aggregation through the Network session.
 
-Builds a small social network, assigns each member a relevance score
-(here: how strongly they like a product), and asks LONA's engine for the
+Builds a small social network, registers each member's relevance score
+(here: how strongly they like a product), and asks the session for the
 three people whose 2-hop circle likes the product most — the paper's
-"popularity of a game console in one's social circle" query.
+"popularity of a game console in one's social circle" query — through the
+fluent query builder, plus a peek at the planner and the streaming mode.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Graph, MixtureRelevance, TopKEngine
+from repro import Graph, MixtureRelevance, Network
 
 
 def main() -> None:
@@ -23,31 +24,54 @@ def main() -> None:
     graph = Graph.from_edges(edges, name="quickstart")
     print(f"graph: {graph.num_nodes} people, {graph.num_edges} friendships")
 
-    # A seeded mixture relevance: ~25% enthusiasts (score 1.0) plus an
-    # exponential tail, smoothed one hop by a random walk.
-    relevance = MixtureRelevance(blacking_ratio=0.25, seed=7)
+    # One session owns the graph, every named score vector, and all the
+    # shared caches (indexes, CSR views).  A seeded mixture relevance:
+    # ~25% enthusiasts (score 1.0) plus an exponential tail.
+    net = Network(graph, hops=2)
+    net.add_scores("enthusiasm", MixtureRelevance(blacking_ratio=0.25, seed=7))
 
-    engine = TopKEngine(graph, relevance, hops=2)
-    result = engine.topk(k=3, aggregate="sum")
+    query = net.query("enthusiasm").aggregate("sum").limit(3)
+    result = query.run()
 
-    print(f"\nquery: {engine.spec(3, 'sum').describe()}")
+    print(f"\nquery: {query.request().describe()}")
     print(f"algorithm chosen automatically: {result.stats.algorithm}")
     print("\nwho has the most enthusiastic 2-hop circle?")
     for rank, (node, value) in enumerate(result.entries, start=1):
         print(f"  #{rank}: person {node:2d}   circle score = {value:.3f}")
 
     # The same query as an AVG — who has the most *concentrated* circle?
-    avg = engine.topk(k=3, aggregate="avg")
+    avg = query.aggregate("avg").run()
     print("\nwho has the most concentrated circle (AVG)?")
     for rank, (node, value) in enumerate(avg.entries, start=1):
         print(f"  #{rank}: person {node:2d}   average score = {value:.3f}")
+
+    # Restrict the competition declaratively: only the second community.
+    local = query.where(lambda v: v >= 6).run()
+    print("\nbest circle within the second friend group?")
+    for rank, (node, value) in enumerate(local.entries, start=1):
+        print(f"  #{rank}: person {node:2d}   circle score = {value:.3f}")
+
+    # Anytime consumption: watch the answer refine, stop whenever.
+    print("\nstreaming refinements (node, value, bound on the unseen):")
+    for update in query.stream():
+        print(
+            f"  evaluated {update.evaluated:2d}/{update.total}: "
+            f"person {update.node:2d} = {update.value:.3f}, "
+            f"unseen <= {update.bound:.3f}"
+        )
+        if update.done:
+            break
 
     # Why did the winner win?  Decompose its aggregate.
     from repro.core import explain_node
 
     winner = result.top()[0]
     print("\nwhy?")
-    print(explain_node(graph, engine.scores, winner, hops=2).describe(limit=3))
+    print(
+        explain_node(
+            graph, net.scores_of("enthusiasm"), winner, hops=2
+        ).describe(limit=3)
+    )
 
 
 if __name__ == "__main__":

@@ -12,10 +12,8 @@ Run:  python examples/relational_comparison.py
 
 import time
 
-from repro import MixtureRelevance
-from repro.core import base_topk, QuerySpec
+from repro import MixtureRelevance, Network
 from repro.datasets import load
-from repro.relational import RelationalTopKEngine
 
 
 def main() -> None:
@@ -25,15 +23,16 @@ def main() -> None:
 
     k = 10
     for hops in (1, 2):
-        spec = QuerySpec(k=k, hops=hops)
+        # One session per radius: the shared indexes are built per h.
+        net = Network(graph, hops=hops).add_scores("mixture", scores)
 
         start = time.perf_counter()
-        graph_result = base_topk(graph, scores.values(), spec)
+        graph_result = net.query("mixture").limit(k).algorithm("base").run()
         graph_time = time.perf_counter() - start
 
         start = time.perf_counter()
-        relational_result = RelationalTopKEngine(graph, scores.values()).topk(
-            k, "sum", hops=hops
+        relational_result = (
+            net.query("mixture").limit(k).algorithm("relational").run()
         )
         relational_time = time.perf_counter() - start
 

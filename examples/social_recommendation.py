@@ -17,7 +17,7 @@ Run:  python examples/social_recommendation.py [scale]
 import sys
 import time
 
-from repro import BinaryRelevance, TopKEngine
+from repro import BinaryRelevance, Network
 from repro.datasets import load
 
 
@@ -30,20 +30,23 @@ def main() -> None:
     )
 
     owners = BinaryRelevance(blacking_ratio=0.02, seed=9)
-    engine = TopKEngine(graph, owners, hops=2)
+    net = Network(graph, hops=2).add_scores("owners", owners)
+    scores = net.scores_of("owners")
     print(
-        f"console owners: {len(engine.scores.nonzero_nodes)} "
-        f"({engine.scores.density:.1%} of members)"
+        f"console owners: {len(scores.nonzero_nodes)} "
+        f"({scores.density:.1%} of members)"
     )
 
-    build = engine.build_indexes()
+    build = net.build_indexes()
     print(f"offline differential index: {build:.2f}s (paid once, reused per query)\n")
 
     k = 10
     results = {}
     for algorithm in ("base", "forward", "backward"):
         start = time.perf_counter()
-        results[algorithm] = engine.topk(k, "sum", algorithm)
+        results[algorithm] = (
+            net.query("owners").limit(k).algorithm(algorithm).run()
+        )
         elapsed = time.perf_counter() - start
         stats = results[algorithm].stats
         print(

@@ -13,17 +13,19 @@ Run:  python examples/weighted_influence.py
 
 import time
 
-from repro import BinaryRelevance, TopKEngine
+from repro import BinaryRelevance, Network
 from repro.aggregates import exponential_decay, inverse_distance, uniform_weight
 from repro.datasets import load
 
 
 def main() -> None:
     graph = load("collaboration_like", scale=0.5, seed=12)
-    engine = TopKEngine(graph, BinaryRelevance(0.03, seed=23), hops=2)
+    net = Network(graph, hops=2).add_scores(
+        "enthusiasm", BinaryRelevance(0.03, seed=23)
+    )
     print(
         f"network: {graph.num_nodes} members, {graph.num_edges} ties; "
-        f"{len(engine.scores.nonzero_nodes)} enthusiasts\n"
+        f"{len(net.scores_of('enthusiasm').nonzero_nodes)} enthusiasts\n"
     )
 
     profiles = [
@@ -35,10 +37,10 @@ def main() -> None:
     rankings = {}
     for label, profile in profiles:
         start = time.perf_counter()
-        fast = engine.topk_weighted(k, profile=profile, algorithm="backward")
+        fast = net.topk_weighted("enthusiasm", k, profile, algorithm="backward")
         fast_time = time.perf_counter() - start
         start = time.perf_counter()
-        slow = engine.topk_weighted(k, profile=profile, algorithm="base")
+        slow = net.topk_weighted("enthusiasm", k, profile, algorithm="base")
         slow_time = time.perf_counter() - start
         assert [round(v, 9) for v in fast.values] == [
             round(v, 9) for v in slow.values

@@ -5,15 +5,28 @@ queries — find the k nodes whose h-hop neighborhoods have the highest
 SUM/AVG of a per-node relevance score — with two pruning algorithms that
 beat the naive scan by up to an order of magnitude.
 
-Quickstart::
+Quickstart (the :class:`Network` session is the front door)::
 
-    from repro import Graph, TopKEngine, MixtureRelevance
+    from repro import Graph, MixtureRelevance, Network
 
     graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
-    engine = TopKEngine(graph, MixtureRelevance(0.25, seed=7), hops=2)
-    result = engine.topk(k=2, aggregate="sum", algorithm="backward")
+    net = Network(graph, hops=2)
+    net.add_scores("relevance", MixtureRelevance(0.25, seed=7))
+
+    result = net.query("relevance").aggregate("sum").limit(2).run()
     for node, value in result.entries:
         print(node, value)
+
+    # incremental (anytime) consumption, batches, plans, filters:
+    for update in net.query("relevance").limit(2).stream():
+        ...                                           # refining snapshots
+    plan = net.query("relevance").limit(2).explain()  # cost-based plan
+    subset = net.query("relevance").limit(2).where(lambda v: v > 0).run()
+
+The pre-session entry points (:class:`TopKEngine`, ``topk_sum`` /
+``topk_avg``, :class:`BatchTopKEngine`, direct algorithm functions) keep
+working; the engine classes emit :class:`DeprecationWarning` and return
+entry-for-entry identical results through the same executor.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -21,12 +34,18 @@ paper-vs-measured record.
 
 from repro.aggregates import AggregateKind
 from repro.core import (
+    BatchQuery,
+    BatchResult,
+    BatchTopKEngine,
+    QueryRequest,
     QuerySpec,
     QueryStats,
+    StreamUpdate,
     TopKEngine,
     TopKResult,
     backward_topk,
     base_topk,
+    combine_query_stats,
     forward_topk,
     topk_avg,
     topk_sum,
@@ -44,8 +63,9 @@ from repro.relevance import (
     indicator_scores,
     uniform_scores,
 )
+from repro.session import Network, QueryBuilder
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
@@ -55,6 +75,14 @@ __all__ = [
     "build_differential_index",
     "DynamicGraph",
     "MaintainedAggregateView",
+    "Network",
+    "QueryBuilder",
+    "QueryRequest",
+    "StreamUpdate",
+    "BatchQuery",
+    "BatchResult",
+    "BatchTopKEngine",
+    "combine_query_stats",
     "TopKEngine",
     "QuerySpec",
     "TopKResult",

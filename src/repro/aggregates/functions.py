@@ -25,7 +25,13 @@ from typing import Iterable, Union
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["AggregateKind", "finalize_sum", "evaluate_scores", "coerce_aggregate"]
+__all__ = [
+    "AggregateKind",
+    "finalize_sum",
+    "evaluate_scores",
+    "coerce_aggregate",
+    "fold_scores",
+]
 
 
 class AggregateKind(enum.Enum):
@@ -59,6 +65,18 @@ def coerce_aggregate(value: Union[str, AggregateKind]) -> AggregateKind:
         raise InvalidParameterError(
             f"unknown aggregate {value!r}; expected one of: {valid}"
         ) from None
+
+
+def fold_scores(kind: AggregateKind, scores: Iterable[float]) -> list:
+    """The score list an aggregate's *sum machinery* should fold over.
+
+    COUNT is SUM over the 0/1 indicator transform of the scores; every
+    other aggregate folds the raw values.  One helper so the shared-scan,
+    filtered-scan, and streaming executors apply the identical transform.
+    """
+    if kind is AggregateKind.COUNT:
+        return [1.0 if s > 0.0 else 0.0 for s in scores]
+    return list(scores)
 
 
 def finalize_sum(kind: AggregateKind, total: float, ball_size: int) -> float:

@@ -9,8 +9,11 @@ Examples::
     python -m repro.cli query --edge-list graph.txt --k 5 \
         --aggregate avg --hops 1 --algorithm backward
 
+    # machine-readable output (entries + stats as one JSON object)
+    python -m repro.cli query --dataset citation_like --k 10 --json
+
     # explain the planner's choice without executing
-    python -m repro.cli explain --dataset citation_like --k 50
+    python -m repro.cli explain --dataset citation_like --k 50 --json
 
     # structural profile of a graph
     python -m repro.cli profile --dataset intrusion_like
@@ -18,15 +21,19 @@ Examples::
 Relevance comes from ``--blacking-ratio`` (the paper's mixture function;
 ``--binary`` for the 0/1 variant) or ``--scores FILE`` with one
 ``node score`` pair per line.
+
+The CLI is a thin shell over the :class:`repro.session.Network` facade:
+every command builds a session, registers the scores under the name
+``"cli"``, and lowers the flags to one fluent query.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.core.engine import TopKEngine
 from repro.datasets import available, load
 from repro.errors import ReproError
 from repro.graph.graph import Graph
@@ -34,8 +41,12 @@ from repro.graph.io import read_edge_list
 from repro.graph.metrics import profile_graph
 from repro.relevance.base import ScoreVector
 from repro.relevance.mixture import MixtureRelevance
+from repro.session import Network
 
 __all__ = ["main"]
+
+#: Score name the CLI registers its vector under in the session.
+_CLI_SCORE = "cli"
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +83,14 @@ def _add_relevance_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text",
+    )
+
+
 def _build_graph(args: argparse.Namespace) -> Graph:
     if args.dataset:
         return load(args.dataset, scale=args.scale, seed=args.seed)
@@ -100,14 +119,43 @@ def _build_scores(args: argparse.Namespace, graph: Graph) -> ScoreVector:
     return relevance.scores(graph)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _build_session(args: argparse.Namespace) -> Network:
     graph = _build_graph(args)
-    scores = _build_scores(args, graph)
-    engine = TopKEngine(graph, scores, hops=args.hops, backend=args.backend)
+    net = Network(graph, hops=args.hops, backend=args.backend)
+    net.add_scores(_CLI_SCORE, _build_scores(args, graph))
+    return net
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    net = _build_session(args)
     if getattr(args, "index", None):
-        engine.load_index(args.index)
-    result = engine.topk(args.k, args.aggregate, args.algorithm)
+        net.load_index(args.index)
+    result = (
+        net.query(_CLI_SCORE)
+        .limit(args.k)
+        .aggregate(args.aggregate)
+        .algorithm(args.algorithm)
+        .run()
+    )
+    graph = net.graph
     stats = result.stats
+    if args.json:
+        payload = {
+            "command": "query",
+            "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+            "entries": [
+                {
+                    "rank": rank,
+                    "node": node,
+                    "label": str(graph.label_of(node)),
+                    "value": value,
+                }
+                for rank, (node, value) in enumerate(result.entries, start=1)
+            ],
+            "stats": stats.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         f"# {graph.num_nodes} nodes, {graph.num_edges} edges; "
         f"algorithm={stats.algorithm}; backend={stats.backend}; "
@@ -121,21 +169,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    scores = _build_scores(args, graph)
-    engine = TopKEngine(graph, scores, hops=args.hops, backend=args.backend)
-    plan = engine.explain(
-        args.k, args.aggregate, amortize_index=not args.cold
+    net = _build_session(args)
+    plan = (
+        net.query(_CLI_SCORE)
+        .limit(args.k)
+        .aggregate(args.aggregate)
+        .explain(amortize_index=not args.cold)
     )
+    if args.json:
+        payload = {
+            "command": "explain",
+            "graph": {
+                "nodes": net.graph.num_nodes,
+                "edges": net.graph.num_edges,
+            },
+            "plan": plan.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(plan.explain())
     return 0
 
 
 def _cmd_build_index(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    engine = TopKEngine(graph, [0.0] * graph.num_nodes, hops=args.hops)
-    build_sec = engine.build_indexes()
-    engine.save_index(args.out)
+    net = Network(graph, hops=args.hops)
+    build_sec = net.build_indexes()
+    net.save_index(args.out)
     print(
         f"# differential index for {graph.num_nodes} nodes / "
         f"{graph.num_edges} edges (h={args.hops}) built in {build_sec:.2f}s "
@@ -172,7 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     query.add_argument(
         "--algorithm",
         default="auto",
-        choices=("auto", "planned", "base", "forward", "backward"),
+        choices=("auto", "planned", "base", "forward", "backward", "relational"),
     )
     query.add_argument(
         "--backend",
@@ -183,6 +243,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     query.add_argument(
         "--index", help="path to a persisted differential index (see build-index)"
     )
+    _add_json_argument(query)
     query.set_defaults(func=_cmd_query)
 
     build_index = subparsers.add_parser(
@@ -217,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="charge the offline index build to this query",
     )
+    _add_json_argument(explain)
     explain.set_defaults(func=_cmd_explain)
 
     profile = subparsers.add_parser(

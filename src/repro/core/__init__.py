@@ -1,6 +1,14 @@
 """The paper's contribution: LONA top-k neighborhood aggregation.
 
-* :class:`TopKEngine` — facade with index caching and auto algorithm choice.
+* :class:`~repro.core.context.GraphContext` — the shared per-graph caches
+  (differential index, size index, CSR views) every execution path draws
+  from.
+* :class:`~repro.core.request.QueryRequest` — the lowered query the
+  session builder produces and the executor consumes.
+* :mod:`repro.core.executor` — the single dispatch point for base /
+  forward / backward / relational / filtered / streamed execution.
+* :class:`TopKEngine` — legacy per-score facade (deprecated shim over the
+  executor; prefer :class:`repro.session.Network`).
 * :func:`base_topk` — naive forward baseline ("Base").
 * :func:`forward_topk` — LONA-Forward (differential-index pruning).
 * :func:`backward_topk` — LONA-Backward (partial distribution).
@@ -13,13 +21,14 @@
 from repro.core.backends import BACKENDS, numpy_available, resolve_backend
 from repro.core.backward import backward_topk, resolve_gamma
 from repro.core.base import base_topk
-from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
+from repro.core.batch import BatchQuery, BatchResult, BatchTopKEngine, batch_base_topk
 from repro.core.bounds import (
     avg_bound,
     backward_sum_bound,
     forward_sum_bound,
     static_sum_bound,
 )
+from repro.core.context import GraphContext
 from repro.core.engine import TopKEngine, topk_avg, topk_sum
 from repro.core.evaluate import evaluate_node, exact_sum_and_size
 from repro.core.forward import forward_topk
@@ -28,7 +37,13 @@ from repro.core.ordering import ORDERINGS, make_order
 from repro.core.planner import CostEstimate, ExecutionPlan, QueryPlanner
 from repro.core.provenance import Contribution, NodeExplanation, explain_node
 from repro.core.query import QuerySpec
-from repro.core.results import QueryStats, TopKResult
+from repro.core.request import QueryRequest
+from repro.core.results import (
+    QueryStats,
+    StreamUpdate,
+    TopKResult,
+    combine_query_stats,
+)
 from repro.core.topk import TopKAccumulator
 from repro.core.weighted import weighted_backward_topk, weighted_base_topk
 
@@ -39,9 +54,13 @@ __all__ = [
     "BACKENDS",
     "numpy_available",
     "resolve_backend",
+    "GraphContext",
     "QuerySpec",
+    "QueryRequest",
     "TopKResult",
     "QueryStats",
+    "StreamUpdate",
+    "combine_query_stats",
     "TopKAccumulator",
     "base_topk",
     "forward_topk",
@@ -54,6 +73,7 @@ __all__ = [
     "weighted_base_topk",
     "weighted_backward_topk",
     "BatchQuery",
+    "BatchResult",
     "BatchTopKEngine",
     "batch_base_topk",
     "explain_node",

@@ -24,11 +24,11 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.aggregates.functions import AggregateKind, coerce_aggregate, fold_scores
 from repro.core.backends import resolve_backend
 from repro.core.backward import backward_topk
 from repro.core.query import QuerySpec
-from repro.core.results import QueryStats, TopKResult
+from repro.core.results import QueryStats, TopKResult, combine_query_stats
 from repro.core.topk import TopKAccumulator
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
@@ -36,7 +36,7 @@ from repro.graph.neighborhood import NeighborhoodSizeIndex
 from repro.graph.traversal import TraversalCounter, hop_ball
 from repro.relevance.base import ScoreVector
 
-__all__ = ["BatchQuery", "batch_base_topk", "BatchTopKEngine"]
+__all__ = ["BatchQuery", "BatchResult", "batch_base_topk", "BatchTopKEngine"]
 
 
 @dataclass(frozen=True)
@@ -122,14 +122,9 @@ def batch_base_topk(
     counter = TraversalCounter()
     accumulators = [TopKAccumulator(entry.k) for entry in batch]
     # COUNT queries fold over the indicator transform of their vector.
-    folded_scores: List[Sequence[float]] = []
-    for entry in batch:
-        if entry.aggregate is AggregateKind.COUNT:
-            folded_scores.append(
-                [1.0 if s > 0.0 else 0.0 for s in entry.scores]
-            )
-        else:
-            folded_scores.append(entry.scores.values())
+    folded_scores: List[Sequence[float]] = [
+        fold_scores(entry.aggregate, entry.scores) for entry in batch
+    ]
 
     concrete = resolve_backend(backend)
     if concrete == "numpy":
@@ -241,6 +236,47 @@ def _shared_scan_numpy(
                 offer(int(centers[j]), float(values[j]))
 
 
+class BatchResult:
+    """An ordered collection of batch answers plus workload-level stats.
+
+    Sequence of :class:`TopKResult` (input order), with a ``stats`` property
+    that aggregates the per-query counters correctly: each query contributes
+    its own work — shared-scan members contribute their ``1/batch_size``
+    share so the shared traversal is counted exactly once, individually
+    routed members contribute their full counters (see
+    :func:`repro.core.results.combine_query_stats`).  Reporting one member's
+    stats as "the batch's stats" (a previous reporting habit) either drops
+    the peeled-off queries or multiplies the shared scan by the batch size.
+    """
+
+    __slots__ = ("_results", "_stats")
+
+    def __init__(self, results: Sequence[TopKResult]) -> None:
+        self._results: List[TopKResult] = list(results)
+        self._stats: Optional[QueryStats] = None
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self):
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        return self._results[index]
+
+    @property
+    def results(self) -> List[TopKResult]:
+        """The per-query results, input order (list copy)."""
+        return list(self._results)
+
+    @property
+    def stats(self) -> QueryStats:
+        """Workload-level stats: per-query counters summed, shared work once."""
+        if self._stats is None:
+            self._stats = combine_query_stats(r.stats for r in self._results)
+        return self._stats
+
+
 class BatchTopKEngine:
     """Policy layer: share scans for dense queries, peel off sparse ones.
 
@@ -260,6 +296,8 @@ class BatchTopKEngine:
         sparse_threshold: float = 0.05,
         sizes: Optional[NeighborhoodSizeIndex] = None,
         backend: str = "auto",
+        csr=None,
+        context=None,
     ) -> None:
         self.graph = graph
         self.hops = hops
@@ -268,7 +306,31 @@ class BatchTopKEngine:
         self.sizes = sizes
         self.backend = backend
         resolve_backend(backend)  # fail fast on unknown/unavailable backends
-        self._csr = None  # cached numpy CSR view, shared across run() calls
+        # Shared-cache sources, consulted lazily — nothing is built until a
+        # routed query actually needs it: `csr` is an injected prebuilt
+        # numpy view; `context` is a session GraphContext whose (cached)
+        # CSR / size-index accessors are preferred over building our own.
+        self._csr = csr
+        self._ctx = context
+
+    def _shared_csr(self):
+        """The CSR view for the shared scan (built/fetched on first need)."""
+        if self._csr is not None:
+            return self._csr
+        if self._ctx is not None:
+            return self._ctx.csr()
+        from repro.graph.csr import to_csr
+
+        self._csr = to_csr(self.graph, use_numpy=True)
+        return self._csr
+
+    def _sparse_sizes(self) -> Optional[NeighborhoodSizeIndex]:
+        """The N(v) index handed to peeled-off backward queries."""
+        if self.sizes is not None:
+            return self.sizes
+        if self._ctx is not None:
+            return self._ctx.size_index()
+        return None
 
     def run(
         self, queries: Sequence[Union[BatchQuery, Tuple[object, int]]]
@@ -283,22 +345,23 @@ class BatchTopKEngine:
                     self.graph,
                     entry.scores.values(),
                     entry.spec(self.hops, self.include_self, self.backend),
-                    sizes=self.sizes,
+                    sizes=self._sparse_sizes(),
                 )
             else:
                 shared_indices.append(i)
         if shared_indices:
-            if self._csr is None and resolve_backend(self.backend) == "numpy":
-                from repro.graph.csr import to_csr
-
-                self._csr = to_csr(self.graph, use_numpy=True)
+            csr = (
+                self._shared_csr()
+                if resolve_backend(self.backend) == "numpy"
+                else None
+            )
             shared_results = batch_base_topk(
                 self.graph,
                 [batch[i] for i in shared_indices],
                 hops=self.hops,
                 include_self=self.include_self,
                 backend=self.backend,
-                csr=self._csr,
+                csr=csr,
             )
             for i, result in zip(shared_indices, shared_results):
                 results[i] = result

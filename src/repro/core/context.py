@@ -1,0 +1,168 @@
+"""Shared per-graph execution caches, extracted from the engine.
+
+Every execution path over one graph wants the same offline artifacts: the
+differential index (LONA-Forward), the neighborhood-size index
+(LONA-Backward), and — for the vectorized backend — the CSR views of the
+graph and its reversal.  Historically each engine (`TopKEngine`,
+`BatchTopKEngine`, the relational and dynamic paths) rebuilt its own
+copies; :class:`GraphContext` owns them once so the :class:`~repro.session.Network`
+session and the legacy engines can share a single cache.
+
+The context is *version-aware*: when the underlying graph is a
+:class:`~repro.dynamic.graph.DynamicGraph`, every accessor revalidates
+against ``graph.version`` and drops stale artifacts automatically, so a
+session over a mutating graph never serves answers from a dead index.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+
+__all__ = ["GraphContext"]
+
+
+class GraphContext:
+    """Lazily built, shared caches for one ``(graph, hops, include_self)``.
+
+    Owns: the differential index, the exact/estimated neighborhood-size
+    indexes, and the (reversed) CSR views consumed by the numpy backend.
+    All artifacts build on first use and are reused until :meth:`invalidate`
+    (called automatically when the graph's version counter moves).
+    """
+
+    __slots__ = (
+        "graph",
+        "hops",
+        "include_self",
+        "last_index_build_sec",
+        "_diff_index",
+        "_size_index",
+        "_estimated_sizes",
+        "_csr",
+        "_rev_csr",
+        "_graph_version",
+    )
+
+    def __init__(
+        self, graph: Graph, *, hops: int = 2, include_self: bool = True
+    ) -> None:
+        self.graph = graph
+        self.hops = hops
+        self.include_self = include_self
+        self.last_index_build_sec = 0.0
+        self._diff_index: Optional[DifferentialIndex] = None
+        self._size_index: Optional[NeighborhoodSizeIndex] = None
+        self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
+        self._csr = None
+        self._rev_csr = None
+        self._graph_version = getattr(graph, "version", None)
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached artifact (after a graph mutation)."""
+        self._diff_index = None
+        self._size_index = None
+        self._estimated_sizes = None
+        self._csr = None
+        self._rev_csr = None
+        self._graph_version = getattr(self.graph, "version", None)
+
+    def check_fresh(self) -> None:
+        """Invalidate automatically when the graph's version moved."""
+        if getattr(self.graph, "version", None) != self._graph_version:
+            self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    @property
+    def diff_index(self) -> Optional[DifferentialIndex]:
+        """The differential index, if built (and still fresh)."""
+        self.check_fresh()
+        return self._diff_index
+
+    def build_indexes(self) -> float:
+        """Build (or reuse) the differential + exact size indexes.
+
+        Returns the build time in seconds (0.0 when already built) — the
+        offline step of LONA-Forward, reported separately from query time
+        exactly as the paper excludes index construction from runtimes.
+        """
+        self.check_fresh()
+        if self._diff_index is not None:
+            return 0.0
+        start = time.perf_counter()
+        self._diff_index = build_differential_index(
+            self.graph, self.hops, include_self=self.include_self
+        )
+        self._size_index = self._diff_index.sizes
+        self.last_index_build_sec = time.perf_counter() - start
+        return self.last_index_build_sec
+
+    def size_index(self, *, exact: bool = False) -> NeighborhoodSizeIndex:
+        """An ``N(v)`` index: exact when requested/available, else estimated."""
+        self.check_fresh()
+        if exact:
+            self.build_indexes()
+        if self._size_index is not None:
+            return self._size_index
+        if self._estimated_sizes is None:
+            self._estimated_sizes = NeighborhoodSizeIndex.estimated(
+                self.graph, self.hops, include_self=self.include_self
+            )
+        return self._estimated_sizes
+
+    def save_index(self, path: object) -> None:
+        """Persist the differential index (building it first if needed)."""
+        from repro.graph.index_io import save_differential_index
+
+        self.build_indexes()
+        assert self._diff_index is not None
+        save_differential_index(self._diff_index, self.graph, path)  # type: ignore[arg-type]
+
+    def load_index(self, path: object) -> None:
+        """Load a persisted differential index for this context's graph.
+
+        Raises :class:`~repro.errors.IndexNotBuiltError` if the file does
+        not match the graph (wrong graph, mutated graph, wrong format).
+        """
+        from repro.graph.index_io import load_differential_index
+
+        self.check_fresh()
+        index = load_differential_index(self.graph, path)  # type: ignore[arg-type]
+        index.check_compatible(self.graph, self.hops, self.include_self)
+        self._diff_index = index
+        self._size_index = index.sizes
+
+    # ------------------------------------------------------------------
+    # CSR views (numpy backend)
+    # ------------------------------------------------------------------
+    def csr(self):
+        """The (lazily built, cached) numpy CSR view of the graph."""
+        self.check_fresh()
+        if self._csr is None:
+            from repro.graph.csr import to_csr
+
+            self._csr = to_csr(self.graph, use_numpy=True)
+        return self._csr
+
+    def rev_csr(self):
+        """Cached numpy CSR view of the reversed graph (directed only).
+
+        Returns None for undirected graphs, whose reversal is themselves.
+        """
+        self.check_fresh()
+        if not self.graph.directed:
+            return None
+        if self._rev_csr is None:
+            from repro.graph.csr import to_csr
+
+            self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
+        return self._rev_csr

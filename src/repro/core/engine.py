@@ -1,9 +1,20 @@
-"""TopKEngine: the library's front door.
+"""TopKEngine: the legacy per-score engine, now a shim over the executor.
 
-Wraps a ``(graph, relevance)`` pair, owns the index lifecycle (differential
-index and neighborhood-size index are built once and reused across queries,
-matching the paper's offline-precompute framing), and dispatches each query
-to Base, LONA-Forward, or LONA-Backward — or picks automatically.
+.. deprecated::
+    :class:`TopKEngine` remains fully functional but is superseded by the
+    :class:`~repro.session.Network` session facade::
+
+        from repro import Network
+
+        net = Network(graph, hops=2)
+        net.add_scores("relevance", relevance)
+        result = net.query("relevance").limit(10).aggregate("sum").run()
+
+    The session owns one set of shared caches for *all* score vectors and
+    exposes batch, streaming, relational, and dynamic execution through the
+    same builder.  Constructing a ``TopKEngine`` directly emits a
+    :class:`DeprecationWarning`; results are guaranteed identical (the shim
+    lowers to the same :mod:`repro.core.executor` the session uses).
 
 Automatic algorithm choice (``algorithm="auto"``):
 
@@ -17,30 +28,47 @@ Automatic algorithm choice (``algorithm="auto"``):
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Optional, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core import executor
 from repro.core.backends import resolve_backend
-from repro.core.backward import backward_topk
-from repro.core.base import base_topk
-from repro.core.forward import forward_topk
+from repro.core.context import GraphContext
 from repro.core.planner import ExecutionPlan, QueryPlanner
 from repro.core.query import QuerySpec
+from repro.core.request import QueryRequest
 from repro.core.results import TopKResult
 from repro.errors import InvalidParameterError
-from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.diffindex import DifferentialIndex
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import NeighborhoodSizeIndex
 from repro.relevance.base import ScoreVector
 
-__all__ = ["TopKEngine", "topk_sum", "topk_avg"]
+__all__ = ["TopKEngine", "topk_sum", "topk_avg", "materialize_scores"]
 
 ALGORITHMS = ("auto", "planned", "base", "forward", "backward")
 
 
+def materialize_scores(graph: Graph, relevance: object) -> ScoreVector:
+    """Coerce a relevance function / sequence / vector into a ScoreVector."""
+    if isinstance(relevance, ScoreVector):
+        vector = relevance
+    elif hasattr(relevance, "scores"):
+        vector = relevance.scores(graph)  # type: ignore[attr-defined]
+        if not isinstance(vector, ScoreVector):
+            vector = ScoreVector(vector)
+    else:
+        vector = ScoreVector(relevance)  # type: ignore[arg-type]
+    vector.check_graph(graph)
+    return vector
+
+
 class TopKEngine:
     """Query engine for top-k neighborhood aggregation over one graph.
+
+    Deprecated in favor of :class:`repro.session.Network` (see the module
+    docstring); kept working, entry-for-entry identical, as a thin shim.
 
     Parameters
     ----------
@@ -61,8 +89,6 @@ class TopKEngine:
         Execution backend for this engine's queries: ``"auto"`` (default,
         vectorized when numpy is importable), ``"python"``, or ``"numpy"``.
         Individual queries may override via ``topk(..., backend=...)``.
-        The engine caches the numpy CSR view of the graph across queries,
-        so the conversion cost is paid once, like the other indexes.
     """
 
     def __init__(
@@ -75,139 +101,78 @@ class TopKEngine:
         auto_density_threshold: float = 0.2,
         backend: str = "auto",
     ) -> None:
+        warnings.warn(
+            "TopKEngine is deprecated; use repro.Network — "
+            "net = Network(graph, hops=...); net.add_scores(name, relevance); "
+            "net.query(name).limit(k).run()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.graph = graph
         self.hops = hops
         self.include_self = include_self
         self.auto_density_threshold = auto_density_threshold
         self.backend = backend
         resolve_backend(backend)  # fail fast on unknown/unavailable backends
-        self.scores = self._materialize(graph, relevance)
-        self._diff_index: Optional[DifferentialIndex] = None
-        self._size_index: Optional[NeighborhoodSizeIndex] = None
-        self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
+        self.scores = materialize_scores(graph, relevance)
+        self._ctx = GraphContext(graph, hops=hops, include_self=include_self)
         self._planner: Optional[QueryPlanner] = None
-        # Cached numpy CSR views for the vectorized backend (reversed view
-        # only materializes for directed graphs, on first backward query).
-        self._csr = None
-        self._rev_csr = None
-        self.last_index_build_sec = 0.0
-
-    @staticmethod
-    def _materialize(graph: Graph, relevance: object) -> ScoreVector:
-        if isinstance(relevance, ScoreVector):
-            vector = relevance
-        elif hasattr(relevance, "scores"):
-            vector = relevance.scores(graph)  # type: ignore[attr-defined]
-            if not isinstance(vector, ScoreVector):
-                vector = ScoreVector(vector)
-        else:
-            vector = ScoreVector(relevance)  # type: ignore[arg-type]
-        vector.check_graph(graph)
-        return vector
 
     # ------------------------------------------------------------------
-    # Index lifecycle
+    # Index lifecycle (delegated to the shared GraphContext)
     # ------------------------------------------------------------------
     def build_indexes(self) -> float:
         """Build (or reuse) the differential + exact size indexes.
 
-        Returns the build time in seconds (0.0 when already built).  This is
-        the offline step of LONA-Forward; benchmarks call it outside the
-        timed region exactly as the paper excludes index construction from
-        query runtimes.
+        Returns the build time in seconds (0.0 when already built).
         """
-        if self._diff_index is not None:
-            return 0.0
-        start = time.perf_counter()
-        self._diff_index = build_differential_index(
-            self.graph, self.hops, include_self=self.include_self
-        )
-        self._size_index = self._diff_index.sizes
-        self.last_index_build_sec = time.perf_counter() - start
-        return self.last_index_build_sec
+        return self._ctx.build_indexes()
+
+    @property
+    def last_index_build_sec(self) -> float:
+        """Offline build time of the most recent index construction."""
+        return self._ctx.last_index_build_sec
 
     @property
     def diff_index(self) -> Optional[DifferentialIndex]:
         """The differential index, if built."""
-        return self._diff_index
+        return self._ctx.diff_index
 
     def save_index(self, path: object) -> None:
-        """Persist the differential index (building it first if needed).
-
-        The paper's offline artifact, on disk: pay the build once per graph,
-        reload it in every later process (see
-        :mod:`repro.graph.index_io` for the format and its staleness
-        protection).
-        """
-        from repro.graph.index_io import save_differential_index
-
-        self.build_indexes()
-        assert self._diff_index is not None
-        save_differential_index(self._diff_index, self.graph, path)  # type: ignore[arg-type]
+        """Persist the differential index (building it first if needed)."""
+        self._ctx.save_index(path)
 
     def load_index(self, path: object) -> None:
-        """Load a persisted differential index for this engine's graph.
-
-        Raises :class:`~repro.errors.IndexNotBuiltError` if the file does
-        not match the graph (wrong graph, mutated graph, wrong format).
-        """
-        from repro.graph.index_io import load_differential_index
-
-        index = load_differential_index(self.graph, path)  # type: ignore[arg-type]
-        index.check_compatible(self.graph, self.hops, self.include_self)
-        self._diff_index = index
-        self._size_index = index.sizes
+        """Load a persisted differential index for this engine's graph."""
+        self._ctx.load_index(path)
 
     def csr_view(self):
-        """The (lazily built, cached) numpy CSR view of the graph.
-
-        Only meaningful for the numpy backend; raises when numpy is absent.
-        """
-        if self._csr is None:
-            from repro.graph.csr import to_csr
-
-            self._csr = to_csr(self.graph, use_numpy=True)
-        return self._csr
+        """The (lazily built, cached) numpy CSR view of the graph."""
+        return self._ctx.csr()
 
     def rev_csr_view(self):
-        """Cached numpy CSR view of the reversed graph (directed only).
-
-        Returns None for undirected graphs, whose reversal is themselves.
-        """
-        if not self.graph.directed:
-            return None
-        if self._rev_csr is None:
-            from repro.graph.csr import to_csr
-
-            self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
-        return self._rev_csr
+        """Cached numpy CSR view of the reversed graph (directed only)."""
+        return self._ctx.rev_csr()
 
     def size_index(self, *, exact: bool = False) -> NeighborhoodSizeIndex:
         """An ``N(v)`` index: exact when requested/available, else estimated."""
-        if exact:
-            self.build_indexes()
-        if self._size_index is not None:
-            return self._size_index
-        if self._estimated_sizes is None:
-            self._estimated_sizes = NeighborhoodSizeIndex.estimated(
-                self.graph, self.hops, include_self=self.include_self
-            )
-        return self._estimated_sizes
+        return self._ctx.size_index(exact=exact)
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def planner(self) -> QueryPlanner:
         """The (lazily built) cost-based planner for this engine's setup."""
+        index_available = self._ctx.diff_index is not None
         if self._planner is None or (
-            self._planner.index_available != (self._diff_index is not None)
+            self._planner.index_available != index_available
         ):
             self._planner = QueryPlanner(
                 self.graph,
                 self.scores.values(),
                 hops=self.hops,
                 include_self=self.include_self,
-                index_available=self._diff_index is not None,
+                index_available=index_available,
                 backend=self.backend,
             )
         return self._planner
@@ -258,52 +223,52 @@ class TopKEngine:
         ``backend="python"|"numpy"|"auto"`` overrides the engine's backend
         for this query alone.
         """
-        backend = options.pop("backend", None)
-        spec = self.spec(k, aggregate, backend=backend)  # type: ignore[arg-type]
         if algorithm not in ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
+        backend = options.pop("backend", None)
+        aggregate = coerce_aggregate(aggregate)
+        spec_backend = backend if backend is not None else self.backend
+        # Resolve auto/planned *first*, then reject options the concrete
+        # algorithm cannot use — a typo'd or inapplicable knob must raise,
+        # not silently do nothing.
         if algorithm == "auto":
-            algorithm = self._choose_algorithm(spec)
-        elif algorithm == "planned":
-            algorithm = self.explain(k, spec.aggregate).chosen
-        if algorithm == "base":
-            self._reject_unknown(options)
-            return base_topk(self.graph, self.scores, spec)
-        vectorized = resolve_backend(spec.backend) == "numpy"
-        csr = self.csr_view() if vectorized else None
-        if algorithm == "forward":
-            self.build_indexes()
-            ordering = str(options.pop("ordering", "ubound"))
-            seed = options.pop("seed", None)
-            self._reject_unknown(options)
-            return forward_topk(
-                self.graph,
+            algorithm = executor.choose_algorithm(
                 self.scores,
-                spec,
-                diff_index=self._diff_index,
-                ordering=ordering,
-                seed=seed,  # type: ignore[arg-type]
-                csr=csr,
+                self.spec(k, aggregate, backend=spec_backend),  # type: ignore[arg-type]
+                index_available=self._ctx.diff_index is not None,
+                auto_density_threshold=self.auto_density_threshold,
             )
-        # backward
-        exact_sizes = bool(options.pop("exact_sizes", False))
-        gamma = options.pop("gamma", "auto")
-        fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
-        self._reject_unknown(options)
-        sizes = self.size_index(exact=exact_sizes) if exact_sizes else (
-            self._size_index or self.size_index()
+        elif algorithm == "planned":
+            algorithm = self.explain(k, aggregate).chosen
+        allowed = {
+            "base": (),
+            "forward": ("ordering", "seed"),
+            "backward": ("gamma", "distribution_fraction", "exact_sizes"),
+        }[algorithm]
+        self._reject_unknown(
+            {k_: v for k_, v in options.items() if k_ not in allowed}
         )
-        return backward_topk(
-            self.graph,
+        fraction = options.get("distribution_fraction", 0.1)
+        request = QueryRequest(
+            k=k,
+            aggregate=aggregate,
+            hops=self.hops,
+            include_self=self.include_self,
+            backend=spec_backend,  # type: ignore[arg-type]
+            algorithm=algorithm,
+            gamma=options.get("gamma", "auto"),  # type: ignore[arg-type]
+            distribution_fraction=float(fraction),  # type: ignore[arg-type]
+            exact_sizes=bool(options.get("exact_sizes", False)),
+            ordering=str(options.get("ordering", "ubound")),
+            seed=options.get("seed"),  # type: ignore[arg-type]
+        )
+        return executor.execute(
+            self._ctx,
             self.scores,
-            spec,
-            gamma=gamma,  # type: ignore[arg-type]
-            distribution_fraction=fraction,
-            sizes=sizes,
-            csr=csr,
-            rev_csr=self.rev_csr_view() if vectorized else None,
+            request,
+            auto_density_threshold=self.auto_density_threshold,
         )
 
     def topk_weighted(
@@ -319,35 +284,13 @@ class TopKEngine:
         (default: inverse distance).  ``algorithm`` is ``"base"`` or
         ``"backward"``.
         """
-        from repro.aggregates.weighted import inverse_distance
-        from repro.core.weighted import weighted_backward_topk, weighted_base_topk
-
-        if profile is None:
-            profile = inverse_distance
-        spec = self.spec(k, AggregateKind.SUM)
-        if algorithm == "base":
-            self._reject_unknown(options)
-            return weighted_base_topk(self.graph, self.scores, spec, profile)
-        if algorithm == "backward":
-            gamma = options.pop("gamma", "auto")
-            fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
-            exact_sizes = bool(options.pop("exact_sizes", False))
-            self._reject_unknown(options)
-            sizes = self.size_index(exact=exact_sizes) if exact_sizes else (
-                self._size_index or self.size_index()
-            )
-            return weighted_backward_topk(
-                self.graph,
-                self.scores,
-                spec,
-                profile,
-                gamma=gamma,  # type: ignore[arg-type]
-                distribution_fraction=fraction,
-                sizes=sizes,
-            )
-        raise InvalidParameterError(
-            f"weighted queries support algorithm 'base' or 'backward', "
-            f"got {algorithm!r}"
+        return executor.execute_weighted(
+            self._ctx,
+            self.scores,
+            self.spec(k, AggregateKind.SUM),
+            profile,
+            algorithm,
+            options,
         )
 
     @staticmethod
@@ -356,15 +299,6 @@ class TopKEngine:
             raise InvalidParameterError(
                 f"unknown query options: {sorted(options)}"
             )
-
-    def _choose_algorithm(self, spec: QuerySpec) -> str:
-        if not spec.aggregate.lona_supported:
-            return "base"
-        if self.scores.density <= self.auto_density_threshold:
-            return "backward"
-        if self._diff_index is not None:
-            return "forward"
-        return "base"
 
 
 def topk_sum(
@@ -375,8 +309,12 @@ def topk_sum(
     hops: int = 2,
     algorithm: str = "auto",
 ) -> TopKResult:
-    """One-shot convenience: top-k SUM query."""
-    return TopKEngine(graph, relevance, hops=hops).topk(k, "sum", algorithm)
+    """One-shot convenience: top-k SUM query (via the session facade)."""
+    from repro.session import Network
+
+    net = Network(graph, hops=hops)
+    net.add_scores("default", relevance)
+    return net.query("default").limit(k).aggregate("sum").algorithm(algorithm).run()
 
 
 def topk_avg(
@@ -387,5 +325,9 @@ def topk_avg(
     hops: int = 2,
     algorithm: str = "auto",
 ) -> TopKResult:
-    """One-shot convenience: top-k AVG query."""
-    return TopKEngine(graph, relevance, hops=hops).topk(k, "avg", algorithm)
+    """One-shot convenience: top-k AVG query (via the session facade)."""
+    from repro.session import Network
+
+    net = Network(graph, hops=hops)
+    net.add_scores("default", relevance)
+    return net.query("default").limit(k).aggregate("avg").algorithm(algorithm).run()

@@ -1,0 +1,532 @@
+"""One executor for every query path.
+
+This module is the funnel the whole library drains through: a lowered
+:class:`~repro.core.request.QueryRequest` plus a
+:class:`~repro.core.context.GraphContext` (the shared caches) go in, a
+:class:`~repro.core.results.TopKResult` comes out — whether the algorithm is
+Base, LONA-Forward, LONA-Backward, the relational baseline, or a
+candidate-filtered scan, and whichever execution backend runs it.
+
+Entry points:
+
+* :func:`execute` — answer the request exactly.
+* :func:`stream` — answer it *incrementally*: a generator of
+  :class:`~repro.core.results.StreamUpdate` refinements whose snapshots
+  monotonically converge to :func:`execute`'s answer (anytime consumption).
+* :func:`plan` — the cost-based :class:`~repro.core.planner.ExecutionPlan`
+  for the request, without executing.
+* :func:`choose_algorithm` — the ``algorithm="auto"`` policy, shared by the
+  session facade and the legacy engine so both pick identically.
+
+The ``"view"`` algorithm is session state (a maintained aggregate view
+lives on the :class:`~repro.session.Network`), so it is dispatched there;
+everything else lands here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.aggregates.functions import (
+    AggregateKind,
+    evaluate_scores,
+    finalize_sum,
+    fold_scores,
+)
+from repro.core.backends import resolve_backend
+from repro.core.backward import backward_topk
+from repro.core.base import base_topk
+from repro.core.bounds import avg_bound, static_sum_bound
+from repro.core.context import GraphContext
+from repro.core.forward import forward_topk
+from repro.core.planner import ExecutionPlan, QueryPlanner
+from repro.core.query import QuerySpec
+from repro.core.request import QueryRequest
+from repro.core.results import QueryStats, StreamUpdate, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+from repro.graph.traversal import TraversalCounter, hop_ball
+from repro.relevance.base import ScoreVector
+
+__all__ = ["execute", "execute_weighted", "stream", "plan", "choose_algorithm"]
+
+#: Default score-density threshold under which ``"auto"`` picks backward.
+AUTO_DENSITY_THRESHOLD = 0.2
+
+#: Candidate block size for the vectorized filtered/streamed scans.
+_STREAM_BLOCK = 256
+
+
+def choose_algorithm(
+    scores: ScoreVector,
+    spec: QuerySpec,
+    *,
+    index_available: bool,
+    auto_density_threshold: float = AUTO_DENSITY_THRESHOLD,
+) -> str:
+    """The ``algorithm="auto"`` policy (identical to the legacy engine's).
+
+    Sparse scores -> backward (its cost tracks the non-zero count and it
+    needs no index); dense with a built differential index -> forward (the
+    offline cost is sunk); otherwise base.  Non-LONA aggregates (MAX/MIN)
+    always take base.
+    """
+    if not spec.aggregate.lona_supported:
+        return "base"
+    if scores.density <= auto_density_threshold:
+        return "backward"
+    if index_available:
+        return "forward"
+    return "base"
+
+
+def _check_context_match(ctx: GraphContext, request: QueryRequest) -> None:
+    """The context's caches are built for one (hops, ball convention);
+    serving a request with a different one would be silently unsound."""
+    if request.hops != ctx.hops or request.include_self != ctx.include_self:
+        raise InvalidParameterError(
+            f"context built for (hops={ctx.hops}, "
+            f"include_self={ctx.include_self}), request uses "
+            f"(hops={request.hops}, include_self={request.include_self})"
+        )
+
+
+def _reject_inapplicable_knobs(request: QueryRequest, algorithm: str) -> None:
+    """A knob the resolved algorithm cannot use must raise, not no-op.
+
+    Mirrors the legacy engine's resolve-first-then-reject contract:
+    ``ordering``/``seed`` only steer LONA-Forward, the gamma family only
+    steers LONA-Backward.  ``algorithm`` here is the *resolved* concrete
+    algorithm (or the execution mode, e.g. ``"filtered"``/``"stream"``).
+
+    Known limit: the frozen request does not record *which* fields were
+    explicitly set, so a knob pinned to its default value (e.g.
+    ``.distribution_fraction(0.1)``) is indistinguishable from "not set"
+    and passes.  Detecting that would need a set-fields mask on
+    ``QueryRequest``; all non-default pins — the actual typo cases —
+    raise.
+    """
+    inapplicable = []
+    if algorithm != "forward":
+        if request.ordering != "ubound":
+            inapplicable.append("ordering")
+        if request.seed is not None:
+            inapplicable.append("seed")
+    if algorithm != "backward":
+        if request.gamma != "auto":
+            inapplicable.append("gamma")
+        if request.distribution_fraction != 0.1:
+            inapplicable.append("distribution_fraction")
+        if request.exact_sizes:
+            inapplicable.append("exact_sizes")
+    if inapplicable:
+        raise InvalidParameterError(
+            f"options {sorted(inapplicable)} have no effect on "
+            f"{algorithm!r} execution; remove them or pin the algorithm "
+            "they steer"
+        )
+
+
+def plan(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    request: QueryRequest,
+    *,
+    amortize_index: bool = True,
+    planner: Optional[QueryPlanner] = None,
+) -> ExecutionPlan:
+    """The cost-based plan for ``request`` (see :mod:`repro.core.planner`)."""
+    if planner is None:
+        planner = QueryPlanner(
+            ctx.graph,
+            scores.values(),
+            hops=request.hops,
+            include_self=request.include_self,
+            index_available=ctx.diff_index is not None,
+            backend=request.backend,
+        )
+    return planner.plan(request.spec(), amortize_index=amortize_index)
+
+
+def execute(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    request: QueryRequest,
+    *,
+    planner: Optional[QueryPlanner] = None,
+    auto_density_threshold: float = AUTO_DENSITY_THRESHOLD,
+) -> TopKResult:
+    """Answer ``request`` over ``ctx.graph`` with ``scores``.
+
+    Dispatch rules:
+
+    * ``candidates`` set -> the filtered scan (only those nodes compete;
+      the relational algorithm instead pushes the filter into its plan).
+    * ``algorithm="auto"`` -> :func:`choose_algorithm`;
+      ``"planned"`` -> the cost-based planner's choice.
+    * otherwise the named algorithm, fed from the context's shared caches
+      (differential index, size index, CSR views).
+    """
+    ctx.check_fresh()
+    _check_context_match(ctx, request)
+    spec = request.spec()
+    algorithm = request.algorithm
+    if algorithm == "view":
+        raise InvalidParameterError(
+            "algorithm 'view' requires a Network session with a maintained "
+            "view; use Network.maintain(...) and query through the session"
+        )
+    if algorithm == "relational":
+        from repro.relational.engine import relational_topk
+
+        _reject_inapplicable_knobs(request, "relational")
+        return relational_topk(
+            ctx.graph, scores.values(), spec, candidates=request.candidates
+        )
+    if request.candidates is not None:
+        # The filtered scan evaluates candidates exactly (base semantics);
+        # a pruning-algorithm pin cannot be honored there, so reject it
+        # rather than silently running something else.
+        if algorithm not in ("auto", "base"):
+            raise InvalidParameterError(
+                f"candidate filters run as an exact scan; algorithm "
+                f"{algorithm!r} cannot be combined with .where(...) "
+                "(supported: auto, base, relational, view)"
+            )
+        _reject_inapplicable_knobs(request, "filtered")
+        return _filtered_topk(ctx, scores, request)
+    if algorithm == "auto":
+        algorithm = choose_algorithm(
+            scores,
+            spec,
+            index_available=ctx.diff_index is not None,
+            auto_density_threshold=auto_density_threshold,
+        )
+    elif algorithm == "planned":
+        algorithm = plan(ctx, scores, request, planner=planner).chosen
+    _reject_inapplicable_knobs(request, algorithm)
+
+    if algorithm == "base":
+        return base_topk(ctx.graph, scores, spec)
+    vectorized = resolve_backend(spec.backend) == "numpy"
+    csr = ctx.csr() if vectorized else None
+    if algorithm == "forward":
+        ctx.build_indexes()
+        return forward_topk(
+            ctx.graph,
+            scores,
+            spec,
+            diff_index=ctx.diff_index,
+            ordering=request.ordering,
+            seed=request.seed,
+            csr=csr,
+        )
+    # backward
+    sizes = ctx.size_index(exact=request.exact_sizes)
+    return backward_topk(
+        ctx.graph,
+        scores,
+        spec,
+        gamma=request.gamma,  # type: ignore[arg-type]
+        distribution_fraction=request.distribution_fraction,
+        sizes=sizes,
+        csr=csr,
+        rev_csr=ctx.rev_csr() if vectorized else None,
+    )
+
+
+def execute_weighted(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    spec: QuerySpec,
+    profile=None,
+    algorithm: str = "backward",
+    options: Optional[dict] = None,
+) -> TopKResult:
+    """Distance-weighted top-k SUM (the paper's footnote 1), one dispatch.
+
+    Shared by ``TopKEngine.topk_weighted`` and ``Network.topk_weighted``:
+    ``profile`` maps hop distance to a weight in [0, 1] (default: inverse
+    distance); ``algorithm`` is ``"base"`` or ``"backward"``; ``options``
+    carries the backward knobs (gamma / distribution_fraction /
+    exact_sizes), rejected on base.
+    """
+    from repro.aggregates.weighted import inverse_distance
+    from repro.core.weighted import weighted_backward_topk, weighted_base_topk
+
+    ctx.check_fresh()
+    options = dict(options or {})
+    if profile is None:
+        profile = inverse_distance
+    if algorithm == "base":
+        _reject_unknown_options(options)
+        return weighted_base_topk(ctx.graph, scores, spec, profile)
+    if algorithm != "backward":
+        raise InvalidParameterError(
+            f"weighted queries support algorithm 'base' or 'backward', "
+            f"got {algorithm!r}"
+        )
+    gamma = options.pop("gamma", "auto")
+    fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
+    exact_sizes = bool(options.pop("exact_sizes", False))
+    _reject_unknown_options(options)
+    return weighted_backward_topk(
+        ctx.graph,
+        scores,
+        spec,
+        profile,
+        gamma=gamma,  # type: ignore[arg-type]
+        distribution_fraction=fraction,
+        sizes=ctx.size_index(exact=exact_sizes),
+    )
+
+
+def _reject_unknown_options(options: dict) -> None:
+    if options:
+        raise InvalidParameterError(
+            f"unknown query options: {sorted(options)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Candidate-filtered scan
+# ----------------------------------------------------------------------
+def _scan_backend(spec: QuerySpec) -> str:
+    """The backend the exact scan will *actually* run on.
+
+    Only sum-convertible aggregates have a CSR kernel; MAX/MIN take the
+    python loop even when numpy was requested, and stats must say so.
+    """
+    concrete = resolve_backend(spec.backend)
+    if concrete == "numpy" and not spec.aggregate.sum_convertible:
+        return "python"
+    return concrete
+
+
+def _iter_exact_values(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    spec: QuerySpec,
+    order: Sequence[int],
+    counter: TraversalCounter,
+) -> Iterator[Tuple[int, float]]:
+    """``(node, exact aggregate)`` pairs for ``order``, backend-dispatched.
+
+    The single exact-evaluation loop behind both the candidate-filtered
+    scan and the streaming executor: the numpy backend expands node blocks
+    with the multi-source CSR kernel (sum-convertible aggregates only —
+    MAX/MIN take the python loop on any backend), the python backend runs
+    one truncated BFS per node.  Traversal work lands in ``counter``
+    either way.
+    """
+    kind = spec.aggregate
+    if _scan_backend(spec) == "numpy" and len(order) > 0:
+        import numpy as np
+
+        from repro.graph.csr import batched_hop_balls
+
+        csr = ctx.csr()
+        from repro.core.vectorized import _effective_block_size
+
+        folded = np.asarray(fold_scores(kind, scores), dtype=np.float64)
+        nodes = np.asarray(order, dtype=np.int64)
+        is_avg = kind is AggregateKind.AVG
+        block = _effective_block_size(_STREAM_BLOCK, ctx.graph.num_nodes)
+        for lo in range(0, nodes.size, block):
+            centers = nodes[lo : lo + block]
+            owners, members, edges = batched_hop_balls(
+                csr, centers, spec.hops, include_self=spec.include_self
+            )
+            count = int(centers.size)
+            counter.edges_scanned += edges
+            counter.nodes_visited += int(members.size) + (
+                0 if spec.include_self else count
+            )
+            counter.balls_expanded += count
+            sizes = np.bincount(owners, minlength=count)
+            totals = np.bincount(
+                owners, weights=folded[members], minlength=count
+            )
+            if is_avg:
+                values = np.divide(
+                    totals,
+                    sizes,
+                    out=np.zeros(count, dtype=np.float64),
+                    where=sizes > 0,
+                )
+            else:
+                values = totals
+            for j in range(count):
+                yield int(centers[j]), float(values[j])
+        return
+    folded_list = fold_scores(kind, scores)
+    for u in order:
+        ball = hop_ball(
+            ctx.graph, u, spec.hops, include_self=spec.include_self, counter=counter
+        )
+        if kind.sum_convertible:
+            total = 0.0
+            for v in ball:
+                total += folded_list[v]
+            value = finalize_sum(
+                AggregateKind.SUM if kind is AggregateKind.COUNT else kind,
+                total,
+                len(ball),
+            )
+        else:
+            value = evaluate_scores(kind, (scores[v] for v in ball))
+        yield u, value
+
+
+def _filtered_topk(
+    ctx: GraphContext, scores: ScoreVector, request: QueryRequest
+) -> TopKResult:
+    """Exact scan restricted to the request's candidate set.
+
+    Semantically Base over the candidate subset: every candidate's ball is
+    evaluated exactly, nothing else competes.
+    """
+    spec = request.spec()
+    candidates = request.candidates or ()
+    start = time.perf_counter()
+    counter = TraversalCounter()
+    acc = TopKAccumulator(spec.k)
+    for node, value in _iter_exact_values(
+        ctx, scores, spec, candidates, counter
+    ):
+        acc.offer(node, value)
+    stats = QueryStats(
+        algorithm="base",
+        aggregate=spec.aggregate.value,
+        backend=_scan_backend(spec),
+        hops=spec.hops,
+        k=spec.k,
+        elapsed_sec=time.perf_counter() - start,
+        nodes_evaluated=len(candidates),
+        edges_scanned=counter.edges_scanned,
+        nodes_visited=counter.nodes_visited,
+        balls_expanded=counter.balls_expanded,
+    )
+    stats.extra["candidates"] = float(len(candidates))
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Streaming (anytime) execution
+# ----------------------------------------------------------------------
+def _static_upper_bounds(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    spec: QuerySpec,
+    pool: Sequence[int],
+) -> Dict[int, float]:
+    """A sound static upper bound on F(v) for every pool node, no traversal.
+
+    SUM/COUNT use the ``(N_ub(v) - 1) + f(v)`` static bound (open ball:
+    ``N_ub(v)``); AVG divides by the size *lower* bound and clamps at 1 (all
+    scores are in [0, 1]); MAX is bounded by the global maximum score and
+    MIN by ``f(v)`` (closed ball) or 1 (open ball).  Precision only affects
+    how early the stream converges, never its soundness.  Work is
+    proportional to the pool, not the graph (MAX's global maximum aside),
+    so a tightly filtered stream starts instantly on a large graph.
+    """
+    sizes = ctx.size_index()
+    kind = spec.aggregate
+    if kind is AggregateKind.MAX:
+        gmax = max(scores, default=0.0)
+        return {v: gmax for v in pool}
+    if kind is AggregateKind.MIN:
+        if spec.include_self:
+            return {v: scores[v] for v in pool}
+        return {v: 1.0 for v in pool}
+    is_count = kind is AggregateKind.COUNT
+    bounds: Dict[int, float] = {}
+    for v in pool:
+        own = scores[v]
+        if is_count:
+            own = 1.0 if own > 0.0 else 0.0
+        if spec.include_self:
+            sum_ub = static_sum_bound(sizes.upper(v), own)
+        else:
+            sum_ub = float(sizes.upper(v))
+        if kind is AggregateKind.AVG:
+            bounds[v] = min(1.0, avg_bound(sum_ub, sizes.lower(v)))
+        else:
+            bounds[v] = sum_ub
+    return bounds
+
+
+def stream(
+    ctx: GraphContext, scores: ScoreVector, request: QueryRequest
+) -> Iterator[StreamUpdate]:
+    """Incremental execution: yield monotonically refining top-k states.
+
+    Nodes are evaluated exactly in descending static-upper-bound order, so
+    after each evaluation the bound on every unseen node (the next node's
+    static bound) is non-increasing, and the top-k snapshot only improves.
+    The stream stops early — with ``done=True`` — as soon as the bound
+    proves no unseen node can enter the top-k; the final snapshot equals
+    ``execute``'s answer.  Both backends yield the same state sequence; the
+    numpy backend merely evaluates candidate blocks with the CSR kernel.
+
+    One update is yielded per evaluated node, so an *empty* competitor
+    pool (a ``.where(...)`` filter matching nothing) produces an empty
+    iterator — the streamed analogue of ``execute``'s empty result.
+    """
+    # Validate eagerly — stream() is a plain function returning an inner
+    # generator, so misuse raises at the call site, not at first next().
+    ctx.check_fresh()
+    _check_context_match(ctx, request)
+    spec = request.spec()
+    if request.algorithm not in ("auto", "base"):
+        raise InvalidParameterError(
+            "streaming runs its own bound-ordered exact scan; algorithm "
+            f"{request.algorithm!r} cannot be pinned on .stream() "
+            "(supported: auto, base)"
+        )
+    _reject_inapplicable_knobs(request, "stream")
+    if request.candidates is not None:
+        pool: Sequence[int] = request.candidates
+    else:
+        pool = range(ctx.graph.num_nodes)
+    return _stream_updates(ctx, scores, spec, pool)
+
+
+def _stream_updates(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    spec: QuerySpec,
+    pool: Sequence[int],
+) -> Iterator[StreamUpdate]:
+    bounds = _static_upper_bounds(ctx, scores, spec, pool)
+    order = sorted(pool, key=lambda v: (-bounds[v], v))
+    total = len(order)
+    acc = TopKAccumulator(spec.k)
+    counter = TraversalCounter()
+
+    def remaining_bound(next_index: int) -> float:
+        if next_index >= total:
+            return float("-inf")
+        return bounds[order[next_index]]
+
+    evaluated = 0
+    for node, value in _iter_exact_values(ctx, scores, spec, order, counter):
+        acc.offer(node, value)
+        evaluated += 1
+        bound = remaining_bound(evaluated)
+        done = evaluated >= total or (
+            acc.is_full and bound <= acc.threshold
+        )
+        yield StreamUpdate(
+            node=node,
+            value=value,
+            bound=bound,
+            entries=tuple(acc.entries()),
+            evaluated=evaluated,
+            total=total,
+            done=done,
+            k=spec.k,
+        )
+        if done:
+            return

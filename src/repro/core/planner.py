@@ -89,6 +89,28 @@ class ExecutionPlan:
                 return est
         raise InvalidParameterError(f"no estimate for {algorithm!r}")
 
+    def as_dict(self) -> dict:
+        """Machine-readable plan view (the CLI's ``--json`` output)."""
+        return {
+            "query": self.spec.describe(),
+            "k": self.spec.k,
+            "aggregate": self.spec.aggregate.value,
+            "hops": self.spec.hops,
+            "chosen": self.chosen,
+            "amortize_index": self.amortize_index,
+            "backend": self.backend,
+            "estimates": [
+                {
+                    "algorithm": est.algorithm,
+                    "online_ball_expansions": est.online_ball_expansions,
+                    "needs_offline_index": est.needs_offline_index,
+                    "offline_ball_expansions": est.offline_ball_expansions,
+                    "note": est.note,
+                }
+                for est in self.estimates
+            ],
+        }
+
     def explain(self) -> str:
         """Human-readable plan explanation."""
         lines = [

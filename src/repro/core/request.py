@@ -1,0 +1,147 @@
+"""The lowered query: everything one execution needs, validated once.
+
+:class:`QueryRequest` is the superset of :class:`~repro.core.query.QuerySpec`
+that the fluent :class:`~repro.session.QueryBuilder` lowers to.  Where
+``QuerySpec`` pins down Definition 3's parameters (k, aggregate, hops,
+ball convention, backend), the request additionally carries everything the
+old loose-kwarg engine surfaces accepted:
+
+* ``algorithm`` — ``"auto"`` / ``"planned"`` / ``"base"`` / ``"forward"`` /
+  ``"backward"`` / ``"relational"`` / ``"view"``.
+* ``score`` — the *name* of the session score vector to aggregate
+  (sessions hold many named vectors; standalone callers use the default).
+* ``candidates`` — an optional node-set filter: only these nodes compete
+  for the top-k (the builder's ``.where(...)``, resolved to a sorted tuple).
+* ``gamma`` / ``distribution_fraction`` / ``exact_sizes`` — the
+  LONA-Backward policy knobs.
+* ``ordering`` / ``seed`` — the LONA-Forward queue-order knobs.
+
+Requests are frozen (hashable except for the candidate tuple contents,
+which are themselves immutable), so builders can share and replay them, and
+the executor can treat them as values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core.backends import BACKENDS
+from repro.core.ordering import ORDERINGS
+from repro.core.query import QuerySpec
+from repro.errors import InvalidParameterError
+
+__all__ = ["QueryRequest", "REQUEST_ALGORITHMS", "DEFAULT_SCORE"]
+
+#: Algorithms a request may name.  ``"auto"`` and ``"planned"`` resolve at
+#: execution time; ``"relational"`` routes to the RDBMS-style baseline;
+#: ``"view"`` answers from a session's maintained aggregate view.
+REQUEST_ALGORITHMS = (
+    "auto",
+    "planned",
+    "base",
+    "forward",
+    "backward",
+    "relational",
+    "view",
+)
+
+#: Score name used when the caller does not manage named vectors.
+DEFAULT_SCORE = "default"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A fully lowered top-k neighborhood aggregation request."""
+
+    k: int
+    aggregate: AggregateKind = AggregateKind.SUM
+    hops: int = 2
+    include_self: bool = True
+    backend: str = "auto"
+    score: str = DEFAULT_SCORE
+    algorithm: str = "auto"
+    candidates: Optional[Tuple[int, ...]] = None
+    gamma: Union[str, float] = "auto"
+    distribution_fraction: float = 0.1
+    exact_sizes: bool = False
+    ordering: str = "ubound"
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "aggregate", coerce_aggregate(self.aggregate))
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if self.hops < 0:
+            raise InvalidParameterError(f"hops must be >= 0, got {self.hops}")
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.algorithm not in REQUEST_ALGORITHMS:
+            raise InvalidParameterError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of {REQUEST_ALGORITHMS}"
+            )
+        if self.ordering not in ORDERINGS:
+            raise InvalidParameterError(
+                f"unknown ordering {self.ordering!r}; "
+                f"expected one of {tuple(ORDERINGS)}"
+            )
+        if not isinstance(self.gamma, str):
+            gamma = float(self.gamma)
+            if not 0.0 <= gamma <= 1.0:
+                raise InvalidParameterError(
+                    f"gamma must be in [0, 1] or 'auto', got {gamma}"
+                )
+            object.__setattr__(self, "gamma", gamma)
+        elif self.gamma != "auto":
+            raise InvalidParameterError(
+                f"gamma must be a float in [0, 1] or 'auto', got {self.gamma!r}"
+            )
+        if not 0.0 < self.distribution_fraction <= 1.0:
+            raise InvalidParameterError(
+                "distribution_fraction must be in (0, 1], "
+                f"got {self.distribution_fraction}"
+            )
+        if self.candidates is not None:
+            object.__setattr__(
+                self, "candidates", normalize_candidates(self.candidates)
+            )
+
+    # ------------------------------------------------------------------
+    def spec(self) -> QuerySpec:
+        """The plain :class:`QuerySpec` every algorithm kernel consumes."""
+        return QuerySpec(
+            k=self.k,
+            aggregate=self.aggregate,
+            hops=self.hops,
+            include_self=self.include_self,
+            backend=self.backend,
+        )
+
+    def replace(self, **changes: object) -> "QueryRequest":
+        """A copy of this request with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        out = self.spec().describe()
+        parts = [f"score={self.score!r}", f"algorithm={self.algorithm}"]
+        if self.candidates is not None:
+            parts.append(f"candidates={len(self.candidates)}")
+        return f"{out} ({', '.join(parts)})"
+
+
+def normalize_candidates(candidates: Iterable[int]) -> Tuple[int, ...]:
+    """Sorted, deduplicated, type-checked candidate tuple."""
+    try:
+        nodes = sorted({int(u) for u in candidates})
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            "candidates must be an iterable of node ids"
+        ) from None
+    if any(u < 0 for u in nodes):
+        raise InvalidParameterError("candidate node ids must be >= 0")
+    return tuple(nodes)

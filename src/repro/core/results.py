@@ -10,9 +10,9 @@ report both; tests assert on the deterministic ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["QueryStats", "TopKResult"]
+__all__ = ["QueryStats", "TopKResult", "StreamUpdate", "combine_query_stats"]
 
 
 @dataclass
@@ -124,3 +124,105 @@ class TopKResult:
     def top(self) -> Tuple[int, float]:
         """The single best (node, value) pair."""
         return self.entries[0]
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """One refinement step of a streamed (anytime) top-k query.
+
+    Produced by ``Network.query(...).stream()``.  Each update reports the
+    node just evaluated exactly, the current top-k snapshot, and a sound
+    upper bound on every *not yet evaluated* node's value.  The sequence is
+    monotone: snapshots only improve (the k-th best value never decreases)
+    and ``bound`` never increases, so a consumer may stop at any update and
+    treat ``entries`` as a certified partial answer — every unseen node's
+    value is at most ``bound``.  The final update (``done=True``) equals the
+    exact answer ``.run()`` returns.
+    """
+
+    #: The node whose aggregate was just evaluated exactly.
+    node: int
+    #: Its exact aggregate value.
+    value: float
+    #: Upper bound on any not-yet-evaluated node's value (``-inf`` once
+    #: every candidate has been evaluated or pruned).
+    bound: float
+    #: Current top-k snapshot, best first (same format as ``TopKResult``).
+    entries: Tuple[Tuple[int, float], ...]
+    #: How many nodes have been evaluated so far.
+    evaluated: int
+    #: How many nodes compete in total (after any candidate filter).
+    total: int
+    #: True on the last update: the snapshot is the exact answer.
+    done: bool = False
+
+    #: How many entries a full snapshot holds (the query's k).
+    k: int = 0
+
+    @property
+    def kth_value(self) -> float:
+        """The current k-th best value — the pruning threshold.
+
+        ``-inf`` while fewer than k nodes have been seen (before that, any
+        value could still enter the top-k), matching
+        :attr:`repro.core.topk.TopKAccumulator.threshold`.
+        """
+        if len(self.entries) < self.k:
+            return float("-inf")
+        return self.entries[-1][1]
+
+    @property
+    def converged(self) -> bool:
+        """Whether the snapshot is already provably exact."""
+        return self.done or self.bound <= self.kth_value
+
+
+def combine_query_stats(stats: Iterable[QueryStats]) -> QueryStats:
+    """Aggregate per-query stats of a batch into one workload-level record.
+
+    Counters are **summed per query**, with shared work counted once: a
+    shared-scan member's stats carry the whole batch scan's counters plus
+    ``extra["batch_size"]`` (see :func:`repro.core.batch.batch_base_topk`),
+    so each member contributes its ``1/batch_size`` share and the shared
+    traversal totals exactly one scan — while individually-routed queries
+    (e.g. sparse ones peeled off to LONA-Backward) contribute their full
+    counters.  Naively reporting one member's stats (or summing the raw
+    shared counters) misstates the workload by up to the batch factor.
+    """
+    stats = list(stats)
+    merged = QueryStats(algorithm="batch", aggregate="", backend="", k=0)
+    if not stats:
+        return merged
+    aggregates = {s.aggregate for s in stats}
+    backends = {s.backend for s in stats}
+    hops = {s.hops for s in stats}
+    merged.aggregate = aggregates.pop() if len(aggregates) == 1 else "mixed"
+    merged.backend = backends.pop() if len(backends) == 1 else "mixed"
+    merged.hops = hops.pop() if len(hops) == 1 else 0
+    merged.k = max(s.k for s in stats)
+    counters = (
+        "nodes_evaluated",
+        "edges_scanned",
+        "nodes_visited",
+        "balls_expanded",
+        "pruned_nodes",
+        "bound_evaluations",
+        "distribution_pushes",
+        "candidates_verified",
+    )
+    totals = {name: 0.0 for name in counters}
+    elapsed = 0.0
+    index_build = 0.0
+    for s in stats:
+        share = 1.0 / max(s.extra.get("batch_size", 1.0), 1.0)
+        for name in counters:
+            totals[name] += getattr(s, name) * share
+        elapsed += s.elapsed_sec * share
+        index_build += s.index_build_sec * share
+        merged.early_terminated = merged.early_terminated or s.early_terminated
+    for name in counters:
+        setattr(merged, name, int(round(totals[name])))
+    merged.elapsed_sec = elapsed
+    merged.index_build_sec = index_build
+    merged.extra["num_queries"] = float(len(stats))
+    return merged

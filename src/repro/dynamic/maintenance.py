@@ -132,6 +132,15 @@ class MaintainedAggregateView:
                 "mutations must go through the MaintainedAggregateView"
             )
 
+    def check_in_sync(self) -> None:
+        """Public staleness probe: raise if the graph moved past the view.
+
+        Sessions holding several views call this *before* applying a
+        mutation, so a view that already missed an outside mutation fails
+        loudly instead of being repaired into a silently wrong state.
+        """
+        self._check_version()
+
     # ------------------------------------------------------------------
     # Update API
     # ------------------------------------------------------------------
@@ -154,23 +163,43 @@ class MaintainedAggregateView:
         """Insert an edge and repair; returns affected-node count."""
         self._check_version()
         self.graph.add_edge(u, v)
+        return self.repair_after_insert(u, v)
+
+    def repair_after_insert(self, u: int, v: int) -> int:
+        """Repair for an edge ``(u, v)`` *already inserted* in the graph.
+
+        Split out so a session owning several views over one graph can
+        apply the mutation once and repair each view (the classic
+        ``add_edge`` wraps it).  Reverse balls are taken in the NEW graph:
+        any node reaching an endpoint within h hops may have gained ball
+        members through the new edge.
+        """
         self._version = self.graph.version
-        # Reverse balls in the NEW graph: any node reaching an endpoint
-        # within h hops may have gained ball members through the new edge.
         affected = self._reverse_ball(u) | self._reverse_ball(v)
+        self._repair(affected)
+        return len(affected)
+
+    def affected_for_delete(self, u: int, v: int) -> Set[int]:
+        """Nodes whose view entry a pending ``(u, v)`` deletion may change.
+
+        Must be called *before* the edge is removed — paths through the
+        edge existed only in the old graph.
+        """
+        self._check_version()
+        return self._reverse_ball(u) | self._reverse_ball(v)
+
+    def repair_after_delete(self, affected: Set[int]) -> int:
+        """Repair ``affected`` (from :meth:`affected_for_delete`) after the
+        deletion has been applied to the graph."""
+        self._version = self.graph.version
         self._repair(affected)
         return len(affected)
 
     def remove_edge(self, u: int, v: int) -> int:
         """Delete an edge and repair; returns affected-node count."""
-        self._check_version()
-        # Reverse balls in the OLD graph (paths through the edge existed
-        # only before the deletion).
-        affected = self._reverse_ball(u) | self._reverse_ball(v)
+        affected = self.affected_for_delete(u, v)
         self.graph.remove_edge(u, v)
-        self._version = self.graph.version
-        self._repair(affected)
-        return len(affected)
+        return self.repair_after_delete(affected)
 
     def add_node(self) -> int:
         """Append an isolated node with score 0; returns its id."""

@@ -5,12 +5,20 @@ algorithms but through the relational plan of
 :mod:`repro.relational.planner`, and reports both wall-clock and row-level
 work so the "gigantic self-join" cost is visible in benchmark output
 (ablation ``abl-rdbms`` in DESIGN.md).
+
+.. deprecated::
+    The class shim remains, but the session facade reaches the same plan
+    declaratively: ``Network.query(name).limit(k).algorithm("relational")``
+    (optionally with ``.where(...)``, which the plan executes as a
+    selection on ``src``).  :func:`relational_topk` stays the functional
+    entry point for benchmarks and the executor.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence, Union
+import warnings
+from typing import Optional, Sequence, Union
 
 from repro.aggregates.functions import AggregateKind
 from repro.core.query import QuerySpec
@@ -23,9 +31,18 @@ __all__ = ["RelationalTopKEngine", "relational_topk"]
 
 
 class RelationalTopKEngine:
-    """Run top-k neighborhood aggregation through the relational plan."""
+    """Run top-k neighborhood aggregation through the relational plan.
+
+    Deprecated: prefer ``Network.query(...).algorithm("relational")``.
+    """
 
     def __init__(self, graph: Graph, scores: Sequence[float]) -> None:
+        warnings.warn(
+            "RelationalTopKEngine is deprecated; use repro.Network — "
+            "net.query(name).limit(k).algorithm('relational').run()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.graph = graph
         self.scores = scores
 
@@ -45,12 +62,22 @@ class RelationalTopKEngine:
 
 
 def relational_topk(
-    graph: Graph, scores: Sequence[float], spec: QuerySpec
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    candidates: Optional[Sequence[int]] = None,
 ) -> TopKResult:
-    """Functional entry point used by benchmarks and tests."""
+    """Functional entry point used by benchmarks, tests, and the executor.
+
+    ``candidates`` optionally restricts the competitors (the builder's
+    ``.where(...)``, executed as a relational selection on ``src``).
+    """
     op_stats = OperatorStats()
     start = time.perf_counter()
-    result_table = topk_plan(graph, scores, spec, stats=op_stats)
+    result_table = topk_plan(
+        graph, scores, spec, stats=op_stats, candidates=candidates
+    )
     elapsed = time.perf_counter() - start
 
     nodes = result_table.column("src")
@@ -66,5 +93,7 @@ def relational_topk(
         k=spec.k,
         elapsed_sec=elapsed,
     )
+    if candidates is not None:
+        stats.extra["candidates"] = float(len(candidates))
     stats.extra.update(op_stats.as_dict())
     return TopKResult(entries=entries, stats=stats)

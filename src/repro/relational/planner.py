@@ -27,7 +27,7 @@ to any h by iterating the self-join, exactly as an RDBMS would.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind
 from repro.core.query import QuerySpec
@@ -127,8 +127,16 @@ def topk_plan(
     spec: QuerySpec,
     *,
     stats: OperatorStats,
+    candidates: Optional[Sequence[int]] = None,
 ) -> Table:
-    """Execute the full relational plan; returns table (node, agg)."""
+    """Execute the full relational plan; returns table (node, agg).
+
+    ``candidates`` optionally restricts the competitors: the relational
+    equivalent of the session builder's ``.where(...)``, applied as a
+    selection on ``src`` before the final sort-limit (a predicate pushed
+    onto the grouping output — the natural place an RDBMS would put a
+    ``WHERE src IN (...)``).
+    """
     kind = spec.aggregate
     if kind not in (AggregateKind.SUM, AggregateKind.AVG, AggregateKind.COUNT):
         raise PlanError(
@@ -172,6 +180,15 @@ def topk_plan(
                 Table({"src": missing, "agg": [0.0] * len(missing)}),
             ],
             stats,
+        )
+    if candidates is not None:
+        from repro.relational.operators import filter_rows
+
+        allowed = set(candidates)
+        names = grouped.column_names
+        src_idx = names.index("src")
+        grouped = filter_rows(
+            grouped, lambda row: row[src_idx] in allowed, stats
         )
     return order_by_limit(
         grouped, column="agg", k=spec.k, descending=True, tie_column="src", stats=stats

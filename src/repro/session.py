@@ -1,0 +1,681 @@
+"""One front door: the ``Network`` session and its fluent query builder.
+
+The paper frames LONA as a *query system* — offline indexes, a planner, and
+interchangeable algorithms.  :class:`Network` is that system's session
+object: it owns the graph, any number of *named* score vectors, and all the
+shared caches (differential index, neighborhood-size index, CSR views), and
+exposes every execution mode through one immutable builder::
+
+    from repro import Network
+
+    net = Network(graph, hops=2)
+    net.add_scores("pagerank", pagerank_vector)
+    net.add_scores("spam", BinaryRelevance(0.02, seed=7))
+
+    # single query, fluent and declarative
+    top = (
+        net.query("pagerank")
+        .aggregate("avg")
+        .where(lambda v: v % 2 == 0)   # or an explicit node set
+        .limit(10)
+        .backend("numpy")
+        .run()
+    )
+
+    # anytime consumption: monotonically refining top-k states
+    for update in net.query("spam").limit(5).stream():
+        if update.bound < alert_threshold:
+            break
+
+    # cost-based plan without executing
+    print(net.query("pagerank").limit(10).explain().explain())
+
+    # heavy workloads: one shared scan for many queries
+    batch = net.batch([
+        net.query("pagerank").limit(10),
+        net.query("spam").limit(5).aggregate("count"),
+    ])
+
+    # dynamic graphs: maintained views repaired through the session
+    net.maintain("spam")
+    net.add_edge(3, 9)
+    live = net.query("spam").limit(5).algorithm("view").run()
+
+Builders are immutable — every method returns a new builder — so partial
+queries can be shared, parameterized, and replayed.  ``run()`` lowers the
+builder to a frozen :class:`~repro.core.request.QueryRequest` and dispatches
+through the single executor in :mod:`repro.core.executor`; ``stream()``,
+``explain()`` and :meth:`Network.batch` fan the same request out to the
+incremental, planning, and shared-scan paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.aggregates.functions import AggregateKind, coerce_aggregate
+from repro.core import executor
+from repro.core.backends import resolve_backend
+from repro.core.batch import BatchQuery, BatchResult, BatchTopKEngine
+from repro.core.context import GraphContext
+from repro.core.planner import ExecutionPlan, QueryPlanner
+from repro.core.query import QuerySpec
+from repro.core.request import DEFAULT_SCORE, QueryRequest, normalize_candidates
+from repro.core.results import QueryStats, StreamUpdate, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+from repro.graph.diffindex import DifferentialIndex
+from repro.graph.graph import Graph
+from repro.relevance.base import ScoreVector
+
+__all__ = ["Network", "QueryBuilder"]
+
+#: Builder fields that ``_with`` may set (mirrors QueryRequest's surface).
+_BUILDER_FIELDS = (
+    "k",
+    "aggregate",
+    "algorithm",
+    "backend",
+    "candidates",
+    "gamma",
+    "distribution_fraction",
+    "exact_sizes",
+    "ordering",
+    "seed",
+)
+
+
+class QueryBuilder:
+    """Immutable fluent builder for one top-k query over a session.
+
+    Obtained from :meth:`Network.query`; every refinement method returns a
+    *new* builder, so intermediate shapes are safely shareable.  Terminal
+    methods: :meth:`run` (exact answer), :meth:`stream` (anytime
+    refinements), :meth:`explain` (cost-based plan), :meth:`request`
+    (the lowered frozen :class:`~repro.core.request.QueryRequest`).
+    """
+
+    __slots__ = ("_net", "_score", "_fields")
+
+    def __init__(
+        self, net: "Network", score: str, fields: Optional[dict] = None
+    ) -> None:
+        self._net = net
+        self._score = score
+        self._fields: dict = dict(fields) if fields else {}
+
+    def _with(self, **changes: object) -> "QueryBuilder":
+        for name in changes:
+            if name not in _BUILDER_FIELDS:  # pragma: no cover - internal
+                raise InvalidParameterError(f"unknown builder field {name!r}")
+        merged = dict(self._fields)
+        merged.update(changes)
+        return QueryBuilder(self._net, self._score, merged)
+
+    # -- refinements ---------------------------------------------------
+    def limit(self, k: int) -> "QueryBuilder":
+        """How many nodes to return (the paper's ``k``)."""
+        return self._with(k=int(k))
+
+    def k(self, k: int) -> "QueryBuilder":
+        """Alias of :meth:`limit`."""
+        return self.limit(k)
+
+    def hops(self, hops: int) -> "QueryBuilder":
+        """Neighborhood radius ``h``.
+
+        Must match the session's radius — the shared indexes are built for
+        one ``h``; sessions with a different radius are cheap to create.
+        """
+        if hops != self._net.hops:
+            raise InvalidParameterError(
+                f"session built for hops={self._net.hops}; create a "
+                f"Network(graph, hops={hops}) for a different radius"
+            )
+        return self._with()
+
+    def aggregate(
+        self, aggregate: Union[str, AggregateKind]
+    ) -> "QueryBuilder":
+        """SUM / AVG (the paper's two), or COUNT / MAX / MIN extensions."""
+        return self._with(aggregate=coerce_aggregate(aggregate))
+
+    def where(
+        self,
+        predicate_or_nodes: Union[Callable[[int], bool], Iterable[int]],
+    ) -> "QueryBuilder":
+        """Restrict the competitors to a node set or predicate over nodes.
+
+        Accepts either an iterable of node ids or a callable
+        ``predicate(node) -> bool`` evaluated over the graph's nodes.
+        Successive ``where`` calls intersect.
+        """
+        if callable(predicate_or_nodes):
+            selected = tuple(
+                u for u in self._net.graph.nodes() if predicate_or_nodes(u)
+            )
+        else:
+            selected = normalize_candidates(predicate_or_nodes)
+            for u in selected:
+                if u >= self._net.graph.num_nodes:
+                    raise InvalidParameterError(
+                        f"candidate node {u} not in graph "
+                        f"(num_nodes={self._net.graph.num_nodes})"
+                    )
+        previous = self._fields.get("candidates")
+        if previous is not None:
+            selected = tuple(sorted(set(previous) & set(selected)))
+        return self._with(candidates=selected)
+
+    def algorithm(self, algorithm: str) -> "QueryBuilder":
+        """Pin the algorithm (``auto``/``planned``/``base``/``forward``/
+        ``backward``/``relational``/``view``)."""
+        return self._with(algorithm=str(algorithm))
+
+    def backend(self, backend: str) -> "QueryBuilder":
+        """Pin the execution backend (``auto``/``python``/``numpy``)."""
+        return self._with(backend=str(backend))
+
+    def gamma(self, gamma: Union[str, float]) -> "QueryBuilder":
+        """LONA-Backward distribution threshold (``"auto"`` or [0, 1])."""
+        return self._with(gamma=gamma)
+
+    def distribution_fraction(self, fraction: float) -> "QueryBuilder":
+        """LONA-Backward auto-gamma fraction (see the paper's Sec. IV)."""
+        return self._with(distribution_fraction=float(fraction))
+
+    def exact_sizes(self, exact: bool = True) -> "QueryBuilder":
+        """Force the exact ``N(v)`` index in LONA-Backward."""
+        return self._with(exact_sizes=bool(exact))
+
+    def ordering(self, ordering: str) -> "QueryBuilder":
+        """LONA-Forward queue order (see :mod:`repro.core.ordering`)."""
+        return self._with(ordering=str(ordering))
+
+    def seed(self, seed: int) -> "QueryBuilder":
+        """Seed for the ``"random"`` ordering."""
+        return self._with(seed=int(seed))
+
+    # -- lowering & terminals ------------------------------------------
+    @property
+    def score(self) -> str:
+        """The session score name this builder aggregates."""
+        return self._score
+
+    def request(self) -> QueryRequest:
+        """Lower to the frozen :class:`QueryRequest` the executor consumes."""
+        if "k" not in self._fields:
+            raise InvalidParameterError(
+                "no result size set; call .limit(k) before running"
+            )
+        return QueryRequest(
+            score=self._score,
+            hops=self._net.hops,
+            include_self=self._net.include_self,
+            backend=self._fields.get("backend", self._net.backend),  # type: ignore[arg-type]
+            **{
+                name: self._fields[name]
+                for name in _BUILDER_FIELDS
+                if name != "backend" and name in self._fields
+            },
+        )
+
+    def spec(self) -> QuerySpec:
+        """The plain :class:`QuerySpec` view of this builder."""
+        return self.request().spec()
+
+    def run(self) -> TopKResult:
+        """Execute and return the exact :class:`TopKResult`."""
+        return self._net._run(self.request())
+
+    def stream(self) -> Iterator[StreamUpdate]:
+        """Execute incrementally: monotonically refining top-k states.
+
+        Yields :class:`~repro.core.results.StreamUpdate` objects whose
+        snapshots converge to :meth:`run`'s answer; safe to abandon at any
+        point (anytime semantics).
+        """
+        return self._net._stream(self.request())
+
+    def explain(self, *, amortize_index: bool = True) -> ExecutionPlan:
+        """The cost-based plan for this query, without executing."""
+        return self._net._plan(self.request(), amortize_index=amortize_index)
+
+
+class Network:
+    """A query session over one graph: named scores, shared caches, one API.
+
+    Parameters
+    ----------
+    graph:
+        The network — an immutable :class:`~repro.graph.graph.Graph` or a
+        :class:`~repro.dynamic.graph.DynamicGraph` (mutations then flow
+        through :meth:`add_edge` / :meth:`remove_edge` /
+        :meth:`update_score`, which repair any maintained views and
+        invalidate stale caches automatically).
+    hops / include_self:
+        The session's neighborhood definition; all indexes are built for it.
+    backend:
+        Default execution backend for queries (builders may override).
+    auto_density_threshold:
+        Score density below which ``algorithm="auto"`` picks backward.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        hops: int = 2,
+        include_self: bool = True,
+        backend: str = "auto",
+        auto_density_threshold: float = 0.2,
+    ) -> None:
+        resolve_backend(backend)  # fail fast on unknown/unavailable backends
+        self.graph = graph
+        self.hops = hops
+        self.include_self = include_self
+        self.backend = backend
+        self.auto_density_threshold = auto_density_threshold
+        self._ctx = GraphContext(graph, hops=hops, include_self=include_self)
+        self._scores: Dict[str, ScoreVector] = {}
+        self._planners: Dict[str, Tuple[QueryPlanner, bool, object]] = {}
+        self._views: Dict[str, object] = {}
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        num_nodes: Optional[int] = None,
+        directed: bool = False,
+        **options: object,
+    ) -> "Network":
+        """Convenience constructor from an edge list."""
+        graph = Graph.from_edges(
+            edges, num_nodes=num_nodes, directed=directed
+        )
+        return cls(graph, **options)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Network nodes={self.graph.num_nodes} "
+            f"edges={self.graph.num_edges} hops={self.hops} "
+            f"scores={sorted(self._scores)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Named score vectors
+    # ------------------------------------------------------------------
+    def add_scores(self, name: str, relevance: object) -> "Network":
+        """Register (or replace) a named score vector; chainable.
+
+        ``relevance`` may be a :class:`ScoreVector`, any sequence of floats,
+        or a relevance-function object exposing ``scores(graph)``.
+        Replacing a score that has a maintained view rebuilds the view on
+        the new vector, so ``algorithm("view")`` never serves stale sums.
+        """
+        from repro.core.engine import materialize_scores
+
+        if not name:
+            raise InvalidParameterError("score name must be non-empty")
+        self._scores[name] = materialize_scores(self.graph, relevance)
+        self._planners.pop(name, None)
+        if name in self._views:
+            del self._views[name]
+            self.maintain(name)
+        return self
+
+    def score_names(self) -> Tuple[str, ...]:
+        """Registered score names, sorted."""
+        return tuple(sorted(self._scores))
+
+    def scores_of(self, name: str = DEFAULT_SCORE) -> ScoreVector:
+        """The materialized vector behind a registered name."""
+        try:
+            return self._scores[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scores)) or "(none registered)"
+            raise InvalidParameterError(
+                f"unknown score {name!r}; registered: {known}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def query(self, score: str = DEFAULT_SCORE) -> QueryBuilder:
+        """Start a fluent query over one named score vector."""
+        self.scores_of(score)  # validate early, not at run()
+        return QueryBuilder(self, score)
+
+    def topk(
+        self,
+        score: str,
+        k: int,
+        aggregate: Union[str, AggregateKind] = "sum",
+        **builder_options: object,
+    ) -> TopKResult:
+        """One-shot convenience: ``query(score).limit(k)....run()``."""
+        builder = self.query(score).limit(k).aggregate(aggregate)
+        refinements = {
+            "algorithm",
+            "backend",
+            "where",
+            "gamma",
+            "distribution_fraction",
+            "exact_sizes",
+            "ordering",
+            "seed",
+        }
+        for name, value in builder_options.items():
+            if name not in refinements:
+                raise InvalidParameterError(
+                    f"unknown query option {name!r}; "
+                    f"expected one of {sorted(refinements)}"
+                )
+            builder = getattr(builder, name)(value)
+        return builder.run()
+
+    def topk_weighted(
+        self,
+        score: str,
+        k: int,
+        profile=None,
+        algorithm: str = "backward",
+        **options: object,
+    ) -> TopKResult:
+        """Distance-weighted top-k SUM (the paper's footnote 1).
+
+        ``profile`` maps hop distance to a weight in [0, 1] (default:
+        inverse distance); ``algorithm`` is ``"base"`` or ``"backward"``.
+        Runs from this session's shared size index.
+        """
+        spec = QuerySpec(
+            k=k,
+            aggregate="sum",
+            hops=self.hops,
+            include_self=self.include_self,
+            backend=self.backend,
+        )
+        return executor.execute_weighted(
+            self._ctx, self.scores_of(score), spec, profile, algorithm, options
+        )
+
+    def batch(
+        self,
+        queries: Sequence[Union[QueryBuilder, BatchQuery, Tuple[object, int]]],
+    ) -> BatchResult:
+        """Answer many queries with shared-scan routing (one result each).
+
+        Accepts :class:`QueryBuilder` objects from this session (their
+        score/k/aggregate are extracted), raw
+        :class:`~repro.core.batch.BatchQuery` items, or ``(scores, k[,
+        aggregate])`` tuples.  Dense queries share one scan; sparse ones
+        are peeled off to LONA-Backward — exactly the
+        :class:`~repro.core.batch.BatchTopKEngine` policy, fed from this
+        session's caches.  The returned :class:`BatchResult` carries
+        workload-level :class:`~repro.core.results.QueryStats` whose
+        counters sum the per-query work (shared scans counted once).
+        """
+        normalized: List[Union[BatchQuery, Tuple[object, int]]] = []
+        for i, item in enumerate(queries):
+            if isinstance(item, QueryBuilder):
+                request = item.request()
+                # The batch engine routes by score density and runs on the
+                # session backend; a builder pin it cannot honor must be
+                # rejected, not silently dropped.
+                plain = request.replace(
+                    score=DEFAULT_SCORE, k=1, aggregate="sum"
+                )
+                baseline = QueryRequest(
+                    k=1,
+                    hops=self.hops,
+                    include_self=self.include_self,
+                    backend=self.backend,
+                )
+                if plain != baseline:
+                    raise InvalidParameterError(
+                        f"batch entry {i}: shared-scan batching routes by "
+                        "score density on the session backend; builder pins "
+                        "(algorithm/backend/where/gamma/...) are not "
+                        "supported — run this query individually"
+                    )
+                normalized.append(
+                    BatchQuery(
+                        scores=self.scores_of(request.score),
+                        k=request.k,
+                        aggregate=request.aggregate,
+                    )
+                )
+            else:
+                normalized.append(item)  # type: ignore[arg-type]
+        return self._run_batch(normalized)
+
+    def _run_batch(
+        self, queries: Sequence[Union[BatchQuery, Tuple[object, int]]]
+    ) -> BatchResult:
+        """The BatchTopKEngine policy, fed from the session caches."""
+        self._ctx.check_fresh()
+        engine = BatchTopKEngine(
+            self.graph,
+            hops=self.hops,
+            include_self=self.include_self,
+            backend=self.backend,
+            # Lazy cache sharing: the engine pulls the CSR view / size
+            # index from the session context only if a routed query
+            # actually needs them.
+            context=self._ctx,
+        )
+        return BatchResult(engine.run(queries))
+
+    # ------------------------------------------------------------------
+    # Execution plumbing (builders land here)
+    # ------------------------------------------------------------------
+    def _run(self, request: QueryRequest) -> TopKResult:
+        scores = self.scores_of(request.score)
+        if request.algorithm == "view":
+            return self._run_view(request)
+        return executor.execute(
+            self._ctx,
+            scores,
+            request,
+            planner=self._planner(request.score)
+            if request.algorithm == "planned"
+            else None,
+            auto_density_threshold=self.auto_density_threshold,
+        )
+
+    def _stream(self, request: QueryRequest) -> Iterator[StreamUpdate]:
+        return executor.stream(self._ctx, self.scores_of(request.score), request)
+
+    def _plan(
+        self, request: QueryRequest, *, amortize_index: bool = True
+    ) -> ExecutionPlan:
+        # The cached planner is built on the session backend; a builder
+        # that pins a different backend gets a fresh planner so the plan
+        # describes the configuration .run() would actually execute.
+        planner = (
+            self._planner(request.score)
+            if request.backend == self.backend
+            else None
+        )
+        return executor.plan(
+            self._ctx,
+            self.scores_of(request.score),
+            request,
+            amortize_index=amortize_index,
+            planner=planner,
+        )
+
+    def _planner(self, score: str) -> QueryPlanner:
+        """Per-score planner, cached until the index state or graph moves."""
+        index_available = self._ctx.diff_index is not None
+        version = getattr(self.graph, "version", None)
+        cached = self._planners.get(score)
+        if cached is not None:
+            planner, avail, ver = cached
+            if avail == index_available and ver == version:
+                return planner
+        planner = QueryPlanner(
+            self.graph,
+            self.scores_of(score).values(),
+            hops=self.hops,
+            include_self=self.include_self,
+            index_available=index_available,
+            backend=self.backend,
+        )
+        self._planners[score] = (planner, index_available, version)
+        return planner
+
+    # ------------------------------------------------------------------
+    # Index lifecycle (shared across every score and execution mode)
+    # ------------------------------------------------------------------
+    def build_indexes(self) -> float:
+        """Build (or reuse) the differential + exact size indexes."""
+        return self._ctx.build_indexes()
+
+    @property
+    def diff_index(self) -> Optional[DifferentialIndex]:
+        """The shared differential index, if built."""
+        return self._ctx.diff_index
+
+    def save_index(self, path: object) -> None:
+        """Persist the differential index (building it first if needed)."""
+        self._ctx.save_index(path)
+
+    def load_index(self, path: object) -> None:
+        """Load a persisted differential index for this session's graph."""
+        self._ctx.load_index(path)
+
+    # ------------------------------------------------------------------
+    # Dynamic graphs: maintained views + mutations through the session
+    # ------------------------------------------------------------------
+    def maintain(self, score: str = DEFAULT_SCORE):
+        """Create (or return) a maintained aggregate view for one score.
+
+        Requires the session graph to be a
+        :class:`~repro.dynamic.graph.DynamicGraph`.  The view answers
+        ``algorithm("view")`` queries in O(n log k) and is repaired
+        incrementally by :meth:`add_edge` / :meth:`remove_edge` /
+        :meth:`update_score`.
+        """
+        from repro.dynamic.graph import DynamicGraph
+        from repro.dynamic.maintenance import MaintainedAggregateView
+
+        if not isinstance(self.graph, DynamicGraph):
+            raise InvalidParameterError(
+                "maintained views require a DynamicGraph session; build the "
+                "Network over DynamicGraph.from_graph(graph)"
+            )
+        if score not in self._views:
+            vector = self.scores_of(score)
+            self._views[score] = MaintainedAggregateView(
+                self.graph,
+                vector.values(),
+                hops=self.hops,
+                include_self=self.include_self,
+            )
+        return self._views[score]
+
+    def view(self, score: str = DEFAULT_SCORE):
+        """The maintained view for ``score`` (raises if never maintained)."""
+        try:
+            return self._views[score]
+        except KeyError:
+            raise InvalidParameterError(
+                f"no maintained view for score {score!r}; call "
+                f"net.maintain({score!r}) first"
+            ) from None
+
+    def _run_view(self, request: QueryRequest) -> TopKResult:
+        from repro.core.executor import _reject_inapplicable_knobs
+
+        _reject_inapplicable_knobs(request, "view")
+        view = self.view(request.score)
+        view.check_in_sync()  # never serve a stale view, filtered or not
+        if request.candidates is None:
+            return view.topk(request.k, request.aggregate)
+        # Candidate-filtered view read: O(|candidates| log k) arithmetic.
+        import time as _time
+
+        start = _time.perf_counter()
+        acc = TopKAccumulator(request.k)
+        for u in request.candidates:
+            acc.offer(u, view.value(u, request.aggregate))
+        stats = QueryStats(
+            algorithm="maintained-view",
+            aggregate=request.aggregate.value,
+            hops=self.hops,
+            k=request.k,
+            elapsed_sec=_time.perf_counter() - start,
+        )
+        stats.extra["candidates"] = float(len(request.candidates))
+        return TopKResult(entries=acc.entries(), stats=stats)
+
+    def _require_dynamic(self):
+        from repro.dynamic.graph import DynamicGraph
+
+        if not isinstance(self.graph, DynamicGraph):
+            raise InvalidParameterError(
+                "graph mutations require a DynamicGraph session"
+            )
+        return self.graph
+
+    def add_edge(self, u: int, v: int) -> int:
+        """Insert an edge; repairs every maintained view, drops stale caches.
+
+        Returns the number of view entries repaired (0 with no views).
+        """
+        graph = self._require_dynamic()
+        # Fail BEFORE mutating if any view already missed an outside
+        # mutation — repairing such a view would bake the stale state in.
+        for view in self._views.values():
+            view.check_in_sync()
+        graph.add_edge(u, v)
+        repaired = 0
+        for view in self._views.values():
+            repaired += view.repair_after_insert(u, v)
+        self._ctx.invalidate()
+        return repaired
+
+    def remove_edge(self, u: int, v: int) -> int:
+        """Delete an edge; repairs every maintained view, drops stale caches."""
+        graph = self._require_dynamic()
+        # Affected sets come from the OLD graph (paths through the edge
+        # existed only there) — collect them for every view before deleting.
+        pre = {
+            name: view.affected_for_delete(u, v)
+            for name, view in self._views.items()
+        }
+        graph.remove_edge(u, v)
+        repaired = 0
+        for name, view in self._views.items():
+            repaired += view.repair_after_delete(pre[name])
+        self._ctx.invalidate()
+        return repaired
+
+    def update_score(self, score: str, node: int, value: float) -> int:
+        """Update one node's score in a named vector (repairing its view).
+
+        Pure arithmetic on the maintained view (no traversal beyond the
+        reverse ball); the session's named vector is re-materialized so
+        subsequent non-view queries see the new score too.
+        """
+        vector = self.scores_of(score)
+        # Validate BEFORE touching any state: a bad node id must not
+        # half-apply to a maintained view (which mutates its score list
+        # before repairing).
+        if not 0 <= node < self.graph.num_nodes:
+            raise InvalidParameterError(
+                f"node {node} not in graph (num_nodes={self.graph.num_nodes})"
+            )
+        view = self._views.get(score)
+        if view is not None:
+            affected = view.update_score(node, value)
+            self._scores[score] = ScoreVector(view.scores)
+        else:
+            values = vector.values()
+            values[node] = float(value)
+            self._scores[score] = ScoreVector(values)
+            affected = 0
+        self._planners.pop(score, None)
+        return affected

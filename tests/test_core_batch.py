@@ -5,8 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.core.base import base_topk
-from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
+from repro.core.batch import BatchQuery, BatchResult, BatchTopKEngine, batch_base_topk
 from repro.core.query import QuerySpec
+from repro.core.results import combine_query_stats
 from repro.errors import InvalidParameterError, RelevanceError
 from repro.relevance import BinaryRelevance, ScoreVector
 from tests.conftest import random_graph, random_scores, rounded
@@ -129,6 +130,22 @@ class TestBatchEngine:
         results = engine.run([BatchQuery(v, k=3) for v in vectors])
         assert all(r.stats.algorithm == "backward" for r in results)
 
+    def test_shared_csr_injection(self, batch_graph):
+        """A prebuilt CSR view must not change the answers."""
+        pytest.importorskip("numpy")
+        from repro.graph.csr import to_csr
+
+        dense = ScoreVector(random_scores(50, seed=285, density=0.9))
+        plain = BatchTopKEngine(batch_graph, hops=2, backend="numpy")
+        shared = BatchTopKEngine(
+            batch_graph,
+            hops=2,
+            backend="numpy",
+            csr=to_csr(batch_graph, use_numpy=True),
+        )
+        queries = [BatchQuery(dense, k=5)]
+        assert plain.run(queries)[0].entries == shared.run(queries)[0].entries
+
     def test_results_in_input_order(self, batch_graph):
         sparse = BinaryRelevance(0.02, seed=280).scores(batch_graph)
         dense = ScoreVector(random_scores(50, seed=281, density=0.9))
@@ -141,3 +158,100 @@ class TestBatchEngine:
             ]
         )
         assert [len(r) for r in results] == [2, 3, 4]
+
+
+class TestBatchStatsAggregation:
+    """Regression: workload-level stats must sum per-query counters.
+
+    Each shared-scan member's ``QueryStats`` carries the *whole* batch
+    scan's counters (tagged with ``extra["batch_size"]``); naively summing
+    them multiplies the shared traversal by the batch size, and reporting
+    one member's stats drops the individually-routed queries entirely.
+    ``combine_query_stats`` (surfaced as ``BatchResult.stats``) must count
+    the shared scan once and add each peeled-off query's own work.
+    """
+
+    def test_shared_scan_counted_once(self, batch_graph):
+        vectors = _vectors(50, 4, seed=300)
+        results = batch_base_topk(
+            batch_graph, [BatchQuery(v, k=5) for v in vectors], hops=2
+        )
+        single = base_topk(
+            batch_graph, vectors[0].values(), QuerySpec(k=5, hops=2)
+        )
+        combined = BatchResult(results).stats
+        # NOT 4x the scan: the whole batch did one Base run's traversal.
+        assert combined.edges_scanned == single.stats.edges_scanned
+        assert combined.balls_expanded == single.stats.balls_expanded
+        assert combined.nodes_evaluated == batch_graph.num_nodes
+        assert combined.extra["num_queries"] == 4.0
+
+    def test_mixed_routing_sums_per_query(self, batch_graph):
+        sparse = BinaryRelevance(0.02, seed=310).scores(batch_graph)
+        dense = ScoreVector(random_scores(50, seed=311, density=0.9))
+        engine = BatchTopKEngine(batch_graph, hops=2)
+        results = engine.run(
+            [BatchQuery(dense, k=5), BatchQuery(sparse, k=3)]
+        )
+        combined = BatchResult(results).stats
+        shared, backward = results[0].stats, results[1].stats
+        assert combined.edges_scanned == (
+            shared.edges_scanned + backward.edges_scanned
+        )
+        assert combined.nodes_evaluated == (
+            shared.nodes_evaluated + backward.nodes_evaluated
+        )
+        assert combined.algorithm == "batch"
+
+    def test_not_last_query_stats(self, batch_graph):
+        """The old failure mode: batch-level reporting showed only the last
+        member's counters."""
+        sparse = BinaryRelevance(0.02, seed=320).scores(batch_graph)
+        dense = ScoreVector(random_scores(50, seed=321, density=0.9))
+        engine = BatchTopKEngine(batch_graph, hops=2)
+        results = engine.run(
+            [BatchQuery(dense, k=5), BatchQuery(sparse, k=3)]
+        )
+        combined = BatchResult(results).stats
+        last = results[-1].stats
+        assert combined.nodes_evaluated > last.nodes_evaluated
+        assert combined.edges_scanned > last.edges_scanned
+
+    def test_uniform_vs_mixed_labels(self, batch_graph):
+        vectors = _vectors(50, 2, seed=330)
+        same = combine_query_stats(
+            r.stats
+            for r in batch_base_topk(
+                batch_graph, [BatchQuery(v, k=3) for v in vectors], hops=2
+            )
+        )
+        assert same.aggregate == "sum"
+        mixed = combine_query_stats(
+            r.stats
+            for r in batch_base_topk(
+                batch_graph,
+                [
+                    BatchQuery(vectors[0], k=3, aggregate="sum"),
+                    BatchQuery(vectors[1], k=3, aggregate="avg"),
+                ],
+                hops=2,
+            )
+        )
+        assert mixed.aggregate == "mixed"
+
+    def test_empty_batch_stats(self):
+        combined = BatchResult([]).stats
+        assert combined.nodes_evaluated == 0
+        assert combined.algorithm == "batch"
+
+    def test_elapsed_is_per_query_share(self, batch_graph):
+        vectors = _vectors(50, 5, seed=340)
+        results = batch_base_topk(
+            batch_graph, [BatchQuery(v, k=3) for v in vectors], hops=2
+        )
+        combined = BatchResult(results).stats
+        # Every member reports the whole-batch wall clock; the combined
+        # elapsed must be one batch's, not five.
+        assert combined.elapsed_sec == pytest.approx(
+            results[0].stats.elapsed_sec, rel=1e-6
+        )

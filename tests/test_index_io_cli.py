@@ -289,3 +289,109 @@ class TestCLI:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCLIJson:
+    """--json output mode: one machine-readable object per command."""
+
+    @staticmethod
+    def _run_json(capsys, argv):
+        import json as _json
+
+        code = cli_main(argv)
+        assert code == 0
+        return _json.loads(capsys.readouterr().out)
+
+    def test_query_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            [
+                "query",
+                "--dataset",
+                "intrusion_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--binary",
+                "--json",
+            ],
+        )
+        assert payload["command"] == "query"
+        assert payload["graph"]["nodes"] > 0
+        assert len(payload["entries"]) == 3
+        first = payload["entries"][0]
+        assert set(first) == {"rank", "node", "label", "value"}
+        assert payload["entries"][0]["rank"] == 1
+        values = [e["value"] for e in payload["entries"]]
+        assert values == sorted(values, reverse=True)
+        assert payload["stats"]["algorithm"] in (
+            "base",
+            "forward",
+            "backward",
+        )
+        assert "elapsed_sec" in payload["stats"]
+
+    def test_query_json_matches_text_entries(self, capsys):
+        argv = [
+            "query",
+            "--dataset",
+            "collaboration_like",
+            "--scale",
+            "0.05",
+            "--k",
+            "4",
+        ]
+        assert cli_main(argv) == 0
+        text_out = capsys.readouterr().out
+        text_entries = [
+            line.split("\t")
+            for line in text_out.splitlines()
+            if line and not line.startswith("#")
+        ]
+        payload = self._run_json(capsys, argv + ["--json"])
+        assert [e["label"] for e in payload["entries"]] == [
+            row[1] for row in text_entries
+        ]
+        for entry, row in zip(payload["entries"], text_entries):
+            assert round(entry["value"], 6) == float(row[2])
+
+    def test_explain_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            [
+                "explain",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "5",
+                "--json",
+            ],
+        )
+        assert payload["command"] == "explain"
+        plan = payload["plan"]
+        assert plan["chosen"] in ("base", "forward", "backward")
+        algorithms = {est["algorithm"] for est in plan["estimates"]}
+        assert "base" in algorithms
+        for est in plan["estimates"]:
+            assert est["online_ball_expansions"] >= 0
+
+    def test_query_relational_via_cli(self, capsys):
+        code = cli_main(
+            [
+                "query",
+                "--dataset",
+                "collaboration_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--algorithm",
+                "relational",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm=relational" in out

@@ -1,0 +1,164 @@
+"""Public-API snapshot: surface changes must be deliberate.
+
+Pins (1) ``repro.__all__`` — the package's exported names — and (2) the
+fluent :class:`~repro.session.QueryBuilder` / :class:`~repro.session.Network`
+method surfaces, including parameter names.  A failing test here means the
+public contract moved: update the snapshot *in the same change, on
+purpose*, and call it out in the changelog.  CI runs this module in every
+matrix cell (and as a dedicated lint-adjacent step), so an accidental
+rename or removal cannot slip through.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+from repro.session import Network, QueryBuilder
+
+EXPECTED_ALL = [
+    "__version__",
+    "ReproError",
+    "Graph",
+    "GraphBuilder",
+    "build_differential_index",
+    "DynamicGraph",
+    "MaintainedAggregateView",
+    "Network",
+    "QueryBuilder",
+    "QueryRequest",
+    "StreamUpdate",
+    "BatchQuery",
+    "BatchResult",
+    "BatchTopKEngine",
+    "combine_query_stats",
+    "TopKEngine",
+    "QuerySpec",
+    "TopKResult",
+    "QueryStats",
+    "AggregateKind",
+    "base_topk",
+    "forward_topk",
+    "backward_topk",
+    "topk_sum",
+    "topk_avg",
+    "ScoreVector",
+    "MixtureRelevance",
+    "BinaryRelevance",
+    "RandomAssignmentRelevance",
+    "RandomWalkRelevance",
+    "IterativeClassifierRelevance",
+    "uniform_scores",
+    "indicator_scores",
+]
+
+#: method name -> parameter names after self (None = property).
+BUILDER_SURFACE = {
+    "limit": ["k"],
+    "k": ["k"],
+    "hops": ["hops"],
+    "aggregate": ["aggregate"],
+    "where": ["predicate_or_nodes"],
+    "algorithm": ["algorithm"],
+    "backend": ["backend"],
+    "gamma": ["gamma"],
+    "distribution_fraction": ["fraction"],
+    "exact_sizes": ["exact"],
+    "ordering": ["ordering"],
+    "seed": ["seed"],
+    "request": [],
+    "spec": [],
+    "run": [],
+    "stream": [],
+    "explain": ["amortize_index"],
+}
+
+NETWORK_SURFACE = {
+    "add_scores": ["name", "relevance"],
+    "score_names": [],
+    "scores_of": ["name"],
+    "query": ["score"],
+    "topk": ["score", "k", "aggregate", "builder_options"],
+    "topk_weighted": ["score", "k", "profile", "algorithm", "options"],
+    "batch": ["queries"],
+    "build_indexes": [],
+    "save_index": ["path"],
+    "load_index": ["path"],
+    "maintain": ["score"],
+    "view": ["score"],
+    "add_edge": ["u", "v"],
+    "remove_edge": ["u", "v"],
+    "update_score": ["score", "node", "value"],
+}
+
+
+def test_package_all_is_pinned():
+    assert list(repro.__all__) == EXPECTED_ALL
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+
+def _parameters(cls, name):
+    method = inspect.getattr_static(cls, name)
+    signature = inspect.signature(method)
+    return [p for p in signature.parameters if p != "self"]
+
+
+def test_query_builder_surface():
+    public = {
+        name
+        for name, member in inspect.getmembers(QueryBuilder)
+        if not name.startswith("_")
+        and (inspect.isfunction(member) or isinstance(
+            inspect.getattr_static(QueryBuilder, name), property
+        ))
+    }
+    assert public == set(BUILDER_SURFACE) | {"score"}
+    for name, params in BUILDER_SURFACE.items():
+        assert _parameters(QueryBuilder, name) == params, (
+            f"QueryBuilder.{name} signature moved"
+        )
+
+
+def test_network_surface():
+    for name, params in NETWORK_SURFACE.items():
+        assert _parameters(Network, name) == params, (
+            f"Network.{name} signature moved"
+        )
+
+
+def test_builder_methods_return_new_builders():
+    net = Network(repro.Graph.from_edges([(0, 1), (1, 2)]), hops=1)
+    net.add_scores("s", [0.1, 0.2, 0.3])
+    builder = net.query("s")
+    for name in (
+        "limit",
+        "aggregate",
+        "algorithm",
+        "backend",
+        "gamma",
+        "distribution_fraction",
+        "exact_sizes",
+        "ordering",
+        "seed",
+    ):
+        argument = {
+            "limit": 2,
+            "aggregate": "avg",
+            "algorithm": "base",
+            "backend": "python",
+            "gamma": 0.5,
+            "distribution_fraction": 0.2,
+            "exact_sizes": True,
+            "ordering": "degree",
+            "seed": 1,
+        }[name]
+        out = getattr(builder, name)(argument)
+        assert isinstance(out, QueryBuilder) and out is not builder
+
+
+def test_version_is_stringy():
+    assert isinstance(repro.__version__, str) and repro.__version__
