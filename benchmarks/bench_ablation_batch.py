@@ -1,14 +1,25 @@
 """Ablation abl-batch: shared scans for heavy query workloads.
 
 Sec. II motivates LONA with "heavy query workloads"; this benchmark
-measures the multi-query optimization: answering q dense queries through
-one shared scan vs q sequential Base runs, and the BatchTopKEngine's
-routing when the workload mixes dense and sparse vectors.
+measures the multi-query optimization along two axes:
+
+* shared scan vs q sequential Base runs (per backend) — the traversal
+  amortization;
+* the *fused* numpy batch kernel vs q per-query numpy Base runs — the
+  vectorized batch must beat even vectorized single-query execution,
+  because each node block is expanded once and every query scores against
+  it in a single segmented reduction.
+
+``BatchTopKEngine`` routing (dense shared, sparse peeled to backward) is
+timed on the mixed workload.
 """
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench.workloads import figure
+from repro.core.backends import numpy_available
 from repro.core.base import base_topk
 from repro.core.batch import BatchQuery, BatchTopKEngine, batch_base_topk
 from repro.core.query import QuerySpec
@@ -16,6 +27,8 @@ from repro.relevance.mixture import MixtureRelevance
 
 _CACHE = {}
 NUM_QUERIES = 6
+
+BACKENDS = ("python", "numpy") if numpy_available() else ("python",)
 
 
 def _context():
@@ -33,30 +46,51 @@ def _context():
         _CACHE["graph"] = graph
         _CACHE["dense"] = dense
         _CACHE["sparse"] = sparse
+        if numpy_available():
+            from repro.graph.csr import to_csr
+
+            _CACHE["csr"] = to_csr(graph, use_numpy=True)
+        else:
+            _CACHE["csr"] = None
     return _CACHE
 
 
-def test_sequential_base_runs(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sequential_base_runs(benchmark, backend):
     ctx = _context()
 
     def run():
         return [
-            base_topk(ctx["graph"], vector.values(), QuerySpec(k=20, hops=2))
+            base_topk(
+                ctx["graph"],
+                vector.values(),
+                QuerySpec(k=20, hops=2, backend=backend),
+                csr=ctx["csr"] if backend == "numpy" else None,
+            )
             for vector in ctx["dense"]
         ]
 
     results = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["backend"] = backend
     assert len(results) == NUM_QUERIES
 
 
-def test_shared_scan_batch(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_shared_scan_batch(benchmark, backend):
     ctx = _context()
     queries = [BatchQuery(vector, k=20) for vector in ctx["dense"]]
 
     def run():
-        return batch_base_topk(ctx["graph"], queries, hops=2)
+        return batch_base_topk(
+            ctx["graph"],
+            queries,
+            hops=2,
+            backend=backend,
+            csr=ctx["csr"] if backend == "numpy" else None,
+        )
 
     results = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["backend"] = backend
     assert len(results) == NUM_QUERIES
 
 

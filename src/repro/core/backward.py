@@ -95,6 +95,7 @@ def backward_topk(
     sizes: Optional[NeighborhoodSizeIndex] = None,
     csr: Optional[object] = None,
     rev_csr: Optional[object] = None,
+    ball_cache: Optional[object] = None,
 ) -> TopKResult:
     """Answer ``spec`` with LONA-Backward.
 
@@ -122,6 +123,10 @@ def backward_topk(
         Optional prebuilt numpy CSR view of ``graph.reversed()`` (directed
         graphs only — distribution walks the reversed arcs).  Ignored by
         the Python backend.
+    ball_cache:
+        Optional session-scoped :class:`~repro.graph.csr.CSRBallCache`
+        reused across queries for verification-phase expansions.  Ignored
+        by the Python backend.
     """
     if resolve_backend(spec.backend) == "numpy":
         from repro.core.vectorized import backward_topk_numpy
@@ -135,6 +140,7 @@ def backward_topk(
             sizes=sizes,
             csr=csr,  # type: ignore[arg-type]
             rev_csr=rev_csr,  # type: ignore[arg-type]
+            ball_cache=ball_cache,  # type: ignore[arg-type]
         )
     kind = spec.aggregate
     if not kind.lona_supported:

@@ -8,6 +8,11 @@ values." (Sec. III)
 Exactly that — one truncated BFS per node, no pruning.  Base is the
 correctness oracle for everything else and the baseline line in every figure.
 It supports all aggregate kinds, including the non-sum-convertible MAX/MIN.
+
+This module is the pure-Python execution backend; ``spec.backend`` routes
+the same query to the vectorized CSR implementation in
+:mod:`repro.core.vectorized` (which covers every aggregate kind, MAX/MIN
+included, via segmented reductions) when numpy is available.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind, evaluate_scores, finalize_sum
+from repro.core.backends import resolve_backend
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
@@ -31,12 +37,24 @@ def base_topk(
     spec: QuerySpec,
     *,
     node_order: Optional[Sequence[int]] = None,
+    csr: Optional[object] = None,
 ) -> TopKResult:
     """Answer ``spec`` by exhaustive forward processing.
 
-    ``node_order`` optionally fixes the evaluation order (used by tests to
-    exercise tie behavior); the answer's value multiset is order-independent.
+    Dispatches on ``spec.backend`` (``"auto"`` prefers the vectorized numpy
+    implementation, falling back to this module's pure-Python loop when
+    numpy is absent).  ``node_order`` optionally fixes the evaluation order
+    (used by tests to exercise tie behavior); the answer's value multiset is
+    order-independent.  ``csr`` optionally supplies a prebuilt numpy
+    :class:`~repro.graph.csr.CSRGraph` view (sessions cache one across
+    queries); ignored by the Python backend.
     """
+    if resolve_backend(spec.backend) == "numpy":
+        from repro.core.vectorized import base_topk_numpy
+
+        return base_topk_numpy(
+            graph, scores, spec, node_order=node_order, csr=csr  # type: ignore[arg-type]
+        )
     start = time.perf_counter()
     counter = TraversalCounter()
     acc = TopKAccumulator(spec.k)

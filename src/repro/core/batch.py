@@ -194,20 +194,39 @@ def _shared_scan_numpy(
     include_self: bool,
     counter: TraversalCounter,
     csr=None,
-    block_size: int = 256,
+    block_size=None,
 ) -> None:
-    """Vectorized shared scan: multi-source BFS blocks + bincount folds."""
+    """Fused vectorized shared scan: one expansion, all queries per block.
+
+    Each node block is expanded with one multi-source BFS and *every*
+    query's ball sums come out of a single segmented reduction
+    (``np.add.reduceat`` over the (queries x members) score matrix) — the
+    per-query work is one row of vectorized arithmetic, not a separate
+    bincount pass.  Offers are threshold-gated per query (see
+    :func:`repro.core.vectorized._offer_block`), so the Python-loop cost is
+    proportional to plausible top-k entrants, not to ``q * n``.
+    """
     import numpy as np
 
-    from repro.core.vectorized import _effective_block_size
+    from repro.core.vectorized import _offer_block, resolve_block_size, segment_starts
     from repro.graph.csr import batched_hop_balls, to_csr
 
     if csr is None:
         csr = to_csr(graph, use_numpy=True)
     matrix = np.asarray(folded_scores, dtype=np.float64)
     n = graph.num_nodes
-    block_size = _effective_block_size(block_size, n)
-    is_avg = [entry.aggregate is AggregateKind.AVG for entry in batch]
+    if block_size is None:
+        # The fused reduction materializes a (queries x block members)
+        # score slice per block; shrink the block with the batch width so
+        # peak transient memory tracks the single-query budget.
+        block_size = max(
+            4, resolve_block_size(None, n, int(csr.num_arcs)) // max(len(batch), 1)
+        )
+    else:
+        block_size = resolve_block_size(block_size, n, int(csr.num_arcs))
+    avg_rows = np.asarray(
+        [entry.aggregate is AggregateKind.AVG for entry in batch], dtype=bool
+    )
     for lo in range(0, n, block_size):
         centers = np.arange(lo, min(lo + block_size, n), dtype=np.int64)
         owners, members, edges = batched_hop_balls(
@@ -217,23 +236,18 @@ def _shared_scan_numpy(
         counter.edges_scanned += edges
         counter.nodes_visited += int(members.size) + (0 if include_self else count)
         counter.balls_expanded += count
-        sizes = np.bincount(owners, minlength=count)
-        for i in range(len(batch)):
-            totals = np.bincount(
-                owners, weights=matrix[i, members], minlength=count
+        values = np.zeros((len(batch), count), dtype=np.float64)
+        if members.size:
+            present, starts = segment_starts(np, owners)
+            values[:, present] = np.add.reduceat(
+                matrix[:, members], starts, axis=1
             )
-            if is_avg[i]:
-                values = np.divide(
-                    totals,
-                    sizes,
-                    out=np.zeros(count, dtype=np.float64),
-                    where=sizes > 0,
-                )
-            else:
-                values = totals
-            offer = accumulators[i].offer
-            for j in range(count):
-                offer(int(centers[j]), float(values[j]))
+        if avg_rows.any():
+            # Empty balls keep the 0.0 the zeros-init gave them.
+            sizes = np.maximum(np.bincount(owners, minlength=count), 1)
+            values[avg_rows] = values[avg_rows] / sizes
+        for i, acc in enumerate(accumulators):
+            _offer_block(np, acc, centers, values[i])
 
 
 class BatchResult:

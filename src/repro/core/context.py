@@ -3,10 +3,12 @@
 Every execution path over one graph wants the same offline artifacts: the
 differential index (LONA-Forward), the neighborhood-size index
 (LONA-Backward), and — for the vectorized backend — the CSR views of the
-graph and its reversal.  Historically each engine (`TopKEngine`,
-`BatchTopKEngine`, the relational and dynamic paths) rebuilt its own
-copies; :class:`GraphContext` owns them once so the :class:`~repro.session.Network`
-session and the legacy engines can share a single cache.
+graph and its reversal plus the session-scoped ball caches (backward
+verification balls and their distance-labeled weighted counterparts).
+Historically each engine (`TopKEngine`, `BatchTopKEngine`, the relational
+and dynamic paths) rebuilt its own copies; :class:`GraphContext` owns them
+once so the :class:`~repro.session.Network` session and the legacy engines
+can share a single cache.
 
 The context is *version-aware*: when the underlying graph is a
 :class:`~repro.dynamic.graph.DynamicGraph`, every accessor revalidates
@@ -30,9 +32,11 @@ class GraphContext:
     """Lazily built, shared caches for one ``(graph, hops, include_self)``.
 
     Owns: the differential index, the exact/estimated neighborhood-size
-    indexes, and the (reversed) CSR views consumed by the numpy backend.
-    All artifacts build on first use and are reused until :meth:`invalidate`
-    (called automatically when the graph's version counter moves).
+    indexes, the (reversed) CSR views consumed by the numpy backend, and
+    the session-scoped ball caches (:meth:`ball_cache` /
+    :meth:`dist_ball_cache`).  All artifacts build on first use and are
+    reused until :meth:`invalidate` (called automatically when the graph's
+    version counter moves).
     """
 
     __slots__ = (
@@ -45,6 +49,8 @@ class GraphContext:
         "_estimated_sizes",
         "_csr",
         "_rev_csr",
+        "_ball_cache",
+        "_dist_ball_cache",
         "_graph_version",
     )
 
@@ -60,6 +66,8 @@ class GraphContext:
         self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
         self._csr = None
         self._rev_csr = None
+        self._ball_cache = None
+        self._dist_ball_cache = None
         self._graph_version = getattr(graph, "version", None)
 
     # ------------------------------------------------------------------
@@ -72,6 +80,8 @@ class GraphContext:
         self._estimated_sizes = None
         self._csr = None
         self._rev_csr = None
+        self._ball_cache = None
+        self._dist_ball_cache = None
         self._graph_version = getattr(self.graph, "version", None)
 
     def check_fresh(self) -> None:
@@ -166,3 +176,42 @@ class GraphContext:
 
             self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
         return self._rev_csr
+
+    # ------------------------------------------------------------------
+    # Session-scoped ball caches (numpy backend)
+    # ------------------------------------------------------------------
+    def ball_cache(self):
+        """Session-scoped :class:`~repro.graph.csr.CSRBallCache` over :meth:`csr`.
+
+        LONA-Backward's verification phase expands the high-bound balls;
+        repeated queries over one session mostly re-verify the same nodes,
+        so sharing the cache pays each expansion once per session instead
+        of once per query.  Version-invalidated with every other artifact
+        (see :meth:`invalidate`), so dynamic graphs never serve stale
+        balls.
+        """
+        self.check_fresh()
+        if self._ball_cache is None:
+            from repro.graph.csr import CSRBallCache
+
+            self._ball_cache = CSRBallCache(
+                self.csr(), self.hops, include_self=self.include_self
+            )
+        return self._ball_cache
+
+    def dist_ball_cache(self):
+        """Session-scoped :class:`~repro.graph.csr.CSRDistanceBallCache`.
+
+        The weighted analogue of :meth:`ball_cache`: distance-labeled balls
+        depend only on the graph and ``(hops, include_self)``, never on the
+        decay profile, so one cache serves every weighted query of the
+        session.  Same version-invalidation rules.
+        """
+        self.check_fresh()
+        if self._dist_ball_cache is None:
+            from repro.graph.csr import CSRDistanceBallCache
+
+            self._dist_ball_cache = CSRDistanceBallCache(
+                self.csr(), self.hops, include_self=self.include_self
+            )
+        return self._dist_ball_cache

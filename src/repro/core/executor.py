@@ -54,9 +54,6 @@ __all__ = ["execute", "execute_weighted", "stream", "plan", "choose_algorithm"]
 #: Default score-density threshold under which ``"auto"`` picks backward.
 AUTO_DENSITY_THRESHOLD = 0.2
 
-#: Candidate block size for the vectorized filtered/streamed scans.
-_STREAM_BLOCK = 256
-
 
 def choose_algorithm(
     scores: ScoreVector,
@@ -207,10 +204,10 @@ def execute(
         algorithm = plan(ctx, scores, request, planner=planner).chosen
     _reject_inapplicable_knobs(request, algorithm)
 
-    if algorithm == "base":
-        return base_topk(ctx.graph, scores, spec)
     vectorized = resolve_backend(spec.backend) == "numpy"
     csr = ctx.csr() if vectorized else None
+    if algorithm == "base":
+        return base_topk(ctx.graph, scores, spec, csr=csr)
     if algorithm == "forward":
         ctx.build_indexes()
         return forward_topk(
@@ -233,6 +230,7 @@ def execute(
         sizes=sizes,
         csr=csr,
         rev_csr=ctx.rev_csr() if vectorized else None,
+        ball_cache=ctx.ball_cache() if vectorized else None,
     )
 
 
@@ -259,9 +257,12 @@ def execute_weighted(
     options = dict(options or {})
     if profile is None:
         profile = inverse_distance
+    vectorized = resolve_backend(spec.backend) == "numpy"
     if algorithm == "base":
         _reject_unknown_options(options)
-        return weighted_base_topk(ctx.graph, scores, spec, profile)
+        return weighted_base_topk(
+            ctx.graph, scores, spec, profile, csr=ctx.csr() if vectorized else None
+        )
     if algorithm != "backward":
         raise InvalidParameterError(
             f"weighted queries support algorithm 'base' or 'backward', "
@@ -279,6 +280,9 @@ def execute_weighted(
         gamma=gamma,  # type: ignore[arg-type]
         distribution_fraction=fraction,
         sizes=ctx.size_index(exact=exact_sizes),
+        csr=ctx.csr() if vectorized else None,
+        rev_csr=ctx.rev_csr() if vectorized else None,
+        dist_ball_cache=ctx.dist_ball_cache() if vectorized else None,
     )
 
 
@@ -292,18 +296,6 @@ def _reject_unknown_options(options: dict) -> None:
 # ----------------------------------------------------------------------
 # Candidate-filtered scan
 # ----------------------------------------------------------------------
-def _scan_backend(spec: QuerySpec) -> str:
-    """The backend the exact scan will *actually* run on.
-
-    Only sum-convertible aggregates have a CSR kernel; MAX/MIN take the
-    python loop even when numpy was requested, and stats must say so.
-    """
-    concrete = resolve_backend(spec.backend)
-    if concrete == "numpy" and not spec.aggregate.sum_convertible:
-        return "python"
-    return concrete
-
-
 def _iter_exact_values(
     ctx: GraphContext,
     scores: ScoreVector,
@@ -315,24 +307,25 @@ def _iter_exact_values(
 
     The single exact-evaluation loop behind both the candidate-filtered
     scan and the streaming executor: the numpy backend expands node blocks
-    with the multi-source CSR kernel (sum-convertible aggregates only —
-    MAX/MIN take the python loop on any backend), the python backend runs
+    with the multi-source CSR kernel and reduces every aggregate kind with
+    one segmented reduction (MAX/MIN included), the python backend runs
     one truncated BFS per node.  Traversal work lands in ``counter``
     either way.
     """
     kind = spec.aggregate
-    if _scan_backend(spec) == "numpy" and len(order) > 0:
+    if resolve_backend(spec.backend) == "numpy" and len(order) > 0:
         import numpy as np
 
+        from repro.core.vectorized import aggregate_ball_segments, resolve_block_size
         from repro.graph.csr import batched_hop_balls
 
         csr = ctx.csr()
-        from repro.core.vectorized import _effective_block_size
-
         folded = np.asarray(fold_scores(kind, scores), dtype=np.float64)
+        eff_kind = AggregateKind.SUM if kind is AggregateKind.COUNT else kind
         nodes = np.asarray(order, dtype=np.int64)
-        is_avg = kind is AggregateKind.AVG
-        block = _effective_block_size(_STREAM_BLOCK, ctx.graph.num_nodes)
+        block = resolve_block_size(
+            None, ctx.graph.num_nodes, int(csr.num_arcs)
+        )
         for lo in range(0, nodes.size, block):
             centers = nodes[lo : lo + block]
             owners, members, edges = batched_hop_balls(
@@ -344,19 +337,9 @@ def _iter_exact_values(
                 0 if spec.include_self else count
             )
             counter.balls_expanded += count
-            sizes = np.bincount(owners, minlength=count)
-            totals = np.bincount(
-                owners, weights=folded[members], minlength=count
+            values = aggregate_ball_segments(
+                np, eff_kind, owners, folded[members], count
             )
-            if is_avg:
-                values = np.divide(
-                    totals,
-                    sizes,
-                    out=np.zeros(count, dtype=np.float64),
-                    where=sizes > 0,
-                )
-            else:
-                values = totals
             for j in range(count):
                 yield int(centers[j]), float(values[j])
         return
@@ -399,7 +382,7 @@ def _filtered_topk(
     stats = QueryStats(
         algorithm="base",
         aggregate=spec.aggregate.value,
-        backend=_scan_backend(spec),
+        backend=resolve_backend(spec.backend),
         hops=spec.hops,
         k=spec.k,
         elapsed_sec=time.perf_counter() - start,

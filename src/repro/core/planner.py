@@ -31,6 +31,13 @@ built from O(n log n) statistics only — no traversal:
 The model's absolute numbers are rough by construction; its *ordering* is
 what the planner uses and what the tests pin (sparse-binary -> backward,
 dense-continuous with index -> forward, tiny graphs -> base).
+
+The ordering is **backend-sensitive**: a ball expansion does not cost the
+same on every backend, and the vectorized backend does not speed every
+algorithm up equally, so each estimate carries a per-expansion
+``cost_multiplier`` (:data:`BACKEND_COST_FACTORS`) that the ranking
+incorporates.  Under numpy a full vectorized Base scan can undercut a
+prune-light LONA-Forward run that wins under python.
 """
 
 from __future__ import annotations
@@ -46,26 +53,57 @@ from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import upper_estimate
 
-__all__ = ["CostEstimate", "ExecutionPlan", "QueryPlanner"]
+__all__ = [
+    "BACKEND_COST_FACTORS",
+    "CostEstimate",
+    "ExecutionPlan",
+    "QueryPlanner",
+]
+
+#: Relative per-ball-expansion execution cost of each algorithm's *online*
+#: phase, by concrete backend.  The vectorized backend does not speed every
+#: route up equally — Base is the most array-shaped (multi-source BFS blocks
+#: + one segmented reduction each), LONA-Forward interleaves bulk expansion
+#: with per-block pruning bookkeeping, and LONA-Backward's verification
+#: still walks candidates one ball at a time — so plan *choice* can
+#: legitimately flip with the backend (a full vectorized scan can undercut a
+#: prune-light forward run).  Factors are calibrated against
+#: ``benchmarks/bench_ablation_backend.py`` speedups at bench scale; the
+#: offline index build is python-side construction either way and is never
+#: discounted.
+BACKEND_COST_FACTORS = {
+    "python": {"base": 1.0, "forward": 1.0, "backward": 1.0},
+    "numpy": {"base": 0.15, "forward": 0.35, "backward": 0.3},
+}
 
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """Predicted cost of one algorithm for one query."""
+    """Predicted cost of one algorithm for one query.
+
+    ``online_ball_expansions`` stays in the backend-independent currency
+    (one truncated BFS = 1 unit); ``cost_multiplier`` is the backend's
+    relative per-expansion cost (:data:`BACKEND_COST_FACTORS`), applied by
+    the ``total_*`` methods the planner ranks with.
+    """
 
     algorithm: str
     online_ball_expansions: float
     needs_offline_index: bool
     offline_ball_expansions: float
     note: str
+    cost_multiplier: float = 1.0
 
     def total_first_query(self) -> float:
         """Cost of the first query, offline build included."""
-        return self.online_ball_expansions + self.offline_ball_expansions
+        return (
+            self.online_ball_expansions * self.cost_multiplier
+            + self.offline_ball_expansions
+        )
 
     def total_amortized(self) -> float:
         """Cost per query once the offline index is sunk."""
-        return self.online_ball_expansions
+        return self.online_ball_expansions * self.cost_multiplier
 
 
 @dataclass
@@ -77,9 +115,10 @@ class ExecutionPlan:
     estimates: List[CostEstimate] = field(default_factory=list)
     amortize_index: bool = True
     #: Concrete execution backend the chosen algorithm will run on.  The
-    #: cost model is phrased in ball expansions, a backend-independent
-    #: currency, so the backend changes the constant factor, not the
-    #: algorithm ranking.
+    #: cost model is phrased in ball expansions, but each estimate carries
+    #: the backend's per-expansion cost factor
+    #: (:data:`BACKEND_COST_FACTORS`), so the ranking — and therefore the
+    #: chosen algorithm — is backend-sensitive.
     backend: str = "python"
 
     def estimate_for(self, algorithm: str) -> CostEstimate:
@@ -105,6 +144,8 @@ class ExecutionPlan:
                     "online_ball_expansions": est.online_ball_expansions,
                     "needs_offline_index": est.needs_offline_index,
                     "offline_ball_expansions": est.offline_ball_expansions,
+                    "cost_multiplier": est.cost_multiplier,
+                    "effective_online_cost": est.total_amortized(),
                     "note": est.note,
                 }
                 for est in self.estimates
@@ -134,9 +175,15 @@ class ExecutionPlan:
                 if est.needs_offline_index
                 else ""
             )
+            discount = (
+                f" (x{est.cost_multiplier:g} {self.backend} -> "
+                f"{est.total_amortized():.0f})"
+                if est.cost_multiplier != 1.0
+                else ""
+            )
             lines.append(
                 f" {marker} {est.algorithm:<9} {est.online_ball_expansions:10.0f}"
-                f"{offline}   {est.note}"
+                f"{offline}{discount}   {est.note}"
             )
         return "\n".join(lines)
 
@@ -176,6 +223,10 @@ class QueryPlanner:
         )
 
     # ------------------------------------------------------------------
+    def _cost_factor(self, algorithm: str) -> float:
+        """The backend's per-expansion cost factor for one algorithm."""
+        return BACKEND_COST_FACTORS[self.backend].get(algorithm, 1.0)
+
     def _threshold_proxy(self, k: int) -> float:
         """Plausible k-th best SUM: mu times the k-th largest ball estimate."""
         if not self._size_ub:
@@ -207,6 +258,7 @@ class QueryPlanner:
                 needs_offline_index=False,
                 offline_ball_expansions=0.0,
                 note="full scan, no precomputation",
+                cost_multiplier=self._cost_factor("base"),
             )
         ]
 
@@ -225,6 +277,7 @@ class QueryPlanner:
                     offline_ball_expansions=0.0 if self.index_available else float(n),
                     note=f"static bound prunes ~{prunable} of {n} nodes "
                     f"(threshold proxy {threshold:.1f})",
+                    cost_multiplier=self._cost_factor("forward"),
                 )
             )
 
@@ -264,6 +317,7 @@ class QueryPlanner:
                     needs_offline_index=False,
                     offline_ball_expansions=0.0,
                     note=note,
+                    cost_multiplier=self._cost_factor("backward"),
                 )
             )
 

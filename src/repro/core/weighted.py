@@ -18,6 +18,11 @@ query algorithms:
 
 Weighted aggregation is defined for SUM (the footnote's form).  AVG under
 weights has no canonical denominator and is deliberately not offered.
+
+Both algorithms are pure-Python execution backends; ``spec.backend`` routes
+the same query to the vectorized CSR implementations in
+:mod:`repro.core.vectorized` (distance-labeled batched expansions) when
+numpy is available.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.aggregates.weighted import (
     inverse_distance,
     precompute_weights,
 )
+from repro.core.backends import resolve_backend
 from repro.core.backward import resolve_gamma
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
@@ -56,9 +62,21 @@ def weighted_base_topk(
     scores: Sequence[float],
     spec: QuerySpec,
     profile: DecayProfile = inverse_distance,
+    *,
+    csr: Optional[object] = None,
 ) -> TopKResult:
-    """Naive weighted scan: one distance-labeled BFS per node."""
+    """Naive weighted scan: one distance-labeled BFS per node.
+
+    Dispatches on ``spec.backend``; ``csr`` optionally supplies a prebuilt
+    numpy CSR view (ignored by the Python backend).
+    """
     _check_spec(spec)
+    if resolve_backend(spec.backend) == "numpy":
+        from repro.core.vectorized import weighted_base_topk_numpy
+
+        return weighted_base_topk_numpy(
+            graph, scores, spec, profile, csr=csr  # type: ignore[arg-type]
+        )
     weights = precompute_weights(profile, spec.hops)
     start = time.perf_counter()
     counter = TraversalCounter()
@@ -96,6 +114,9 @@ def weighted_backward_topk(
     gamma: Union[float, str] = "auto",
     distribution_fraction: float = 0.1,
     sizes: Optional[NeighborhoodSizeIndex] = None,
+    csr: Optional[object] = None,
+    rev_csr: Optional[object] = None,
+    dist_ball_cache: Optional[object] = None,
 ) -> TopKResult:
     """LONA-Backward with distance weights.
 
@@ -104,8 +125,29 @@ def weighted_backward_topk(
     so ``PS(v) + w_max * rest_bound * unknown(v) + f(v)·[v undistributed]``
     dominates the true weighted sum (the self term has weight
     ``w(0) <= 1``; using ``f(v)`` unweighted keeps the bound sound).
+
+    Dispatches on ``spec.backend``; ``csr`` / ``rev_csr`` optionally supply
+    prebuilt numpy CSR views of the graph and its reversal, and
+    ``dist_ball_cache`` a session-scoped
+    :class:`~repro.graph.csr.CSRDistanceBallCache` reused across queries.
+    All three are ignored by the Python backend.
     """
     _check_spec(spec)
+    if resolve_backend(spec.backend) == "numpy":
+        from repro.core.vectorized import weighted_backward_topk_numpy
+
+        return weighted_backward_topk_numpy(
+            graph,
+            scores,
+            spec,
+            profile,
+            gamma=gamma,
+            distribution_fraction=distribution_fraction,
+            sizes=sizes,
+            csr=csr,  # type: ignore[arg-type]
+            rev_csr=rev_csr,  # type: ignore[arg-type]
+            dist_ball_cache=dist_ball_cache,  # type: ignore[arg-type]
+        )
     weights = precompute_weights(profile, spec.hops)
     w_max = max(weights[1:], default=0.0)
 

@@ -35,7 +35,9 @@ __all__ = [
     "slab_positions",
     "csr_hop_ball",
     "batched_hop_balls",
+    "batched_hop_balls_with_distances",
     "CSRBallCache",
+    "CSRDistanceBallCache",
 ]
 
 
@@ -209,6 +211,50 @@ def _expand_ball(
     return ball, edges
 
 
+def _expand_ball_with_distances(
+    np, csr: CSRGraph, center: int, hops: int, include_self: bool, stamp: Any, generation: int
+) -> Tuple[Any, Any, int]:
+    """:func:`_expand_ball` variant returning ``(members, dists, edges)``.
+
+    ``members`` is sorted ascending; ``dists`` is aligned with it and holds
+    each member's exact hop distance (0 for the center).  BFS levels are
+    duplicate-free (the stamp filters), so each node's first — minimum —
+    level is the one recorded.
+    """
+    stamp[center] = generation
+    frontier = np.array([center], dtype=np.int64)
+    levels = [frontier]
+    edges = 0
+    for _ in range(hops):
+        neighbors, _counts = neighbor_slab(csr, frontier)
+        if neighbors.size == 0:
+            break
+        edges += int(neighbors.size)
+        candidates = np.unique(neighbors)
+        fresh = candidates[stamp[candidates] != generation]
+        if fresh.size == 0:
+            break
+        stamp[fresh] = generation
+        levels.append(fresh)
+        frontier = fresh
+    start = 0 if include_self else 1
+    levels = levels[start:]
+    if not levels:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, edges
+    members = np.concatenate(levels) if len(levels) > 1 else levels[0]
+    dists = np.repeat(
+        np.arange(start, start + len(levels), dtype=np.int64),
+        np.asarray([lvl.size for lvl in levels], dtype=np.int64),
+    )
+    # Members are unique across levels (the stamp filters), so the scaled
+    # int sort needs no dedup pass.
+    span = hops + 2
+    scaled = members * span + dists
+    scaled.sort()
+    return np.divmod(scaled, span) + (edges,)
+
+
 def csr_hop_ball(
     csr: CSRGraph,
     center: int,
@@ -252,7 +298,7 @@ def batched_hop_balls(
     ``(owner, member)`` order while squeezing out the last level's
     duplicates.  The buffer is ``len(centers) * num_nodes`` bools; callers
     bound their block size accordingly (see
-    :data:`repro.core.vectorized.DEFAULT_BLOCK_SIZE`).
+    :func:`repro.core.vectorized.adaptive_block_size`).
     """
     np = _require_numpy_csr(csr)
     n = csr.num_nodes
@@ -299,6 +345,84 @@ def batched_hop_balls(
         owners_out = owners_out[keep]
         members = members[keep]
     return owners_out, members, edges
+
+
+def batched_hop_balls_with_distances(
+    csr: CSRGraph, centers: Any, hops: int, *, include_self: bool = True
+) -> Tuple[Any, Any, Any, int]:
+    """:func:`batched_hop_balls` plus each member's hop distance to its center.
+
+    Returns ``(owners, members, dists, edges_scanned)`` where ``dists[i]``
+    is the BFS hop distance from ``centers[owners[i]]`` to ``members[i]``
+    (0 for the center itself).  Distance-weighted aggregation multiplies a
+    decay profile over ``dists`` before reducing with ``np.bincount`` —
+    same canonical ``(owner, member)`` order as the unweighted kernel.
+
+    Distances are exact shortest hop counts: a member key enters the
+    visited buffer at the first BFS level that reaches it, and later levels
+    filter on that buffer, so every surviving (key, level) pair records the
+    minimum level.  Duplicates can only arise *within* the final level
+    (which skips the visited bookkeeping); they share one distance, so the
+    final sort may keep either copy.
+    """
+    np = _require_numpy_csr(csr)
+    n = csr.num_nodes
+    count = int(centers.size)
+    if count == 0 or n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, 0
+    owners = np.arange(count, dtype=np.int64)
+    visited = np.zeros(count * n, dtype=bool)
+    frontier_keys = owners * n + centers.astype(np.int64, copy=False)
+    visited[frontier_keys] = True
+    parts = [frontier_keys]
+    levels = [0]
+    edges = 0
+    for level in range(hops):
+        frontier_owners, frontier_nodes = np.divmod(frontier_keys, n)
+        neighbors, counts = neighbor_slab(csr, frontier_nodes)
+        if neighbors.size == 0:
+            break
+        edges += int(neighbors.size)
+        keys = np.repeat(frontier_owners, counts) * n + neighbors
+        fresh = keys[~visited[keys]]
+        if level == hops - 1:
+            parts.append(fresh)
+            levels.append(level + 1)
+            break
+        if level > 0:
+            fresh = _sorted_unique(np, fresh)
+        if fresh.size == 0:
+            break
+        visited[fresh] = True
+        parts.append(fresh)
+        levels.append(level + 1)
+        frontier_keys = fresh
+    keys_out = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    dists_out = np.repeat(
+        np.asarray(levels, dtype=np.int64),
+        np.asarray([p.size for p in parts], dtype=np.int64),
+    )
+    # Sort (key, dist) as one scaled integer — an in-place int sort beats a
+    # stable argsort plus two gathers.  Duplicate keys only arise within
+    # the final level (equal dist), so their scaled values are equal too
+    # and deduping on the scaled array is deduping on keys.
+    span = hops + 2
+    scaled = keys_out * span + dists_out
+    scaled.sort()
+    if scaled.size > 1:
+        keep = np.empty(scaled.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(scaled[1:], scaled[:-1], out=keep[1:])
+        scaled = scaled[keep]
+    keys_out, dists_out = np.divmod(scaled, span)
+    owners_out, members = np.divmod(keys_out, n)
+    if not include_self:
+        keep = members != centers[owners_out]
+        owners_out = owners_out[keep]
+        members = members[keep]
+        dists_out = dists_out[keep]
+    return owners_out, members, dists_out, edges
 
 
 def _sorted_unique(np, keys: Any) -> Any:
@@ -388,3 +512,87 @@ class CSRBallCache:
                 )
                 self.counter.balls_expanded += 1
         return ball
+
+
+class CSRDistanceBallCache:
+    """:class:`CSRBallCache` for distance-labeled balls.
+
+    Caches ``(members, dists)`` pairs — the sorted member array of
+    ``S_h(center)`` plus each member's hop distance.  Distances depend only
+    on the graph and ``(hops, include_self)``, never on the decay profile,
+    so one cache serves every weighted query of a session.  Work accounting
+    follows :class:`CSRBallCache`: only actual expansions are charged.
+    """
+
+    __slots__ = (
+        "csr",
+        "hops",
+        "include_self",
+        "counter",
+        "_cache",
+        "_cached",
+        "_stamp",
+        "_gen",
+        "_np",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        hops: int,
+        *,
+        include_self: bool = True,
+        cached: bool = True,
+        counter: Optional[Any] = None,
+    ) -> None:
+        np = _require_numpy_csr(csr)
+        self.csr = csr
+        self.hops = hops
+        self.include_self = include_self
+        self.counter = counter
+        self._cached = cached
+        self._cache: Dict[int, Tuple[Any, Any]] = {}
+        self._stamp = np.zeros(csr.num_nodes, dtype=np.int64)
+        self._gen = 0
+        self._np = np
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, center: int) -> Optional[Tuple[Any, Any]]:
+        """The cached ``(members, dists)`` of a ball, or None (no expansion)."""
+        return self._cache.get(center)
+
+    def put(self, center: int, members: Any, dists: Any) -> None:
+        """Deposit an externally expanded ball (e.g. from a batched kernel).
+
+        The arrays must follow :meth:`ball`'s contract: members sorted
+        ascending, dists aligned, both treated as read-only from here on.
+        """
+        if self._cached:
+            self._cache[center] = (members, dists)
+
+    def ball(self, center: int) -> Tuple[Any, Any]:
+        """``(members, dists)`` of ``S_h(center)`` (treat both as read-only)."""
+        entry = self._cache.get(center)
+        if entry is None:
+            self._gen += 1
+            members, dists, edges = _expand_ball_with_distances(
+                self._np,
+                self.csr,
+                center,
+                self.hops,
+                self.include_self,
+                self._stamp,
+                self._gen,
+            )
+            entry = (members, dists)
+            if self._cached:
+                self._cache[center] = entry
+            if self.counter is not None:
+                self.counter.edges_scanned += edges
+                self.counter.nodes_visited += int(members.size) + (
+                    0 if self.include_self else 1
+                )
+                self.counter.balls_expanded += 1
+        return entry

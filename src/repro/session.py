@@ -242,6 +242,32 @@ class QueryBuilder:
         return self._net._plan(self.request(), amortize_index=amortize_index)
 
 
+#: Builder methods that terminate (or merely inspect) a query rather than
+#: refine it, plus the ones ``Network.topk`` surfaces as positional
+#: parameters.  Everything else on the builder surface is a refinement.
+_BUILDER_TERMINALS = frozenset({"run", "stream", "explain", "request", "spec"})
+_TOPK_POSITIONAL = frozenset({"limit", "k", "aggregate", "hops"})
+
+
+def _builder_refinements() -> frozenset:
+    """``Network.topk``'s option whitelist, derived from the builder surface.
+
+    Every public callable on :class:`QueryBuilder` that is neither a
+    terminal nor covered by ``topk``'s positional parameters is a refinement
+    ``topk(..., name=value)`` forwards as ``builder.name(value)``.  Deriving
+    the set keeps the one-shot surface in lockstep with the fluent one — a
+    new builder refinement needs no hand-kept whitelist edit.
+    """
+    return frozenset(
+        name
+        for name, member in vars(QueryBuilder).items()
+        if not name.startswith("_")
+        and callable(member)
+        and name not in _BUILDER_TERMINALS
+        and name not in _TOPK_POSITIONAL
+    )
+
+
 class Network:
     """A query session over one graph: named scores, shared caches, one API.
 
@@ -354,18 +380,15 @@ class Network:
         aggregate: Union[str, AggregateKind] = "sum",
         **builder_options: object,
     ) -> TopKResult:
-        """One-shot convenience: ``query(score).limit(k)....run()``."""
+        """One-shot convenience: ``query(score).limit(k)....run()``.
+
+        ``builder_options`` accepts exactly the builder's refinement
+        methods (``algorithm`` / ``backend`` / ``where`` / ...), derived
+        from the :class:`QueryBuilder` surface — a refinement added to the
+        builder is automatically accepted here.
+        """
         builder = self.query(score).limit(k).aggregate(aggregate)
-        refinements = {
-            "algorithm",
-            "backend",
-            "where",
-            "gamma",
-            "distribution_fraction",
-            "exact_sizes",
-            "ordering",
-            "seed",
-        }
+        refinements = _builder_refinements()
         for name, value in builder_options.items():
             if name not in refinements:
                 raise InvalidParameterError(
@@ -478,7 +501,7 @@ class Network:
             self._ctx,
             scores,
             request,
-            planner=self._planner(request.score)
+            planner=self._planner_for(request)
             if request.algorithm == "planned"
             else None,
             auto_density_threshold=self.auto_density_threshold,
@@ -490,21 +513,26 @@ class Network:
     def _plan(
         self, request: QueryRequest, *, amortize_index: bool = True
     ) -> ExecutionPlan:
-        # The cached planner is built on the session backend; a builder
-        # that pins a different backend gets a fresh planner so the plan
-        # describes the configuration .run() would actually execute.
-        planner = (
-            self._planner(request.score)
-            if request.backend == self.backend
-            else None
-        )
         return executor.plan(
             self._ctx,
             self.scores_of(request.score),
             request,
             amortize_index=amortize_index,
-            planner=planner,
+            planner=self._planner_for(request),
         )
+
+    def _planner_for(self, request: QueryRequest) -> Optional[QueryPlanner]:
+        """The session planner, unless the request pins another backend.
+
+        The cached planner is built on the session backend, and the cost
+        model is backend-sensitive (vectorized routes are discounted): a
+        builder that pins a different backend gets ``None`` so the executor
+        builds a planner on the *request's* backend — the configuration
+        ``.run()`` / ``.explain()`` will actually execute.
+        """
+        if request.backend != self.backend:
+            return None
+        return self._planner(request.score)
 
     def _planner(self, score: str) -> QueryPlanner:
         """Per-score planner, cached until the index state or graph moves."""

@@ -643,8 +643,8 @@ class TestContractEdges:
         net.batch([net.query("sparse").limit(3)])
         assert net._ctx._csr is None
 
-    def test_filtered_max_reports_actual_backend(self, net):
-        """MAX/MIN have no CSR kernel: stats must say python, not numpy."""
+    def test_filtered_max_runs_vectorized(self, net):
+        """MAX/MIN reduce with segmented reduceat: numpy covers them too."""
         if len(BACKENDS) < 2:
             pytest.skip("numpy not available")
         result = (
@@ -655,7 +655,17 @@ class TestContractEdges:
             .backend("numpy")
             .run()
         )
-        assert result.stats.backend == "python"
+        assert result.stats.backend == "numpy"
+        python = (
+            net.query("dense")
+            .limit(3)
+            .aggregate("max")
+            .where(range(0, 20))
+            .backend("python")
+            .run()
+        )
+        assert python.stats.backend == "python"
+        assert result.entries == python.entries
         summed = (
             net.query("dense")
             .limit(3)
