@@ -23,6 +23,12 @@ Quickstart (the :class:`Network` session is the front door)::
     plan = net.query("relevance").limit(2).explain()  # cost-based plan
     subset = net.query("relevance").limit(2).where(lambda v: v > 0).run()
 
+    # concurrent serving: async handles, a coalescing scheduler, and a
+    # version-keyed result cache (see repro.service)
+    net.service(workers=4)
+    handle = net.query("relevance").limit(2).submit(priority=5)
+    top2 = handle.result(timeout=1.0)
+
 The pre-session entry points (:class:`TopKEngine`, ``topk_sum`` /
 ``topk_avg``, :class:`BatchTopKEngine`, direct algorithm functions) keep
 working; the engine classes emit :class:`DeprecationWarning` and return
@@ -63,9 +69,10 @@ from repro.relevance import (
     indicator_scores,
     uniform_scores,
 )
+from repro.service import QueryHandle, QueryService
 from repro.session import Network, QueryBuilder
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "__version__",
@@ -77,6 +84,8 @@ __all__ = [
     "MaintainedAggregateView",
     "Network",
     "QueryBuilder",
+    "QueryService",
+    "QueryHandle",
     "QueryRequest",
     "StreamUpdate",
     "BatchQuery",

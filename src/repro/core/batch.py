@@ -36,7 +36,42 @@ from repro.graph.neighborhood import NeighborhoodSizeIndex
 from repro.graph.traversal import TraversalCounter, hop_ball
 from repro.relevance.base import ScoreVector
 
-__all__ = ["BatchQuery", "BatchResult", "batch_base_topk", "BatchTopKEngine"]
+__all__ = [
+    "BatchQuery",
+    "BatchResult",
+    "batch_base_topk",
+    "BatchTopKEngine",
+    "coalescible_request",
+]
+
+#: Algorithm-steering request fields whose *explicit* pin disqualifies a
+#: request from scan coalescing (they must flow through the single-query
+#: executor so resolve-then-reject validation still fires).
+_COALESCE_KNOBS = frozenset(
+    {"gamma", "distribution_fraction", "exact_sizes", "ordering", "seed"}
+)
+
+
+def coalescible_request(request, *, hops: int, include_self: bool, backend: str) -> bool:
+    """Whether the serving scheduler may fold ``request`` into a shared scan.
+
+    The shared scan answers plain density-routed queries (exactly the shapes
+    :meth:`repro.session.Network.batch` accepts): a sum-convertible
+    aggregate, no candidate filter, no pinned algorithm/backend/knob — any
+    score name and any ``k``.  Everything else runs individually through the
+    executor, which also re-raises the knob-validation errors a coalesced
+    run would skip.
+    """
+    from repro.core.request import DEFAULT_SCORE, QueryRequest
+
+    if not request.aggregate.sum_convertible:
+        return False
+    if request.pinned & _COALESCE_KNOBS:
+        return False
+    plain = request.replace(score=DEFAULT_SCORE, k=1, aggregate=AggregateKind.SUM)
+    return plain == QueryRequest(
+        k=1, hops=hops, include_self=include_self, backend=backend
+    )
 
 
 @dataclass(frozen=True)

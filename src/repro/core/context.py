@@ -14,18 +14,34 @@ The context is *version-aware*: when the underlying graph is a
 :class:`~repro.dynamic.graph.DynamicGraph`, every accessor revalidates
 against ``graph.version`` and drops stale artifacts automatically, so a
 session over a mutating graph never serves answers from a dead index.
+
+It is also *thread-safe*: every accessor builds (or revalidates) its
+artifact under one re-entrant lock, so the concurrent serving layer
+(:mod:`repro.service`) can run parallel queries over one context without
+double-building or observing half-built caches.  The ball caches carry
+their own internal locks and an LRU byte budget
+(:data:`DEFAULT_BALL_CACHE_BYTES` per cache unless overridden), so a
+long-lived session over a ~1M-node graph cannot grow without limit;
+:meth:`cache_stats` reports their hit/eviction counters.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.graph.diffindex import DifferentialIndex, build_differential_index
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import NeighborhoodSizeIndex
 
-__all__ = ["GraphContext"]
+__all__ = ["GraphContext", "DEFAULT_BALL_CACHE_BYTES"]
+
+#: Default LRU byte budget for each session ball cache (members resident).
+#: 64 MiB holds the full verification working set of every paper workload
+#: while bounding a serving session over a ~1M-node graph to a fixed
+#: footprint; pass ``ball_cache_bytes=None`` for the old unbounded mode.
+DEFAULT_BALL_CACHE_BYTES = 64 * 1024 * 1024
 
 
 class GraphContext:
@@ -36,7 +52,8 @@ class GraphContext:
     the session-scoped ball caches (:meth:`ball_cache` /
     :meth:`dist_ball_cache`).  All artifacts build on first use and are
     reused until :meth:`invalidate` (called automatically when the graph's
-    version counter moves).
+    version counter moves).  Accessors are safe to call from concurrent
+    query threads.
     """
 
     __slots__ = (
@@ -44,6 +61,7 @@ class GraphContext:
         "hops",
         "include_self",
         "last_index_build_sec",
+        "ball_cache_bytes",
         "_diff_index",
         "_size_index",
         "_estimated_sizes",
@@ -52,15 +70,22 @@ class GraphContext:
         "_ball_cache",
         "_dist_ball_cache",
         "_graph_version",
+        "_lock",
     )
 
     def __init__(
-        self, graph: Graph, *, hops: int = 2, include_self: bool = True
+        self,
+        graph: Graph,
+        *,
+        hops: int = 2,
+        include_self: bool = True,
+        ball_cache_bytes: Optional[int] = DEFAULT_BALL_CACHE_BYTES,
     ) -> None:
         self.graph = graph
         self.hops = hops
         self.include_self = include_self
         self.last_index_build_sec = 0.0
+        self.ball_cache_bytes = ball_cache_bytes
         self._diff_index: Optional[DifferentialIndex] = None
         self._size_index: Optional[NeighborhoodSizeIndex] = None
         self._estimated_sizes: Optional[NeighborhoodSizeIndex] = None
@@ -69,25 +94,28 @@ class GraphContext:
         self._ball_cache = None
         self._dist_ball_cache = None
         self._graph_version = getattr(graph, "version", None)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Staleness
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Drop every cached artifact (after a graph mutation)."""
-        self._diff_index = None
-        self._size_index = None
-        self._estimated_sizes = None
-        self._csr = None
-        self._rev_csr = None
-        self._ball_cache = None
-        self._dist_ball_cache = None
-        self._graph_version = getattr(self.graph, "version", None)
+        with self._lock:
+            self._diff_index = None
+            self._size_index = None
+            self._estimated_sizes = None
+            self._csr = None
+            self._rev_csr = None
+            self._ball_cache = None
+            self._dist_ball_cache = None
+            self._graph_version = getattr(self.graph, "version", None)
 
     def check_fresh(self) -> None:
         """Invalidate automatically when the graph's version moved."""
-        if getattr(self.graph, "version", None) != self._graph_version:
-            self.invalidate()
+        with self._lock:
+            if getattr(self.graph, "version", None) != self._graph_version:
+                self.invalidate()
 
     # ------------------------------------------------------------------
     # Indexes
@@ -95,8 +123,9 @@ class GraphContext:
     @property
     def diff_index(self) -> Optional[DifferentialIndex]:
         """The differential index, if built (and still fresh)."""
-        self.check_fresh()
-        return self._diff_index
+        with self._lock:
+            self.check_fresh()
+            return self._diff_index
 
     def build_indexes(self) -> float:
         """Build (or reuse) the differential + exact size indexes.
@@ -105,37 +134,40 @@ class GraphContext:
         offline step of LONA-Forward, reported separately from query time
         exactly as the paper excludes index construction from runtimes.
         """
-        self.check_fresh()
-        if self._diff_index is not None:
-            return 0.0
-        start = time.perf_counter()
-        self._diff_index = build_differential_index(
-            self.graph, self.hops, include_self=self.include_self
-        )
-        self._size_index = self._diff_index.sizes
-        self.last_index_build_sec = time.perf_counter() - start
-        return self.last_index_build_sec
+        with self._lock:
+            self.check_fresh()
+            if self._diff_index is not None:
+                return 0.0
+            start = time.perf_counter()
+            self._diff_index = build_differential_index(
+                self.graph, self.hops, include_self=self.include_self
+            )
+            self._size_index = self._diff_index.sizes
+            self.last_index_build_sec = time.perf_counter() - start
+            return self.last_index_build_sec
 
     def size_index(self, *, exact: bool = False) -> NeighborhoodSizeIndex:
         """An ``N(v)`` index: exact when requested/available, else estimated."""
-        self.check_fresh()
-        if exact:
-            self.build_indexes()
-        if self._size_index is not None:
-            return self._size_index
-        if self._estimated_sizes is None:
-            self._estimated_sizes = NeighborhoodSizeIndex.estimated(
-                self.graph, self.hops, include_self=self.include_self
-            )
-        return self._estimated_sizes
+        with self._lock:
+            self.check_fresh()
+            if exact:
+                self.build_indexes()
+            if self._size_index is not None:
+                return self._size_index
+            if self._estimated_sizes is None:
+                self._estimated_sizes = NeighborhoodSizeIndex.estimated(
+                    self.graph, self.hops, include_self=self.include_self
+                )
+            return self._estimated_sizes
 
     def save_index(self, path: object) -> None:
         """Persist the differential index (building it first if needed)."""
         from repro.graph.index_io import save_differential_index
 
-        self.build_indexes()
-        assert self._diff_index is not None
-        save_differential_index(self._diff_index, self.graph, path)  # type: ignore[arg-type]
+        with self._lock:
+            self.build_indexes()
+            assert self._diff_index is not None
+            save_differential_index(self._diff_index, self.graph, path)  # type: ignore[arg-type]
 
     def load_index(self, path: object) -> None:
         """Load a persisted differential index for this context's graph.
@@ -145,37 +177,40 @@ class GraphContext:
         """
         from repro.graph.index_io import load_differential_index
 
-        self.check_fresh()
-        index = load_differential_index(self.graph, path)  # type: ignore[arg-type]
-        index.check_compatible(self.graph, self.hops, self.include_self)
-        self._diff_index = index
-        self._size_index = index.sizes
+        with self._lock:
+            self.check_fresh()
+            index = load_differential_index(self.graph, path)  # type: ignore[arg-type]
+            index.check_compatible(self.graph, self.hops, self.include_self)
+            self._diff_index = index
+            self._size_index = index.sizes
 
     # ------------------------------------------------------------------
     # CSR views (numpy backend)
     # ------------------------------------------------------------------
     def csr(self):
         """The (lazily built, cached) numpy CSR view of the graph."""
-        self.check_fresh()
-        if self._csr is None:
-            from repro.graph.csr import to_csr
+        with self._lock:
+            self.check_fresh()
+            if self._csr is None:
+                from repro.graph.csr import to_csr
 
-            self._csr = to_csr(self.graph, use_numpy=True)
-        return self._csr
+                self._csr = to_csr(self.graph, use_numpy=True)
+            return self._csr
 
     def rev_csr(self):
         """Cached numpy CSR view of the reversed graph (directed only).
 
         Returns None for undirected graphs, whose reversal is themselves.
         """
-        self.check_fresh()
-        if not self.graph.directed:
-            return None
-        if self._rev_csr is None:
-            from repro.graph.csr import to_csr
+        with self._lock:
+            self.check_fresh()
+            if not self.graph.directed:
+                return None
+            if self._rev_csr is None:
+                from repro.graph.csr import to_csr
 
-            self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
-        return self._rev_csr
+                self._rev_csr = to_csr(self.graph.reversed(), use_numpy=True)
+            return self._rev_csr
 
     # ------------------------------------------------------------------
     # Session-scoped ball caches (numpy backend)
@@ -186,18 +221,22 @@ class GraphContext:
         LONA-Backward's verification phase expands the high-bound balls;
         repeated queries over one session mostly re-verify the same nodes,
         so sharing the cache pays each expansion once per session instead
-        of once per query.  Version-invalidated with every other artifact
-        (see :meth:`invalidate`), so dynamic graphs never serve stale
-        balls.
+        of once per query.  Bounded by the context's LRU byte budget, and
+        version-invalidated with every other artifact (see
+        :meth:`invalidate`), so dynamic graphs never serve stale balls.
         """
-        self.check_fresh()
-        if self._ball_cache is None:
-            from repro.graph.csr import CSRBallCache
+        with self._lock:
+            self.check_fresh()
+            if self._ball_cache is None:
+                from repro.graph.csr import CSRBallCache
 
-            self._ball_cache = CSRBallCache(
-                self.csr(), self.hops, include_self=self.include_self
-            )
-        return self._ball_cache
+                self._ball_cache = CSRBallCache(
+                    self.csr(),
+                    self.hops,
+                    include_self=self.include_self,
+                    max_bytes=self.ball_cache_bytes,
+                )
+            return self._ball_cache
 
     def dist_ball_cache(self):
         """Session-scoped :class:`~repro.graph.csr.CSRDistanceBallCache`.
@@ -205,13 +244,31 @@ class GraphContext:
         The weighted analogue of :meth:`ball_cache`: distance-labeled balls
         depend only on the graph and ``(hops, include_self)``, never on the
         decay profile, so one cache serves every weighted query of the
-        session.  Same version-invalidation rules.
+        session.  Same budget and version-invalidation rules.
         """
-        self.check_fresh()
-        if self._dist_ball_cache is None:
-            from repro.graph.csr import CSRDistanceBallCache
+        with self._lock:
+            self.check_fresh()
+            if self._dist_ball_cache is None:
+                from repro.graph.csr import CSRDistanceBallCache
 
-            self._dist_ball_cache = CSRDistanceBallCache(
-                self.csr(), self.hops, include_self=self.include_self
-            )
-        return self._dist_ball_cache
+                self._dist_ball_cache = CSRDistanceBallCache(
+                    self.csr(),
+                    self.hops,
+                    include_self=self.include_self,
+                    max_bytes=self.ball_cache_bytes,
+                )
+            return self._dist_ball_cache
+
+    def cache_stats(self) -> Dict[str, Optional[dict]]:
+        """Hit/eviction counters of the session ball caches (None = unbuilt)."""
+        with self._lock:
+            return {
+                "ball_cache": (
+                    self._ball_cache.stats() if self._ball_cache is not None else None
+                ),
+                "dist_ball_cache": (
+                    self._dist_ball_cache.stats()
+                    if self._dist_ball_cache is not None
+                    else None
+                ),
+            }

@@ -97,25 +97,27 @@ def _reject_inapplicable_knobs(request: QueryRequest, algorithm: str) -> None:
     steers LONA-Backward.  ``algorithm`` here is the *resolved* concrete
     algorithm (or the execution mode, e.g. ``"filtered"``/``"stream"``).
 
-    Known limit: the frozen request does not record *which* fields were
-    explicitly set, so a knob pinned to its default value (e.g.
-    ``.distribution_fraction(0.1)``) is indistinguishable from "not set"
-    and passes.  Detecting that would need a set-fields mask on
-    ``QueryRequest``; all non-default pins — the actual typo cases —
-    raise.
+    A knob counts as set when its value differs from the default *or* when
+    the request's set-fields mask (``request.pinned``, recorded by the
+    builder) names it — so an explicit default-valued pin like
+    ``.distribution_fraction(0.1)`` on a forward query is rejected exactly
+    like a non-default one.  Requests constructed directly carry an empty
+    mask and keep the value-based check only.
     """
     inapplicable = []
     if algorithm != "forward":
-        if request.ordering != "ubound":
+        if request.ordering != "ubound" or request.is_pinned("ordering"):
             inapplicable.append("ordering")
-        if request.seed is not None:
+        if request.seed is not None or request.is_pinned("seed"):
             inapplicable.append("seed")
     if algorithm != "backward":
-        if request.gamma != "auto":
+        if request.gamma != "auto" or request.is_pinned("gamma"):
             inapplicable.append("gamma")
-        if request.distribution_fraction != 0.1:
+        if request.distribution_fraction != 0.1 or request.is_pinned(
+            "distribution_fraction"
+        ):
             inapplicable.append("distribution_fraction")
-        if request.exact_sizes:
+        if request.exact_sizes or request.is_pinned("exact_sizes"):
             inapplicable.append("exact_sizes")
     if inapplicable:
         raise InvalidParameterError(

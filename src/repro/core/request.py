@@ -15,6 +15,17 @@ old loose-kwarg engine surfaces accepted:
 * ``gamma`` / ``distribution_fraction`` / ``exact_sizes`` — the
   LONA-Backward policy knobs.
 * ``ordering`` / ``seed`` — the LONA-Forward queue-order knobs.
+* ``priority`` / ``deadline`` — serving metadata consumed by the async
+  scheduler (:mod:`repro.service`): higher priority is dequeued first, and
+  a request still queued ``deadline`` seconds after submission expires
+  instead of executing.  Both are execution *metadata*: they are excluded
+  from equality and hashing, so two requests asking the same question are
+  one cache key regardless of how urgently each was asked.
+* ``pinned`` — the set-fields mask: which fields the builder set
+  *explicitly* (also compare-excluded).  The executor uses it to reject a
+  knob pinned to its default value on an algorithm that cannot honor it,
+  exactly like a non-default pin; requests constructed directly (mask
+  empty) keep the old value-based rejection only.
 
 Requests are frozen (hashable except for the candidate tuple contents,
 which are themselves immutable), so builders can share and replay them, and
@@ -23,8 +34,8 @@ the executor can treat them as values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Tuple, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
 from repro.core.backends import BACKENDS
@@ -68,6 +79,9 @@ class QueryRequest:
     exact_sizes: bool = False
     ordering: str = "ubound"
     seed: Optional[int] = field(default=None)
+    priority: int = field(default=0, compare=False)
+    deadline: Optional[float] = field(default=None, compare=False)
+    pinned: FrozenSet[str] = field(default=frozenset(), compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "aggregate", coerce_aggregate(self.aggregate))
@@ -109,6 +123,22 @@ class QueryRequest:
             object.__setattr__(
                 self, "candidates", normalize_candidates(self.candidates)
             )
+        object.__setattr__(self, "priority", int(self.priority))
+        if self.deadline is not None:
+            deadline = float(self.deadline)
+            if deadline <= 0.0:
+                raise InvalidParameterError(
+                    f"deadline must be a positive number of seconds, got {deadline}"
+                )
+            object.__setattr__(self, "deadline", deadline)
+        pinned = frozenset(str(name) for name in self.pinned)
+        known = {f.name for f in fields(self)}
+        unknown = pinned - known
+        if unknown:
+            raise InvalidParameterError(
+                f"pinned names {sorted(unknown)} are not request fields"
+            )
+        object.__setattr__(self, "pinned", pinned)
 
     # ------------------------------------------------------------------
     def spec(self) -> QuerySpec:
@@ -124,6 +154,10 @@ class QueryRequest:
     def replace(self, **changes: object) -> "QueryRequest":
         """A copy of this request with the given fields replaced."""
         return replace(self, **changes)  # type: ignore[arg-type]
+
+    def is_pinned(self, name: str) -> bool:
+        """Whether the builder set ``name`` explicitly (even to its default)."""
+        return name in self.pinned
 
     def describe(self) -> str:
         """Human-readable one-liner for logs and reports."""

@@ -477,8 +477,10 @@ def backward_topk_numpy(
         and ball_cache.hops == spec.hops
         and ball_cache.include_self == include_self
     ):
+        # Session-shared cache: charge this query's counter per call rather
+        # than mutating the cache's own counter, so concurrent queries
+        # sharing the cache never charge each other's stats.
         verify_cache = ball_cache
-        verify_cache.counter = counter
     else:
         verify_cache = CSRBallCache(
             csr, spec.hops, include_self=include_self, counter=counter
@@ -494,7 +496,7 @@ def backward_topk_numpy(
         if exact_shortcut:
             value = float(shortcut_values[v])
         else:
-            ball = verify_cache.ball(node)
+            ball = verify_cache.ball(node, counter)
             # cumsum, not sum: sequential left-to-right accumulation over
             # the sorted members, the same float result the Python loop
             # gets (np.sum's pairwise order would differ in the last ulp).
@@ -504,10 +506,6 @@ def backward_topk_numpy(
             stats.candidates_verified += 1
         acc.offer(node, value)
         offered += 1
-    if verify_cache is ball_cache:
-        # Shared caches outlive this query; stop charging its counter.
-        verify_cache.counter = None
-
     stats.pruned_nodes = n - offered
     stats.elapsed_sec = time.perf_counter() - start
     stats.edges_scanned = counter.edges_scanned

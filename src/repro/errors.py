@@ -18,6 +18,11 @@ __all__ = [
     "InvalidParameterError",
     "IndexNotBuiltError",
     "BackendUnavailableError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "QueryCancelledError",
+    "DeadlineExceededError",
+    "ServiceShutdownError",
     "RelevanceError",
     "RelationalError",
     "SchemaError",
@@ -70,6 +75,26 @@ class IndexNotBuiltError(QueryError, RuntimeError):
 
 class BackendUnavailableError(QueryError, RuntimeError):
     """An execution backend was requested whose dependency is missing."""
+
+
+class ServiceError(QueryError):
+    """Base class for the concurrent serving layer (:mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a submission (queue bound reached)."""
+
+
+class QueryCancelledError(ServiceError):
+    """The result of a cancelled query handle was requested."""
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """A queued query passed its deadline before execution started."""
+
+
+class ServiceShutdownError(ServiceError, RuntimeError):
+    """A submission was made to a service that has been shut down."""
 
 
 class RelevanceError(ReproError, ValueError):

@@ -20,9 +20,11 @@ importable on a bare interpreter.
 
 from __future__ import annotations
 
+import threading
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 
@@ -436,6 +438,64 @@ def _sorted_unique(np, keys: Any) -> Any:
     return keys[keep]
 
 
+class _LRUBallStore:
+    """Byte-budgeted LRU storage shared by the two ball caches.
+
+    Long-lived serving sessions over ~1M-node graphs cannot let the ball
+    caches grow without limit, so entries are kept in recency order and the
+    least-recently-used ones are dropped once the resident payload exceeds
+    ``max_bytes`` (``None`` = unbounded, the pre-serving behavior).  A hit
+    returns the *same* array object the miss stored (identity matters to
+    callers that compare) and counts toward ``hits``; evictions are counted
+    so a session can report cache effectiveness.  All operations take the
+    owner's lock, so concurrent queries can share one cache safely.
+    """
+
+    __slots__ = ("max_bytes", "current_bytes", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, max_bytes: Optional[int]) -> None:
+        self.max_bytes = max_bytes
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[int, Tuple[Any, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, center: int) -> Optional[Any]:
+        entry = self._entries.get(center)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(center)
+        self.hits += 1
+        return entry[0]
+
+    def store(self, center: int, payload: Any, nbytes: int) -> None:
+        old = self._entries.pop(center, None)
+        if old is not None:
+            self.current_bytes -= old[1]
+        self._entries[center] = (payload, nbytes)
+        self.current_bytes += nbytes
+        if self.max_bytes is not None:
+            while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self.current_bytes -= dropped
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 class CSRBallCache:
     """Cached frontier-batched ball expansion for one ``(csr, h, ball)`` triple.
 
@@ -449,7 +509,17 @@ class CSRBallCache:
     n-sized visited mask per ball, nodes are marked with a per-ball
     generation counter.  When a ``counter`` is supplied, only *actual*
     expansions are charged to it — cache hits are free, which is the honest
-    accounting for the "raw BFS work" counters.
+    accounting for the "raw BFS work" counters.  Kernels that share a
+    session cache pass their own counter per call (``ball(v, counter=c)``)
+    so concurrent queries never charge each other's stats.
+
+    ``max_bytes`` bounds the resident member arrays with an LRU byte budget
+    (``None`` = unbounded); :meth:`stats` reports hit/eviction counters.
+    The cache is thread-safe: the LRU structure is guarded by a lock while
+    expansions themselves run *outside* it on per-thread visited-stamp
+    arrays, so parallel queries expand different balls genuinely in
+    parallel (two threads racing the same cold ball both expand; the
+    second store wins — identical arrays, benign).
     """
 
     __slots__ = (
@@ -457,11 +527,11 @@ class CSRBallCache:
         "hops",
         "include_self",
         "counter",
-        "_cache",
+        "_store",
         "_cached",
-        "_stamp",
-        "_gen",
+        "_local",
         "_np",
+        "_lock",
     )
 
     def __init__(
@@ -472,6 +542,7 @@ class CSRBallCache:
         include_self: bool = True,
         cached: bool = True,
         counter: Optional[Any] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         np = _require_numpy_csr(csr)
         self.csr = csr
@@ -479,38 +550,57 @@ class CSRBallCache:
         self.include_self = include_self
         self.counter = counter
         self._cached = cached
-        self._cache: Dict[int, Any] = {}
-        self._stamp = np.zeros(csr.num_nodes, dtype=np.int64)
-        self._gen = 0
+        self._store = _LRUBallStore(max_bytes)
+        self._local = threading.local()
         self._np = np
+        self._lock = threading.Lock()
+
+    def _thread_stamp(self) -> Tuple[Any, int]:
+        """This thread's (stamp array, next generation) expansion state."""
+        local = self._local
+        stamp = getattr(local, "stamp", None)
+        if stamp is None:
+            stamp = self._np.zeros(self.csr.num_nodes, dtype=self._np.int64)
+            local.stamp = stamp
+            local.gen = 0
+        local.gen += 1
+        return stamp, local.gen
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._store)
 
-    def ball(self, center: int) -> Any:
-        """The sorted member array of ``S_h(center)`` (treat as read-only)."""
-        ball = self._cache.get(center)
-        if ball is None:
-            self._gen += 1
-            ball, edges = _expand_ball(
-                self._np,
-                self.csr,
-                center,
-                self.hops,
-                self.include_self,
-                self._stamp,
-                self._gen,
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters and the resident byte footprint."""
+        with self._lock:
+            return self._store.stats()
+
+    def ball(self, center: int, counter: Optional[Any] = None) -> Any:
+        """The sorted member array of ``S_h(center)`` (treat as read-only).
+
+        ``counter`` (default: the constructor's) receives the traversal
+        charges for an actual expansion; hits are free.
+        """
+        counter = counter if counter is not None else self.counter
+        if self._cached:
+            with self._lock:
+                hit = self._store.lookup(center)
+            if hit is not None:
+                return hit
+        stamp, gen = self._thread_stamp()
+        ball, edges = _expand_ball(
+            self._np, self.csr, center, self.hops, self.include_self, stamp, gen
+        )
+        if self._cached:
+            with self._lock:
+                self._store.store(center, ball, int(ball.nbytes))
+        if counter is not None:
+            # Same convention as hop_ball: nodes_visited counts the
+            # closed ball (the center is visited even when excluded).
+            counter.edges_scanned += edges
+            counter.nodes_visited += int(ball.size) + (
+                0 if self.include_self else 1
             )
-            if self._cached:
-                self._cache[center] = ball
-            if self.counter is not None:
-                # Same convention as hop_ball: nodes_visited counts the
-                # closed ball (the center is visited even when excluded).
-                self.counter.edges_scanned += edges
-                self.counter.nodes_visited += int(ball.size) + (
-                    0 if self.include_self else 1
-                )
-                self.counter.balls_expanded += 1
+            counter.balls_expanded += 1
         return ball
 
 
@@ -520,8 +610,8 @@ class CSRDistanceBallCache:
     Caches ``(members, dists)`` pairs — the sorted member array of
     ``S_h(center)`` plus each member's hop distance.  Distances depend only
     on the graph and ``(hops, include_self)``, never on the decay profile,
-    so one cache serves every weighted query of a session.  Work accounting
-    follows :class:`CSRBallCache`: only actual expansions are charged.
+    so one cache serves every weighted query of a session.  Work accounting,
+    the LRU byte budget, and thread-safety follow :class:`CSRBallCache`.
     """
 
     __slots__ = (
@@ -529,11 +619,11 @@ class CSRDistanceBallCache:
         "hops",
         "include_self",
         "counter",
-        "_cache",
+        "_store",
         "_cached",
-        "_stamp",
-        "_gen",
+        "_local",
         "_np",
+        "_lock",
     )
 
     def __init__(
@@ -544,6 +634,7 @@ class CSRDistanceBallCache:
         include_self: bool = True,
         cached: bool = True,
         counter: Optional[Any] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         np = _require_numpy_csr(csr)
         self.csr = csr
@@ -551,17 +642,25 @@ class CSRDistanceBallCache:
         self.include_self = include_self
         self.counter = counter
         self._cached = cached
-        self._cache: Dict[int, Tuple[Any, Any]] = {}
-        self._stamp = np.zeros(csr.num_nodes, dtype=np.int64)
-        self._gen = 0
+        self._store = _LRUBallStore(max_bytes)
+        self._local = threading.local()
         self._np = np
+        self._lock = threading.Lock()
+
+    _thread_stamp = CSRBallCache._thread_stamp
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters and the resident byte footprint."""
+        with self._lock:
+            return self._store.stats()
 
     def get(self, center: int) -> Optional[Tuple[Any, Any]]:
         """The cached ``(members, dists)`` of a ball, or None (no expansion)."""
-        return self._cache.get(center)
+        with self._lock:
+            return self._store.lookup(center)
 
     def put(self, center: int, members: Any, dists: Any) -> None:
         """Deposit an externally expanded ball (e.g. from a batched kernel).
@@ -570,29 +669,33 @@ class CSRDistanceBallCache:
         ascending, dists aligned, both treated as read-only from here on.
         """
         if self._cached:
-            self._cache[center] = (members, dists)
-
-    def ball(self, center: int) -> Tuple[Any, Any]:
-        """``(members, dists)`` of ``S_h(center)`` (treat both as read-only)."""
-        entry = self._cache.get(center)
-        if entry is None:
-            self._gen += 1
-            members, dists, edges = _expand_ball_with_distances(
-                self._np,
-                self.csr,
-                center,
-                self.hops,
-                self.include_self,
-                self._stamp,
-                self._gen,
-            )
-            entry = (members, dists)
-            if self._cached:
-                self._cache[center] = entry
-            if self.counter is not None:
-                self.counter.edges_scanned += edges
-                self.counter.nodes_visited += int(members.size) + (
-                    0 if self.include_self else 1
+            with self._lock:
+                self._store.store(
+                    center, (members, dists), int(members.nbytes) + int(dists.nbytes)
                 )
-                self.counter.balls_expanded += 1
+
+    def ball(self, center: int, counter: Optional[Any] = None) -> Tuple[Any, Any]:
+        """``(members, dists)`` of ``S_h(center)`` (treat both as read-only)."""
+        counter = counter if counter is not None else self.counter
+        if self._cached:
+            with self._lock:
+                hit = self._store.lookup(center)
+            if hit is not None:
+                return hit
+        stamp, gen = self._thread_stamp()
+        members, dists, edges = _expand_ball_with_distances(
+            self._np, self.csr, center, self.hops, self.include_self, stamp, gen
+        )
+        entry = (members, dists)
+        if self._cached:
+            with self._lock:
+                self._store.store(
+                    center, entry, int(members.nbytes) + int(dists.nbytes)
+                )
+        if counter is not None:
+            counter.edges_scanned += edges
+            counter.nodes_visited += int(members.size) + (
+                0 if self.include_self else 1
+            )
+            counter.balls_expanded += 1
         return entry

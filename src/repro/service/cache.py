@@ -1,0 +1,106 @@
+"""Graph-version-keyed result cache for hot queries.
+
+Serving workloads repeat themselves: the same (score, k, aggregate, knobs)
+request arrives again and again while the graph stands still.  The
+:class:`ResultCache` memoizes full :class:`~repro.core.results.TopKResult`
+answers under a key that embeds (1) the graph's version counter, (2) the
+session's per-score *epoch* (bumped whenever a named vector is replaced or
+a node's score is updated), and (3) the frozen
+:class:`~repro.core.request.QueryRequest` itself — whose hash deliberately
+excludes the serving metadata (priority/deadline/pinned), so two callers
+asking the same question at different urgencies share one entry.  Any
+dynamic mutation moves component (1) or (2), making every stale entry
+unreachable; the session additionally calls :meth:`ResultCache.clear` on
+mutation so dead entries do not linger in memory.
+
+Entries are stored and served as *defensive copies* (fresh ``entries``
+list, fresh stats with ``extra["result_cache"] = 1.0`` on hits), so a
+caller mutating its result can never poison another caller's answer.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+from repro.core.results import TopKResult
+
+__all__ = ["ResultCache"]
+
+
+def _copy_result(result: TopKResult, *, hit: bool) -> TopKResult:
+    stats = copy.copy(result.stats)
+    stats.extra = dict(stats.extra)
+    if hit:
+        stats.extra["result_cache"] = 1.0
+    return TopKResult(entries=list(result.entries), stats=stats)
+
+
+class ResultCache:
+    """A bounded LRU of query answers (``max_entries=0`` disables caching)."""
+
+    __slots__ = ("max_entries", "_lock", "_entries", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, TopKResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[TopKResult]:
+        """The cached answer for ``key`` (a fresh copy), or None."""
+        with self._lock:
+            if self.max_entries == 0:
+                self.misses += 1
+                return None
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return _copy_result(cached, hit=True)
+
+    def put(self, key: Hashable, result: TopKResult) -> None:
+        """Store an answer (a private copy) under ``key``, evicting LRU."""
+        if self.max_entries == 0:
+            return
+        snapshot = _copy_result(result, hit=False)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = snapshot
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop everything (a graph/score mutation); returns entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.invalidations += 1
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/invalidation counters plus occupancy."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

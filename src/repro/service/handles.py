@@ -1,0 +1,331 @@
+"""Asynchronous, cancellable query handles.
+
+A :class:`QueryHandle` is the future returned by
+``Network.query(...).submit()`` / ``QueryService.submit(...)``: a
+thread-safe state machine (``pending -> running -> done/failed``, with
+``cancelled`` and ``expired`` exits) whose terminal value is the same
+:class:`~repro.core.results.TopKResult` the synchronous ``.run()`` path
+returns.  Handles also carry the serving knobs — ``priority`` orders the
+scheduler's queue, ``deadline`` expires a submission that waited too long —
+and, for ``stream=True`` submissions, a subscription iterator
+(:meth:`QueryHandle.updates`) that yields the executor's anytime
+:class:`~repro.core.results.StreamUpdate` refinements as they are produced
+on the worker.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.request import QueryRequest
+from repro.core.results import StreamUpdate, TopKResult
+from repro.errors import DeadlineExceededError, QueryCancelledError
+
+__all__ = ["HandleState", "QueryHandle"]
+
+
+class HandleState(enum.Enum):
+    """Lifecycle of a submitted query."""
+
+    PENDING = "pending"  #: queued, not yet picked up by a worker
+    RUNNING = "running"  #: executing (or waiting on the session read lock)
+    DONE = "done"  #: finished; :meth:`QueryHandle.result` returns
+    FAILED = "failed"  #: execution raised; ``result()`` re-raises
+    CANCELLED = "cancelled"  #: cancelled before (or, streaming, during) execution
+    EXPIRED = "expired"  #: deadline passed while still queued
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (HandleState.PENDING, HandleState.RUNNING)
+
+
+class QueryHandle:
+    """A future for one submitted query.
+
+    Consumers use :meth:`result`, :meth:`done`, :meth:`cancel`,
+    :meth:`exception`, :meth:`add_done_callback`, and — for streaming
+    submissions — :meth:`updates`.  The underscore-prefixed transition
+    methods are the scheduler/service side of the contract.
+    """
+
+    __slots__ = (
+        "request",
+        "priority",
+        "deadline",
+        "deadline_at",
+        "stream",
+        "cached",
+        "coalesce_key",
+        "submitted_at",
+        "_cond",
+        "_state",
+        "_result",
+        "_error",
+        "_callbacks",
+        "_updates",
+        "_abort",
+    )
+
+    def __init__(
+        self,
+        request: QueryRequest,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        stream: bool = False,
+        cached: bool = True,
+    ) -> None:
+        self.request = request
+        self.priority = int(priority)
+        #: The configured queueing deadline in seconds (informational).
+        self.deadline: Optional[float] = deadline
+        #: Absolute monotonic expiry instant (set by the service at submit).
+        self.deadline_at: Optional[float] = None
+        self.stream = bool(stream)
+        self.cached = bool(cached)
+        #: Non-None marks the handle eligible for scan coalescing.
+        self.coalesce_key: Optional[object] = None
+        self.submitted_at: Optional[float] = None
+        self._cond = threading.Condition()
+        self._state = HandleState.PENDING
+        self._result: Optional[TopKResult] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["QueryHandle"], None]] = []
+        self._updates: "deque[StreamUpdate]" = deque()
+        self._abort = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryHandle state={self._state.value} "
+            f"score={self.request.score!r} k={self.request.k} "
+            f"priority={self.priority}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current lifecycle state name (``"pending"``, ...)."""
+        return self._state.value
+
+    def done(self) -> bool:
+        """True once the handle reached any terminal state."""
+        return self._state.terminal
+
+    def running(self) -> bool:
+        """True while a worker is executing this query."""
+        return self._state is HandleState.RUNNING
+
+    def cancelled(self) -> bool:
+        """True when the handle ended cancelled (or expired)."""
+        return self._state in (HandleState.CANCELLED, HandleState.EXPIRED)
+
+    def cancel(self) -> bool:
+        """Cancel if possible; True when the handle will not produce a result.
+
+        A pending handle is cancelled immediately.  A running *streaming*
+        handle is cancelled cooperatively: the worker stops at the next
+        update.  A running non-streaming execution cannot be interrupted
+        (False); an already-cancelled handle reports True idempotently.
+        """
+        callbacks = None
+        with self._cond:
+            if self._state is HandleState.PENDING:
+                self._error = QueryCancelledError("query cancelled before execution")
+                callbacks = self._terminal(HandleState.CANCELLED)
+            elif self._state is HandleState.RUNNING and self.stream:
+                self._abort = True
+                return True
+            else:
+                return self._state in (HandleState.CANCELLED, HandleState.EXPIRED)
+        self._fire(callbacks)
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> TopKResult:
+        """Block for the answer (the exact ``TopKResult`` ``.run()`` returns).
+
+        Raises the execution error for failed handles,
+        :class:`~repro.errors.QueryCancelledError` /
+        :class:`~repro.errors.DeadlineExceededError` for cancelled/expired
+        ones, and :class:`TimeoutError` when ``timeout`` seconds pass
+        without a terminal state (the query keeps running).
+        """
+        self._wait(timeout)
+        with self._cond:
+            if self._state is HandleState.DONE:
+                assert self._result is not None
+                return self._result
+            assert self._error is not None
+            raise self._error
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The terminal error (None for success); blocks like :meth:`result`."""
+        self._wait(timeout)
+        with self._cond:
+            return self._error
+
+    def add_done_callback(self, fn: Callable[["QueryHandle"], None]) -> None:
+        """Run ``fn(handle)`` on the terminal transition (now, if already done).
+
+        Callbacks run on the transitioning thread; exceptions are swallowed.
+        """
+        with self._cond:
+            if not self._state.terminal:
+                self._callbacks.append(fn)
+                return
+        self._fire([fn])
+
+    def updates(self, timeout: Optional[float] = None) -> Iterator[StreamUpdate]:
+        """The streaming subscription: yield refinements as they arrive.
+
+        Only submissions made with ``stream=True`` produce updates; the
+        iterator drains the live queue and ends when the query reaches a
+        terminal state (raising its error if it failed, cancelled, or
+        expired mid-stream with no consumer-visible result).  ``timeout``
+        bounds each *wait between updates*, not the whole stream.
+        """
+        if not self.stream:
+            raise QueryCancelledError(
+                "handle was not submitted with stream=True; call .result() "
+                "or submit the query with submit(stream=True)"
+            )
+        while True:
+            with self._cond:
+                while not self._updates and not self._state.terminal:
+                    if not self._cond.wait(timeout):
+                        raise TimeoutError(
+                            f"no stream update within {timeout} seconds"
+                        )
+                if self._updates:
+                    update = self._updates.popleft()
+                elif self._state is HandleState.DONE:
+                    return
+                else:
+                    assert self._error is not None
+                    raise self._error
+            yield update
+
+    # ------------------------------------------------------------------
+    # Scheduler / service side
+    # ------------------------------------------------------------------
+    def _expired_now(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+    def _deadline_error(self) -> DeadlineExceededError:
+        configured = (
+            f"{self.deadline:.3f}s" if self.deadline is not None else "unset"
+        )
+        return DeadlineExceededError(
+            "query expired in queue before execution "
+            f"(deadline was {configured})"
+        )
+
+    def _start(self, now: float) -> bool:
+        """PENDING -> RUNNING; False when the handle must not execute."""
+        callbacks = None
+        with self._cond:
+            if self._state is not HandleState.PENDING:
+                return False
+            if self._expired_now(now):
+                self._error = self._deadline_error()
+                callbacks = self._terminal(HandleState.EXPIRED)
+            else:
+                self._state = HandleState.RUNNING
+                return True
+        self._fire(callbacks)
+        return False
+
+    def _expire(self, now: float) -> bool:
+        """PENDING -> EXPIRED when past the deadline (scheduler sweep)."""
+        callbacks = None
+        with self._cond:
+            if self._state is not HandleState.PENDING or not self._expired_now(now):
+                return False
+            self._error = self._deadline_error()
+            callbacks = self._terminal(HandleState.EXPIRED)
+        self._fire(callbacks)
+        return True
+
+    def _finish(self, result: TopKResult) -> None:
+        with self._cond:
+            if self._state.terminal:  # pragma: no cover - defensive
+                return
+            if self._abort:
+                # A streaming consumer cancelled after the last update was
+                # pushed: cancel() promised no result, so honor it even
+                # though execution completed.
+                self._error = QueryCancelledError("stream cancelled by consumer")
+                callbacks = self._terminal(HandleState.CANCELLED)
+            else:
+                self._result = result
+                callbacks = self._terminal(HandleState.DONE)
+        self._fire(callbacks)
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cond:
+            if self._state.terminal:  # pragma: no cover - defensive
+                return
+            self._error = error
+            state = (
+                HandleState.CANCELLED
+                if isinstance(error, QueryCancelledError)
+                else HandleState.FAILED
+            )
+            callbacks = self._terminal(state)
+        self._fire(callbacks)
+
+    def _push_update(self, update: StreamUpdate) -> bool:
+        """Queue one stream refinement; False when the consumer cancelled."""
+        with self._cond:
+            if self._abort:
+                return False
+            self._updates.append(update)
+            self._cond.notify_all()
+            return True
+
+    # ------------------------------------------------------------------
+    def _terminal(self, state: HandleState) -> List[Callable]:
+        """(Under lock.)  Move to a terminal state, return due callbacks."""
+        self._state = state
+        self._cond.notify_all()
+        callbacks, self._callbacks = self._callbacks, []
+        return callbacks
+
+    def _fire(self, callbacks: Optional[List[Callable]]) -> None:
+        for fn in callbacks or ():
+            try:
+                fn(self)
+            except Exception:  # pragma: no cover - callbacks must not wedge
+                pass
+
+    def _wait(self, timeout: Optional[float]) -> None:
+        """Block until terminal, honoring ``timeout`` and a queued deadline."""
+        import time as _time
+
+        end = None if timeout is None else _time.monotonic() + timeout
+        callbacks: Optional[List[Callable]] = None
+        with self._cond:
+            while not self._state.terminal:
+                now = _time.monotonic()
+                # A waiter observing a blown deadline expires the handle
+                # itself — it must not hang on a scheduler that is busy
+                # elsewhere (the sweep also catches it, whichever is first).
+                if self._state is HandleState.PENDING and self._expired_now(now):
+                    self._error = self._deadline_error()
+                    callbacks = self._terminal(HandleState.EXPIRED)
+                    break
+                waits = []
+                if end is not None:
+                    if now >= end:
+                        raise TimeoutError(
+                            f"query did not finish within {timeout} seconds"
+                        )
+                    waits.append(end - now)
+                if self.deadline_at is not None and self._state is HandleState.PENDING:
+                    waits.append(max(self.deadline_at - now, 0.0))
+                self._cond.wait(min(waits) if waits else None)
+        self._fire(callbacks)

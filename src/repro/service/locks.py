@@ -1,0 +1,65 @@
+"""A small writer-preferring readers-writer lock.
+
+Query execution is read-mostly: any number of queries may run over one
+session's graph and caches concurrently, but a graph mutation
+(``add_edge`` / ``remove_edge`` / ``update_score``) rewrites adjacency and
+repairs maintained views in place — interleaving it with an in-flight
+traversal would produce torn reads.  The serving layer therefore executes
+every query under :meth:`ReadWriteLock.read` and every session mutation
+under :meth:`ReadWriteLock.write`: mutations wait for in-flight queries to
+finish, and queries submitted after a mutation see the post-mutation graph
+(and a moved version counter).  Writers are preferred — a waiting mutation
+blocks *new* readers — so a stream of queries cannot starve updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Writer-preferring shared/exclusive lock (not upgradeable/reentrant)."""
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        """Shared section: excludes writers, admits other readers."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive section: waits out readers, blocks new ones meanwhile."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()

@@ -41,6 +41,11 @@ exposes every execution mode through one immutable builder::
     net.add_edge(3, 9)
     live = net.query("spam").limit(5).algorithm("view").run()
 
+    # concurrent serving: async handles over a coalescing scheduler
+    net.service(workers=4)
+    handle = net.query("pagerank").limit(10).submit(priority=5, deadline=1.0)
+    top = handle.result(timeout=2.0)
+
 Builders are immutable — every method returns a new builder — so partial
 queries can be shared, parameterized, and replayed.  ``run()`` lowers the
 builder to a frozen :class:`~repro.core.request.QueryRequest` and dispatches
@@ -51,6 +56,8 @@ incremental, planning, and shared-scan paths.
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
@@ -82,6 +89,8 @@ _BUILDER_FIELDS = (
     "exact_sizes",
     "ordering",
     "seed",
+    "priority",
+    "deadline",
 )
 
 
@@ -196,6 +205,14 @@ class QueryBuilder:
         """Seed for the ``"random"`` ordering."""
         return self._with(seed=int(seed))
 
+    def priority(self, priority: int) -> "QueryBuilder":
+        """Scheduler priority (higher is dequeued first; default 0)."""
+        return self._with(priority=int(priority))
+
+    def deadline(self, seconds: float) -> "QueryBuilder":
+        """Queueing deadline: expire if not started ``seconds`` after submit."""
+        return self._with(deadline=float(seconds))
+
     # -- lowering & terminals ------------------------------------------
     @property
     def score(self) -> str:
@@ -213,6 +230,9 @@ class QueryBuilder:
             hops=self._net.hops,
             include_self=self._net.include_self,
             backend=self._fields.get("backend", self._net.backend),  # type: ignore[arg-type]
+            # The set-fields mask: exactly what this builder pinned, so the
+            # executor can reject default-valued knob pins too.
+            pinned=frozenset(self._fields),
             **{
                 name: self._fields[name]
                 for name in _BUILDER_FIELDS
@@ -225,8 +245,42 @@ class QueryBuilder:
         return self.request().spec()
 
     def run(self) -> TopKResult:
-        """Execute and return the exact :class:`TopKResult`."""
-        return self._net._run(self.request())
+        """Execute and return the exact :class:`TopKResult`.
+
+        A trivial ``submit().result()`` shim over the serving layer —
+        result caching is bypassed so every ``.run()`` executes (legacy
+        semantics: repeated runs observe warming session caches in their
+        stats).  On a session without a started worker pool the submission
+        executes inline on this thread.
+        """
+        return self._net.service().submit(self.request(), cached=False).result()
+
+    def submit(
+        self,
+        *,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+        stream: bool = False,
+        cached: bool = True,
+    ):
+        """Submit asynchronously; returns a :class:`~repro.service.QueryHandle`.
+
+        The handle offers ``result(timeout=)`` / ``cancel()`` / ``done()``
+        and, with ``stream=True``, the ``updates()`` subscription.
+        ``priority``/``deadline`` default to this builder's ``.priority()``
+        / ``.deadline()`` settings.  Submissions go through the session's
+        :class:`~repro.service.QueryService` (start a concurrent pool with
+        ``net.service(workers=...)``), where compatible queued queries are
+        coalesced into shared scans and hot answers are served from the
+        version-keyed result cache (``cached=False`` opts out).
+        """
+        return self._net.service().submit(
+            self.request(),
+            priority=priority,
+            deadline=deadline,
+            stream=stream,
+            cached=cached,
+        )
 
     def stream(self) -> Iterator[StreamUpdate]:
         """Execute incrementally: monotonically refining top-k states.
@@ -245,7 +299,9 @@ class QueryBuilder:
 #: Builder methods that terminate (or merely inspect) a query rather than
 #: refine it, plus the ones ``Network.topk`` surfaces as positional
 #: parameters.  Everything else on the builder surface is a refinement.
-_BUILDER_TERMINALS = frozenset({"run", "stream", "explain", "request", "spec"})
+_BUILDER_TERMINALS = frozenset(
+    {"run", "submit", "stream", "explain", "request", "spec"}
+)
 _TOPK_POSITIONAL = frozenset({"limit", "k", "aggregate", "hops"})
 
 
@@ -306,6 +362,14 @@ class Network:
         self._scores: Dict[str, ScoreVector] = {}
         self._planners: Dict[str, Tuple[QueryPlanner, bool, object]] = {}
         self._views: Dict[str, object] = {}
+        # Serving state: the lazily created QueryService, a per-name epoch
+        # counter (bumped whenever a named vector changes, so the service's
+        # result cache can key on score identity), and a lock guarding the
+        # session-level dicts against concurrent worker threads.
+        self._service = None
+        self._service_options: Optional[dict] = None
+        self._score_epochs: Dict[str, int] = {}
+        self._lock = threading.RLock()
 
     @classmethod
     def from_edges(
@@ -344,11 +408,19 @@ class Network:
 
         if not name:
             raise InvalidParameterError("score name must be non-empty")
-        self._scores[name] = materialize_scores(self.graph, relevance)
-        self._planners.pop(name, None)
-        if name in self._views:
-            del self._views[name]
-            self.maintain(name)
+        vector = materialize_scores(self.graph, relevance)
+        # Exclusive with in-flight queries: replacing the vector (and
+        # rebuilding its maintained view) mid-query would let a worker see
+        # half-swapped state or cache a pre-swap answer under the new epoch.
+        with self._write_guard():
+            with self._lock:
+                self._scores[name] = vector
+                self._planners.pop(name, None)
+                self._score_epochs[name] = self._score_epochs.get(name, 0) + 1
+            if name in self._views:
+                del self._views[name]
+                self.maintain(name)
+        self._invalidate_service_cache()
         return self
 
     def score_names(self) -> Tuple[str, ...]:
@@ -364,6 +436,69 @@ class Network:
             raise InvalidParameterError(
                 f"unknown score {name!r}; registered: {known}"
             ) from None
+
+    # ------------------------------------------------------------------
+    # Serving (the async, concurrent surface)
+    # ------------------------------------------------------------------
+    def service(self, **options: object):
+        """The session's :class:`~repro.service.QueryService` (front door
+        for :meth:`QueryBuilder.submit` and the ``.run()`` shim).
+
+        With no arguments, returns the existing service — creating a
+        zero-thread *inline* one on first use, so plain synchronous
+        sessions never spawn threads.  Pass configuration to start (or
+        reconfigure) a concurrent pool::
+
+            service = net.service(workers=4, max_pending=256)
+            handles = [net.query(s).limit(10).submit() for s in names]
+
+        Reconfiguring with different options shuts the previous service
+        down (draining in-flight queries) and replaces it; repeated calls
+        with identical options are idempotent.  Supported options are
+        :class:`~repro.service.QueryService`'s keywords (``workers``,
+        ``max_pending``, ``coalesce``, ``coalesce_limit``,
+        ``cache_entries``).
+        """
+        from repro.service import QueryService
+
+        with self._lock:
+            if (
+                self._service is not None
+                and not self._service.closed
+                and (not options or options == self._service_options)
+            ):
+                return self._service
+            previous = self._service
+        # The previous service stays installed while its workers drain, so
+        # a concurrent mutation's _write_guard keeps excluding against the
+        # in-flight readers (self._service never transits through None).
+        if previous is not None:
+            previous.shutdown(wait=True)
+        created = QueryService(self, **options)  # type: ignore[arg-type]
+        with self._lock:
+            if self._service is previous:
+                self._service = created
+                self._service_options = dict(options)
+                return created
+            current = self._service
+        # Lost a (rare) creation race; discard ours, use the winner's.
+        created.shutdown(wait=False)
+        return current
+
+    def _score_epoch(self, score: str) -> int:
+        """Monotonic per-name version of a score vector (cache keying)."""
+        with self._lock:
+            return self._score_epochs.get(score, 0)
+
+    def _invalidate_service_cache(self) -> None:
+        service = self._service
+        if service is not None:
+            service.invalidate()
+
+    def _write_guard(self):
+        """Exclusive section for mutations: waits out in-flight queries."""
+        service = self._service
+        return service._rw.write() if service is not None else nullcontext()
 
     # ------------------------------------------------------------------
     # Query entry points
@@ -538,11 +673,12 @@ class Network:
         """Per-score planner, cached until the index state or graph moves."""
         index_available = self._ctx.diff_index is not None
         version = getattr(self.graph, "version", None)
-        cached = self._planners.get(score)
-        if cached is not None:
-            planner, avail, ver = cached
-            if avail == index_available and ver == version:
-                return planner
+        with self._lock:
+            cached = self._planners.get(score)
+            if cached is not None:
+                planner, avail, ver = cached
+                if avail == index_available and ver == version:
+                    return planner
         planner = QueryPlanner(
             self.graph,
             self.scores_of(score).values(),
@@ -551,7 +687,8 @@ class Network:
             index_available=index_available,
             backend=self.backend,
         )
-        self._planners[score] = (planner, index_available, version)
+        with self._lock:
+            self._planners[score] = (planner, index_available, version)
         return planner
 
     # ------------------------------------------------------------------
@@ -654,31 +791,36 @@ class Network:
         Returns the number of view entries repaired (0 with no views).
         """
         graph = self._require_dynamic()
-        # Fail BEFORE mutating if any view already missed an outside
-        # mutation — repairing such a view would bake the stale state in.
-        for view in self._views.values():
-            view.check_in_sync()
-        graph.add_edge(u, v)
-        repaired = 0
-        for view in self._views.values():
-            repaired += view.repair_after_insert(u, v)
-        self._ctx.invalidate()
+        with self._write_guard():
+            # Fail BEFORE mutating if any view already missed an outside
+            # mutation — repairing such a view would bake the stale state in.
+            for view in self._views.values():
+                view.check_in_sync()
+            graph.add_edge(u, v)
+            repaired = 0
+            for view in self._views.values():
+                repaired += view.repair_after_insert(u, v)
+            self._ctx.invalidate()
+        self._invalidate_service_cache()
         return repaired
 
     def remove_edge(self, u: int, v: int) -> int:
         """Delete an edge; repairs every maintained view, drops stale caches."""
         graph = self._require_dynamic()
-        # Affected sets come from the OLD graph (paths through the edge
-        # existed only there) — collect them for every view before deleting.
-        pre = {
-            name: view.affected_for_delete(u, v)
-            for name, view in self._views.items()
-        }
-        graph.remove_edge(u, v)
-        repaired = 0
-        for name, view in self._views.items():
-            repaired += view.repair_after_delete(pre[name])
-        self._ctx.invalidate()
+        with self._write_guard():
+            # Affected sets come from the OLD graph (paths through the edge
+            # existed only there) — collect them for every view before
+            # deleting.
+            pre = {
+                name: view.affected_for_delete(u, v)
+                for name, view in self._views.items()
+            }
+            graph.remove_edge(u, v)
+            repaired = 0
+            for name, view in self._views.items():
+                repaired += view.repair_after_delete(pre[name])
+            self._ctx.invalidate()
+        self._invalidate_service_cache()
         return repaired
 
     def update_score(self, score: str, node: int, value: float) -> int:
@@ -696,14 +838,19 @@ class Network:
             raise InvalidParameterError(
                 f"node {node} not in graph (num_nodes={self.graph.num_nodes})"
             )
-        view = self._views.get(score)
-        if view is not None:
-            affected = view.update_score(node, value)
-            self._scores[score] = ScoreVector(view.scores)
-        else:
-            values = vector.values()
-            values[node] = float(value)
-            self._scores[score] = ScoreVector(values)
-            affected = 0
-        self._planners.pop(score, None)
+        with self._write_guard():
+            view = self._views.get(score)
+            if view is not None:
+                affected = view.update_score(node, value)
+                replacement = ScoreVector(view.scores)
+            else:
+                values = vector.values()
+                values[node] = float(value)
+                replacement = ScoreVector(values)
+                affected = 0
+            with self._lock:
+                self._scores[score] = replacement
+                self._planners.pop(score, None)
+                self._score_epochs[score] = self._score_epochs.get(score, 0) + 1
+        self._invalidate_service_cache()
         return affected

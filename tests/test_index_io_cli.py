@@ -244,6 +244,62 @@ class TestCLI:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_serve_subcommand(self, capsys):
+        code = cli_main(
+            [
+                "serve",
+                "--dataset",
+                "intrusion_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--queries",
+                "4",
+                "--workers",
+                "2",
+                "--repeat",
+                "2",
+                "--blacking-ratio",
+                "0.4",
+                "--binary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 8 queries" in out
+        assert "cache hits" in out
+        lines = [l for l in out.splitlines() if l.startswith("q")]
+        assert len(lines) == 4
+
+    def test_serve_json_inline_workers(self, capsys):
+        import json
+
+        code = cli_main(
+            [
+                "serve",
+                "--dataset",
+                "intrusion_like",
+                "--scale",
+                "0.05",
+                "--k",
+                "3",
+                "--queries",
+                "3",
+                "--workers",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "serve"
+        assert payload["queries"] == 3
+        assert payload["service"]["completed"] == 3
+        assert payload["service"]["workers"] == 0
+        assert payload["result_cache"]["misses"] == 3
+        assert set(payload["top_nodes"]) == {"q0", "q1", "q2"}
+
     def test_engine_save_load_roundtrip(self, tmp_path):
         from repro.core.engine import TopKEngine
         from tests.conftest import random_scores, rounded

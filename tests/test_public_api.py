@@ -26,6 +26,8 @@ EXPECTED_ALL = [
     "MaintainedAggregateView",
     "Network",
     "QueryBuilder",
+    "QueryService",
+    "QueryHandle",
     "QueryRequest",
     "StreamUpdate",
     "BatchQuery",
@@ -66,9 +68,12 @@ BUILDER_SURFACE = {
     "exact_sizes": ["exact"],
     "ordering": ["ordering"],
     "seed": ["seed"],
+    "priority": ["priority"],
+    "deadline": ["seconds"],
     "request": [],
     "spec": [],
     "run": [],
+    "submit": ["priority", "deadline", "stream", "cached"],
     "stream": [],
     "explain": ["amortize_index"],
 }
@@ -78,6 +83,7 @@ NETWORK_SURFACE = {
     "score_names": [],
     "scores_of": ["name"],
     "query": ["score"],
+    "service": ["options"],
     "topk": ["score", "k", "aggregate", "builder_options"],
     "topk_weighted": ["score", "k", "profile", "algorithm", "options"],
     "batch": ["queries"],
@@ -144,6 +150,8 @@ def test_builder_methods_return_new_builders():
         "exact_sizes",
         "ordering",
         "seed",
+        "priority",
+        "deadline",
     ):
         argument = {
             "limit": 2,
@@ -155,6 +163,8 @@ def test_builder_methods_return_new_builders():
             "exact_sizes": True,
             "ordering": "degree",
             "seed": 1,
+            "priority": 3,
+            "deadline": 1.5,
         }[name]
         out = getattr(builder, name)(argument)
         assert isinstance(out, QueryBuilder) and out is not builder

@@ -266,6 +266,8 @@ class TestTopkWhitelistDerivation:
             "exact_sizes",
             "ordering",
             "seed",
+            "priority",
+            "deadline",
         }
 
     def test_topk_accepts_every_refinement(self, net):
