@@ -223,6 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         coalesce=not args.no_coalesce,
         max_pending=max(args.queries * max(args.repeat, 1), 16),
+        processes=args.processes,
     )
     try:
         start = time.perf_counter()
@@ -237,10 +238,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ]
             results.extend(handle.result(timeout=600) for handle in handles)
         elapsed = time.perf_counter() - start
+        stats = service.stats()
     finally:
-        service.shutdown()
+        net.close()  # serving threads, worker processes, shared memory
     total = len(results)
-    stats = service.stats()
     if args.json:
         payload = {
             "command": "serve",
@@ -314,8 +315,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     query.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy"),
-        help="execution backend (auto = vectorized when numpy is installed)",
+        choices=("auto", "python", "numpy", "parallel"),
+        help="execution backend (auto = vectorized when numpy is installed; "
+        "parallel = multi-process shared-memory shards)",
     )
     query.add_argument(
         "--index", help="path to a persisted differential index (see build-index)"
@@ -347,7 +349,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     explain.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy"),
+        choices=("auto", "python", "numpy", "parallel"),
         help="execution backend the plan will run on",
     )
     explain.add_argument(
@@ -404,8 +406,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy"),
+        choices=("auto", "python", "numpy", "parallel"),
         help="execution backend",
+    )
+    serve.add_argument(
+        "--processes",
+        action="store_true",
+        help="serve on the process-parallel backend: --workers worker "
+        "processes over shared-memory CSR shards",
     )
     _add_json_argument(serve)
     serve.set_defaults(func=_cmd_serve)

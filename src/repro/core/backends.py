@@ -1,6 +1,6 @@
-"""Execution-backend selection: pure Python vs vectorized NumPy.
+"""Execution-backend selection: pure Python, vectorized NumPy, or sharded.
 
-The library ships two interchangeable execution backends for the LONA
+The library ships interchangeable execution backends for the LONA
 algorithms:
 
 * ``"python"`` — the dependency-free adjacency-list loops.  Always
@@ -8,15 +8,22 @@ algorithms:
   against.
 * ``"numpy"``  — vectorized execution over :class:`~repro.graph.csr.CSRGraph`
   flat arrays (see :mod:`repro.core.vectorized`).  Requires :mod:`numpy`.
+* ``"parallel"`` — the numpy kernels fanned out across worker *processes*
+  over shared-memory CSR shards (see :mod:`repro.parallel`).  Requires
+  numpy; the engine itself declines graphs too small to amortize the
+  process/IPC fixed cost and runs them in-process instead.
 
 ``"auto"`` (the default everywhere) resolves to ``"numpy"`` when numpy is
 importable and falls back to ``"python"`` otherwise, so the library keeps
-working — with identical answers — on a bare interpreter.  Both backends
-return *entry-for-entry identical* top-k results; only the work counters
-(pruning/traversal accounting) may differ, because the vectorized backend
-processes candidates in blocks.
+working — with identical answers — on a bare interpreter.  ``"parallel"``
+is never chosen implicitly: multi-process execution is an explicit opt-in
+(builder ``.backend("parallel")``, CLI ``--backend parallel``, or
+``Network.service(processes=True)``).  All backends return *entry-for-entry
+identical* top-k results; only the work counters (pruning/traversal
+accounting) may differ, because the vectorized backends process candidates
+in blocks and the parallel backend additionally splits them across shards.
 
-This module is the seam later execution strategies (sharded, GPU, ...) plug
+This module is the seam later execution strategies (GPU, remote, ...) plug
 into: they add a name here and a dispatch arm in the algorithm front doors.
 """
 
@@ -34,7 +41,7 @@ __all__ = [
 ]
 
 #: Recognized backend names (``"auto"`` is resolved, never executed).
-BACKENDS = ("auto", "python", "numpy")
+BACKENDS = ("auto", "python", "numpy", "parallel")
 
 _NUMPY_AVAILABLE: Optional[bool] = None
 
@@ -60,9 +67,9 @@ def resolve_backend(backend: str) -> str:
     """Resolve a backend request to a concrete executable backend.
 
     ``"auto"`` prefers ``"numpy"`` and silently falls back to ``"python"``;
-    asking for ``"numpy"`` explicitly when numpy is absent raises
-    :class:`~repro.errors.BackendUnavailableError` instead of silently
-    changing performance class.
+    asking for ``"numpy"`` or ``"parallel"`` explicitly when numpy is absent
+    raises :class:`~repro.errors.BackendUnavailableError` instead of
+    silently changing performance class.
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(
@@ -70,9 +77,9 @@ def resolve_backend(backend: str) -> str:
         )
     if backend == "auto":
         return "numpy" if numpy_available() else "python"
-    if backend == "numpy" and not numpy_available():
+    if backend in ("numpy", "parallel") and not numpy_available():
         raise BackendUnavailableError(
-            "backend 'numpy' requested but numpy is not importable; "
+            f"backend {backend!r} requested but numpy is not importable; "
             "install numpy or use backend='auto'/'python'"
         )
     return backend

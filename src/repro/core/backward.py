@@ -128,7 +128,7 @@ def backward_topk(
         reused across queries for verification-phase expansions.  Ignored
         by the Python backend.
     """
-    if resolve_backend(spec.backend) == "numpy":
+    if resolve_backend(spec.backend) != "python":
         from repro.core.vectorized import backward_topk_numpy
 
         return backward_topk_numpy(

@@ -49,7 +49,7 @@ def base_topk(
     :class:`~repro.graph.csr.CSRGraph` view (sessions cache one across
     queries); ignored by the Python backend.
     """
-    if resolve_backend(spec.backend) == "numpy":
+    if resolve_backend(spec.backend) != "python":
         from repro.core.vectorized import base_topk_numpy
 
         return base_topk_numpy(

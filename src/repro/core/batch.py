@@ -162,6 +162,12 @@ def batch_base_topk(
     ]
 
     concrete = resolve_backend(backend)
+    if concrete == "parallel":
+        # Sharded execution needs a session context (worker pool + shared
+        # exports live there); the standalone function runs the same fused
+        # kernel in-process.  BatchTopKEngine dispatches shards when it
+        # holds a context.
+        concrete = "numpy"
     if concrete == "numpy":
         _shared_scan_numpy(
             graph, batch, folded_scores, accumulators, hops, include_self,
@@ -399,19 +405,27 @@ class BatchTopKEngine:
             else:
                 shared_indices.append(i)
         if shared_indices:
-            csr = (
-                self._shared_csr()
-                if resolve_backend(self.backend) == "numpy"
-                else None
-            )
-            shared_results = batch_base_topk(
-                self.graph,
-                [batch[i] for i in shared_indices],
-                hops=self.hops,
-                include_self=self.include_self,
-                backend=self.backend,
-                csr=csr,
-            )
+            concrete = resolve_backend(self.backend)
+            shared_results = None
+            if concrete == "parallel" and self._ctx is not None:
+                # One fused scan per shard across the worker pool; the
+                # engine declines (None) below its size floor and the
+                # batch falls through to the in-process fused kernel.
+                shared_results = self._ctx.parallel_engine().run_batch(
+                    [batch[i] for i in shared_indices],
+                    hops=self.hops,
+                    include_self=self.include_self,
+                )
+            if shared_results is None:
+                csr = self._shared_csr() if concrete != "python" else None
+                shared_results = batch_base_topk(
+                    self.graph,
+                    [batch[i] for i in shared_indices],
+                    hops=self.hops,
+                    include_self=self.include_self,
+                    backend=self.backend,
+                    csr=csr,
+                )
             for i, result in zip(shared_indices, shared_results):
                 results[i] = result
         assert all(r is not None for r in results)

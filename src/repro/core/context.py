@@ -69,6 +69,8 @@ class GraphContext:
         "_rev_csr",
         "_ball_cache",
         "_dist_ball_cache",
+        "_parallel",
+        "_parallel_options",
         "_graph_version",
         "_lock",
     )
@@ -93,6 +95,8 @@ class GraphContext:
         self._rev_csr = None
         self._ball_cache = None
         self._dist_ball_cache = None
+        self._parallel = None
+        self._parallel_options: dict = {}
         self._graph_version = getattr(graph, "version", None)
         self._lock = threading.RLock()
 
@@ -100,7 +104,15 @@ class GraphContext:
     # Staleness
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every cached artifact (after a graph mutation)."""
+        """Drop every cached artifact (after a graph mutation).
+
+        The parallel engine is deliberately *not* called here: its
+        ``_refresh`` revalidates exports against ``graph.version`` at every
+        query (stamping the old export stale and rebuilding), exactly like
+        the accessors below rebuild their artifacts — and calling into the
+        engine under this lock would invert the engine-lock -> ctx-lock
+        order every parallel query takes (ABBA deadlock).
+        """
         with self._lock:
             self._diff_index = None
             self._size_index = None
@@ -258,6 +270,67 @@ class GraphContext:
                     max_bytes=self.ball_cache_bytes,
                 )
             return self._dist_ball_cache
+
+    # ------------------------------------------------------------------
+    # Process-parallel engine (the "parallel" backend)
+    # ------------------------------------------------------------------
+    def parallel_engine(self, _remember: bool = True, **options):
+        """The session-scoped :class:`~repro.parallel.engine.ParallelEngine`.
+
+        Created lazily on first use; passing options reconfigures — the
+        previous engine (pool + shared-memory exports) is closed and a new
+        one built, so ``workers=...`` changes take effect deterministically.
+        With no options, repeated calls return the same engine; if the
+        engine was released (:meth:`close`), it is rebuilt with the last
+        *remembered* options, so an explicit ``net.parallel(...)``
+        configuration survives a close/reopen cycle.  ``_remember=False``
+        (the serving layer's sizing) applies options without making them
+        the session's remembered configuration.
+
+        The previous engine is closed *outside* this context's lock: a
+        parallel query holds the engine lock while reading ctx artifacts
+        (engine lock -> ctx lock), so closing under the ctx lock would
+        invert the order and deadlock.
+        """
+        from repro.parallel.engine import ParallelEngine
+
+        while True:
+            with self._lock:
+                previous = self._parallel if options else None
+                if previous is None:
+                    if self._parallel is None or self._parallel.closed:
+                        create = options or self._parallel_options
+                        self._parallel = ParallelEngine(self, **create)
+                        if options and _remember:
+                            self._parallel_options = dict(options)
+                    return self._parallel
+                self._parallel = None
+            previous.close()
+
+    def parallel_configured(self) -> bool:
+        """Whether the session explicitly configured the parallel engine."""
+        with self._lock:
+            return bool(self._parallel_options)
+
+    def has_parallel_engine(self) -> bool:
+        """Whether a parallel engine exists (without creating one)."""
+        with self._lock:
+            return self._parallel is not None and not self._parallel.closed
+
+    def close(self) -> None:
+        """Release out-of-process resources (worker pool, shared memory).
+
+        In-process caches need no teardown; this exists so ``Network.close``
+        (and tests) can deterministically free the parallel engine instead
+        of waiting for garbage collection.  The engine is closed outside
+        the ctx lock for the same lock-ordering reason as
+        :meth:`parallel_engine`.
+        """
+        with self._lock:
+            engine = self._parallel
+            self._parallel = None
+        if engine is not None:
+            engine.close()
 
     def cache_stats(self) -> Dict[str, Optional[dict]]:
         """Hit/eviction counters of the session ball caches (None = unbuilt)."""

@@ -183,6 +183,7 @@ def execute(
         return relational_topk(
             ctx.graph, scores.values(), spec, candidates=request.candidates
         )
+    concrete = resolve_backend(spec.backend)
     if request.candidates is not None:
         # The filtered scan evaluates candidates exactly (base semantics);
         # a pruning-algorithm pin cannot be honored there, so reject it
@@ -194,6 +195,12 @@ def execute(
                 "(supported: auto, base, relational, view)"
             )
         _reject_inapplicable_knobs(request, "filtered")
+        if concrete == "parallel":
+            result = ctx.parallel_engine().execute_scan(
+                scores, spec, "base", candidates=request.candidates
+            )
+            if result is not None:
+                return result
         return _filtered_topk(ctx, scores, request)
     if algorithm == "auto":
         algorithm = choose_algorithm(
@@ -206,7 +213,15 @@ def execute(
         algorithm = plan(ctx, scores, request, planner=planner).chosen
     _reject_inapplicable_knobs(request, algorithm)
 
-    vectorized = resolve_backend(spec.backend) == "numpy"
+    if concrete == "parallel":
+        # Sharded multi-process execution (repro.parallel) behind the same
+        # seam; the engine returns None when it declines — graph below its
+        # min_nodes floor or a single-worker pool — and the query falls
+        # through to the in-process vectorized path below.
+        result = _parallel_execute(ctx, scores, request, algorithm)
+        if result is not None:
+            return result
+    vectorized = concrete != "python"
     csr = ctx.csr() if vectorized else None
     if algorithm == "base":
         return base_topk(ctx.graph, scores, spec, csr=csr)
@@ -236,6 +251,30 @@ def execute(
     )
 
 
+def _parallel_execute(
+    ctx: GraphContext, scores: ScoreVector, request: QueryRequest, algorithm: str
+):
+    """Dispatch one resolved algorithm to the sharded parallel engine.
+
+    Returns None — caller falls back to in-process numpy — for algorithms
+    the engine does not cover (it covers base/forward/backward; relational
+    and view never reach here) or when the engine declines the graph.
+    """
+    engine = ctx.parallel_engine()
+    spec = request.spec()
+    if algorithm in ("base", "forward"):
+        return engine.execute_scan(scores, spec, algorithm)
+    if algorithm == "backward":
+        return engine.execute_backward(
+            scores,
+            spec,
+            gamma=request.gamma,
+            distribution_fraction=request.distribution_fraction,
+            exact_sizes=request.exact_sizes,
+        )
+    return None
+
+
 def execute_weighted(
     ctx: GraphContext,
     scores: ScoreVector,
@@ -259,9 +298,14 @@ def execute_weighted(
     options = dict(options or {})
     if profile is None:
         profile = inverse_distance
-    vectorized = resolve_backend(spec.backend) == "numpy"
+    concrete = resolve_backend(spec.backend)
+    vectorized = concrete != "python"
     if algorithm == "base":
         _reject_unknown_options(options)
+        if concrete == "parallel":
+            result = ctx.parallel_engine().execute_weighted(scores, spec, profile)
+            if result is not None:
+                return result
         return weighted_base_topk(
             ctx.graph, scores, spec, profile, csr=ctx.csr() if vectorized else None
         )
@@ -274,6 +318,19 @@ def execute_weighted(
     fraction = float(options.pop("distribution_fraction", 0.1))  # type: ignore[arg-type]
     exact_sizes = bool(options.pop("exact_sizes", False))
     _reject_unknown_options(options)
+    if (
+        concrete == "parallel"
+        and gamma == "auto"
+        and fraction == 0.1
+        and not exact_sizes
+    ):
+        # The sharded weighted route is an exact scan of owned centers; it
+        # only stands in for backward when the distribution knobs are at
+        # their defaults — a tuned gamma must reach the kernel that honors
+        # it, so those queries run in-process.
+        result = ctx.parallel_engine().execute_weighted(scores, spec, profile)
+        if result is not None:
+            return result
     return weighted_backward_topk(
         ctx.graph,
         scores,
@@ -315,7 +372,7 @@ def _iter_exact_values(
     either way.
     """
     kind = spec.aggregate
-    if resolve_backend(spec.backend) == "numpy" and len(order) > 0:
+    if resolve_backend(spec.backend) != "python" and len(order) > 0:
         import numpy as np
 
         from repro.core.vectorized import aggregate_ball_segments, resolve_block_size

@@ -86,7 +86,7 @@ def forward_topk(
         ``graph`` (the engine caches one across queries).  Ignored by the
         Python backend.
     """
-    if resolve_backend(spec.backend) == "numpy":
+    if resolve_backend(spec.backend) != "python":
         from repro.core.vectorized import forward_topk_numpy
 
         return forward_topk_numpy(

@@ -55,6 +55,7 @@ from repro.graph.neighborhood import upper_estimate
 
 __all__ = [
     "BACKEND_COST_FACTORS",
+    "BACKEND_FIXED_COSTS",
     "CostEstimate",
     "ExecutionPlan",
     "QueryPlanner",
@@ -67,13 +68,37 @@ __all__ = [
 #: with per-block pruning bookkeeping, and LONA-Backward's verification
 #: still walks candidates one ball at a time — so plan *choice* can
 #: legitimately flip with the backend (a full vectorized scan can undercut a
-#: prune-light forward run).  Factors are calibrated against
-#: ``benchmarks/bench_ablation_backend.py`` speedups at bench scale; the
-#: offline index build is python-side construction either way and is never
-#: discounted.
+#: prune-light forward run).  numpy factors are recalibrated against a fresh
+#: ``benchmarks/bench_backend_coverage.py`` run (PR 3/4 shifted the kernels:
+#: Base gained the adaptive-block fused reductions, backward verification
+#: gained the session ball caches), asserted against the canonical fig1/fig2
+#: workloads in ``tests/test_planner_calibration.py``.  The parallel factors
+#: assume a nominal 4-worker pool over the numpy kernels: scans split
+#: near-perfectly (Base/Forward), backward's merge + TA rounds keep a serial
+#: component.  The offline index build is python-side construction either
+#: way and is never discounted.
 BACKEND_COST_FACTORS = {
     "python": {"base": 1.0, "forward": 1.0, "backward": 1.0},
-    "numpy": {"base": 0.15, "forward": 0.35, "backward": 0.3},
+    # 1 / measured route speedup, benchmarks/BENCH_backend_coverage.json
+    # (fig1, scale 1.0): base 4.19x, forward 3.67x, backward 6.09x.
+    "numpy": {"base": 0.24, "forward": 0.27, "backward": 0.16},
+    # numpy factor / nominal 4-worker scaling (scans split ~perfectly,
+    # backward keeps a serial merge + TA-round component).
+    "parallel": {"base": 0.06, "forward": 0.07, "backward": 0.08},
+}
+
+#: Fixed per-query overhead of a backend, in the same ball-expansion
+#: currency, charged once on top of the per-expansion cost.  In-process
+#: backends have none; the parallel backend pays process dispatch + queue
+#: IPC + merge every query (~1 ms even with a warm pool — thousands of
+#: vectorized expansions' worth), which is why a small graph should route
+#: to in-process numpy even when the per-expansion factor favors parallel.
+#: The runtime twin of this term is the engine's ``min_nodes`` decline rule
+#: (:data:`repro.parallel.engine.DEFAULT_MIN_NODES`).
+BACKEND_FIXED_COSTS = {
+    "python": 0.0,
+    "numpy": 0.0,
+    "parallel": 2000.0,
 }
 
 
@@ -93,17 +118,24 @@ class CostEstimate:
     offline_ball_expansions: float
     note: str
     cost_multiplier: float = 1.0
+    #: Per-query fixed overhead of the backend (process dispatch, IPC,
+    #: merge — :data:`BACKEND_FIXED_COSTS`), charged once regardless of how
+    #: much the algorithm prunes.  Zero for in-process backends; this term
+    #: is why ``"parallel"`` plans on small graphs cost more than their
+    #: numpy twins even with a lower per-expansion factor.
+    fixed_cost: float = 0.0
 
     def total_first_query(self) -> float:
         """Cost of the first query, offline build included."""
         return (
             self.online_ball_expansions * self.cost_multiplier
+            + self.fixed_cost
             + self.offline_ball_expansions
         )
 
     def total_amortized(self) -> float:
         """Cost per query once the offline index is sunk."""
-        return self.online_ball_expansions * self.cost_multiplier
+        return self.online_ball_expansions * self.cost_multiplier + self.fixed_cost
 
 
 @dataclass
@@ -145,6 +177,7 @@ class ExecutionPlan:
                     "needs_offline_index": est.needs_offline_index,
                     "offline_ball_expansions": est.offline_ball_expansions,
                     "cost_multiplier": est.cost_multiplier,
+                    "fixed_cost": est.fixed_cost,
                     "effective_online_cost": est.total_amortized(),
                     "note": est.note,
                 }
@@ -159,7 +192,13 @@ class ExecutionPlan:
             f"chosen algorithm: {self.chosen} "
             f"({'index cost amortized' if self.amortize_index else 'index cost charged to this query'})",
             f"execution backend: {self.backend}"
-            + (" (vectorized CSR)" if self.backend == "numpy" else ""),
+            + (
+                " (vectorized CSR)"
+                if self.backend == "numpy"
+                else " (sharded multi-process)"
+                if self.backend == "parallel"
+                else ""
+            ),
             "",
             "estimated cost (ball expansions):",
         ]
@@ -176,9 +215,10 @@ class ExecutionPlan:
                 else ""
             )
             discount = (
-                f" (x{est.cost_multiplier:g} {self.backend} -> "
-                f"{est.total_amortized():.0f})"
-                if est.cost_multiplier != 1.0
+                f" (x{est.cost_multiplier:g} {self.backend}"
+                + (f" + fixed {est.fixed_cost:.0f}" if est.fixed_cost else "")
+                + f" -> {est.total_amortized():.0f})"
+                if est.cost_multiplier != 1.0 or est.fixed_cost
                 else ""
             )
             lines.append(
@@ -227,6 +267,10 @@ class QueryPlanner:
         """The backend's per-expansion cost factor for one algorithm."""
         return BACKEND_COST_FACTORS[self.backend].get(algorithm, 1.0)
 
+    def _fixed_cost(self) -> float:
+        """The backend's per-query fixed overhead (expansion units)."""
+        return BACKEND_FIXED_COSTS.get(self.backend, 0.0)
+
     def _threshold_proxy(self, k: int) -> float:
         """Plausible k-th best SUM: mu times the k-th largest ball estimate."""
         if not self._size_ub:
@@ -259,6 +303,7 @@ class QueryPlanner:
                 offline_ball_expansions=0.0,
                 note="full scan, no precomputation",
                 cost_multiplier=self._cost_factor("base"),
+                fixed_cost=self._fixed_cost(),
             )
         ]
 
@@ -278,6 +323,7 @@ class QueryPlanner:
                     note=f"static bound prunes ~{prunable} of {n} nodes "
                     f"(threshold proxy {threshold:.1f})",
                     cost_multiplier=self._cost_factor("forward"),
+                    fixed_cost=self._fixed_cost(),
                 )
             )
 
@@ -318,6 +364,7 @@ class QueryPlanner:
                     offline_ball_expansions=0.0,
                     note=note,
                     cost_multiplier=self._cost_factor("backward"),
+                    fixed_cost=self._fixed_cost(),
                 )
             )
 

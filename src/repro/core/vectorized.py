@@ -75,6 +75,10 @@ __all__ = [
     "base_topk_numpy",
     "forward_topk_numpy",
     "backward_topk_numpy",
+    "backward_distribution_split",
+    "backward_eq3_bounds",
+    "backward_shortcut_values",
+    "static_upper_bounds_array",
     "weighted_base_topk_numpy",
     "weighted_backward_topk_numpy",
 ]
@@ -333,6 +337,118 @@ def forward_topk_numpy(
     return TopKResult(entries=acc.entries(), stats=stats)
 
 
+def static_upper_bounds_array(
+    np, scores_arr, sizes: NeighborhoodSizeIndex, kind: AggregateKind, include_self: bool
+):
+    """Per-node static upper bounds on F(v), vectorized.
+
+    The array twin of the streaming executor's ``_static_upper_bounds``
+    SUM/COUNT/AVG arms — shared with the parallel engine's bound-pruned
+    forward scan so the two formulas cannot drift apart.  SUM/COUNT use
+    ``(N_ub(v) - 1) + f(v)`` (open ball: ``N_ub(v)``); AVG divides by the
+    size *lower* bound and clamps at 1 (scores live in [0, 1]).  MAX/MIN
+    have no static-pruning arm here; callers route them to Base.
+    """
+    if not kind.lona_supported:
+        raise InvalidParameterError(
+            f"static upper bounds cover SUM/AVG/COUNT, not {kind.value}"
+        )
+    upper = np.asarray(sizes.upper_values(), dtype=np.float64)
+    f = np.asarray(scores_arr, dtype=np.float64)
+    if kind is AggregateKind.COUNT:
+        f = np.where(f > 0.0, 1.0, 0.0)
+    if include_self:
+        bounds = np.maximum(upper - 1.0, 0.0) + f
+    else:
+        bounds = upper.copy()
+    if kind is AggregateKind.AVG:
+        lower = np.asarray(sizes.lower_values(), dtype=np.float64)
+        bounds = np.minimum(1.0, bounds / np.maximum(lower, 1.0))
+    return bounds
+
+
+def backward_distribution_split(np, scores_arr, gamma, distribution_fraction):
+    """Phase-1 policy of LONA-Backward, shared by every vectorized caller.
+
+    Returns ``(distributed, effective_gamma, rest_bound)``: the node ids to
+    distribute (descending score, ties by id — the paper's distribution
+    order), the resolved gamma threshold, and the highest undistributed
+    score (Eq. 3's bound on every unknown).  One implementation serves the
+    in-process numpy kernel and the sharded parallel engine, so the two
+    can never disagree on which nodes distribute.
+    """
+    from repro.core.backward import resolve_gamma
+
+    nonzero_ids = np.nonzero(scores_arr > 0.0)[0]
+    nonzero_scores = scores_arr[nonzero_ids]
+    desc = np.lexsort((nonzero_ids, -nonzero_scores))
+    ordered_ids = nonzero_ids[desc]
+    ordered_scores = nonzero_scores[desc]
+    effective_gamma = resolve_gamma(
+        gamma, ordered_scores.tolist(), distribution_fraction=distribution_fraction
+    )
+    cut = int(np.searchsorted(-ordered_scores, -effective_gamma, side="right"))
+    distributed = ordered_ids[:cut]
+    rest_bound = float(ordered_scores[cut]) if cut < ordered_scores.size else 0.0
+    return distributed, effective_gamma, rest_bound
+
+
+def backward_eq3_bounds(
+    np,
+    scores_arr,
+    partial,
+    covered,
+    self_distributed,
+    sizes: NeighborhoodSizeIndex,
+    rest_bound: float,
+    *,
+    include_self: bool,
+    is_avg: bool,
+):
+    """Eq. 3 upper bound for every node, one array expression.
+
+    The vectorized twin of :func:`repro.core.bounds.backward_sum_bound`
+    (plus the AVG division), shared by the numpy kernel and the parallel
+    engine's merged-state bounding so their pruning can never diverge.
+    """
+    upper = np.asarray(sizes.upper_values(), dtype=np.int64)
+    self_known = self_distributed | (not include_self)
+    unknown = np.where(self_known, upper - covered, upper - covered - 1)
+    extra = np.where(self_known, 0.0, scores_arr)
+    sum_bounds = partial + rest_bound * np.maximum(unknown, 0) + extra
+    if is_avg:
+        lower = np.asarray(sizes.lower_values(), dtype=np.int64)
+        return sum_bounds / np.maximum(lower, 1)
+    return sum_bounds
+
+
+def backward_shortcut_values(
+    np,
+    scores_arr,
+    partial,
+    self_distributed,
+    sizes: NeighborhoodSizeIndex,
+    *,
+    include_self: bool,
+    is_avg: bool,
+):
+    """Exact aggregates from full distribution (``rest_bound == 0``).
+
+    When everything non-zero was distributed, PS(v) (+ the center's own
+    score where applicable) *is* the exact SUM; AVG divides by the exact
+    ball size (callers guarantee ``sizes.is_exact`` before taking the
+    shortcut).  Shared for the same no-divergence reason as
+    :func:`backward_eq3_bounds`.
+    """
+    totals = partial + np.where(
+        ~self_distributed & include_self, scores_arr, 0.0
+    )
+    if is_avg:
+        size_values = np.asarray(sizes.upper_values(), dtype=np.int64)
+        return totals / np.maximum(size_values, 1)
+    return totals
+
+
 def backward_topk_numpy(
     graph: Graph,
     scores: Sequence[float],
@@ -357,8 +473,6 @@ def backward_topk_numpy(
     consulted only when its ``(csr, hops, include_self)`` triple matches.
     """
     import numpy as np
-
-    from repro.core.backward import resolve_gamma
 
     kind = spec.aggregate
     if not kind.lona_supported:
@@ -395,17 +509,9 @@ def backward_topk_numpy(
     # ------------------------------------------------------------------
     # Phase 1: partial distribution in descending score order.
     # ------------------------------------------------------------------
-    nonzero_ids = np.nonzero(scores_arr > 0.0)[0]
-    nonzero_scores = scores_arr[nonzero_ids]
-    desc = np.lexsort((nonzero_ids, -nonzero_scores))
-    ordered_ids = nonzero_ids[desc]
-    ordered_scores = nonzero_scores[desc]
-    effective_gamma = resolve_gamma(
-        gamma, ordered_scores.tolist(), distribution_fraction=distribution_fraction
+    distributed, effective_gamma, rest_bound = backward_distribution_split(
+        np, scores_arr, gamma, distribution_fraction
     )
-    cut = int(np.searchsorted(-ordered_scores, -effective_gamma, side="right"))
-    distributed = ordered_ids[:cut]
-    rest_bound = float(ordered_scores[cut]) if cut < ordered_scores.size else 0.0
 
     if not graph.directed:
         dist_csr = csr
@@ -444,16 +550,17 @@ def backward_topk_numpy(
     # ------------------------------------------------------------------
     # Phase 2: Eq. 3 upper bound for every node, one array expression.
     # ------------------------------------------------------------------
-    upper = np.asarray(sizes.upper_values(), dtype=np.int64)
-    self_known = self_distributed | (not include_self)
-    unknown = np.where(self_known, upper - covered, upper - covered - 1)
-    extra = np.where(self_known, 0.0, scores_arr)
-    sum_bounds = partial + rest_bound * np.maximum(unknown, 0) + extra
-    if is_avg:
-        lower = np.asarray(sizes.lower_values(), dtype=np.int64)
-        bounds = sum_bounds / np.maximum(lower, 1)
-    else:
-        bounds = sum_bounds
+    bounds = backward_eq3_bounds(
+        np,
+        scores_arr,
+        partial,
+        covered,
+        self_distributed,
+        sizes,
+        rest_bound,
+        include_self=include_self,
+        is_avg=is_avg,
+    )
     stats.bound_evaluations = n
     candidate_order = np.lexsort((np.arange(n), -bounds))
 
@@ -463,14 +570,15 @@ def backward_topk_numpy(
     exact_shortcut = rest_bound == 0.0 and (not is_avg or sizes.is_exact)
     shortcut_values = None
     if exact_shortcut:
-        totals = partial + np.where(
-            ~self_distributed & include_self, scores_arr, 0.0
+        shortcut_values = backward_shortcut_values(
+            np,
+            scores_arr,
+            partial,
+            self_distributed,
+            sizes,
+            include_self=include_self,
+            is_avg=is_avg,
         )
-        if is_avg:
-            size_values = np.asarray(sizes.upper_values(), dtype=np.int64)
-            shortcut_values = totals / np.maximum(size_values, 1)
-        else:
-            shortcut_values = totals
     if (
         ball_cache is not None
         and ball_cache.csr is csr

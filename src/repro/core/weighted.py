@@ -71,7 +71,7 @@ def weighted_base_topk(
     numpy CSR view (ignored by the Python backend).
     """
     _check_spec(spec)
-    if resolve_backend(spec.backend) == "numpy":
+    if resolve_backend(spec.backend) != "python":
         from repro.core.vectorized import weighted_base_topk_numpy
 
         return weighted_base_topk_numpy(
@@ -133,7 +133,7 @@ def weighted_backward_topk(
     All three are ignored by the Python backend.
     """
     _check_spec(spec)
-    if resolve_backend(spec.backend) == "numpy":
+    if resolve_backend(spec.backend) != "python":
         from repro.core.vectorized import weighted_backward_topk_numpy
 
         return weighted_backward_topk_numpy(

@@ -28,9 +28,17 @@ __all__ = ["Partition", "hash_partition", "bfs_partition"]
 
 
 class Partition:
-    """An assignment of nodes to ``num_parts`` workers."""
+    """An assignment of nodes to ``num_parts`` workers.
 
-    __slots__ = ("assignment", "num_parts")
+    Immutable once constructed, which is what makes the two lazily built
+    lookup structures safe without any invalidation protocol: the
+    per-partition *members index* (:meth:`members` — one O(n) bucketing
+    pass instead of an O(n) rescan per call) and the numpy
+    :meth:`as_array` form the BSP engine and the shard builder classify
+    arcs with.
+    """
+
+    __slots__ = ("assignment", "num_parts", "_members_index", "_array")
 
     def __init__(self, assignment: List[int], num_parts: int) -> None:
         if num_parts < 1:
@@ -42,14 +50,42 @@ class Partition:
                 )
         self.assignment = assignment
         self.num_parts = num_parts
+        self._members_index: Optional[List[List[int]]] = None
+        self._array = None
 
     def part_of(self, node: int) -> int:
         """The worker owning ``node``."""
         return self.assignment[node]
 
     def members(self, part: int) -> List[int]:
-        """All nodes owned by ``part``."""
-        return [u for u, p in enumerate(self.assignment) if p == part]
+        """All nodes owned by ``part`` (ascending; do not mutate).
+
+        Served from a lazily built index: hot paths that iterate every
+        partition (the shard builder, the BSP coordinator's local top-k
+        pass) pay one O(n) bucketing pass total instead of
+        O(n * num_parts) rescans.
+        """
+        if not 0 <= part < self.num_parts:
+            raise PartitionError(
+                f"partition {part} out of range [0, {self.num_parts})"
+            )
+        if self._members_index is None:
+            index: List[List[int]] = [[] for _ in range(self.num_parts)]
+            for u, p in enumerate(self.assignment):
+                index[p].append(u)
+            self._members_index = index
+        return self._members_index[part]
+
+    def as_array(self):
+        """The assignment as a cached numpy int64 array (None sans numpy)."""
+        if self._array is None:
+            from repro.core.backends import numpy_or_none
+
+            np = numpy_or_none()
+            if np is None:
+                return None
+            self._array = np.asarray(self.assignment, dtype=np.int64)
+        return self._array
 
     def sizes(self) -> List[int]:
         """Nodes per partition."""

@@ -29,6 +29,8 @@ __all__ = [
     "PlanError",
     "DistributedError",
     "PartitionError",
+    "ParallelError",
+    "StaleShardError",
 ]
 
 
@@ -119,3 +121,11 @@ class DistributedError(ReproError):
 
 class PartitionError(DistributedError, ValueError):
     """A graph partitioning was invalid or inconsistent."""
+
+
+class ParallelError(QueryError, RuntimeError):
+    """The process-parallel backend failed (worker death, IPC timeout, ...)."""
+
+
+class StaleShardError(ParallelError):
+    """A worker refused a task naming a shared-memory version that moved."""

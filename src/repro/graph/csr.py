@@ -40,6 +40,10 @@ __all__ = [
     "batched_hop_balls_with_distances",
     "CSRBallCache",
     "CSRDistanceBallCache",
+    "SharedArray",
+    "SharedCSR",
+    "AttachedArray",
+    "AttachedCSR",
 ]
 
 
@@ -699,3 +703,210 @@ class CSRDistanceBallCache:
             )
             counter.balls_expanded += 1
         return entry
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory export/attach (the process-parallel backend's substrate)
+# ---------------------------------------------------------------------------
+#: Stamp value an owner writes to tell attached workers their view is dead.
+STALE_STAMP = -1
+
+
+class SharedArray:
+    """Owner handle of one numpy array exported via ``shared_memory``.
+
+    ``create`` copies an array into a fresh named segment; :meth:`meta`
+    returns the picklable ``{"name", "dtype", "shape"}`` descriptor another
+    process hands to :class:`AttachedArray`.  The owner's :meth:`array`
+    view stays writable (version stamps are updated through it).  The
+    owner — and only the owner — calls :meth:`unlink` when the export dies;
+    attached readers merely close.
+    """
+
+    __slots__ = ("_shm", "_array", "_meta")
+
+    def __init__(self, shm, array, meta: dict) -> None:
+        self._shm = shm
+        self._array = array
+        self._meta = meta
+
+    @classmethod
+    def create(cls, array) -> "SharedArray":
+        """Export ``array`` (any numpy array) into a new shared segment."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        source = np.ascontiguousarray(array)
+        # A zero-byte segment is invalid; keep 1 byte and record the true
+        # shape so the attached view is still empty.
+        shm = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1))
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        view[...] = source
+        meta = {
+            "name": shm.name,
+            "dtype": source.dtype.str,
+            "shape": tuple(int(d) for d in source.shape),
+        }
+        return cls(shm, view, meta)
+
+    @property
+    def array(self):
+        """The owner's live view of the shared buffer."""
+        return self._array
+
+    def meta(self) -> dict:
+        """Picklable descriptor for :meth:`AttachedArray.attach`."""
+        return dict(self._meta)
+
+    def close(self) -> None:
+        """Unmap the owner's view (the segment itself survives)."""
+        self._array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the segment (owner only; attached views die with their maps)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double-unlink race
+            pass
+
+
+class AttachedArray:
+    """Worker-side view of a :class:`SharedArray` export.
+
+    Keeps the ``SharedMemory`` handle alive exactly as long as the numpy
+    view is in use; :meth:`close` unmaps.  Never unlinks — the exporting
+    process owns the segment's lifetime.
+    """
+
+    __slots__ = ("_shm", "array")
+
+    def __init__(self, shm, array) -> None:
+        self._shm = shm
+        self.array = array
+
+    @classmethod
+    def attach(cls, meta: dict) -> "AttachedArray":
+        """Map an exported segment read-write by its descriptor."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        # Attaching registers with the resource tracker just like creating
+        # does (pre-3.13 there is no ``track=False``).  Worker processes are
+        # always spawn children sharing the owner's tracker, where the
+        # registration set dedups, so the owner's single ``unlink`` remains
+        # the one cleanup point — no attach-side unregister needed (an
+        # unregister here would race the owner's and make the tracker warn).
+        shm = shared_memory.SharedMemory(name=meta["name"])
+        array = np.ndarray(
+            tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+        )
+        return cls(shm, array)
+
+    def close(self) -> None:
+        self.array = None
+        self._shm.close()
+
+
+class SharedCSR:
+    """Zero-copy export of a numpy :class:`CSRGraph` plus a version stamp.
+
+    The owner process exports the flat CSR arrays once; every worker
+    process attaches the same physical pages (:class:`AttachedCSR`), so a
+    graph of any size costs one resident copy no matter how many workers
+    expand balls over it.  A one-slot int64 *stamp* segment carries the
+    graph version: the owner rewrites it on dynamic mutations
+    (:meth:`mark_stale` / re-export under a new version), and workers
+    compare it against the version their task named before serving — an
+    attached view can therefore never silently answer over a dead graph.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_weights", "_stamp", "directed", "version")
+
+    def __init__(self, indptr, indices, weights, stamp, directed: bool, version: int) -> None:
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self._stamp = stamp
+        self.directed = directed
+        self.version = version
+
+    @classmethod
+    def export(cls, csr: CSRGraph, *, version: int = 0) -> "SharedCSR":
+        """Export a numpy-backed CSR view into shared memory."""
+        import numpy as np
+
+        _require_numpy_csr(csr)
+        stamp = SharedArray.create(np.asarray([version], dtype=np.int64))
+        return cls(
+            SharedArray.create(csr.indptr),
+            SharedArray.create(csr.indices),
+            None if csr.weights is None else SharedArray.create(csr.weights),
+            stamp,
+            csr.directed,
+            int(version),
+        )
+
+    def meta(self) -> dict:
+        """Picklable descriptor for :meth:`AttachedCSR.attach`."""
+        return {
+            "indptr": self._indptr.meta(),
+            "indices": self._indices.meta(),
+            "weights": None if self._weights is None else self._weights.meta(),
+            "stamp": self._stamp.meta(),
+            "directed": self.directed,
+            "version": self.version,
+        }
+
+    def mark_stale(self) -> None:
+        """Flag every attached view dead (before unlinking a stale export)."""
+        self._stamp.array[0] = STALE_STAMP
+
+    def close(self) -> None:
+        for segment in (self._indptr, self._indices, self._weights, self._stamp):
+            if segment is not None:
+                segment.close()
+
+    def unlink(self) -> None:
+        for segment in (self._indptr, self._indices, self._weights, self._stamp):
+            if segment is not None:
+                segment.unlink()
+
+
+class AttachedCSR:
+    """Worker-side :class:`CSRGraph` view over a :class:`SharedCSR` export."""
+
+    __slots__ = ("csr", "version", "_segments", "_stamp")
+
+    def __init__(self, csr: CSRGraph, version: int, segments, stamp) -> None:
+        self.csr = csr
+        self.version = version
+        self._segments = segments
+        self._stamp = stamp
+
+    @classmethod
+    def attach(cls, meta: dict) -> "AttachedCSR":
+        indptr = AttachedArray.attach(meta["indptr"])
+        indices = AttachedArray.attach(meta["indices"])
+        weights = (
+            None if meta["weights"] is None else AttachedArray.attach(meta["weights"])
+        )
+        stamp = AttachedArray.attach(meta["stamp"])
+        csr = CSRGraph(
+            indptr=indptr.array,
+            indices=indices.array,
+            weights=None if weights is None else weights.array,
+            directed=bool(meta["directed"]),
+        )
+        segments = [s for s in (indptr, indices, weights) if s is not None]
+        return cls(csr, int(meta["version"]), segments, stamp)
+
+    def fresh(self) -> bool:
+        """Whether the owner still stands behind this version."""
+        return int(self._stamp.array[0]) == self.version
+
+    def close(self) -> None:
+        self.csr = None
+        for segment in self._segments:
+            segment.close()
+        self._stamp.close()

@@ -1,0 +1,801 @@
+"""The parallel backend's session-side engine: exports, dispatch, merge.
+
+One :class:`ParallelEngine` lives on a
+:class:`~repro.core.context.GraphContext` (shared by every query of a
+session) and owns three kinds of state:
+
+* **Shared-memory exports** — the CSR view (and its reversal, for directed
+  graphs), every score vector recently queried, the per-shard owned-node
+  arrays, and per-(score, aggregate) static-bound arrays.  All exports are
+  version-stamped: a dynamic mutation moves ``graph.version``, the engine
+  marks the old export stale (attached workers refuse it), unlinks, and
+  re-exports lazily on the next query.
+* **The worker pool** — a persistent, spawn-started
+  :class:`~repro.parallel.pool.ShardWorkerPool` whose processes stay warm
+  (attachments cached) across queries.
+* **The shard plan** — a :func:`~repro.distributed.partition.bfs_partition`
+  ownership map (see :mod:`repro.parallel.shards`).
+
+Routes: sharded Base scan (every aggregate kind, optionally restricted to
+a candidate set), bound-pruned Forward scan, the sharded Backward pipeline
+(parallel distribution -> merged Eq. 3 bounds -> TA-style verification
+rounds dispatched to owning shards), the fused multi-query batch scan, and
+the distance-weighted scan.  Every ``execute*`` method returns ``None``
+when the engine *declines* — graph below ``min_nodes``, fewer than two
+workers, or an unsupported knob combination — and the caller falls back to
+the in-process numpy backend; that decline rule is the runtime face of the
+planner's parallel fixed-cost term.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates.functions import AggregateKind
+from repro.core.results import QueryStats, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError, ParallelError, StaleShardError
+from repro.graph.csr import SharedArray, SharedCSR
+from repro.parallel.merge import merge_counters, merge_shard_entries
+from repro.parallel.pool import ShardWorkerPool
+from repro.parallel.shards import ShardPlan, build_shard_plan
+
+__all__ = ["DEFAULT_MIN_NODES", "ParallelEngine"]
+
+#: Below this many nodes the engine declines and the query runs in-process:
+#: a spawn-warm pool still pays ~1 ms of queue IPC per round, which at small
+#: n exceeds the whole vectorized scan.
+DEFAULT_MIN_NODES = 8192
+
+#: Resident score-vector exports kept per engine (LRU beyond this).
+_SCORE_EXPORT_LIMIT = 16
+
+#: Resident static-bound exports kept per engine (LRU beyond this).
+_BOUND_EXPORT_LIMIT = 8
+
+#: Candidates verified per TA round of the sharded backward pipeline.
+_VERIFY_ROUND = 256
+
+
+def _close_resources(resources: dict) -> None:
+    """Finalizer target: release pool + shared memory without reviving self."""
+    pool = resources.get("pool")
+    if pool is not None:
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
+    for export in resources.get("exports", []):
+        try:
+            export.mark_stale()
+        except AttributeError:
+            pass
+        except Exception:  # pragma: no cover
+            pass
+        try:
+            export.unlink()
+        except Exception:  # pragma: no cover
+            pass
+    resources["pool"] = None
+    resources["exports"] = []
+
+
+class ParallelEngine:
+    """Process-parallel execution over one graph context (see module doc)."""
+
+    def __init__(
+        self,
+        ctx,
+        *,
+        workers: Optional[int] = None,
+        min_nodes: int = DEFAULT_MIN_NODES,
+        partitioner: str = "bfs",
+        seed: int = 2010,
+        timeout: float = 120.0,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.ctx = ctx
+        self.workers = int(workers)
+        self.min_nodes = int(min_nodes)
+        self.partitioner = partitioner
+        self.seed = seed
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._closed = False
+        # All process/shared-memory state lives in one dict so a weakref
+        # finalizer can release it even if the session forgets close().
+        self._resources: dict = {"pool": None, "exports": []}
+        self._finalizer = weakref.finalize(self, _close_resources, self._resources)
+        self._plan: Optional[ShardPlan] = None
+        self._csr_export: Optional[SharedCSR] = None
+        self._rev_export: Optional[SharedCSR] = None
+        self._owned_exports: List[SharedArray] = []
+        self._score_exports: "OrderedDict[Tuple[int, ...], Tuple[object, SharedArray]]" = OrderedDict()
+        self._bound_exports: "OrderedDict[Tuple, Tuple[object, SharedArray]]" = OrderedDict()
+        # Exports evicted from the LRUs *while a round's tasks are being
+        # built* may already be referenced by task metas of that round;
+        # they are parked here and unlinked only after the round returns.
+        self._deferred_drops: List[SharedArray] = []
+        self._export_version: Optional[int] = None
+        self.queries_served = 0
+        self.declined = 0
+        self.stale_retries = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / exports
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _pool(self) -> ShardWorkerPool:
+        pool = self._resources["pool"]
+        if pool is None:
+            pool = ShardWorkerPool(self.workers, timeout=self.timeout)
+            self._resources["pool"] = pool
+        return pool
+
+    def _graph_version(self) -> int:
+        return int(getattr(self.ctx.graph, "version", 0) or 0)
+
+    def _track(self, export) -> None:
+        self._resources["exports"].append(export)
+
+    def _untrack(self, export) -> None:
+        try:
+            self._resources["exports"].remove(export)
+        except ValueError:  # pragma: no cover - double release
+            pass
+
+    def _drop_export(self, export) -> None:
+        self._untrack(export)
+        export.unlink()
+        export.close()
+
+    def _defer_drop(self, export) -> None:
+        """Queue an evicted export for unlinking after the in-flight round.
+
+        An LRU eviction can fire in the middle of building a round's tasks
+        (``_score_meta`` is called once per batch member), at which point
+        earlier tasks of the *same* round already embed the evicted
+        segment's name — unlinking it now would make the workers'
+        ``attach`` fail mid-round.
+        """
+        self._deferred_drops.append(export)
+
+    def _flush_deferred_drops(self) -> None:
+        for export in self._deferred_drops:
+            self._drop_export(export)
+        self._deferred_drops = []
+
+    def _invalidate_exports(self) -> None:
+        """Tear down every shared segment (after a graph mutation)."""
+        if self._csr_export is not None:
+            self._csr_export.mark_stale()
+        for export in (self._csr_export, self._rev_export):
+            if export is not None:
+                self._drop_export(export)
+        self._csr_export = None
+        self._rev_export = None
+        for export in self._owned_exports:
+            self._drop_export(export)
+        self._owned_exports = []
+        for _vec, export in self._score_exports.values():
+            self._drop_export(export)
+        self._score_exports.clear()
+        for _vec, export in self._bound_exports.values():
+            self._drop_export(export)
+        self._bound_exports.clear()
+        self._flush_deferred_drops()
+        self._plan = None
+        self._export_version = None
+
+    def invalidate(self) -> None:
+        """Public form of export teardown (the context calls this on close)."""
+        with self._lock:
+            self._invalidate_exports()
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._invalidate_exports()
+            self._finalizer()
+
+    def _refresh(self) -> None:
+        """(Re)build exports and the shard plan for the current graph version."""
+        if self._closed:
+            raise ParallelError("parallel engine has been closed")
+        version = self._graph_version()
+        if self._csr_export is not None and self._export_version != version:
+            self._invalidate_exports()
+        if self._csr_export is not None:
+            return
+        graph = self.ctx.graph
+        self._csr_export = SharedCSR.export(self.ctx.csr(), version=version)
+        self._track(self._csr_export)
+        rev = self.ctx.rev_csr()
+        if rev is not None:
+            self._rev_export = SharedCSR.export(rev, version=version)
+            self._track(self._rev_export)
+        self._plan = build_shard_plan(
+            graph,
+            self.workers,
+            partitioner=self.partitioner,
+            seed=self.seed,
+        )
+        self._owned_exports = []
+        for owned in self._plan.owned:
+            export = SharedArray.create(owned)
+            self._track(export)
+            self._owned_exports.append(export)
+        self._export_version = version
+
+    def shard_plan(self) -> ShardPlan:
+        """The current shard ownership map (builds exports if needed)."""
+        with self._lock:
+            self._refresh()
+            assert self._plan is not None
+            return self._plan
+
+    def _score_meta(self, scores) -> dict:
+        """Export (or reuse) a score vector's values; key is object identity.
+
+        The session replaces a :class:`~repro.relevance.base.ScoreVector`
+        wholesale on any score mutation, so identity equality is exactly
+        value equality here; the strong reference kept with the export
+        pins the id.  Raw values are exported — per-aggregate folding
+        (COUNT's 0/1 indicator) happens worker-side.
+        """
+        import numpy as np
+
+        key = id(scores)
+        hit = self._score_exports.get(key)
+        if hit is not None:
+            self._score_exports.move_to_end(key)
+            return hit[1].meta()
+        values = scores.values() if hasattr(scores, "values") else list(scores)
+        export = SharedArray.create(np.asarray(values, dtype=np.float64))
+        self._track(export)
+        self._score_exports[key] = (scores, export)
+        while len(self._score_exports) > _SCORE_EXPORT_LIMIT:
+            _, (_vec, dropped) = self._score_exports.popitem(last=False)
+            self._defer_drop(dropped)
+        return export.meta()
+
+    def _bounds_meta(self, scores, kind: AggregateKind, include_self: bool) -> dict:
+        """Export per-node static upper bounds for the pruned forward scan.
+
+        The formulas live in one place —
+        :func:`repro.core.vectorized.static_upper_bounds_array` — shared
+        with every in-process consumer so the parallel scan can never
+        prune on a drifted bound.
+        """
+        import numpy as np
+
+        from repro.core.vectorized import static_upper_bounds_array
+
+        key = (id(scores), kind.value, include_self)
+        hit = self._bound_exports.get(key)
+        if hit is not None:
+            self._bound_exports.move_to_end(key)
+            return hit[1].meta()
+        values = scores.values() if hasattr(scores, "values") else list(scores)
+        bounds = static_upper_bounds_array(
+            np, values, self.ctx.size_index(), kind, include_self
+        )
+        export = SharedArray.create(bounds)
+        self._track(export)
+        # The scores object is pinned alongside the export (like
+        # _score_exports): the id() in the key is only unique while the
+        # object lives, and a reused id must never hit a stale bound array.
+        self._bound_exports[key] = (scores, export)
+        while len(self._bound_exports) > _BOUND_EXPORT_LIMIT:
+            _, (_vec, dropped) = self._bound_exports.popitem(last=False)
+            self._defer_drop(dropped)
+        return export.meta()
+
+    def _block_size(self, queries: int = 1) -> int:
+        from repro.core.vectorized import resolve_block_size
+
+        csr = self.ctx.csr()
+        block = resolve_block_size(None, self.ctx.graph.num_nodes, int(csr.num_arcs))
+        if queries > 1:
+            block = max(4, block // queries)
+        return block
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+    def _declines(self, *, force: bool = False, work_items: Optional[int] = None) -> bool:
+        """Whether this query should run in-process instead.
+
+        ``work_items`` is the number of centers actually evaluated (the
+        candidate-set size for filtered scans); it defaults to the whole
+        graph.  The fixed process/IPC cost amortizes over evaluated
+        centers, not graph size, so a three-candidate ``.where()`` on a
+        million-node graph must decline.
+        """
+        if force:
+            return False
+        if self.workers < 2:
+            return True
+        size = self.ctx.graph.num_nodes if work_items is None else work_items
+        return size < self.min_nodes
+
+    def _run_round(self, build_tasks) -> List[dict]:
+        """Build tasks against fresh exports and run them, retrying once if
+        a worker reports the exports went stale under us."""
+        for attempt in (0, 1):
+            self._refresh()
+            tasks = build_tasks()
+            try:
+                return self._pool().run(tasks)
+            except StaleShardError:
+                self.stale_retries += 1
+                self._invalidate_exports()
+                if attempt:
+                    raise
+            finally:
+                # LRU evictions deferred during task building are safe to
+                # unlink now — no task of this round is in flight anymore.
+                self._flush_deferred_drops()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _base_stats(self, algorithm: str, spec, elapsed: float) -> QueryStats:
+        stats = QueryStats(
+            algorithm=algorithm,
+            aggregate=spec.aggregate.value,
+            backend="parallel",
+            hops=spec.hops,
+            k=spec.k,
+            elapsed_sec=elapsed,
+        )
+        assert self._plan is not None
+        stats.extra["shards"] = float(self._plan.num_shards)
+        stats.extra["workers"] = float(self.workers)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def execute_scan(
+        self,
+        scores,
+        spec,
+        algorithm: str,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+        force: bool = False,
+    ) -> Optional[TopKResult]:
+        """Sharded Base (``algorithm="base"``) or bound-pruned Forward scan.
+
+        ``candidates`` restricts the competitors (the ``.where(...)``
+        filtered scan): each shard evaluates the intersection of the
+        candidate set with its owned nodes.
+        """
+        import numpy as np
+
+        if algorithm == "forward" and not spec.aggregate.lona_supported:
+            # Mirror the in-process front door: forward + MAX/MIN must
+            # raise the same InvalidParameterError on every backend, so
+            # decline and let forward_topk deliver the canonical error
+            # (the static bounds below are SUM-shaped and would otherwise
+            # silently "succeed" here).
+            return None
+        with self._lock:
+            if self._declines(
+                force=force,
+                work_items=None if candidates is None else len(candidates),
+            ):
+                self.declined += 1
+                return None
+            start = time.perf_counter()
+            block = self._block_size()
+            candidate_arr = (
+                None
+                if candidates is None
+                else np.asarray(sorted(candidates), dtype=np.int64)
+            )
+
+            def build() -> List[dict]:
+                assert self._csr_export is not None and self._plan is not None
+                csr_meta = self._csr_export.meta()
+                scores_meta = self._score_meta(scores)
+                bounds_meta = (
+                    self._bounds_meta(scores, spec.aggregate, spec.include_self)
+                    if algorithm == "forward"
+                    else None
+                )
+                tasks = []
+                parts = self._plan.partition.as_array()
+                for shard in range(self._plan.num_shards):
+                    task = {
+                        "kind": "scan",
+                        "csr": csr_meta,
+                        "scores": scores_meta,
+                        "owned": self._owned_exports[shard].meta(),
+                        "centers": None,
+                        "aggregate": spec.aggregate.value,
+                        "hops": spec.hops,
+                        "include_self": spec.include_self,
+                        "k": spec.k,
+                        "block": block,
+                        "bounds": bounds_meta,
+                    }
+                    if candidate_arr is not None:
+                        task["centers"] = candidate_arr[
+                            parts[candidate_arr] == shard
+                        ]
+                    tasks.append(task)
+                return tasks
+
+            results = self._run_round(build)
+            entries = merge_shard_entries(
+                (result["entries"] for result in results), spec.k
+            )
+            stats = self._base_stats(
+                algorithm, spec, time.perf_counter() - start
+            )
+            merge_counters(stats, (result["counters"] for result in results))
+            stats.pruned_nodes = sum(result["pruned"] for result in results)
+            if candidate_arr is not None:
+                stats.extra["candidates"] = float(candidate_arr.size)
+            self.queries_served += 1
+            return TopKResult(entries=entries, stats=stats)
+
+    def execute_backward(
+        self,
+        scores,
+        spec,
+        *,
+        gamma="auto",
+        distribution_fraction: float = 0.1,
+        exact_sizes: bool = False,
+        force: bool = False,
+    ) -> Optional[TopKResult]:
+        """Sharded LONA-Backward: parallel distribution, merged Eq. 3
+        bounds, TA-style verification rounds against owning shards."""
+        import numpy as np
+
+        from repro.core.vectorized import (
+            backward_distribution_split,
+            backward_eq3_bounds,
+        )
+
+        kind = spec.aggregate
+        if not kind.lona_supported:
+            raise InvalidParameterError(
+                f"LONA-Backward supports SUM/AVG/COUNT, not {kind.value}; "
+                "use algorithm='base' for MAX/MIN"
+            )
+        with self._lock:
+            if self._declines(force=force):
+                self.declined += 1
+                return None
+            start = time.perf_counter()
+            n = self.ctx.graph.num_nodes
+            values = scores.values() if hasattr(scores, "values") else list(scores)
+            scores_arr = np.asarray(values, dtype=np.float64)
+            if kind is AggregateKind.COUNT:
+                scores_arr = np.where(scores_arr > 0.0, 1.0, 0.0)
+            eff_kind = AggregateKind.SUM if kind is AggregateKind.COUNT else kind
+            is_avg = eff_kind is AggregateKind.AVG
+            include_self = spec.include_self
+            sizes = self.ctx.size_index(exact=exact_sizes)
+
+            # Same distribution policy as the in-process kernel (shared
+            # helper): workers then select their owned subset of the same
+            # f(u) >= gamma set.
+            _distributed, effective_gamma, rest_bound = (
+                backward_distribution_split(
+                    np, scores_arr, gamma, distribution_fraction
+                )
+            )
+            if rest_bound == 0.0 and (not is_avg or sizes.is_exact):
+                # Full distribution -> the exact-shortcut regime, where the
+                # in-process kernel's *answers* are the partial sums built
+                # in one sequential descending-score deposit order.
+                # Summing per-shard partials reassociates those float
+                # additions, so the sharded values could differ in the
+                # last ulp and flip rank-k ties — and the regime is
+                # distribution-only (no verification BFS at all), the one
+                # backward shape with nothing left to parallelize.  Run it
+                # in-process for bit-identical entries.
+                self.declined += 1
+                return None
+            block = self._block_size()
+
+            # --- Phase 1: parallel distribution (owned high scores out) ---
+            def build_distribute() -> List[dict]:
+                assert self._csr_export is not None and self._plan is not None
+                dist_meta = (
+                    self._rev_export.meta()
+                    if self._rev_export is not None
+                    else self._csr_export.meta()
+                )
+                scores_meta = self._score_meta(scores)
+                return [
+                    {
+                        "kind": "distribute",
+                        "csr": dist_meta,
+                        "scores": scores_meta,
+                        "owned": self._owned_exports[shard].meta(),
+                        "aggregate": kind.value,
+                        "gamma": effective_gamma,
+                        "hops": spec.hops,
+                        "include_self": include_self,
+                        "block": block,
+                    }
+                    for shard in range(self._plan.num_shards)
+                ]
+
+            results = self._run_round(build_distribute)
+            partial = np.zeros(n, dtype=np.float64)
+            covered = np.zeros(n, dtype=np.int64)
+            pushes = 0
+            distributed_count = 0
+            for result in results:
+                # Touched indices are unique per shard (np.nonzero output),
+                # so plain fancy-index addition is safe and cheaper.
+                touched = result["touched"]
+                partial[touched] += result["partial"]
+                covered[touched] += result["covered"]
+                pushes += result["pushes"]
+                distributed_count += result["distributed"]
+
+            stats = self._base_stats("backward", spec, 0.0)
+            merge_counters(stats, (result["counters"] for result in results))
+            stats.distribution_pushes = pushes
+
+            # --- Phase 2: Eq. 3 bounds over the merged state (the shared
+            # helper — literally the numpy backend's math) ------------------
+            self_distributed = np.zeros(n, dtype=bool)
+            if include_self:
+                self_distributed = (scores_arr > 0.0) & (
+                    scores_arr >= effective_gamma
+                )
+            bounds = backward_eq3_bounds(
+                np,
+                scores_arr,
+                partial,
+                covered,
+                self_distributed,
+                sizes,
+                rest_bound,
+                include_self=include_self,
+                is_avg=is_avg,
+            )
+            stats.bound_evaluations = n
+            order = np.lexsort((np.arange(n), -bounds))
+
+            # --- Phase 3: TA rounds against owning shards -----------------
+            # (The exact-shortcut regime declined above, so every offered
+            # value comes from exact verification — which accumulates ball
+            # members in the same ascending order as the in-process
+            # kernels, keeping values bit-identical.)
+            acc = TopKAccumulator(spec.k)
+            offered = 0
+            verify_rounds = 0
+            idx = 0
+            done = False
+            while idx < n and not done:
+                if acc.is_full and float(bounds[order[idx]]) <= acc.threshold:
+                    stats.early_terminated = True
+                    break
+                # Frontier: the next round of candidates still above the
+                # current threshold, verified in parallel by owning shard.
+                hi = min(idx + _VERIFY_ROUND, n)
+                frontier = order[idx:hi]
+                if acc.is_full:
+                    frontier = frontier[
+                        bounds[frontier] > acc.threshold
+                    ]
+                if frontier.size == 0:
+                    stats.early_terminated = True
+                    break
+                exact = self._verify_frontier(scores, spec, frontier, block, stats)
+                verify_rounds += 1
+                stats.candidates_verified += int(frontier.size)
+                for v in order[idx:hi]:
+                    node = int(v)
+                    if acc.is_full and float(bounds[node]) <= acc.threshold:
+                        stats.early_terminated = True
+                        done = True
+                        break
+                    if node in exact:
+                        acc.offer(node, exact[node])
+                        offered += 1
+                idx = hi
+            stats.pruned_nodes = n - offered
+            stats.extra["gamma"] = effective_gamma
+            stats.extra["distributed_nodes"] = float(distributed_count)
+            stats.extra["rest_bound"] = rest_bound
+            stats.extra["exact_shortcut"] = 0.0  # shortcut shapes declined
+            stats.extra["verify_rounds"] = float(verify_rounds)
+            stats.elapsed_sec = time.perf_counter() - start
+            self.queries_served += 1
+            return TopKResult(entries=acc.entries(), stats=stats)
+
+    def _verify_frontier(
+        self, scores, spec, frontier, block: int, stats: QueryStats
+    ) -> Dict[int, float]:
+        """Exact values of ``frontier`` candidates, from their owning shards."""
+
+        def build() -> List[dict]:
+            assert self._csr_export is not None and self._plan is not None
+            csr_meta = self._csr_export.meta()
+            scores_meta = self._score_meta(scores)
+            parts = self._plan.partition.as_array()
+            tasks = []
+            for shard in range(self._plan.num_shards):
+                mine = frontier[parts[frontier] == shard]
+                if mine.size == 0:
+                    continue
+                tasks.append(
+                    {
+                        "kind": "verify",
+                        "csr": csr_meta,
+                        "scores": scores_meta,
+                        "centers": mine,
+                        "aggregate": spec.aggregate.value,
+                        "hops": spec.hops,
+                        "include_self": spec.include_self,
+                        "block": block,
+                    }
+                )
+            return tasks
+
+        results = self._run_round(build)
+        merge_counters(stats, (result["counters"] for result in results))
+        exact: Dict[int, float] = {}
+        for result in results:
+            exact.update(result["pairs"])
+        return exact
+
+    def execute_weighted(
+        self, scores, spec, profile, *, force: bool = False
+    ) -> Optional[TopKResult]:
+        """Sharded distance-weighted SUM (exact scan of owned centers)."""
+        from repro.aggregates.weighted import inverse_distance, precompute_weights
+        from repro.core.vectorized import _check_weighted_spec
+
+        _check_weighted_spec(spec)
+        with self._lock:
+            if self._declines(force=force):
+                self.declined += 1
+                return None
+            start = time.perf_counter()
+            weights = precompute_weights(
+                profile if profile is not None else inverse_distance, spec.hops
+            )
+            block = self._block_size()
+
+            def build() -> List[dict]:
+                assert self._csr_export is not None and self._plan is not None
+                csr_meta = self._csr_export.meta()
+                scores_meta = self._score_meta(scores)
+                return [
+                    {
+                        "kind": "weighted",
+                        "csr": csr_meta,
+                        "scores": scores_meta,
+                        "owned": self._owned_exports[shard].meta(),
+                        "weights": tuple(weights),
+                        "hops": spec.hops,
+                        "include_self": spec.include_self,
+                        "k": spec.k,
+                        "block": block,
+                    }
+                    for shard in range(self._plan.num_shards)
+                ]
+
+            results = self._run_round(build)
+            entries = merge_shard_entries(
+                (result["entries"] for result in results), spec.k
+            )
+            stats = self._base_stats(
+                "weighted-base", spec, time.perf_counter() - start
+            )
+            merge_counters(stats, (result["counters"] for result in results))
+            self.queries_served += 1
+            return TopKResult(entries=entries, stats=stats)
+
+    def run_batch(
+        self, batch: Sequence, *, hops: int, include_self: bool, force: bool = False
+    ) -> Optional[List[TopKResult]]:
+        """Fused multi-query shared scan, one sub-scan per shard.
+
+        ``batch`` is a sequence of :class:`~repro.core.batch.BatchQuery`
+        (sum-convertible aggregates).  Each shard expands its owned node
+        blocks once and scores every query against them; per-query shard
+        top-k lists are merged like any other sharded scan.
+        """
+        with self._lock:
+            if not batch or self._declines(force=force):
+                self.declined += 1 if batch else 0
+                return None
+            start = time.perf_counter()
+            block = self._block_size(queries=len(batch))
+
+            def build() -> List[dict]:
+                assert self._csr_export is not None and self._plan is not None
+                csr_meta = self._csr_export.meta()
+                scores_list = [
+                    (self._score_meta(entry.scores), entry.aggregate.value)
+                    for entry in batch
+                ]
+                ks = [entry.k for entry in batch]
+                return [
+                    {
+                        "kind": "batch",
+                        "csr": csr_meta,
+                        "owned": self._owned_exports[shard].meta(),
+                        "scores_list": scores_list,
+                        "ks": ks,
+                        "hops": hops,
+                        "include_self": include_self,
+                        "block": block,
+                    }
+                    for shard in range(self._plan.num_shards)
+                ]
+
+            results = self._run_round(build)
+            elapsed = time.perf_counter() - start
+            outputs: List[TopKResult] = []
+            for i, entry in enumerate(batch):
+                entries = merge_shard_entries(
+                    (result["entries_list"][i] for result in results),
+                    entry.k,
+                )
+                stats = QueryStats(
+                    algorithm="batch-base",
+                    aggregate=entry.aggregate.value,
+                    backend="parallel",
+                    hops=hops,
+                    k=entry.k,
+                    elapsed_sec=elapsed,
+                    nodes_evaluated=self.ctx.graph.num_nodes,
+                )
+                merge_counters(stats, (result["counters"] for result in results))
+                # Whole-batch traversal is attributed to every member, with
+                # the batch size recorded so reports divide fairly — the
+                # same convention as the in-process shared scan.
+                stats.nodes_evaluated = self.ctx.graph.num_nodes
+                stats.extra["batch_size"] = float(len(batch))
+                assert self._plan is not None
+                stats.extra["shards"] = float(self._plan.num_shards)
+                stats.extra["workers"] = float(self.workers)
+                outputs.append(TopKResult(entries=entries, stats=stats))
+            self.queries_served += 1
+            return outputs
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Monitoring snapshot: pool, shard, and export gauges."""
+        with self._lock:
+            pool = self._resources["pool"]
+            return {
+                "workers": self.workers,
+                "min_nodes": self.min_nodes,
+                "closed": self._closed,
+                "pool_started": bool(pool is not None and pool.started),
+                "alive_workers": 0 if pool is None else pool.alive_workers,
+                "respawns": 0 if pool is None else pool.respawns,
+                "queries_served": self.queries_served,
+                "declined": self.declined,
+                "stale_retries": self.stale_retries,
+                "shards": None if self._plan is None else self._plan.sizes(),
+                "score_exports": len(self._score_exports),
+                "export_version": self._export_version,
+            }

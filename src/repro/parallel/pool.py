@@ -1,0 +1,238 @@
+"""Persistent worker-process pool for the parallel backend.
+
+A :class:`ShardWorkerPool` owns ``workers`` spawned processes running
+:func:`repro.parallel.worker.worker_main`.  Design points:
+
+* **Spawn, not fork.**  The serving layer runs worker *threads* holding
+  locks; forking such a process is a documented deadlock trap.  The spawn
+  start method gives every worker a clean interpreter — the startup cost
+  is real and is exactly the fixed-cost term the planner and the engine's
+  decline rule account for.  Workers are spawned lazily on first dispatch
+  and stay warm (shared-memory attachments cached) until :meth:`close`.
+* **One duplex pipe per worker, no shared queues.**  ``multiprocessing``
+  queues serialize readers and writers through shared locks, and a worker
+  killed *while holding one* — blocked in ``get`` (readers hold the read
+  lock while waiting) or mid-``put`` in its feeder thread — takes the lock
+  to its grave and deadlocks every sibling.  A ``Pipe`` per worker has a
+  single writer and a single reader per direction, so worker death can
+  poison nothing but its own channel, which the collector observes
+  directly as EOF.  The parent multiplexes with
+  :func:`multiprocessing.connection.wait`.
+* **Crash recovery.**  Tasks are pure functions of shared state, so they
+  are safe to re-issue.  If a worker dies mid-round (killed, OOM, bug),
+  the collector sees its pipe close, replaces the dead process, and
+  re-issues every task still outstanding under a fresh id; duplicate late
+  results are ignored.  A round that cannot finish within ``timeout``
+  raises :class:`~repro.errors.ParallelError` instead of hanging.
+* **One round at a time.**  ``run()`` is serialized by a lock: concurrent
+  queries queue here rather than interleaving result streams.  (The
+  serving scheduler already provides cross-query concurrency; the pool's
+  job is to spread *one* query's shards across cores.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ParallelError, StaleShardError
+
+__all__ = ["ShardWorkerPool"]
+
+#: Default per-round IPC timeout (seconds); generous — it only bounds hangs.
+DEFAULT_TIMEOUT = 120.0
+
+
+class _Worker:
+    """One spawned process plus the parent end of its duplex pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class ShardWorkerPool:
+    """A fixed-size pool of warm, spawn-started worker processes."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        name: str = "repro-shard",
+    ) -> None:
+        if workers < 1:
+            raise ParallelError(f"workers must be >= 1, got {workers}")
+        import multiprocessing
+
+        self.workers = workers
+        self.timeout = timeout
+        self.name = name
+        self._mp = multiprocessing.get_context("spawn")
+        self._members: List[_Worker] = []
+        self._task_ids = itertools.count()
+        self._spawned = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether worker processes exist (they spawn on first dispatch)."""
+        return bool(self._members)
+
+    @property
+    def alive_workers(self) -> int:
+        """Currently running worker processes."""
+        return sum(1 for m in self._members if m.process.is_alive())
+
+    def _spawn_one(self) -> _Worker:
+        from repro.parallel.worker import worker_main
+
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"{self.name}-worker-{next(self._spawned)}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the child's copy is the only live one now
+        return _Worker(process, parent_conn)
+
+    def ensure_started(self) -> None:
+        """Spawn (or respawn) processes until ``workers`` are alive."""
+        with self._lock:
+            self._ensure_started_locked()
+
+    def _ensure_started_locked(self) -> None:
+        if self._closed:
+            raise ParallelError("worker pool has been closed")
+        live = [m for m in self._members if m.process.is_alive()]
+        if self._members and len(live) < len(self._members):
+            self.respawns += len(self._members) - len(live)
+            for member in self._members:
+                if not member.process.is_alive():
+                    member.conn.close()
+        while len(live) < self.workers:
+            live.append(self._spawn_one())
+        self._members = live
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: List[dict]) -> List[dict]:
+        """Execute ``tasks`` across the pool; results in input order.
+
+        Tasks are dealt round-robin onto the per-worker pipes.  Raises
+        :class:`~repro.errors.StaleShardError` if any worker refused a task
+        over an invalidated shared-memory export (the engine refreshes its
+        exports and retries), and :class:`~repro.errors.ParallelError` on
+        worker failure that re-spawning cannot cure or on timeout.
+        """
+        if not tasks:
+            return []
+        with self._lock:
+            self._ensure_started_locked()
+            return self._run_locked(tasks)
+
+    def _dispatch(self, tasks: List[dict], positions: List[int]) -> Dict[int, int]:
+        """Deal ``tasks[positions]`` round-robin; return task id -> position.
+
+        A send that finds a worker's pipe already broken is skipped — the
+        collector's death branch re-issues whatever never got out.
+        """
+        pending: Dict[int, int] = {}
+        for slot, position in enumerate(positions):
+            task_id = next(self._task_ids)
+            pending[task_id] = position
+            member = self._members[slot % len(self._members)]
+            try:
+                member.conn.send((task_id, tasks[position]))
+            except (BrokenPipeError, OSError):
+                pass  # collector notices the death and re-dispatches
+        return pending
+
+    def _run_locked(self, tasks: List[dict]) -> List[dict]:
+        from multiprocessing.connection import wait
+
+        results: List[Optional[dict]] = [None] * len(tasks)
+        pending = self._dispatch(tasks, list(range(len(tasks))))
+        deadline = time.monotonic() + self.timeout
+        respawn_budget = 2 * self.workers
+        while pending:
+            ready = wait([m.conn for m in self._members], timeout=0.25)
+            if time.monotonic() > deadline:
+                raise ParallelError(
+                    f"parallel round timed out after {self.timeout:.0f}s "
+                    f"({len(pending)} of {len(tasks)} tasks outstanding)"
+                )
+            dead = False
+            for conn in ready:
+                try:
+                    task_id, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    dead = True  # this member's pipe closed under us
+                    continue
+                position = pending.pop(task_id, None)
+                if position is None:
+                    continue  # duplicate from a re-issued round
+                if status == "stale":
+                    raise StaleShardError(str(payload))
+                if status == "error":
+                    raise ParallelError(f"shard worker failed: {payload}")
+                results[position] = payload
+            if not pending:
+                break
+            if dead or self.alive_workers < len(self._members):
+                # A worker died; its pipe died with it, so we cannot know
+                # which of our tasks it swallowed.  Replace it and re-issue
+                # everything still outstanding under fresh ids (stale
+                # duplicates are dropped above).  Bounded: workers dying as
+                # fast as they spawn (e.g. a __main__ that cannot be
+                # re-imported under spawn) must surface as an error, not an
+                # infinite respawn loop.
+                respawn_budget -= max(
+                    len(self._members) - self.alive_workers, 1
+                )
+                if respawn_budget < 0:
+                    raise ParallelError(
+                        "shard workers keep dying at startup; if this "
+                        "process has no importable __main__ (interactive "
+                        "stdin), the spawn start method cannot run "
+                        "worker processes"
+                    )
+                self._ensure_started_locked()
+                pending = self._dispatch(tasks, sorted(pending.values()))
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def close(self, *, join_timeout: float = 5.0) -> None:
+        """Stop every worker (sentinel first, terminate stragglers)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for member in self._members:
+                try:
+                    member.conn.send(None)
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            for member in self._members:
+                member.process.join(timeout=join_timeout)
+            for member in self._members:
+                if member.process.is_alive():  # pragma: no cover - stuck worker
+                    member.process.terminate()
+                    member.process.join(timeout=1.0)
+                member.conn.close()
+            self._members = []
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

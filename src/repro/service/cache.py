@@ -10,8 +10,11 @@ a node's score is updated), and (3) the frozen
 excludes the serving metadata (priority/deadline/pinned), so two callers
 asking the same question at different urgencies share one entry.  Any
 dynamic mutation moves component (1) or (2), making every stale entry
-unreachable; the session additionally calls :meth:`ResultCache.clear` on
-mutation so dead entries do not linger in memory.
+unreachable; the session additionally evicts dead entries so they do not
+linger in memory — :meth:`ResultCache.clear` on graph mutations (every
+entry's version moved), :meth:`ResultCache.invalidate_score` on score
+mutations (only that score's epoch moved; unrelated scores keep serving
+from cache).
 
 Entries are stored and served as *defensive copies* (fresh ``entries``
 list, fresh stats with ``extra["result_cache"] = 1.0`` on hits), so a
@@ -30,6 +33,22 @@ from repro.core.results import TopKResult
 __all__ = ["ResultCache"]
 
 
+def _key_score(key: Hashable) -> Optional[str]:
+    """The score name embedded in a service cache key (None if absent).
+
+    Keys are the service's ``(version token, QueryRequest, pinned)``
+    tuples; scanning for the request keeps this robust to key-layout
+    changes.
+    """
+    from repro.core.request import QueryRequest
+
+    if isinstance(key, tuple):
+        for element in key:
+            if isinstance(element, QueryRequest):
+                return element.score
+    return None
+
+
 def _copy_result(result: TopKResult, *, hit: bool) -> TopKResult:
     stats = copy.copy(result.stats)
     stats.extra = dict(stats.extra)
@@ -41,7 +60,16 @@ def _copy_result(result: TopKResult, *, hit: bool) -> TopKResult:
 class ResultCache:
     """A bounded LRU of query answers (``max_entries=0`` disables caching)."""
 
-    __slots__ = ("max_entries", "_lock", "_entries", "hits", "misses", "evictions", "invalidations")
+    __slots__ = (
+        "max_entries",
+        "_lock",
+        "_entries",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "score_invalidations",
+    )
 
     def __init__(self, max_entries: int = 512) -> None:
         if max_entries < 0:
@@ -53,6 +81,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.score_invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -85,13 +114,34 @@ class ResultCache:
                 self.evictions += 1
 
     def clear(self) -> int:
-        """Drop everything (a graph/score mutation); returns entries dropped."""
+        """Drop everything (a graph mutation); returns entries dropped."""
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
             if dropped:
                 self.invalidations += 1
             return dropped
+
+    def invalidate_score(self, score: str) -> int:
+        """Drop only the entries answering queries over ``score``.
+
+        ``update_score``/``add_scores`` move exactly one score's epoch, so
+        only that score's entries are dead; every other score's answers
+        stay resident and keep hitting — the point of per-score (rather
+        than whole-cache) invalidation under mixed serving workloads.
+        Stale entries would be unreachable anyway (the epoch lives in the
+        key); eviction here is about not letting dead entries occupy LRU
+        capacity that live ones could use.
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries if _key_score(key) == score
+            ]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self.score_invalidations += 1
+            return len(doomed)
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction/invalidation counters plus occupancy."""
@@ -103,4 +153,5 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "score_invalidations": self.score_invalidations,
             }

@@ -68,12 +68,39 @@ class QueryService:
         coalesce: bool = True,
         coalesce_limit: int = 64,
         cache_entries: int = 512,
+        processes: bool = False,
     ) -> None:
         self._net = network
         self._stats = ServiceStats()
         self.cache = ResultCache(cache_entries)
         self._rw = ReadWriteLock()
         self._coalesce = bool(coalesce) and workers > 0
+        # Process mode: compute runs on the session's parallel engine —
+        # ``workers`` worker *processes* over shared-memory CSR shards —
+        # while the scheduler threads only dispatch/merge.  Requests that
+        # explicitly pinned a backend keep it; everything else is rewritten
+        # to the "parallel" backend at execution time (the cache key stays
+        # the original request — same answer either way).
+        self._processes = bool(processes)
+        if self._processes:
+            # Size the worker-process pool to the service — unless the
+            # session explicitly configured the engine (net.parallel(...)
+            # wins).  ``workers`` counts scheduler threads; below 2 it is
+            # no statement about process parallelism, so the engine falls
+            # back to its cpu-count default rather than a 1-process pool
+            # that could only decline.
+            import os as _os
+
+            ctx = network._ctx
+            if not ctx.parallel_configured():
+                desired = workers if workers >= 2 else (_os.cpu_count() or 1)
+                if (
+                    not ctx.has_parallel_engine()
+                    or ctx.parallel_engine().workers != desired
+                ):
+                    ctx.parallel_engine(_remember=False, workers=desired)
+            else:
+                ctx.parallel_engine()
         self._scheduler = Scheduler(
             self._execute_one,
             self._execute_group,
@@ -174,19 +201,29 @@ class QueryService:
         """One monitoring payload: serving counters, queue gauges, caches."""
         payload = dict(self._stats.snapshot())
         payload["workers"] = self.workers
+        payload["processes"] = self._processes
         payload["pending"] = self._scheduler.pending
         payload["inflight"] = self._scheduler.inflight
         payload["result_cache"] = self.cache.stats()
         payload["session_caches"] = self._net._ctx.cache_stats()
+        if self._net._ctx.has_parallel_engine():
+            payload["parallel"] = self._net._ctx.parallel_engine().stats()
         return payload
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for every queued/in-flight query to finish."""
         return self._scheduler.drain(timeout)
 
-    def invalidate(self) -> int:
-        """Drop every cached result (the session calls this on mutations)."""
-        return self.cache.clear()
+    def invalidate(self, score: Optional[str] = None) -> int:
+        """Evict cached results after a session mutation.
+
+        ``score=None`` (graph mutations) drops everything; a score name
+        (``update_score`` / ``add_scores``) drops only that score's
+        entries, so hot answers over unrelated scores keep serving.
+        """
+        if score is None:
+            return self.cache.clear()
+        return self.cache.invalidate_score(score)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting submissions; fail queued handles; join workers."""
@@ -216,6 +253,16 @@ class QueryService:
             include_self=net.include_self,
             backend=net.backend,
         )
+
+    def _effective_request(self, request: QueryRequest) -> QueryRequest:
+        """Process mode rewrites unpinned requests to the parallel backend."""
+        if (
+            self._processes
+            and request.backend != "parallel"
+            and not request.is_pinned("backend")
+        ):
+            return request.replace(backend="parallel")
+        return request
 
     def _version_token(self, score: str) -> tuple:
         net = self._net
@@ -267,7 +314,9 @@ class QueryService:
                     if result is None:  # cancelled mid-stream
                         return
                 else:
-                    result = self._net._run(handle.request)
+                    result = self._net._run(
+                        self._effective_request(handle.request)
+                    )
                     if handle.cached:
                         self.cache.put(key, result)
                 handle._finish(result)
@@ -293,7 +342,17 @@ class QueryService:
                     )
                     for h in missing
                 ]
-                results = self._net._run_batch(queries)
+                # Process mode only reroutes the group when no member
+                # explicitly pinned a backend — the same "pins win"
+                # contract the single-query path honors.  (Pins to a
+                # backend other than the session's are never coalescible,
+                # so a pinned member here pinned the session backend.)
+                use_parallel = self._processes and all(
+                    not h.request.is_pinned("backend") for h in missing
+                )
+                results = self._net._run_batch(
+                    queries, backend="parallel" if use_parallel else None
+                )
                 if len(missing) > 1:
                     self._stats.incr("coalesced_batches")
                     self._stats.incr("coalesced_queries", len(missing))

@@ -182,7 +182,8 @@ class QueryBuilder:
         return self._with(algorithm=str(algorithm))
 
     def backend(self, backend: str) -> "QueryBuilder":
-        """Pin the execution backend (``auto``/``python``/``numpy``)."""
+        """Pin the execution backend
+        (``auto``/``python``/``numpy``/``parallel``)."""
         return self._with(backend=str(backend))
 
     def gamma(self, gamma: Union[str, float]) -> "QueryBuilder":
@@ -420,7 +421,7 @@ class Network:
             if name in self._views:
                 del self._views[name]
                 self.maintain(name)
-        self._invalidate_service_cache()
+        self._invalidate_service_cache(name)
         return self
 
     def score_names(self) -> Tuple[str, ...]:
@@ -457,7 +458,11 @@ class Network:
         with identical options are idempotent.  Supported options are
         :class:`~repro.service.QueryService`'s keywords (``workers``,
         ``max_pending``, ``coalesce``, ``coalesce_limit``,
-        ``cache_entries``).
+        ``cache_entries``, ``processes``).  ``processes=True`` serves
+        unpinned queries on the process-parallel backend — ``workers``
+        worker *processes* over shared-memory CSR shards (see
+        :meth:`parallel`) fronted by the same scheduler threads — so
+        throughput scales with cores instead of one interpreter.
         """
         from repro.service import QueryService
 
@@ -490,15 +495,66 @@ class Network:
         with self._lock:
             return self._score_epochs.get(score, 0)
 
-    def _invalidate_service_cache(self) -> None:
+    def _invalidate_service_cache(self, score: Optional[str] = None) -> None:
+        """Evict served answers: everything, or only one score's entries.
+
+        Graph mutations pass ``None`` (every cached answer is stale);
+        score mutations pass the score name so unrelated scores keep their
+        hot entries (their epochs did not move, so those answers are still
+        exactly right).
+        """
         service = self._service
         if service is not None:
-            service.invalidate()
+            service.invalidate(score)
 
     def _write_guard(self):
         """Exclusive section for mutations: waits out in-flight queries."""
         service = self._service
         return service._rw.write() if service is not None else nullcontext()
+
+    # ------------------------------------------------------------------
+    # Multi-core execution (the "parallel" backend)
+    # ------------------------------------------------------------------
+    def parallel(self, **options: object):
+        """The session's process-parallel engine (configure or inspect).
+
+        Queries opt in per request (``.backend("parallel")``, CLI
+        ``--backend parallel``) or service-wide
+        (``net.service(processes=True)``); the engine — worker pool,
+        shared-memory CSR/score exports, shard plan — is created lazily on
+        first parallel execution with ``os.cpu_count()`` workers.  Call
+        this with options to configure it up front::
+
+            net.parallel(workers=4)          # pool size
+            net.parallel(workers=4, min_nodes=0)  # force even tiny graphs
+
+        Supported options are
+        :class:`~repro.parallel.engine.ParallelEngine`'s keywords
+        (``workers``, ``min_nodes``, ``partitioner``, ``seed``,
+        ``timeout``).  Reconfiguring closes the previous engine first.
+        Graphs smaller than ``min_nodes`` (default
+        :data:`~repro.parallel.engine.DEFAULT_MIN_NODES`) decline and run
+        on the in-process numpy backend — same entries either way.
+        """
+        return self._ctx.parallel_engine(**options)
+
+    def close(self) -> None:
+        """Release out-of-process resources: serving threads, worker
+        processes, shared-memory segments.  Idempotent; the session remains
+        usable afterwards (a later query lazily rebuilds what it needs)."""
+        with self._lock:
+            service = self._service
+            self._service = None
+            self._service_options = None
+        if service is not None:
+            service.shutdown(wait=True)
+        self._ctx.close()
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Query entry points
@@ -609,15 +665,22 @@ class Network:
         return self._run_batch(normalized)
 
     def _run_batch(
-        self, queries: Sequence[Union[BatchQuery, Tuple[object, int]]]
+        self,
+        queries: Sequence[Union[BatchQuery, Tuple[object, int]]],
+        backend: Optional[str] = None,
     ) -> BatchResult:
-        """The BatchTopKEngine policy, fed from the session caches."""
+        """The BatchTopKEngine policy, fed from the session caches.
+
+        ``backend`` overrides the session default — the serving layer
+        passes ``"parallel"`` for coalesced groups when the service runs
+        in process mode, so one fused batch fans out across shards.
+        """
         self._ctx.check_fresh()
         engine = BatchTopKEngine(
             self.graph,
             hops=self.hops,
             include_self=self.include_self,
-            backend=self.backend,
+            backend=backend if backend is not None else self.backend,
             # Lazy cache sharing: the engine pulls the CSR view / size
             # index from the session context only if a routed query
             # actually needs them.
@@ -852,5 +915,5 @@ class Network:
                 self._scores[score] = replacement
                 self._planners.pop(score, None)
                 self._score_epochs[score] = self._score_epochs.get(score, 0) + 1
-        self._invalidate_service_cache()
+        self._invalidate_service_cache(score)
         return affected

@@ -1,0 +1,573 @@
+"""Process-parallel backend: parity, shared-memory lifecycle, resilience.
+
+The contract mirrors the numpy backend's (``tests/test_backend_parity.py``):
+``backend="parallel"`` must return entry-for-entry the numpy answer on
+every route it covers — base (all aggregates), forward, backward, weighted,
+filtered, batch — while actually running the work in worker processes over
+shared-memory CSR shards.  Beyond parity, this module pins the
+shared-memory lifecycle: export/attach round-trips, version-stamp
+invalidation after dynamic mutations, unlink on ``Network.close``, and
+worker-crash recovery.
+
+The graphs here are far below the engine's production ``min_nodes`` floor,
+so every fixture forces the process path with ``min_nodes=0``; the decline
+rule itself is tested explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.backends import BACKENDS
+from repro.core.request import QueryRequest
+from repro.errors import InvalidParameterError, ParallelError
+from repro.graph.csr import (
+    AttachedArray,
+    AttachedCSR,
+    SharedArray,
+    SharedCSR,
+    to_csr,
+)
+from repro.graph.graph import Graph
+from repro.parallel.merge import merge_shard_entries
+from repro.parallel.pool import ShardWorkerPool
+from repro.parallel.shards import build_shard_plan
+from repro.session import Network
+from tests.conftest import random_graph
+
+np = pytest.importorskip("numpy")
+
+#: Worker-process count for the test pools; the CI parallel-smoke job
+#: raises it to 4 on multi-core runners.
+WORKERS = int(os.environ.get("REPRO_PARALLEL_TEST_WORKERS", "2"))
+
+
+def _entries(result):
+    return [(node, round(value, 9)) for node, value in result.entries]
+
+
+def _dense_scores(n, seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+def _sparse_scores(n, seed, nonzero=0.03):
+    rng = random.Random(seed)
+    values = [0.0] * n
+    for u in rng.sample(range(n), max(1, int(nonzero * n))):
+        values[u] = rng.random()
+    return values
+
+
+@pytest.fixture(scope="module")
+def parallel_net():
+    g = random_graph(400, 0.015, seed=42)
+    net = Network(g, hops=2)
+    net.add_scores("dense", _dense_scores(400, 1))
+    net.add_scores("sparse", _sparse_scores(400, 2))
+    net.add_scores("binary", [1.0 if u % 9 == 0 else 0.0 for u in range(400)])
+    net.parallel(workers=WORKERS, min_nodes=0)
+    yield net
+    net.close()
+
+
+class TestBackendRegistration:
+    def test_parallel_is_a_backend(self):
+        assert "parallel" in BACKENDS
+
+    def test_request_accepts_parallel(self):
+        request = QueryRequest(k=3, backend="parallel")
+        assert request.spec().backend == "parallel"
+
+
+class TestScanParity:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count", "max", "min"])
+    def test_base_all_aggregates(self, parallel_net, aggregate):
+        run = lambda backend: (  # noqa: E731
+            parallel_net.query("dense")
+            .limit(10)
+            .aggregate(aggregate)
+            .algorithm("base")
+            .backend(backend)
+            .run()
+        )
+        par, ref = run("parallel"), run("numpy")
+        assert _entries(par) == _entries(ref)
+        assert par.stats.backend == "parallel"
+        assert par.stats.extra["shards"] == float(WORKERS)
+
+    def test_forward(self, parallel_net):
+        par = (
+            parallel_net.query("dense").limit(8)
+            .algorithm("forward").backend("parallel").run()
+        )
+        ref = (
+            parallel_net.query("dense").limit(8)
+            .algorithm("forward").backend("numpy").run()
+        )
+        assert _entries(par) == _entries(ref)
+        # The sharded forward scan prunes on static bounds per shard.
+        assert par.stats.algorithm == "forward"
+
+    def test_forward_max_raises_like_every_backend(self, parallel_net):
+        # Validation must not depend on the backend (or on whether the
+        # engine declines): forward + MAX raises the canonical error.
+        for backend in ("numpy", "parallel"):
+            with pytest.raises(InvalidParameterError, match="LONA-Forward"):
+                (
+                    parallel_net.query("dense").limit(5).aggregate("max")
+                    .algorithm("forward").backend(backend).run()
+                )
+
+    @pytest.mark.parametrize("score", ["sparse", "dense"])
+    def test_backward(self, parallel_net, score):
+        par = (
+            parallel_net.query(score).limit(7)
+            .algorithm("backward").backend("parallel").run()
+        )
+        ref = (
+            parallel_net.query(score).limit(7)
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(par) == _entries(ref)
+        assert par.stats.backend == "parallel"
+        assert par.stats.extra["gamma"] == ref.stats.extra["gamma"]
+        assert par.stats.extra["rest_bound"] == ref.stats.extra["rest_bound"]
+
+    def test_backward_binary_shortcut_declines(self, parallel_net):
+        # Binary scores fully distribute (auto-gamma 1.0, rest_bound 0):
+        # the exact-shortcut regime's answers are order-sensitive partial
+        # sums, so the engine declines it to keep entries bit-identical —
+        # and there is no verification work to parallelize there anyway.
+        par = (
+            parallel_net.query("binary").limit(7)
+            .algorithm("backward").backend("parallel").run()
+        )
+        ref = (
+            parallel_net.query("binary").limit(7)
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(par) == _entries(ref)
+        assert par.stats.backend == "numpy"  # declined to in-process
+        assert par.stats.extra["exact_shortcut"] == 1.0
+
+    def test_backward_avg(self, parallel_net):
+        par = (
+            parallel_net.query("sparse").limit(5).aggregate("avg")
+            .algorithm("backward").backend("parallel").run()
+        )
+        ref = (
+            parallel_net.query("sparse").limit(5).aggregate("avg")
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(par) == _entries(ref)
+
+    def test_filtered_where(self, parallel_net):
+        candidates = tuple(range(0, 400, 3))
+        par = (
+            parallel_net.query("dense").limit(6)
+            .where(candidates).backend("parallel").run()
+        )
+        ref = (
+            parallel_net.query("dense").limit(6)
+            .where(candidates).backend("numpy").run()
+        )
+        assert _entries(par) == _entries(ref)
+        assert par.stats.extra["candidates"] == float(len(candidates))
+
+    def test_weighted(self, parallel_net):
+        from repro.core import executor
+
+        spec_par = QueryRequest(k=6, backend="parallel").spec()
+        spec_ref = QueryRequest(k=6, backend="numpy").spec()
+        par = executor.execute_weighted(
+            parallel_net._ctx, parallel_net.scores_of("dense"), spec_par
+        )
+        ref = executor.execute_weighted(
+            parallel_net._ctx, parallel_net.scores_of("dense"), spec_ref
+        )
+        assert _entries(par) == _entries(ref)
+        assert par.stats.backend == "parallel"
+
+    def test_weighted_with_tuned_gamma_stays_in_process(self, parallel_net):
+        # The sharded weighted route is an exact scan; a tuned distribution
+        # knob must reach the kernel that honors it.
+        from repro.core import executor
+
+        spec = QueryRequest(k=6, backend="parallel").spec()
+        result = executor.execute_weighted(
+            parallel_net._ctx,
+            parallel_net.scores_of("dense"),
+            spec,
+            None,
+            "backward",
+            {"gamma": 0.5},
+        )
+        assert result.stats.backend == "numpy"
+
+    def test_batch_coalesced_parity(self, parallel_net):
+        from repro.core.batch import BatchQuery
+
+        queries = [
+            BatchQuery(scores=parallel_net.scores_of("dense"), k=6),
+            BatchQuery(
+                scores=parallel_net.scores_of("dense"), k=4, aggregate="avg"
+            ),
+        ]
+        par = parallel_net._run_batch(queries, backend="parallel")
+        ref = parallel_net._run_batch(queries, backend="numpy")
+        for p, r in zip(par, ref):
+            assert _entries(p) == _entries(r)
+        assert par[0].stats.backend == "parallel"
+        assert par[0].stats.extra["batch_size"] == 2.0
+
+    def test_batch_wider_than_score_export_lru(self, parallel_net):
+        # Regression, two layers: (1) a fused batch with more distinct
+        # score vectors than the engine's score-export LRU evicted — and
+        # unlinked — segments that earlier tasks of the *same* round still
+        # referenced (round crashed with ParallelError); (2) wider than the
+        # *worker's* attachment cache, eviction unmapped buffers under the
+        # running kernel's live numpy views (worker segfault).  Engine
+        # evictions defer their unlink until the round returns; worker
+        # evictions defer their unmap until between tasks.
+        from repro.core.batch import BatchQuery
+        from repro.parallel.engine import _SCORE_EXPORT_LIMIT
+        from repro.parallel.worker import _ATTACH_CACHE_LIMIT
+        from repro.relevance.base import ScoreVector
+
+        width = max(_SCORE_EXPORT_LIMIT, _ATTACH_CACHE_LIMIT) + 4
+        vectors = [
+            ScoreVector(_dense_scores(400, 100 + i)) for i in range(width)
+        ]
+        queries = [BatchQuery(scores=v, k=3) for v in vectors]
+        par = parallel_net._run_batch(queries, backend="parallel")
+        ref = parallel_net._run_batch(queries, backend="numpy")
+        assert len(par) == width
+        for p, r in zip(par, ref):
+            assert _entries(p) == _entries(r)
+
+    def test_directed_graph_backward(self):
+        rng = random.Random(5)
+        edges = {(rng.randrange(120), rng.randrange(120)) for _ in range(400)}
+        g = Graph.from_edges(
+            sorted((u, v) for u, v in edges if u != v),
+            num_nodes=120,
+            directed=True,
+        )
+        net = Network(g, hops=2)
+        net.add_scores("s", _sparse_scores(120, 9))
+        net.parallel(workers=WORKERS, min_nodes=0)
+        try:
+            par = (
+                net.query("s").limit(5)
+                .algorithm("backward").backend("parallel").run()
+            )
+            ref = (
+                net.query("s").limit(5)
+                .algorithm("backward").backend("numpy").run()
+            )
+            assert _entries(par) == _entries(ref)
+        finally:
+            net.close()
+
+
+class TestSharedMemoryLifecycle:
+    def test_shared_array_roundtrip(self):
+        source = np.asarray([3, 1, 4, 1, 5], dtype=np.int64)
+        export = SharedArray.create(source)
+        try:
+            view = AttachedArray.attach(export.meta())
+            assert view.array.tolist() == source.tolist()
+            view.close()
+        finally:
+            export.unlink()
+            export.close()
+
+    def test_shared_array_empty(self):
+        export = SharedArray.create(np.empty(0, dtype=np.float64))
+        try:
+            view = AttachedArray.attach(export.meta())
+            assert view.array.size == 0
+            view.close()
+        finally:
+            export.unlink()
+            export.close()
+
+    def test_shared_csr_roundtrip_and_stamp(self):
+        g = random_graph(60, 0.05, seed=3)
+        csr = to_csr(g, use_numpy=True)
+        export = SharedCSR.export(csr, version=7)
+        try:
+            attached = AttachedCSR.attach(export.meta())
+            assert attached.version == 7
+            assert attached.fresh()
+            assert attached.csr.num_nodes == csr.num_nodes
+            assert attached.csr.indices.tolist() == csr.indices.tolist()
+            export.mark_stale()
+            assert not attached.fresh()
+            attached.close()
+        finally:
+            export.unlink()
+            export.close()
+
+    def test_close_unlinks_segments(self):
+        g = random_graph(150, 0.03, seed=8)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(150, 4))
+        engine = net.parallel(workers=WORKERS, min_nodes=0)
+        net.query("s").limit(3).backend("parallel").run()
+        meta = engine._csr_export.meta()
+        net.close()
+        assert engine.closed
+        with pytest.raises(FileNotFoundError):
+            AttachedCSR.attach(meta)
+
+    def test_version_stamp_invalidation_after_add_edge(self):
+        from repro.dynamic.graph import DynamicGraph
+
+        g = DynamicGraph.from_graph(random_graph(200, 0.02, seed=12))
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(200, 5))
+        engine = net.parallel(workers=WORKERS, min_nodes=0)
+        try:
+            first = net.query("s").limit(5).backend("parallel").run()
+            # Attach to the live export the way a worker does; the mapping
+            # stays valid across the owner's unlink.
+            attached = AttachedCSR.attach(engine._csr_export.meta())
+            assert attached.fresh()
+            old_version = engine.stats()["export_version"]
+            net.add_edge(0, 199)
+            par = net.query("s").limit(5).backend("parallel").run()
+            # The engine noticed the version move on the next query and
+            # stamped the old export stale (before unlinking), so a worker
+            # still attached to it refuses to serve from it.
+            assert not attached.fresh()
+            attached.close()
+            ref = net.query("s").limit(5).backend("numpy").run()
+            assert _entries(par) == _entries(ref)
+            assert engine.stats()["export_version"] != old_version
+            assert first.entries  # sanity: pre-mutation answer existed
+        finally:
+            net.close()
+
+    def test_score_export_refreshes_after_update_score(self):
+        from repro.dynamic.graph import DynamicGraph
+
+        g = DynamicGraph.from_graph(random_graph(200, 0.02, seed=13))
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(200, 6))
+        net.parallel(workers=WORKERS, min_nodes=0)
+        try:
+            probe = lambda: (  # noqa: E731 - F(7) includes f(7) itself
+                net.query("s").limit(1).where([7]).backend("parallel").run()
+            )
+            before = probe()
+            net.update_score("s", 7, 1.0)
+            par = net.query("s").limit(5).backend("parallel").run()
+            ref = net.query("s").limit(5).backend("numpy").run()
+            assert _entries(par) == _entries(ref)
+            # The mutated score actually flowed into the workers' view:
+            # node 7's own aggregate includes f(7), which just changed.
+            after = probe()
+            assert _entries(after) != _entries(before)
+        finally:
+            net.close()
+
+
+class TestResilience:
+    def test_worker_crash_recovers(self, parallel_net):
+        engine = parallel_net.parallel()
+        parallel_net.query("dense").limit(3).backend("parallel").run()
+        pool = engine._resources["pool"]
+        assert pool is not None and pool.started
+        # Kill one worker out from under the pool; the next round must
+        # respawn and still answer exactly.
+        victim = pool._members[0].process
+        victim.terminate()
+        victim.join(timeout=5)
+        par = parallel_net.query("dense").limit(3).backend("parallel").run()
+        ref = parallel_net.query("dense").limit(3).backend("numpy").run()
+        assert _entries(par) == _entries(ref)
+        assert pool.alive_workers == WORKERS
+
+    def test_pool_rejects_bad_sizes(self):
+        with pytest.raises(ParallelError):
+            ShardWorkerPool(0)
+
+    def test_closed_pool_rejects_work(self):
+        pool = ShardWorkerPool(1)
+        pool.close()
+        with pytest.raises(ParallelError):
+            pool.run([{"kind": "scan"}])
+
+    def test_queries_and_invalidation_do_not_deadlock(self):
+        # Regression: parallel queries take engine-lock -> ctx-lock;
+        # context invalidation/close must never take ctx-lock -> engine-lock
+        # (ABBA).  Hammer both sides concurrently and require completion.
+        import threading
+
+        g = random_graph(200, 0.03, seed=22)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(200, 14))
+        net.parallel(workers=WORKERS, min_nodes=0)
+        errors = []
+
+        def query_loop():
+            try:
+                for _ in range(10):
+                    net.query("s").limit(3).backend("parallel").run()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        thread = threading.Thread(target=query_loop, daemon=True)
+        thread.start()
+        try:
+            for _ in range(50):
+                net._ctx.invalidate()
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "query/invalidate deadlocked"
+            assert not errors, errors
+        finally:
+            net.close()
+
+    def test_engine_close_is_idempotent(self):
+        g = random_graph(80, 0.04, seed=21)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(80, 7))
+        engine = net.parallel(workers=WORKERS, min_nodes=0)
+        net.close()
+        net.close()
+        assert engine.closed
+
+
+class TestDeclineRule:
+    def test_small_graph_declines_to_numpy(self):
+        g = random_graph(100, 0.04, seed=30)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 8))
+        engine = net.parallel(workers=WORKERS)  # default min_nodes floor
+        try:
+            result = net.query("s").limit(4).backend("parallel").run()
+            ref = net.query("s").limit(4).backend("numpy").run()
+            assert _entries(result) == _entries(ref)
+            # Declined: ran in-process, no worker pool was ever spawned.
+            assert result.stats.backend == "numpy"
+            assert engine.stats()["declined"] >= 1
+            assert not engine.stats()["pool_started"]
+        finally:
+            net.close()
+
+    def test_single_worker_declines(self):
+        g = random_graph(100, 0.04, seed=31)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 9))
+        net.parallel(workers=1, min_nodes=0)
+        try:
+            result = net.query("s").limit(4).backend("parallel").run()
+            assert result.stats.backend == "numpy"
+        finally:
+            net.close()
+
+    def test_planner_charges_parallel_fixed_cost(self):
+        from repro.core.planner import BACKEND_FIXED_COSTS, QueryPlanner
+        from repro.core.query import QuerySpec
+
+        g = random_graph(120, 0.03, seed=32)
+        scores = _dense_scores(120, 10)
+        par = QueryPlanner(g, scores, hops=2, backend="parallel").plan(
+            QuerySpec(k=5)
+        )
+        ref = QueryPlanner(g, scores, hops=2, backend="numpy").plan(
+            QuerySpec(k=5)
+        )
+        fixed = BACKEND_FIXED_COSTS["parallel"]
+        assert fixed > 0
+        for algorithm in ("base", "backward"):
+            assert par.estimate_for(algorithm).fixed_cost == fixed
+            assert ref.estimate_for(algorithm).fixed_cost == 0.0
+        # On a tiny graph the fixed cost dominates: every parallel estimate
+        # is costlier than its numpy twin, which is exactly why the engine
+        # declines such graphs at runtime.
+        assert (
+            par.estimate_for("base").total_amortized()
+            > ref.estimate_for("base").total_amortized()
+        )
+        assert "sharded multi-process" in par.explain()
+
+
+class TestServiceProcessMode:
+    def test_service_runs_queries_on_parallel_backend(self):
+        g = random_graph(300, 0.02, seed=40)
+        net = Network(g, hops=2)
+        net.add_scores("a", _dense_scores(300, 11))
+        net.add_scores("b", _dense_scores(300, 12))
+        net.parallel(workers=WORKERS, min_nodes=0)
+        try:
+            net.service(workers=2, processes=True)
+            handles = [
+                net.query(s).limit(5).submit(cached=False)
+                for s in ("a", "b", "a", "b")
+            ]
+            results = [h.result(timeout=120) for h in handles]
+            backends = {r.stats.backend for r in results}
+            assert backends <= {"parallel"}
+            refs = [
+                net.query(s).limit(5).backend("numpy").run()
+                for s in ("a", "b", "a", "b")
+            ]
+            for got, ref in zip(results, refs):
+                assert _entries(got) == _entries(ref)
+        finally:
+            net.close()
+
+    def test_pinned_backend_survives_process_mode(self):
+        g = random_graph(300, 0.02, seed=41)
+        net = Network(g, hops=2)
+        net.add_scores("a", _dense_scores(300, 13))
+        net.parallel(workers=WORKERS, min_nodes=0)
+        try:
+            net.service(workers=2, processes=True)
+            result = (
+                net.query("a").limit(5).backend("numpy")
+                .submit(cached=False).result(timeout=120)
+            )
+            assert result.stats.backend == "numpy"
+        finally:
+            net.close()
+
+
+class TestShardPlanAndMerge:
+    def test_shard_plan_covers_every_node_once(self):
+        g = random_graph(200, 0.03, seed=50)
+        plan = build_shard_plan(g, 3)
+        seen = np.concatenate(plan.owned)
+        assert sorted(seen.tolist()) == list(range(200))
+        assert plan.num_shards == 3
+        assert sum(plan.sizes()) == 200
+
+    def test_shard_plan_validates(self):
+        g = random_graph(20, 0.1, seed=51)
+        with pytest.raises(InvalidParameterError):
+            build_shard_plan(g, 0)
+        with pytest.raises(InvalidParameterError):
+            build_shard_plan(g, 2, partitioner="metis")
+
+    def test_merge_resolves_ties_by_node_id(self):
+        merged = merge_shard_entries(
+            [[(5, 1.0), (9, 0.5)], [(2, 1.0), (7, 0.5)]], 3
+        )
+        assert merged == [(2, 1.0), (5, 1.0), (7, 0.5)]
+
+    def test_partition_members_index_cached(self):
+        from repro.distributed.partition import Partition
+
+        partition = Partition([0, 1, 0, 1, 0], 2)
+        first = partition.members(0)
+        assert first == [0, 2, 4]
+        assert partition.members(0) is first  # served from the index
+        assert partition.members(1) == [1, 3]
+        arr = partition.as_array()
+        assert arr is not None and arr.tolist() == [0, 1, 0, 1, 0]
+        assert partition.as_array() is arr

@@ -84,6 +84,8 @@ NETWORK_SURFACE = {
     "scores_of": ["name"],
     "query": ["score"],
     "service": ["options"],
+    "parallel": ["options"],
+    "close": [],
     "topk": ["score", "k", "aggregate", "builder_options"],
     "topk_weighted": ["score", "k", "profile", "algorithm", "options"],
     "batch": ["queries"],

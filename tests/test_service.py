@@ -361,6 +361,36 @@ class TestResultCache:
         assert "result_cache" not in fresh.stats.extra
         assert fresh.entries == dyn_net.query("a").limit(5).run().entries
 
+    def test_update_score_keeps_unrelated_scores_hot(self, dyn_net):
+        # Per-score invalidation (not a whole-cache flush): mutating "a"
+        # must leave "b"'s cached answer resident and hitting — the
+        # hit-rate regression the serving follow-up closed.
+        dyn_net.add_scores("b", quantized_scores(50, seed=6))
+        service = dyn_net.service(workers=1)
+        dyn_net.query("a").limit(5).submit().result(timeout=10)
+        dyn_net.query("b").limit(5).submit().result(timeout=10)
+        hits_before = service.cache.stats()["hits"]
+        dyn_net.update_score("a", 0, 0.75)
+        survivor = dyn_net.query("b").limit(5).submit().result(timeout=10)
+        assert survivor.stats.extra.get("result_cache") == 1.0
+        stats = service.cache.stats()
+        assert stats["hits"] == hits_before + 1
+        assert stats["score_invalidations"] >= 1
+        assert stats["invalidations"] == 0  # no whole-cache flush happened
+        # And "a" itself re-executes (its entry was evicted).
+        fresh = dyn_net.query("a").limit(5).submit().result(timeout=10)
+        assert "result_cache" not in fresh.stats.extra
+
+    def test_add_scores_evicts_only_that_score(self, dyn_net):
+        dyn_net.add_scores("b", quantized_scores(50, seed=7))
+        service = dyn_net.service(workers=1)
+        dyn_net.query("a").limit(5).submit().result(timeout=10)
+        dyn_net.query("b").limit(5).submit().result(timeout=10)
+        dyn_net.add_scores("a", quantized_scores(50, seed=8))
+        assert len(service.cache) == 1  # only "b"'s entry survived
+        survivor = dyn_net.query("b").limit(5).submit().result(timeout=10)
+        assert survivor.stats.extra.get("result_cache") == 1.0
+
     def test_pinned_variant_never_served_unpinned_cache_entry(self, net):
         # `pinned` is hash-excluded on QueryRequest, but it changes
         # validation semantics: after the plain request is cached, the

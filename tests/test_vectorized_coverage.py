@@ -226,14 +226,18 @@ class TestBackendSensitivePlanner:
             g, scores, hops=2, index_available=True, backend="numpy"
         ).plan(QuerySpec(k=10))
         assert python_plan.chosen == "forward"
-        assert numpy_plan.chosen == "base"
+        # Recalibrated factors (backward verification got the session ball
+        # caches): the vectorized plan now routes this shape to backward —
+        # still a flip away from the python winner, which is the property
+        # this test pins.
+        assert numpy_plan.chosen == "backward"
 
     def test_explain_shows_discount(self, flip_case):
         g, scores = flip_case
         plan = QueryPlanner(
             g, scores, hops=2, index_available=True, backend="numpy"
         ).plan(QuerySpec(k=10))
-        assert "x0.15 numpy" in plan.explain()
+        assert "x0.24 numpy" in plan.explain()
 
     def test_session_run_honors_backend_pin_for_planned(self, flip_case):
         # The session planner is cached on the session backend; a builder
@@ -244,7 +248,7 @@ class TestBackendSensitivePlanner:
         session.build_indexes()
         # Warm the cached (auto -> numpy) planner first.
         auto_plan = session.query("s").limit(10).explain()
-        assert auto_plan.chosen == "base"
+        assert auto_plan.chosen == "backward"
         pinned = (
             session.query("s").limit(10)
             .algorithm("planned").backend("python")
