@@ -1,0 +1,259 @@
+"""Serving bench: closed-loop load through the HTTP front door.
+
+Drives the full network path — wire protocol, replica routing, admission
+control — with concurrent closed-loop clients against a live
+:class:`repro.serving.QueryServer`, and records what the front door is for:
+
+* **throughput** (successful queries/sec) and latency (p50/p99 of
+  successful requests) under concurrency;
+* **shed behavior**: a mixed workload of cheap (planner-cheap backward)
+  and expensive (pinned exhaustive base) queries, with the cost budget set
+  so that under load the expensive class is rejected while the cheap class
+  keeps flowing.
+
+The acceptance gate encodes the load-shedding contract: **under saturating
+closed-loop load, shedding must engage before tail latency blows up** —
+either the shed counter is nonzero, or p99 stayed within ``GATE_P99`` x
+the unloaded p50.  A front door that neither sheds nor holds its tail is
+failing at its one job.
+
+Clients back off on typed admission errors using the server-provided
+``retry_after`` — the wire contract this bench also exercises end to end.
+
+Two modes::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --write   # baseline
+    PYTHONPATH=src python benchmarks/bench_serving.py --check   # compare
+
+``--check`` warns (GitHub annotations) when throughput regresses more than
+``--tolerance`` against ``benchmarks/BENCH_serving.json`` or the gate
+fails; ``--strict`` turns warnings into exit code 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_PATH = _BENCH_DIR / "BENCH_serving.json"
+
+K_CHEAP = 10
+K_EXPENSIVE = 100
+GATE_P99 = 5.0
+
+
+def _percentile(samples, q):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _ClosedLoopClient(threading.Thread):
+    """One closed-loop client: issue, wait, back off on admission errors."""
+
+    def __init__(self, url, stop_at, expensive):
+        super().__init__(daemon=True)
+        self.url = url
+        self.stop_at = stop_at
+        self.expensive = expensive
+        self.latencies = []
+        self.shed = 0
+        self.rate_limited = 0
+        self.errors = 0
+
+    def run(self):
+        import repro
+        from repro.errors import RateLimitedError, ServiceOverloadedError
+
+        with repro.RemoteNetwork(self.url, tenant=self.name) as remote:
+            builder = remote.query("bench")
+            query = (
+                builder.limit(K_EXPENSIVE).algorithm("base")
+                if self.expensive
+                else builder.limit(K_CHEAP).algorithm("backward")
+            )
+            while time.monotonic() < self.stop_at:
+                start = time.perf_counter()
+                try:
+                    query.run()
+                except ServiceOverloadedError as exc:
+                    self.shed += 1
+                    time.sleep(min(exc.retry_after or 0.05, 0.25))
+                except RateLimitedError as exc:
+                    self.rate_limited += 1
+                    time.sleep(min(exc.retry_after or 0.05, 0.25))
+                except Exception:
+                    self.errors += 1
+                else:
+                    self.latencies.append(time.perf_counter() - start)
+
+
+def measure(scale: float, clients: int, duration: float) -> dict:
+    from repro.bench.workloads import figure
+    from repro.serving import QueryServer, ServerConfig
+    from repro.session import Network
+
+    spec = figure("fig1")
+    graph = spec.build_graph(scale)
+    net = Network(graph, hops=spec.hops)
+    net.add_scores("bench", spec.build_scores(graph))
+
+    # Small queues on purpose: capacity = max_pending x replicas, and the
+    # closed-loop clients must be able to push occupancy past the
+    # watermark or the shed path never runs.
+    config = ServerConfig(
+        replicas=2,
+        service={"workers": 1, "max_pending": 2},
+        shed_watermark=0.25,
+    )
+    server = QueryServer(net, config).start()
+    try:
+        from repro.core.request import QueryRequest
+
+        cheap_cost = server._cost_of(
+            QueryRequest(k=K_CHEAP, score="bench", algorithm="backward",
+                         hops=net.hops)
+        )
+        expensive_cost = server._cost_of(
+            QueryRequest(k=K_EXPENSIVE, score="bench", algorithm="base",
+                         hops=net.hops)
+        )
+        # Budget at the watermark == the expensive cost: past the
+        # watermark the expensive class sheds first, the cheap class only
+        # near saturation.
+        server.admission._cost_limit = float(expensive_cost)
+
+        import repro
+
+        with repro.RemoteNetwork(server.url) as warm:
+            query = warm.query("bench").limit(K_CHEAP).algorithm("backward")
+            unloaded = []
+            for _ in range(20):
+                start = time.perf_counter()
+                query.run(cached=False)
+                unloaded.append(time.perf_counter() - start)
+        unloaded_p50 = _percentile(unloaded, 0.5)
+
+        stop_at = time.monotonic() + duration
+        # 3:1 cheap:expensive — a mostly-well-behaved population with a
+        # heavy minority, the shape shedding exists for.
+        fleet = [
+            _ClosedLoopClient(server.url, stop_at, expensive=(i % 4 == 3))
+            for i in range(clients)
+        ]
+        wall_start = time.perf_counter()
+        for client in fleet:
+            client.start()
+        for client in fleet:
+            client.join(timeout=duration + 60)
+        wall = time.perf_counter() - wall_start
+        admission = server.admission.stats()
+    finally:
+        server.close()
+        net.close()
+
+    latencies = [s for c in fleet for s in c.latencies]
+    served = len(latencies)
+    shed = sum(c.shed for c in fleet)
+    rate_limited = sum(c.rate_limited for c in fleet)
+    errors = sum(c.errors for c in fleet)
+    attempts = served + shed + rate_limited + errors
+    p50 = _percentile(latencies, 0.5)
+    p99 = _percentile(latencies, 0.99)
+    gate_ok = shed > 0 or (
+        p50 is not None and p99 is not None and p99 <= GATE_P99 * unloaded_p50
+    )
+    return {
+        "scale": scale,
+        "clients": clients,
+        "duration_sec": duration,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "replicas": 2,
+        "costs": {
+            "cheap": round(cheap_cost, 1),
+            "expensive": round(expensive_cost, 1),
+        },
+        "unloaded_p50_ms": round(unloaded_p50 * 1000, 2),
+        "loaded": {
+            "qps": round(served / wall, 1),
+            "p50_ms": round(p50 * 1000, 2) if p50 is not None else None,
+            "p99_ms": round(p99 * 1000, 2) if p99 is not None else None,
+            "served": served,
+            "shed": shed,
+            "rate_limited": rate_limited,
+            "errors": errors,
+            "shed_rate": round(shed / attempts, 3) if attempts else 0.0,
+        },
+        "admission": admission,
+        "gate": {
+            "rule": f"shed > 0 or p99 <= {GATE_P99:.0f} x unloaded p50",
+            "ok": gate_ok,
+        },
+    }
+
+
+def check(report: dict, baseline: dict, tolerance: float) -> list:
+    warnings = []
+    if not report["gate"]["ok"]:
+        warnings.append(
+            f"shed gate failed: {report['loaded']['shed']} shed, "
+            f"p99 {report['loaded']['p99_ms']}ms vs unloaded p50 "
+            f"{report['unloaded_p50_ms']}ms (rule: {report['gate']['rule']})"
+        )
+    if report["loaded"]["errors"]:
+        warnings.append(
+            f"{report['loaded']['errors']} untyped client errors under load"
+        )
+    recorded = baseline.get("loaded", {}).get("qps")
+    current = report["loaded"]["qps"]
+    if recorded and current < recorded * (1 - tolerance):
+        warnings.append(
+            f"serving throughput regressed {recorded} -> {current} qps "
+            f"(> {tolerance:.0%} drop)"
+        )
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true", help="rewrite the baseline")
+    mode.add_argument("--check", action="store_true", help="compare + gate")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--tolerance", type=float, default=0.5)
+    parser.add_argument("--strict", action="store_true", help="exit 1 on warnings")
+    args = parser.parse_args(argv)
+
+    report = measure(args.scale, args.clients, args.duration)
+    print(json.dumps(report, indent=2))
+
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    )
+    if not baseline:
+        print(f"::warning::no committed baseline at {BASELINE_PATH}")
+    warnings = check(report, baseline, args.tolerance)
+    for message in warnings:
+        print(f"::warning::serving bench: {message}")
+    if not warnings:
+        print("serving bench: gate ok, no regression")
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

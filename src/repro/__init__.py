@@ -39,6 +39,7 @@ paper-vs-measured record.
 """
 
 from repro.aggregates import AggregateKind
+from repro.config import ParallelConfig, ServiceConfig
 from repro.core import (
     BatchQuery,
     BatchResult,
@@ -69,6 +70,8 @@ from repro.relevance import (
     indicator_scores,
     uniform_scores,
 )
+from repro.client import RemoteNetwork
+from repro.errors import error_from_wire
 from repro.service import QueryHandle, QueryService
 from repro.session import Network, QueryBuilder
 
@@ -86,6 +89,10 @@ __all__ = [
     "QueryBuilder",
     "QueryService",
     "QueryHandle",
+    "ServiceConfig",
+    "ParallelConfig",
+    "RemoteNetwork",
+    "error_from_wire",
     "QueryRequest",
     "StreamUpdate",
     "BatchQuery",

@@ -219,6 +219,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.blacking_ratio, binary=args.binary, seed=args.seed + 1 + i
         )
         net.add_scores(f"q{i}", relevance.scores(graph))
+    if args.listen is not None:
+        return _serve_listen(args, net)
     service = net.service(
         workers=args.workers,
         coalesce=not args.no_coalesce,
@@ -279,6 +281,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{graph.label_of(node)}={value:.4f}" for node, value in entries[:3]
         )
         print(f"q{i}\t{head}")
+    return 0
+
+
+def _serve_listen(args: argparse.Namespace, net: Network) -> int:
+    """Network serving mode: bind the HTTP front door over this session.
+
+    ``--config FILE`` loads a full :class:`repro.serving.ServerConfig`
+    (JSON, nested ``service``/``parallel`` sections); the flags below
+    override only what they name.  ``--duration 0`` serves until
+    interrupted.
+    """
+    import time
+
+    from repro.serving import QueryServer, ServerConfig
+
+    host, _, port = args.listen.rpartition(":")
+    if args.config:
+        cfg = ServerConfig.from_file(args.config)
+    else:
+        cfg = ServerConfig(
+            replicas=args.replicas,
+            service={
+                "workers": args.workers,
+                "coalesce": not args.no_coalesce,
+                "processes": args.processes,
+            },
+        )
+    cfg = cfg.replace(
+        host=host or cfg.host, port=int(port) if port else cfg.port
+    )
+    server = QueryServer(net, cfg)
+    try:
+        server.start()
+        print(f"listening on {server.url}", flush=True)
+        print(
+            f"# {net.graph.num_nodes} nodes, {net.graph.num_edges} edges; "
+            f"{len(server.replicas)} replicas x "
+            f"{cfg.service.workers} workers; scores: "
+            f"{', '.join(net.score_names())}",
+            flush=True,
+        )
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:  # until SIGINT
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        net.close()
     return 0
 
 
@@ -414,6 +467,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="serve on the process-parallel backend: --workers worker "
         "processes over shared-memory CSR shards",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="serve the session over HTTP instead of driving a local "
+        "workload (port 0 binds an ephemeral port, printed on stdout)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="replica lanes behind the HTTP front door (with --listen)",
+    )
+    serve.add_argument(
+        "--config",
+        help="JSON ServerConfig file (with --listen); flags override "
+        "host/port only",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="with --listen: serve for this many seconds then exit "
+        "(0 = until interrupted)",
     )
     _add_json_argument(serve)
     serve.set_defaults(func=_cmd_serve)

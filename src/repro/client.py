@@ -1,0 +1,530 @@
+"""The wire-native client: a remote session that feels like a local one.
+
+:class:`RemoteNetwork` speaks the :mod:`repro.serving` protocol over plain
+:mod:`http.client` (stdlib only) and mirrors the local
+:class:`~repro.session.Network` query surface — the same fluent builder
+refinements, the same terminal verbs, the same ``TopKResult`` /
+``StreamUpdate`` / typed-exception types — so code written against a local
+session ports to a remote one by changing the constructor::
+
+    net = repro.RemoteNetwork("http://127.0.0.1:8642")
+    result = net.query("relevance").limit(10).algorithm("backward").run()
+    result = net.topk("relevance", 10)                    # one-shot
+    handle = net.query("relevance").limit(5).submit()     # RemoteHandle
+    for update in net.query("relevance").limit(3).stream():
+        ...
+
+Parity is structural, not best-effort: requests are lowered to the *same*
+:class:`~repro.core.request.QueryRequest` a local builder produces (the
+client validates before the bytes leave), results decode through the same
+:mod:`repro.serving.protocol` functions the server encodes with, and error
+payloads rehydrate the exact exception class via
+:func:`repro.errors.error_from_wire` — a remote
+``DeadlineExceededError`` *is* a ``DeadlineExceededError``.
+
+Session-shaped defaults (hops, ball convention, backend) are learned from
+``GET /v1/health`` on first use, so an unrefined remote query lowers to the
+identical request an unrefined local one would.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlencode, urlsplit
+
+from repro.aggregates.weighted import inverse_distance, precompute_weights
+from repro.core.request import DEFAULT_SCORE, QueryRequest
+from repro.core.results import StreamUpdate, TopKResult
+from repro.errors import (
+    InvalidParameterError,
+    ProtocolError,
+    QueryCancelledError,
+    ReproError,
+    error_from_wire,
+)
+from repro.serving.protocol import decode_result, decode_update
+
+__all__ = ["RemoteNetwork", "RemoteQueryBuilder", "RemoteHandle"]
+
+#: Seconds of server-side wait requested per long-poll round trip.
+_POLL_CHUNK = 2.0
+
+#: Builder refinements that are plain request-field setters.  Mirrors the
+#: local ``QueryBuilder`` surface (``limit`` is the paper's name for ``k``;
+#: ``where`` and the terminals are defined explicitly below).
+_FIELD_REFINEMENTS = (
+    "k",
+    "hops",
+    "aggregate",
+    "algorithm",
+    "backend",
+    "gamma",
+    "distribution_fraction",
+    "exact_sizes",
+    "ordering",
+    "seed",
+    "priority",
+    "deadline",
+)
+
+
+class RemoteQueryBuilder:
+    """Immutable fluent builder over the wire (mirror of ``QueryBuilder``).
+
+    Every refinement returns a *new* builder; terminals (:meth:`run`,
+    :meth:`submit`, :meth:`stream`, :meth:`request`) lower to a validated
+    :class:`~repro.core.request.QueryRequest` with the field-pin mask set,
+    exactly as the local builder does.
+    """
+
+    __slots__ = ("_net", "_score", "_fields", "_set")
+
+    def __init__(
+        self,
+        net: "RemoteNetwork",
+        score: str,
+        fields: Optional[Dict[str, object]] = None,
+        set_names: Tuple[str, ...] = (),
+    ) -> None:
+        self._net = net
+        self._score = score
+        self._fields = dict(fields or {})
+        self._set = set_names
+
+    def _with(self, name: str, value: object) -> "RemoteQueryBuilder":
+        fields = dict(self._fields)
+        fields[name] = value
+        set_names = (
+            self._set if name in self._set else self._set + (name,)
+        )
+        return RemoteQueryBuilder(self._net, self._score, fields, set_names)
+
+    # -- refinements ---------------------------------------------------
+    def limit(self, k: int) -> "RemoteQueryBuilder":
+        """Paper-flavored alias of :meth:`k`."""
+        return self._with("k", int(k))
+
+    def where(self, candidates) -> "RemoteQueryBuilder":
+        """Restrict the competition to these node ids.
+
+        Remote builders only accept iterables of node ids — a predicate
+        callable cannot cross the wire.
+        """
+        if callable(candidates):
+            raise InvalidParameterError(
+                "remote where(...) needs an iterable of node ids; "
+                "predicates cannot be serialized"
+            )
+        return self._with("candidates", tuple(int(u) for u in candidates))
+
+    def __getattr__(self, name: str):
+        if name in _FIELD_REFINEMENTS:
+            return lambda value: self._with(name, value)
+        raise AttributeError(
+            f"unknown query refinement {name!r}; expected one of "
+            f"{sorted(_FIELD_REFINEMENTS + ('limit', 'where'))}"
+        )
+
+    # -- terminals -----------------------------------------------------
+    def request(self) -> QueryRequest:
+        """Lower to the validated request this builder describes."""
+        defaults = self._net._session_defaults()
+        fields = dict(self._fields)
+        pinned = frozenset(self._set)
+        for name, value in defaults.items():
+            fields.setdefault(name, value)
+        fields.setdefault("k", 10)
+        return QueryRequest(score=self._score, pinned=pinned, **fields)
+
+    def run(self, *, cached: bool = True) -> TopKResult:
+        """Execute remotely and wait for the answer."""
+        payload = self._net._call(
+            "POST",
+            "/v1/query",
+            {"request": self.request().to_dict(), "cached": cached},
+        )
+        return decode_result(payload.get("result"))
+
+    def submit(self, *, cached: bool = True) -> "RemoteHandle":
+        """Submit without waiting; poll the returned handle."""
+        return self._net._submit(self.request(), stream=False, cached=cached)
+
+    def stream(self) -> Iterator[StreamUpdate]:
+        """Subscribe to progressive refinements (server-side streaming)."""
+        return self._net._submit(
+            self.request(), stream=True, cached=False
+        ).updates()
+
+
+class RemoteHandle:
+    """Client-side view of a query submitted via ``POST /v1/submit``.
+
+    Mirrors the local :class:`~repro.service.handles.QueryHandle` verbs:
+    :meth:`result`, :meth:`done`, :meth:`cancel`, :meth:`updates`.  The
+    terminal answer (or typed error) is cached on first fetch — the server
+    forgets a query once its outcome is delivered.
+    """
+
+    def __init__(self, net: "RemoteNetwork", query_id: str, *, stream: bool) -> None:
+        self._net = net
+        self.query_id = query_id
+        self.stream = stream
+        self.state = "pending"
+        self._result: Optional[TopKResult] = None
+        self._error: Optional[BaseException] = None
+        self._terminal = False
+
+    def _poll_once(self, wait: float) -> bool:
+        """One ``GET /v1/result`` round trip; True when terminal."""
+        if self._terminal:
+            return True
+        query = {"timeout": f"{max(0.0, wait):.3f}"} if wait else None
+        try:
+            payload = self._net._call(
+                "GET", f"/v1/result/{self.query_id}", query=query
+            )
+        except ReproError as exc:
+            self._error = exc
+            self._terminal = True
+            self.state = "failed"
+            return True
+        if payload.get("pending"):
+            self.state = str(payload.get("state", "pending"))
+            return False
+        self._result = decode_result(payload.get("result"))
+        self._terminal = True
+        self.state = "done"
+        return True
+
+    def done(self) -> bool:
+        """True once the query reached a terminal state (non-blocking)."""
+        return self._poll_once(0.0)
+
+    def result(self, timeout: Optional[float] = None) -> TopKResult:
+        """Block (long-polling) for the answer; raises the typed error."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._terminal:
+            if deadline is None:
+                wait = _POLL_CHUNK
+            else:
+                wait = min(_POLL_CHUNK, deadline - time.monotonic())
+                if wait <= 0 and not self._poll_once(0.0):
+                    raise TimeoutError(
+                        f"query {self.query_id} still {self.state} "
+                        f"after {timeout} seconds"
+                    )
+            self._poll_once(wait)
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The terminal error (None on success); blocks like :meth:`result`."""
+        try:
+            self.result(timeout)
+        except TimeoutError:
+            raise
+        except BaseException as exc:
+            return exc
+        return None
+
+    def cancel(self) -> bool:
+        """Ask the server to cancel; True when no result will be produced."""
+        if self._terminal:
+            return self._error is not None and isinstance(
+                self._error, QueryCancelledError
+            )
+        payload = self._net._call("POST", f"/v1/cancel/{self.query_id}")
+        self.state = str(payload.get("state", self.state))
+        return bool(payload.get("cancelled"))
+
+    def updates(self, timeout: Optional[float] = None) -> Iterator[StreamUpdate]:
+        """Yield streaming refinements via ``GET /v1/updates`` long-polls."""
+        if not self.stream:
+            raise QueryCancelledError(
+                "handle was not submitted with stream=True"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            wait = _POLL_CHUNK
+            if deadline is not None:
+                wait = min(wait, deadline - time.monotonic())
+                if wait < 0:
+                    raise TimeoutError(
+                        f"stream {self.query_id} produced no update in time"
+                    )
+            payload = self._net._call(
+                "GET",
+                f"/v1/updates/{self.query_id}",
+                query={"cursor": str(cursor), "timeout": f"{max(wait, 0.0):.3f}"},
+            )
+            for raw in payload.get("updates", ()):
+                yield decode_update(raw)
+            cursor = int(payload.get("cursor", cursor))
+            if payload.get("done"):
+                self._terminal = True
+                error = payload.get("error")
+                if error is not None:
+                    self._error = error_from_wire(error)
+                    self.state = "failed"
+                    raise self._error
+                self.state = "done"
+                return
+
+
+class RemoteNetwork:
+    """A :class:`~repro.session.Network`-shaped client for a query server.
+
+    Parameters
+    ----------
+    url:
+        ``http://host:port`` of a running :class:`repro.serving.QueryServer`.
+    tenant:
+        Optional tenant name sent as ``X-Repro-Tenant`` on every request —
+        the unit of the server's quota and rate-limit accounting.
+    timeout:
+        Socket timeout per HTTP round trip (long-polls add their own wait).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http" or not parts.hostname:
+            raise InvalidParameterError(
+                f"expected an http://host:port server url, got {url!r}"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = float(timeout)
+        self.tenant = tenant
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_lock = threading.Lock()
+        self._defaults: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        *,
+        query: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        """One JSON round trip; raises the rehydrated typed error."""
+        target = path if not query else f"{path}?{urlencode(query)}"
+        blob = json.dumps(body).encode("utf-8") if body is not None else b""
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        with self._conn_lock:
+            for attempt in (1, 2):
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self._host, self._port, timeout=self._timeout
+                    )
+                try:
+                    self._conn.request(method, target, blob, headers)
+                    response = self._conn.getresponse()
+                    raw = response.read()
+                    status = response.status
+                    break
+                except (OSError, http.client.HTTPException):
+                    # Stale keep-alive (server restarted, idle close):
+                    # reconnect once before giving up.
+                    self._close_conn()
+                    if attempt == 2:
+                        raise
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as exc:
+            raise ProtocolError(
+                f"server sent a non-JSON response (HTTP {status}): {exc}"
+            ) from None
+        if isinstance(payload, dict) and "error" in payload:
+            raise error_from_wire(payload["error"])
+        if status >= 400:
+            raise ProtocolError(f"HTTP {status} without an error payload")
+        if not isinstance(payload, dict):
+            raise ProtocolError("server response must be a JSON object")
+        return payload
+
+    def _close_conn(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (the client is restartable)."""
+        with self._conn_lock:
+            self._close_conn()
+
+    def __enter__(self) -> "RemoteNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health`` — liveness plus the session's shape."""
+        payload = self._call("GET", "/v1/health")
+        self._defaults = {
+            "hops": int(payload["hops"]),
+            "include_self": bool(payload["include_self"]),
+            "backend": str(payload["backend"]),
+        }
+        return payload
+
+    def stats(self) -> dict:
+        """``GET /v1/stats`` — serving, admission, and per-lane stats."""
+        return self._call("GET", "/v1/stats")
+
+    def score_names(self) -> Tuple[str, ...]:
+        """Registered score names on the server's session."""
+        return tuple(self._call("GET", "/v1/scores")["scores"])
+
+    def _session_defaults(self) -> Dict[str, object]:
+        """Server-session defaults (hops/ball/backend), fetched once, so an
+        unrefined remote query lowers identically to an unrefined local one."""
+        if self._defaults is None:
+            self.health()
+        assert self._defaults is not None
+        return dict(self._defaults)
+
+    # ------------------------------------------------------------------
+    # Queries (the Network-parity surface)
+    # ------------------------------------------------------------------
+    def query(self, score: str = DEFAULT_SCORE) -> RemoteQueryBuilder:
+        """Start a fluent query against a named server-side score vector."""
+        return RemoteQueryBuilder(self, score)
+
+    def topk(
+        self,
+        score: str,
+        k: int,
+        aggregate: object = "sum",
+        **builder_options: object,
+    ) -> TopKResult:
+        """One-shot convenience mirroring ``Network.topk``:
+        ``query(score).limit(k)....run()`` over the wire."""
+        builder = self.query(score).limit(k).aggregate(aggregate)
+        for name, value in builder_options.items():
+            builder = getattr(builder, name)(value)
+        return builder.run()
+
+    def run(self, request: Union[QueryRequest, dict], *, cached: bool = True) -> TopKResult:
+        """Execute one already-lowered request (or its ``to_dict`` payload)."""
+        if isinstance(request, QueryRequest):
+            payload = request.to_dict()
+        elif isinstance(request, dict):
+            payload = QueryRequest.from_dict(request).to_dict()
+        else:
+            raise InvalidParameterError(
+                f"expected a QueryRequest or payload dict, got {type(request).__name__}"
+            )
+        out = self._call("POST", "/v1/query", {"request": payload, "cached": cached})
+        return decode_result(out.get("result"))
+
+    def _submit(
+        self, request: QueryRequest, *, stream: bool, cached: bool
+    ) -> RemoteHandle:
+        payload = self._call(
+            "POST",
+            "/v1/submit",
+            {"request": request.to_dict(), "stream": stream, "cached": cached},
+        )
+        query_id = payload.get("query_id")
+        if not isinstance(query_id, str):
+            raise ProtocolError(f"malformed submit response: {payload!r}")
+        return RemoteHandle(self, query_id, stream=stream)
+
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        stream: bool = False,
+        cached: bool = True,
+    ) -> RemoteHandle:
+        """Submit a lowered request; returns a pollable :class:`RemoteHandle`."""
+        return self._submit(request, stream=stream, cached=cached)
+
+    def batch(
+        self,
+        queries: Sequence[Union[RemoteQueryBuilder, QueryRequest, Tuple[str, int], Tuple[str, int, str]]],
+    ) -> List[TopKResult]:
+        """Answer many queries in one round trip (one result each, in order).
+
+        Accepts remote builders, lowered requests, or ``(score, k[,
+        aggregate])`` tuples.  Server-side the batch lands on one replica
+        lane so compatible queries coalesce into shared scans.
+        """
+        payload: List[dict] = []
+        for i, item in enumerate(queries):
+            if isinstance(item, RemoteQueryBuilder):
+                payload.append(item.request().to_dict())
+            elif isinstance(item, QueryRequest):
+                payload.append(item.to_dict())
+            elif isinstance(item, tuple) and len(item) in (2, 3):
+                score, k = str(item[0]), int(item[1])
+                aggregate = str(item[2]) if len(item) == 3 else "sum"
+                defaults = self._session_defaults()
+                payload.append(
+                    QueryRequest(
+                        k=k, score=score, aggregate=aggregate, **defaults
+                    ).to_dict()
+                )
+            else:
+                raise InvalidParameterError(
+                    f"batch item {i} must be a builder, request, or "
+                    f"(score, k[, aggregate]) tuple, got {type(item).__name__}"
+                )
+        out = self._call("POST", "/v1/batch", {"queries": payload})
+        return [decode_result(raw) for raw in out.get("results", ())]
+
+    def topk_weighted(
+        self,
+        score: str,
+        k: int,
+        profile=None,
+        algorithm: str = "backward",
+        **options: object,
+    ) -> TopKResult:
+        """Distance-weighted top-k (the paper's footnote 1), remotely.
+
+        The profile callable cannot cross the wire, so the client
+        tabulates it to the server session's hop radius with
+        :func:`~repro.aggregates.weighted.precompute_weights` and sends
+        the table — bitwise the same weights a local run would use.
+        """
+        hops = int(self._session_defaults()["hops"])
+        weights = precompute_weights(profile or inverse_distance, hops)
+        out = self._call(
+            "POST",
+            "/v1/weighted",
+            {
+                "score": score,
+                "k": int(k),
+                "weights": [float(w) for w in weights],
+                "algorithm": algorithm,
+                "options": dict(options),
+            },
+        )
+        return decode_result(out.get("result"))

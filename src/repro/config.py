@@ -1,0 +1,183 @@
+"""Typed configuration objects for the session's serving and parallel tiers.
+
+``Network.service(...)`` and ``Network.parallel(...)`` historically took
+loose keyword options that were forwarded — and only validated — deep
+inside :class:`~repro.service.QueryService` and
+:class:`~repro.parallel.engine.ParallelEngine`.  Now that the same knobs
+arrive from many directions (the fluent API, the CLI, the network server's
+JSON config file), each tier has one frozen dataclass that is the single
+schema for them all:
+
+* :class:`ServiceConfig` — the in-process serving tier (scheduler threads,
+  admission bound, coalescing, result cache, process offload).
+* :class:`ParallelConfig` — the multi-core engine (worker-process pool,
+  decline threshold, partitioner, IPC timeout).
+
+Every entry point normalizes through :meth:`~ServiceConfig.coerce`, which
+accepts an instance, a plain mapping (e.g. a parsed JSON section), or bare
+keyword options — and **rejects unknown keys** with a
+:class:`~repro.errors.InvalidParameterError` naming the valid ones, instead
+of the old silently-forwarded ``TypeError`` from an inner constructor.
+Instances are frozen and comparable, which is what makes
+``net.service(cfg)`` idempotent: reconfiguring with an equal config is a
+no-op rather than a drain-and-restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Mapping, Optional, Union
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ServiceConfig", "ParallelConfig"]
+
+
+class _FrozenConfig:
+    """Shared coerce/validate/serialize machinery for the config classes."""
+
+    @classmethod
+    def _field_names(cls) -> tuple:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_options(cls, options: Mapping[str, object]) -> "_FrozenConfig":
+        """Build from a mapping, rejecting unknown keys by name.
+
+        This is the one place option names are checked, so the fluent API,
+        the CLI, and the server config file all produce the same error for
+        the same typo.
+        """
+        if not isinstance(options, Mapping):
+            raise InvalidParameterError(
+                f"{cls.__name__} options must be a mapping, "
+                f"got {type(options).__name__}"
+            )
+        known = cls._field_names()
+        unknown = sorted(set(options) - set(known))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown {cls.__name__} option(s) {unknown}; "
+                f"expected a subset of {list(known)}"
+            )
+        return cls(**dict(options))  # type: ignore[arg-type]
+
+    @classmethod
+    def coerce(
+        cls,
+        config: Optional[Union["_FrozenConfig", Mapping[str, object]]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> "_FrozenConfig":
+        """Normalize the (config-object, loose-kwargs) calling convention.
+
+        Exactly one of the two styles may carry settings: passing both a
+        config and keyword options is ambiguous and rejected.
+        """
+        if config is not None and options:
+            raise InvalidParameterError(
+                f"pass either a {cls.__name__} (or mapping) or keyword "
+                "options, not both"
+            )
+        if config is None:
+            return cls.from_options(options or {})
+        if isinstance(config, cls):
+            return config
+        if isinstance(config, Mapping):
+            return cls.from_options(config)
+        raise InvalidParameterError(
+            f"expected a {cls.__name__} or a mapping, "
+            f"got {type(config).__name__}"
+        )
+
+    def as_dict(self) -> dict:
+        """Plain JSON-safe dict of every field (round-trips from_options)."""
+        return asdict(self)
+
+    def replace(self, **changes: object) -> "_FrozenConfig":
+        """A copy with the given fields replaced (validated anew)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ServiceConfig(_FrozenConfig):
+    """Configuration of one :class:`~repro.service.QueryService`.
+
+    ``workers`` scheduler threads (0 = inline execution on the submitting
+    thread); ``max_pending`` is the admission-control queue bound;
+    ``coalesce``/``coalesce_limit`` govern fused shared scans;
+    ``cache_entries`` sizes the result cache (0 disables);
+    ``processes=True`` offloads unpinned queries to the process-parallel
+    backend.
+    """
+
+    workers: int = 0
+    max_pending: int = 1024
+    coalesce: bool = True
+    coalesce_limit: int = 64
+    cache_entries: int = 512
+    processes: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "max_pending", int(self.max_pending))
+        object.__setattr__(self, "coalesce", bool(self.coalesce))
+        object.__setattr__(self, "coalesce_limit", int(self.coalesce_limit))
+        object.__setattr__(self, "cache_entries", int(self.cache_entries))
+        object.__setattr__(self, "processes", bool(self.processes))
+        if self.workers < 0:
+            raise InvalidParameterError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.coalesce_limit < 2:
+            raise InvalidParameterError(
+                f"coalesce_limit must be >= 2, got {self.coalesce_limit}"
+            )
+        if self.cache_entries < 0:
+            raise InvalidParameterError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+
+
+@dataclass(frozen=True)
+class ParallelConfig(_FrozenConfig):
+    """Configuration of one :class:`~repro.parallel.engine.ParallelEngine`.
+
+    ``None`` means "the engine's default": ``workers=None`` sizes the pool
+    to ``os.cpu_count()``; ``min_nodes=None`` keeps the engine's decline
+    threshold (:data:`~repro.parallel.engine.DEFAULT_MIN_NODES`).
+    """
+
+    workers: Optional[int] = None
+    min_nodes: Optional[int] = None
+    partitioner: str = "bfs"
+    seed: int = 2010
+    timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            object.__setattr__(self, "workers", int(self.workers))
+            if self.workers < 1:
+                raise InvalidParameterError(
+                    f"workers must be >= 1, got {self.workers}"
+                )
+        if self.min_nodes is not None:
+            object.__setattr__(self, "min_nodes", int(self.min_nodes))
+            if self.min_nodes < 0:
+                raise InvalidParameterError(
+                    f"min_nodes must be >= 0, got {self.min_nodes}"
+                )
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "timeout", float(self.timeout))
+        if self.timeout <= 0:
+            raise InvalidParameterError(
+                f"timeout must be > 0, got {self.timeout}"
+            )
+
+    def to_engine_kwargs(self) -> dict:
+        """Engine-constructor kwargs (``None`` fields fall to the engine)."""
+        out = {name: getattr(self, name) for name in self._field_names()}
+        return {k: v for k, v in out.items() if v is not None}

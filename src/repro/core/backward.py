@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.aggregates.functions import AggregateKind
 from repro.core.backends import resolve_backend
 from repro.core.bounds import avg_bound, backward_sum_bound
+from repro.core.deadline import check_deadline
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
@@ -194,6 +195,7 @@ def backward_topk(
     covered = [0] * n
     self_distributed = bytearray(n)
     for u in distributed:
+        check_deadline()
         fu = scores[u]
         ball = hop_ball(
             dist_graph, u, spec.hops, include_self=spec.include_self, counter=counter
@@ -235,6 +237,7 @@ def backward_topk(
     acc = TopKAccumulator(spec.k)
     offered = 0
     for bound, v in candidates:
+        check_deadline()
         if acc.is_full and bound <= acc.threshold:
             stats.early_terminated = True
             break

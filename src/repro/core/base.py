@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind, evaluate_scores, finalize_sum
 from repro.core.backends import resolve_backend
+from repro.core.deadline import check_deadline
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
@@ -62,6 +63,7 @@ def base_topk(
     order = node_order if node_order is not None else graph.nodes()
     evaluated = 0
     for u in order:
+        check_deadline()
         ball = hop_ball(
             graph, u, spec.hops, include_self=spec.include_self, counter=counter
         )

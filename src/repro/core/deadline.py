@@ -1,0 +1,81 @@
+"""Cooperative deadline propagation into backend kernels.
+
+The serving layer has always enforced deadlines *before* execution (a
+still-queued handle expires) and streams could observe them between
+updates, but a query already running a long scan would run to completion
+even though nobody was waiting for the answer.  This module threads the
+deadline *into* execution without changing any kernel signature: the
+service wraps the run in a :func:`deadline_scope`, and kernels call
+:func:`check_deadline` at their natural batch boundaries (node-block
+loops, candidate rounds, parallel dispatch rounds), raising
+:class:`~repro.errors.DeadlineExceededError` mid-execution.
+
+The scope is **thread-local**: the service executes each query on one
+scheduler thread, so a scope installed there is visible to every kernel
+frame below it and invisible to unrelated concurrent queries.  Checks are
+two attribute loads and a ``time.monotonic()`` call — cheap enough for
+per-block granularity (thousands of nodes between checks), deliberately
+not per-node.
+
+Coalesced fused-scan groups are *not* deadline-checked: one scan answers
+many callers with potentially different deadlines, and aborting the scan
+for the most impatient member would take everyone else's answer with it.
+The scheduler already expires queued members individually before grouping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import DeadlineExceededError
+
+__all__ = ["deadline_scope", "active_deadline", "check_deadline"]
+
+_STATE = threading.local()
+
+
+class deadline_scope:
+    """Install an absolute deadline (``time.monotonic()`` timestamp) for the
+    duration of a ``with`` block on this thread.
+
+    ``None`` installs "no deadline", which *masks* any outer scope — a
+    nested undeadlined run (e.g. a maintenance rebuild triggered inside a
+    served query) is not killed by its caller's budget.  Scopes nest and
+    restore the previous value on exit.
+    """
+
+    __slots__ = ("_deadline_at", "_previous")
+
+    def __init__(self, deadline_at: Optional[float]) -> None:
+        self._deadline_at = (
+            None if deadline_at is None else float(deadline_at)
+        )
+        self._previous: Optional[float] = None
+
+    def __enter__(self) -> "deadline_scope":
+        self._previous = getattr(_STATE, "deadline_at", None)
+        _STATE.deadline_at = self._deadline_at
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.deadline_at = self._previous
+
+
+def active_deadline() -> Optional[float]:
+    """The current thread's absolute deadline, or None."""
+    return getattr(_STATE, "deadline_at", None)
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceededError` if this thread's deadline passed.
+
+    Kernels call this at batch boundaries; with no active scope it is a
+    single attribute-default load.
+    """
+    deadline_at = getattr(_STATE, "deadline_at", None)
+    if deadline_at is not None and time.monotonic() >= deadline_at:
+        raise DeadlineExceededError(
+            "query exceeded its deadline during execution"
+        )

@@ -39,6 +39,7 @@ from repro.core.backward import backward_topk
 from repro.core.base import base_topk
 from repro.core.bounds import avg_bound, static_sum_bound
 from repro.core.context import GraphContext
+from repro.core.deadline import check_deadline
 from repro.core.forward import forward_topk
 from repro.core.planner import ExecutionPlan, QueryPlanner
 from repro.core.query import QuerySpec
@@ -386,6 +387,7 @@ def _iter_exact_values(
             None, ctx.graph.num_nodes, int(csr.num_arcs)
         )
         for lo in range(0, nodes.size, block):
+            check_deadline()
             centers = nodes[lo : lo + block]
             owners, members, edges = batched_hop_balls(
                 csr, centers, spec.hops, include_self=spec.include_self
@@ -404,6 +406,7 @@ def _iter_exact_values(
         return
     folded_list = fold_scores(kind, scores)
     for u in order:
+        check_deadline()
         ball = hop_ball(
             ctx.graph, u, spec.hops, include_self=spec.include_self, counter=counter
         )

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind
 from repro.core.backends import resolve_backend
+from repro.core.deadline import check_deadline
 from repro.core.ordering import make_order
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
@@ -159,6 +160,7 @@ def forward_topk(
     pruned_count = 0
     evaluated_count = 0
     for u in order:
+        check_deadline()
         if evaluated[u] or pruned[u]:
             continue
         threshold = acc.threshold  # -inf until k nodes have been seen

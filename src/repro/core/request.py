@@ -41,9 +41,41 @@ from repro.aggregates.functions import AggregateKind, coerce_aggregate
 from repro.core.backends import BACKENDS
 from repro.core.ordering import ORDERINGS
 from repro.core.query import QuerySpec
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ProtocolError
 
-__all__ = ["QueryRequest", "REQUEST_ALGORITHMS", "DEFAULT_SCORE"]
+__all__ = [
+    "QueryRequest",
+    "REQUEST_ALGORITHMS",
+    "DEFAULT_SCORE",
+    "REQUEST_SCHEMA_VERSION",
+]
+
+#: Version stamp of the canonical :meth:`QueryRequest.to_dict` schema.  Bump
+#: only when a field changes meaning — *adding* fields is compatible (the
+#: decoder tolerates unknown keys, so an old client can talk to a new
+#: server and vice versa).
+REQUEST_SCHEMA_VERSION = 1
+
+#: The request fields carried by the canonical serialization, in canonical
+#: order.  ``priority`` / ``deadline`` / ``pinned`` are serving *metadata*:
+#: serialized (the wire needs them) but excluded from the identity key,
+#: mirroring the dataclass's compare-excluded fields.
+_CANONICAL_FIELDS = (
+    "k",
+    "aggregate",
+    "hops",
+    "include_self",
+    "backend",
+    "score",
+    "algorithm",
+    "candidates",
+    "gamma",
+    "distribution_fraction",
+    "exact_sizes",
+    "ordering",
+    "seed",
+)
+_METADATA_FIELDS = ("priority", "deadline", "pinned")
 
 #: Algorithms a request may name.  ``"auto"`` and ``"planned"`` resolve at
 #: execution time; ``"relational"`` routes to the RDBMS-style baseline;
@@ -158,6 +190,108 @@ class QueryRequest:
     def is_pinned(self, name: str) -> bool:
         """Whether the builder set ``name`` explicitly (even to its default)."""
         return name in self.pinned
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (one schema for the wire, the result cache,
+    # the coalescer, and the replica router)
+    # ------------------------------------------------------------------
+    def to_dict(self, *, metadata: bool = True) -> dict:
+        """The canonical JSON-safe serialization of this request.
+
+        Carries ``schema_version`` (:data:`REQUEST_SCHEMA_VERSION`) so wire
+        peers can negotiate; ``metadata=False`` drops the serving metadata
+        (priority/deadline/pinned) for identity-only uses.  Round-trips
+        exactly through :meth:`from_dict`.
+        """
+        payload: dict = {"schema_version": REQUEST_SCHEMA_VERSION}
+        for name in _CANONICAL_FIELDS:
+            value = getattr(self, name)
+            if name == "aggregate":
+                value = value.value
+            elif name == "candidates" and value is not None:
+                value = list(value)
+            payload[name] = value
+        if metadata:
+            payload["priority"] = self.priority
+            payload["deadline"] = self.deadline
+            payload["pinned"] = sorted(self.pinned)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "QueryRequest":
+        """Decode a :meth:`to_dict` payload (validating as the builder would).
+
+        Tolerant by design: unknown keys are ignored (a newer peer may add
+        fields), missing fields take their defaults, and unknown *pinned*
+        names are dropped (they can only name fields this version does not
+        have).  Only an unrecognized ``schema_version`` is rejected — that
+        means the fields themselves may have changed meaning.
+        """
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"request payload must be an object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version", REQUEST_SCHEMA_VERSION)
+        if not isinstance(version, int) or version < 1:
+            raise ProtocolError(f"bad request schema_version: {version!r}")
+        if version > REQUEST_SCHEMA_VERSION:
+            raise ProtocolError(
+                f"request schema_version {version} is newer than this "
+                f"library understands ({REQUEST_SCHEMA_VERSION})"
+            )
+        kwargs: dict = {}
+        for name in _CANONICAL_FIELDS + _METADATA_FIELDS:
+            if name not in payload or payload[name] is None:
+                continue
+            value = payload[name]
+            if name == "candidates":
+                value = tuple(value)
+            elif name == "pinned":
+                known = {f.name for f in fields(cls)}
+                value = frozenset(str(p) for p in value) & known
+            kwargs[name] = value
+        if "k" not in kwargs:
+            raise ProtocolError("request payload is missing 'k'")
+        try:
+            return cls(**kwargs)
+        except InvalidParameterError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed request payload: {exc}") from None
+
+    def canonical_key(self) -> tuple:
+        """A stable hashable identity key derived from :meth:`to_dict`.
+
+        Two requests asking the same question — regardless of priority or
+        deadline — share one key; the set-fields mask *does* participate
+        because it changes validation semantics (a pinned-knob variant must
+        never be served the unpinned request's answer in place of its
+        validation error).  This is the one key the result cache, the
+        coalescer, and the replica router all derive from.
+        """
+        ident = self.to_dict(metadata=False)
+        return (
+            ident["schema_version"],
+            tuple(
+                tuple(v) if isinstance(v, list) else v
+                for v in (ident[name] for name in _CANONICAL_FIELDS)
+            ),
+            tuple(sorted(self.pinned)),
+        )
+
+    def shape_key(self) -> tuple:
+        """The *shape* of this request: its identity minus score and k.
+
+        Requests of one shape are answerable by one fused shared scan and
+        hit the same session caches, so the serving tier routes by shape —
+        the replica router hashes this key, and the scheduler uses it as
+        the coalesce key, concentrating cache and coalescer hits on one
+        replica instead of spraying them round-robin.
+        """
+        plain = self.replace(
+            score=DEFAULT_SCORE, k=1, aggregate=AggregateKind.SUM, pinned=frozenset()
+        )
+        return plain.canonical_key()
 
     def describe(self) -> str:
         """Human-readable one-liner for logs and reports."""

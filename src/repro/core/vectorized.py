@@ -51,6 +51,7 @@ import time
 from typing import Optional, Sequence, Union
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.deadline import check_deadline
 from repro.core.query import QuerySpec
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
@@ -254,6 +255,7 @@ def forward_topk_numpy(
 
     position = 0
     while position < order.size:
+        check_deadline()
         block = order[position : position + block_size]
         position += block_size
         live = block[~(evaluated[block] | pruned[block])]
@@ -528,6 +530,7 @@ def backward_topk_numpy(
     # built by the same float addition sequence as the Python backend's.
     block_size = resolve_block_size(None, n, int(dist_csr.num_arcs))
     for lo in range(0, int(distributed.size), block_size):
+        check_deadline()
         block = distributed[lo : lo + block_size]
         owners, members, edges = batched_hop_balls(
             dist_csr, block, spec.hops, include_self=include_self
@@ -730,6 +733,7 @@ def base_topk_numpy(
     edges_scanned = 0
     nodes_visited = 0
     for lo in range(0, int(order.size), block_size):
+        check_deadline()
         centers = order[lo : lo + block_size]
         owners, members, edges = batched_hop_balls(
             csr, centers, spec.hops, include_self=include_self
@@ -803,6 +807,7 @@ def weighted_base_topk_numpy(
     edges_scanned = 0
     nodes_visited = 0
     for lo in range(0, n, block_size):
+        check_deadline()
         centers = np.arange(lo, min(lo + block_size, n), dtype=np.int64)
         owners, members, dists, edges = batched_hop_balls_with_distances(
             csr, centers, spec.hops, include_self=include_self
@@ -982,6 +987,7 @@ def weighted_backward_topk_numpy(
     pushes = 0
     block_size = resolve_block_size(None, n, int(dist_csr.num_arcs))
     for lo in range(0, int(distributed.size), block_size):
+        check_deadline()
         block = distributed[lo : lo + block_size]
         owners, members, dists, edges = batched_hop_balls_with_distances(
             dist_csr, block, spec.hops, include_self=include_self
@@ -1036,6 +1042,7 @@ def weighted_backward_topk_numpy(
     position = 0
     block_size = resolve_block_size(None, n, int(csr.num_arcs))
     while position < n:
+        check_deadline()
         chunk = candidate_order[position : position + block_size]
         position += int(chunk.size)
         if acc.is_full:

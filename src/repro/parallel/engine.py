@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.deadline import check_deadline
 from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
 from repro.errors import InvalidParameterError, ParallelError, StaleShardError
@@ -337,6 +338,7 @@ class ParallelEngine:
         """Build tasks against fresh exports and run them, retrying once if
         a worker reports the exports went stale under us."""
         for attempt in (0, 1):
+            check_deadline()  # before committing a full round of worker IPC
             self._refresh()
             tasks = build_tasks()
             try:

@@ -36,16 +36,12 @@ __all__ = ["ResultCache"]
 def _key_score(key: Hashable) -> Optional[str]:
     """The score name embedded in a service cache key (None if absent).
 
-    Keys are the service's ``(version token, QueryRequest, pinned)``
-    tuples; scanning for the request keeps this robust to key-layout
-    changes.
+    Keys are the service's ``(version token, score name, canonical
+    request key)`` tuples — the score name is carried explicitly in slot 1
+    so per-score invalidation never has to parse the canonical key.
     """
-    from repro.core.request import QueryRequest
-
-    if isinstance(key, tuple):
-        for element in key:
-            if isinstance(element, QueryRequest):
-                return element.score
+    if isinstance(key, tuple) and len(key) >= 2 and isinstance(key[1], str):
+        return key[1]
     return None
 
 

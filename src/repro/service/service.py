@@ -39,7 +39,9 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence, Union
 
+from repro.config import ServiceConfig
 from repro.core.batch import BatchQuery, coalescible_request
+from repro.core.deadline import deadline_scope
 from repro.core.request import QueryRequest
 from repro.core.results import QueryStats, TopKResult
 from repro.errors import InvalidParameterError
@@ -51,10 +53,6 @@ from repro.service.stats import ServiceStats
 
 __all__ = ["QueryService"]
 
-#: Shared coalesce key: within one service every coalescible request may
-#: join the same fused scan (compatibility is decided per-request).
-_SHARED_SCAN = "shared-scan"
-
 
 class QueryService:
     """Handle-based asynchronous query execution over one session."""
@@ -62,26 +60,26 @@ class QueryService:
     def __init__(
         self,
         network,
-        *,
-        workers: int = 0,
-        max_pending: int = 1024,
-        coalesce: bool = True,
-        coalesce_limit: int = 64,
-        cache_entries: int = 512,
-        processes: bool = False,
+        config: Optional[ServiceConfig] = None,
+        **options: object,
     ) -> None:
+        # One schema for every entry point: a ServiceConfig (or mapping)
+        # positionally, or the legacy bare keywords — both normalize here,
+        # so unknown option names fail with the valid ones listed.
+        cfg = ServiceConfig.coerce(config, options)
+        self.config = cfg
         self._net = network
         self._stats = ServiceStats()
-        self.cache = ResultCache(cache_entries)
+        self.cache = ResultCache(cfg.cache_entries)
         self._rw = ReadWriteLock()
-        self._coalesce = bool(coalesce) and workers > 0
+        self._coalesce = cfg.coalesce and cfg.workers > 0
         # Process mode: compute runs on the session's parallel engine —
         # ``workers`` worker *processes* over shared-memory CSR shards —
         # while the scheduler threads only dispatch/merge.  Requests that
         # explicitly pinned a backend keep it; everything else is rewritten
         # to the "parallel" backend at execution time (the cache key stays
         # the original request — same answer either way).
-        self._processes = bool(processes)
+        self._processes = cfg.processes
         if self._processes:
             # Size the worker-process pool to the service — unless the
             # session explicitly configured the engine (net.parallel(...)
@@ -93,7 +91,9 @@ class QueryService:
 
             ctx = network._ctx
             if not ctx.parallel_configured():
-                desired = workers if workers >= 2 else (_os.cpu_count() or 1)
+                desired = (
+                    cfg.workers if cfg.workers >= 2 else (_os.cpu_count() or 1)
+                )
                 if (
                     not ctx.has_parallel_engine()
                     or ctx.parallel_engine().workers != desired
@@ -104,9 +104,9 @@ class QueryService:
         self._scheduler = Scheduler(
             self._execute_one,
             self._execute_group,
-            workers=workers,
-            max_pending=max_pending,
-            coalesce_limit=coalesce_limit,
+            workers=cfg.workers,
+            max_pending=cfg.max_pending,
+            coalesce_limit=cfg.coalesce_limit,
         )
 
     # ------------------------------------------------------------------
@@ -178,7 +178,11 @@ class QueryService:
                 )
             handle.deadline_at = now + float(handle.deadline)
         if self._coalesce and not stream and self._coalescible(request):
-            handle.coalesce_key = _SHARED_SCAN
+            # Requests of one *shape* (identity minus score/k) are the ones
+            # a single fused shared scan can answer together — the same key
+            # the replica router hashes, so routing concentrates coalesce
+            # partners on one service instead of spraying them.
+            handle.coalesce_key = request.shape_key()
         handle.add_done_callback(self._count_terminal)
         self._stats.incr("submitted")
         try:
@@ -269,11 +273,19 @@ class QueryService:
         return (getattr(net.graph, "version", None), net._score_epoch(score))
 
     def _cache_key(self, request: QueryRequest) -> tuple:
-        # `pinned` is hash-excluded on the request (serving metadata), but
-        # it *does* change validation semantics — a pinned-knob variant
-        # must never be served the unpinned request's cached answer in
-        # place of its validation error — so it participates here.
-        return (self._version_token(request.score), request, request.pinned)
+        # Layout is (version token, score name, canonical key): the score
+        # name sits at a fixed slot so ResultCache.invalidate_score never
+        # has to parse the canonical key, and the canonical key (rather
+        # than the request object) means a request decoded from the wire
+        # and one lowered locally land on the same entry.  The canonical
+        # key includes `pinned` — a pinned-knob variant must never be
+        # served the unpinned request's cached answer in place of its
+        # validation error.
+        return (
+            self._version_token(request.score),
+            request.score,
+            request.canonical_key(),
+        )
 
     def _count_terminal(self, handle: QueryHandle) -> None:
         self._stats.incr(
@@ -309,16 +321,20 @@ class QueryService:
             try:
                 if not handle.stream and self._serve_cached(handle, key):
                     return
-                if handle.stream:
-                    result = self._run_stream(handle)
-                    if result is None:  # cancelled mid-stream
-                        return
-                else:
-                    result = self._net._run(
-                        self._effective_request(handle.request)
-                    )
-                    if handle.cached:
-                        self.cache.put(key, result)
+                # The handle's absolute deadline travels into the kernels:
+                # block loops call check_deadline() and abort mid-scan
+                # instead of finishing an answer nobody is waiting for.
+                with deadline_scope(handle.deadline_at):
+                    if handle.stream:
+                        result = self._run_stream(handle)
+                        if result is None:  # cancelled mid-stream
+                            return
+                    else:
+                        result = self._net._run(
+                            self._effective_request(handle.request)
+                        )
+                if not handle.stream and handle.cached:
+                    self.cache.put(key, result)
                 handle._finish(result)
             except Exception as exc:
                 handle._fail(exc)

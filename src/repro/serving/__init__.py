@@ -1,0 +1,56 @@
+"""The network front door: HTTP serving of sessions over a wire protocol.
+
+The in-process serving layer (:mod:`repro.service`) made one session
+concurrent; this package makes it *reachable* — the ROADMAP's "heavy
+traffic" north star needs a socket, not a Python import.  Four pieces:
+
+* :mod:`repro.serving.protocol` — the versioned JSON wire schema: requests
+  (via :meth:`~repro.core.request.QueryRequest.to_dict`), results, stream
+  updates, and the stable-code error payloads of :mod:`repro.errors`.
+* :mod:`repro.serving.admission` — the front-door admission pipeline:
+  token-bucket rate limiting (global and per tenant), per-tenant inflight
+  quotas, and **cost-based load shedding** — under load, the planner's
+  :class:`~repro.core.planner.CostEstimate` is the admission currency
+  (Fagin's middleware framing): cheap queries keep flowing, expensive ones
+  are rejected with a typed ``retry_after``.
+* :mod:`repro.serving.replicas` — N replica lanes (each a full
+  :class:`~repro.service.QueryService` with its own result cache and
+  coalescing scheduler) and the shape-hash router that sends requests of
+  one shape to one lane, so cache and coalescer hits *concentrate*
+  instead of spraying round-robin.
+* :mod:`repro.serving.server` — the asyncio HTTP/1.1 server tying them
+  together, stdlib-only, plus :class:`ServerConfig` (accepted from
+  kwargs, dataclasses, or a JSON config file).
+
+The matching wire-native client is :class:`repro.client.RemoteNetwork`.
+Start a server from Python (``QueryServer(net, config).start()``) or the
+CLI (``repro serve --listen HOST:PORT ...``).
+"""
+
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    decode_result,
+    decode_update,
+    encode_error,
+    encode_result,
+    encode_update,
+    status_for,
+)
+from repro.serving.replicas import ReplicaSet
+from repro.serving.server import QueryServer, ServerConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueryServer",
+    "ServerConfig",
+    "ReplicaSet",
+    "AdmissionController",
+    "TokenBucket",
+    "encode_result",
+    "decode_result",
+    "encode_update",
+    "decode_update",
+    "encode_error",
+    "status_for",
+]

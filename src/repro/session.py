@@ -57,7 +57,7 @@ incremental, planning, and shared-scan paths.
 from __future__ import annotations
 
 import threading
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.aggregates.functions import AggregateKind, coerce_aggregate
@@ -368,7 +368,12 @@ class Network:
         # result cache can key on score identity), and a lock guarding the
         # session-level dicts against concurrent worker threads.
         self._service = None
-        self._service_options: Optional[dict] = None
+        self._service_config = None  # Optional[ServiceConfig]
+        # Auxiliary services (the serving tier's replica lanes): each is a
+        # full QueryService with its own cache/scheduler over *this*
+        # session, registered here so mutations exclude their readers and
+        # invalidation reaches their caches too.
+        self._aux_services: List[object] = []
         self._score_epochs: Dict[str, int] = {}
         self._lock = threading.RLock()
 
@@ -441,7 +446,7 @@ class Network:
     # ------------------------------------------------------------------
     # Serving (the async, concurrent surface)
     # ------------------------------------------------------------------
-    def service(self, **options: object):
+    def service(self, config: object = None, **options: object):
         """The session's :class:`~repro.service.QueryService` (front door
         for :meth:`QueryBuilder.submit` and the ``.run()`` shim).
 
@@ -450,27 +455,32 @@ class Network:
         sessions never spawn threads.  Pass configuration to start (or
         reconfigure) a concurrent pool::
 
-            service = net.service(workers=4, max_pending=256)
+            service = net.service(ServiceConfig(workers=4, max_pending=256))
+            service = net.service(workers=4, max_pending=256)   # kwargs shim
             handles = [net.query(s).limit(10).submit() for s in names]
 
-        Reconfiguring with different options shuts the previous service
-        down (draining in-flight queries) and replaces it; repeated calls
-        with identical options are idempotent.  Supported options are
-        :class:`~repro.service.QueryService`'s keywords (``workers``,
-        ``max_pending``, ``coalesce``, ``coalesce_limit``,
-        ``cache_entries``, ``processes``).  ``processes=True`` serves
-        unpinned queries on the process-parallel backend — ``workers``
-        worker *processes* over shared-memory CSR shards (see
-        :meth:`parallel`) fronted by the same scheduler threads — so
-        throughput scales with cores instead of one interpreter.
+        ``config`` is a frozen :class:`~repro.config.ServiceConfig` (or a
+        plain mapping, e.g. a parsed JSON section); bare keyword options
+        remain supported and normalize to the same object.  Unknown option
+        names are rejected up front with the valid names.  Reconfiguring
+        with a *different* config shuts the previous service down (draining
+        in-flight queries) and replaces it; an equal config is idempotent.
+        ``processes=True`` serves unpinned queries on the process-parallel
+        backend — ``workers`` worker *processes* over shared-memory CSR
+        shards (see :meth:`parallel`) fronted by the same scheduler
+        threads — so throughput scales with cores instead of one
+        interpreter.
         """
+        from repro.config import ServiceConfig
         from repro.service import QueryService
 
+        explicit = config is not None or bool(options)
+        cfg = ServiceConfig.coerce(config, options) if explicit else None
         with self._lock:
             if (
                 self._service is not None
                 and not self._service.closed
-                and (not options or options == self._service_options)
+                and (cfg is None or cfg == self._service_config)
             ):
                 return self._service
             previous = self._service
@@ -479,11 +489,11 @@ class Network:
         # in-flight readers (self._service never transits through None).
         if previous is not None:
             previous.shutdown(wait=True)
-        created = QueryService(self, **options)  # type: ignore[arg-type]
+        created = QueryService(self, cfg)
         with self._lock:
             if self._service is previous:
                 self._service = created
-                self._service_options = dict(options)
+                self._service_config = created.config
                 return created
             current = self._service
         # Lost a (rare) creation race; discard ours, use the winner's.
@@ -503,19 +513,48 @@ class Network:
         hot entries (their epochs did not move, so those answers are still
         exactly right).
         """
-        service = self._service
-        if service is not None:
+        for service in self._services():
             service.invalidate(score)
 
+    def _services(self) -> List[object]:
+        """Every live service over this session: the default + replica lanes."""
+        with self._lock:
+            services = [self._service] if self._service is not None else []
+            services.extend(s for s in self._aux_services if not s.closed)
+        return services
+
+    def _register_service(self, service) -> None:
+        """Attach a replica-lane service (the serving tier's lanes)."""
+        with self._lock:
+            self._aux_services.append(service)
+
+    def _unregister_service(self, service) -> None:
+        with self._lock:
+            try:
+                self._aux_services.remove(service)
+            except ValueError:
+                pass
+
     def _write_guard(self):
-        """Exclusive section for mutations: waits out in-flight queries."""
-        service = self._service
-        return service._rw.write() if service is not None else nullcontext()
+        """Exclusive section for mutations: waits out in-flight queries.
+
+        Takes the write side of *every* live service's readers-writer lock
+        (replica lanes included), in registration order — every writer
+        acquires in the same order, so two concurrent mutations cannot
+        deadlock against each other.
+        """
+        services = self._services()
+        if not services:
+            return nullcontext()
+        stack = ExitStack()
+        for service in services:
+            stack.enter_context(service._rw.write())
+        return stack
 
     # ------------------------------------------------------------------
     # Multi-core execution (the "parallel" backend)
     # ------------------------------------------------------------------
-    def parallel(self, **options: object):
+    def parallel(self, config: object = None, **options: object):
         """The session's process-parallel engine (configure or inspect).
 
         Queries opt in per request (``.backend("parallel")``, CLI
@@ -523,20 +562,25 @@ class Network:
         (``net.service(processes=True)``); the engine — worker pool,
         shared-memory CSR/score exports, shard plan — is created lazily on
         first parallel execution with ``os.cpu_count()`` workers.  Call
-        this with options to configure it up front::
+        this with configuration to set it up front::
 
-            net.parallel(workers=4)          # pool size
-            net.parallel(workers=4, min_nodes=0)  # force even tiny graphs
+            net.parallel(ParallelConfig(workers=4))   # pool size
+            net.parallel(workers=4, min_nodes=0)      # kwargs shim
 
-        Supported options are
-        :class:`~repro.parallel.engine.ParallelEngine`'s keywords
-        (``workers``, ``min_nodes``, ``partitioner``, ``seed``,
-        ``timeout``).  Reconfiguring closes the previous engine first.
-        Graphs smaller than ``min_nodes`` (default
+        ``config`` is a frozen :class:`~repro.config.ParallelConfig` (or a
+        plain mapping); bare keyword options normalize to the same object
+        and unknown names are rejected with the valid ones.  Reconfiguring
+        closes the previous engine first.  Graphs smaller than
+        ``min_nodes`` (default
         :data:`~repro.parallel.engine.DEFAULT_MIN_NODES`) decline and run
         on the in-process numpy backend — same entries either way.
         """
-        return self._ctx.parallel_engine(**options)
+        from repro.config import ParallelConfig
+
+        if config is None and not options:
+            return self._ctx.parallel_engine()
+        cfg = ParallelConfig.coerce(config, options)
+        return self._ctx.parallel_engine(**cfg.to_engine_kwargs())
 
     def close(self) -> None:
         """Release out-of-process resources: serving threads, worker
@@ -545,9 +589,13 @@ class Network:
         with self._lock:
             service = self._service
             self._service = None
-            self._service_options = None
+            self._service_config = None
+            aux = list(self._aux_services)
+            self._aux_services.clear()
         if service is not None:
             service.shutdown(wait=True)
+        for lane in aux:
+            lane.shutdown(wait=True)
         self._ctx.close()
 
     def __enter__(self) -> "Network":

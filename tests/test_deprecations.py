@@ -106,3 +106,38 @@ class TestConvenienceFunctions:
         new_avg = net.query("s").limit(4).aggregate("avg").run()
         assert rounded(old_sum.values) == rounded(new_sum.values)
         assert rounded(old_avg.values) == rounded(new_avg.values)
+
+
+class TestErrorImportShims:
+    """The error taxonomy moved to repro.errors; old paths warn but work."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ServiceError",
+            "ServiceOverloadedError",
+            "QueryCancelledError",
+            "DeadlineExceededError",
+            "ServiceShutdownError",
+            "QuotaExceededError",
+            "RateLimitedError",
+        ],
+    )
+    def test_old_import_warns_and_is_same_class(self, name):
+        import repro.errors
+        import repro.service
+
+        with pytest.warns(DeprecationWarning, match="repro.errors"):
+            shimmed = getattr(repro.service, name)
+        assert shimmed is getattr(repro.errors, name)
+
+    def test_unknown_name_still_raises(self):
+        import repro.service
+
+        with pytest.raises(AttributeError):
+            repro.service.NotAnError
+
+    def test_canonical_import_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.errors import ServiceOverloadedError  # noqa: F401

@@ -25,6 +25,7 @@ CASES = [
     ("relational_comparison.py", []),
     ("weighted_influence.py", []),
     ("dynamic_monitoring.py", []),
+    ("remote_client.py", []),
 ]
 
 

@@ -28,6 +28,10 @@ EXPECTED_ALL = [
     "QueryBuilder",
     "QueryService",
     "QueryHandle",
+    "ServiceConfig",
+    "ParallelConfig",
+    "RemoteNetwork",
+    "error_from_wire",
     "QueryRequest",
     "StreamUpdate",
     "BatchQuery",
@@ -83,8 +87,8 @@ NETWORK_SURFACE = {
     "score_names": [],
     "scores_of": ["name"],
     "query": ["score"],
-    "service": ["options"],
-    "parallel": ["options"],
+    "service": ["config", "options"],
+    "parallel": ["config", "options"],
     "close": [],
     "topk": ["score", "k", "aggregate", "builder_options"],
     "topk_weighted": ["score", "k", "profile", "algorithm", "options"],
