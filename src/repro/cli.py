@@ -134,13 +134,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     net = _build_session(args)
     if getattr(args, "index", None):
         net.load_index(args.index)
-    result = (
-        net.query(_CLI_SCORE)
-        .limit(args.k)
-        .aggregate(args.aggregate)
-        .algorithm(args.algorithm)
-        .run()
-    )
+    try:
+        result = (
+            net.query(_CLI_SCORE)
+            .limit(args.k)
+            .aggregate(args.aggregate)
+            .algorithm(args.algorithm)
+            .run()
+        )
+    finally:
+        net.close()  # worker processes / cluster connections, if any
     graph = net.graph
     stats = result.stats
     if args.json:
@@ -208,6 +211,15 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cluster_workers(value: str):
+    """``--cluster`` value: a spawn count or comma-separated addresses."""
+    text = value.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return [addr.strip() for addr in text.split(",") if addr.strip()]
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Concurrent serving driver: many queries through the scheduler."""
     import time
@@ -219,6 +231,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.blacking_ratio, binary=args.binary, seed=args.seed + 1 + i
         )
         net.add_scores(f"q{i}", relevance.scores(graph))
+    if args.cluster:
+        net.cluster(workers=_parse_cluster_workers(args.cluster))
     if args.listen is not None:
         return _serve_listen(args, net)
     service = net.service(
@@ -226,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_coalesce,
         max_pending=max(args.queries * max(args.repeat, 1), 16),
         processes=args.processes,
+        cluster=bool(args.cluster),
     )
     try:
         start = time.perf_counter()
@@ -306,6 +321,7 @@ def _serve_listen(args: argparse.Namespace, net: Network) -> int:
                 "workers": args.workers,
                 "coalesce": not args.no_coalesce,
                 "processes": args.processes,
+                "cluster": bool(args.cluster),
             },
         )
     cfg = cfg.replace(
@@ -332,6 +348,20 @@ def _serve_listen(args: argparse.Namespace, net: Network) -> int:
     finally:
         server.close()
         net.close()
+    return 0
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Run one cluster worker process (the remote end of ``--backend
+    cluster``).  Prints ``listening on host:port`` once bound; serves
+    until its coordinator sends a shutdown frame or the process is
+    interrupted."""
+    from repro.cluster import cluster_worker_main
+
+    try:
+        cluster_worker_main(args.listen)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -368,9 +398,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     query.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel"),
+        choices=("auto", "python", "numpy", "parallel", "cluster"),
         help="execution backend (auto = vectorized when numpy is installed; "
-        "parallel = multi-process shared-memory shards)",
+        "parallel = multi-process shared-memory shards; cluster = "
+        "socket-connected cluster workers)",
     )
     query.add_argument(
         "--index", help="path to a persisted differential index (see build-index)"
@@ -402,7 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     explain.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel"),
+        choices=("auto", "python", "numpy", "parallel", "cluster"),
         help="execution backend the plan will run on",
     )
     explain.add_argument(
@@ -459,7 +490,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel"),
+        choices=("auto", "python", "numpy", "parallel", "cluster"),
         help="execution backend",
     )
     serve.add_argument(
@@ -467,6 +498,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="serve on the process-parallel backend: --workers worker "
         "processes over shared-memory CSR shards",
+    )
+    serve.add_argument(
+        "--cluster",
+        metavar="N|HOST:PORT,...",
+        help="serve on the socket-cluster backend: an integer spawns that "
+        "many local cluster-worker processes; a comma-separated host:port "
+        "list connects to workers already running (see the cluster-worker "
+        "command)",
     )
     serve.add_argument(
         "--listen",
@@ -494,6 +533,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_json_argument(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    cluster_worker = subparsers.add_parser(
+        "cluster-worker",
+        help="run a cluster worker that executes shard tasks for a "
+        "coordinator (the remote end of --backend cluster)",
+    )
+    cluster_worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port; the bound "
+        "address is printed as 'listening on host:port')",
+    )
+    cluster_worker.set_defaults(func=_cmd_cluster_worker)
 
     profile = subparsers.add_parser(
         "profile", help="structural statistics of a graph"

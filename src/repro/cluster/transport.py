@@ -1,0 +1,511 @@
+"""Coordinator-side cluster transport: peers, dispatch, crash re-issue.
+
+One :class:`ClusterTransport` owns the coordinator's connections to every
+cluster worker — remote processes reached by ``host:port`` address, or
+local ``cluster-worker`` processes it spawns itself (the ``workers=N``
+form).  It mirrors the process pool's failure contract
+(:class:`repro.parallel.pool.ShardWorkerPool`): results are matched by
+task id so duplicate replies are dropped, a dead peer's in-flight tasks
+are re-issued — to a respawned local worker while the respawn budget
+lasts, otherwise to any surviving peer — and a round that cannot complete
+raises :class:`~repro.errors.ClusterError` naming the outstanding work.
+
+Re-issue is always *correct* here because shard ownership is logical, not
+physical: every peer can hold every store (the coordinator ships missing
+stores on demand, and a worker answering ``missing`` triggers exactly that
+re-ship + retry), so any survivor can run any shard's task.  A re-issued
+``resume`` task falls back to its original full task — the dead peer's
+parked remainder died with it — and the engine's per-shard candidate
+de-duplication absorbs the overlap.
+
+Every frame in and out is counted per peer; the engine turns snapshots of
+those counters into the per-query ``bytes_sent``/``bytes_received`` the
+bench gates compare against the BSP simulator's message volume.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.frames import read_frame, write_frame
+from repro.errors import ClusterError, StaleShardError
+
+__all__ = ["ClusterPeer", "ClusterTransport", "spawn_local_worker"]
+
+#: Seconds granted to a spawned worker to print its listen address.
+_SPAWN_TIMEOUT = 30.0
+
+#: Hard ceiling on reading one frame after the selector reported the
+#: socket readable — a peer that stalls mid-frame this long is dead.
+_FRAME_READ_TIMEOUT = 30.0
+
+
+class ClusterPeer:
+    """One worker connection: socket, shipped-store set, byte counters."""
+
+    def __init__(
+        self,
+        ident: int,
+        host: str,
+        port: int,
+        *,
+        proc: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self.ident = ident
+        self.host = host
+        self.port = port
+        self.proc = proc
+        self.sock: Optional[socket.socket] = None
+        self.alive = False
+        self.shipped: set = set()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def spawned(self) -> bool:
+        return self.proc is not None
+
+    def connect(self, timeout: float) -> None:
+        self.sock = socket.create_connection((self.host, self.port), timeout)
+        self.sock.settimeout(None)
+        self.alive = True
+
+    def send(self, header: dict, arrays: Optional[dict] = None) -> None:
+        assert self.sock is not None
+        try:
+            nbytes = write_frame(self.sock, header, arrays)
+        except (OSError, ValueError):
+            self.alive = False
+            raise ConnectionError(f"peer {self.address} is gone") from None
+        self.bytes_sent += nbytes
+        self.frames_sent += 1
+
+    def recv(self, timeout: float = _FRAME_READ_TIMEOUT) -> Tuple[dict, dict]:
+        assert self.sock is not None
+        try:
+            self.sock.settimeout(timeout)
+            header, arrays, nbytes = read_frame(self.sock)
+            self.sock.settimeout(None)
+        except (OSError, ConnectionError, ValueError):
+            self.alive = False
+            raise ConnectionError(f"peer {self.address} is gone") from None
+        self.bytes_received += nbytes
+        self.frames_received += 1
+        return header, arrays
+
+    def request(self, header: dict, arrays: Optional[dict] = None) -> Tuple[dict, dict]:
+        """Synchronous request/reply exchange (between rounds only)."""
+        self.send(header, arrays)
+        return self.recv()
+
+    def close(self, *, shutdown: bool = True) -> None:
+        if self.sock is not None:
+            if shutdown and self.alive:
+                try:
+                    write_frame(self.sock, {"type": "shutdown"})
+                except Exception:
+                    pass
+            try:
+                self.sock.close()
+            except Exception:  # pragma: no cover - teardown races
+                pass
+            self.sock = None
+        self.alive = False
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=2.0)
+            except Exception:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=2.0)
+                except Exception:  # pragma: no cover - stuck child
+                    self.proc.kill()
+            if self.proc.stdout is not None:
+                try:
+                    self.proc.stdout.close()
+                except Exception:  # pragma: no cover
+                    pass
+
+
+def _worker_env() -> dict:
+    """A child environment where ``import repro`` resolves to this tree."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def spawn_local_worker(
+    ident: int, *, timeout: float = _SPAWN_TIMEOUT
+) -> ClusterPeer:
+    """Spawn ``cluster-worker`` on a free localhost port and connect to it."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "cluster-worker",
+            "--listen",
+            "127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=_worker_env(),
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + timeout
+    address = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        text = line.decode("utf-8", "replace").strip()
+        if text.startswith("listening on "):
+            address = text[len("listening on ") :]
+            break
+    if address is None:
+        proc.terminate()
+        raise ClusterError("spawned cluster worker never reported its address")
+    host, _, port = address.rpartition(":")
+    peer = ClusterPeer(ident, host, int(port), proc=proc)
+    peer.connect(timeout)
+    return peer
+
+
+class ClusterTransport:
+    """The coordinator's peer set plus the round dispatch/re-issue loop."""
+
+    def __init__(
+        self,
+        workers: Union[int, Sequence[str]],
+        *,
+        timeout: float = 120.0,
+    ) -> None:
+        if isinstance(workers, int):
+            self._spawn_count = workers
+            self._addresses: List[str] = []
+        else:
+            self._spawn_count = 0
+            self._addresses = [str(a) for a in workers]
+        self.timeout = timeout
+        self.peers: List[ClusterPeer] = []
+        self.started = False
+        self.respawns = 0
+        # Same budget rule as the process pool: each worker slot may be
+        # respawned twice over the transport's lifetime before a crash is
+        # treated as systematic and surfaced.
+        self.respawn_budget = 2 * self._spawn_count
+        self._next_ident = 0
+        self._task_serial = 0
+        self._abandoned: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_peers(self) -> int:
+        """Configured peer count (valid before start)."""
+        return self._spawn_count + len(self._addresses)
+
+    @property
+    def alive_peers(self) -> int:
+        return sum(1 for peer in self.peers if peer.alive)
+
+    def start(self) -> None:
+        if self.started:
+            return
+        try:
+            for address in self._addresses:
+                host, _, port = address.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ClusterError(
+                        f"worker address must be host:port, got {address!r}"
+                    )
+                peer = ClusterPeer(self._next_ident, host, int(port))
+                self._next_ident += 1
+                peer.connect(self.timeout)
+                self.peers.append(peer)
+            for _ in range(self._spawn_count):
+                self.peers.append(spawn_local_worker(self._next_ident))
+                self._next_ident += 1
+        except (OSError, ConnectionError) as exc:
+            self.close()
+            raise ClusterError(f"could not start cluster peers: {exc}") from None
+        self.started = True
+
+    def close(self) -> None:
+        for peer in self.peers:
+            peer.close()
+        self.peers = []
+        self.started = False
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate byte/frame counters over every connected peer."""
+        out = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "frames_sent": 0,
+            "frames_received": 0,
+        }
+        for peer in self.peers:
+            out["bytes_sent"] += peer.bytes_sent
+            out["bytes_received"] += peer.bytes_received
+            out["frames_sent"] += peer.frames_sent
+            out["frames_received"] += peer.frames_received
+        return out
+
+    # ------------------------------------------------------------------
+    # Store shipping
+    # ------------------------------------------------------------------
+    def ensure_stores(
+        self,
+        peer: ClusterPeer,
+        names: Sequence[str],
+        store_provider: Callable[[str], Tuple[dict, dict]],
+    ) -> None:
+        """Ship every store the peer lacks (puts are fire-and-forget)."""
+        for name in names:
+            if name in peer.shipped:
+                continue
+            header, arrays = store_provider(name)
+            peer.send(header, arrays)
+            peer.shipped.add(name)
+
+    def drop_stores(self, names: Sequence[str]) -> None:
+        """Best-effort delete of dead stores on every live peer."""
+        names = [n for n in names if n]
+        if not names:
+            return
+        for peer in self.peers:
+            if not peer.alive:
+                continue
+            try:
+                peer.send(
+                    {
+                        "type": "put",
+                        "store": names[0],
+                        "kind": "del",
+                        "stores": list(names),
+                    }
+                )
+            except ConnectionError:
+                continue
+            peer.shipped.difference_update(names)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: List[dict],
+        store_provider: Callable[[str], Tuple[dict, dict]],
+    ) -> List[Tuple[dict, dict]]:
+        """Run one round of tasks; returns replies in task order.
+
+        Each task dict carries ``task`` (the worker payload), ``ship``
+        (theta/quota spec), optional ``arrays`` (e.g. a verify frontier),
+        ``stores`` (names the task references, shipped on demand),
+        ``peer`` (preferred peer index) and optional ``fallback`` (the
+        full task to re-run when a ``resume`` cannot be served).
+        """
+        self.start()
+        if not tasks:
+            return []
+        tasks = [dict(spec) for spec in tasks]
+        deadline = time.monotonic() + self.timeout
+        results: List[Optional[Tuple[dict, dict]]] = [None] * len(tasks)
+        pending: Dict[str, int] = {}
+        assignments: Dict[int, ClusterPeer] = {}
+        undispatched = deque(range(len(tasks)))
+        stale: Optional[StaleShardError] = None
+        # Peers kill_peer already processed this round.  send/recv clear
+        # ``peer.alive`` themselves before raising, so the alive flag can
+        # NOT double as the "first kill" marker — only this set makes
+        # kill_peer idempotent without losing the respawn.
+        killed: set = set()
+
+        def alive_peers() -> List[ClusterPeer]:
+            return [p for p in self.peers if p.alive]
+
+        def use_fallback(index: int) -> None:
+            spec = tasks[index]
+            if spec.get("fallback") is not None:
+                tasks[index] = dict(spec, task=spec["fallback"], fallback=None)
+
+        def kill_peer(dead: ClusterPeer) -> None:
+            first = dead not in killed
+            killed.add(dead)
+            dead.alive = False
+            for task_id, index in list(pending.items()):
+                if assignments.get(index) is dead:
+                    pending.pop(task_id, None)
+                    self._abandoned.add(task_id)
+                    # A parked remainder died with the peer: re-run the
+                    # full task on whoever picks this up.
+                    use_fallback(index)
+                    undispatched.append(index)
+            if first and dead.spawned and self.respawn_budget > 0:
+                self.respawn_budget -= 1
+                dead.close(shutdown=False)
+                try:
+                    replacement = spawn_local_worker(self._next_ident)
+                except ClusterError:
+                    return
+                self._next_ident += 1
+                self.respawns += 1
+                slot = self.peers.index(dead)
+                self.peers[slot] = replacement
+
+        def dispatch(index: int, peer: ClusterPeer) -> None:
+            spec = tasks[index]
+            self._task_serial += 1
+            task_id = f"t{index}.{self._task_serial}"
+            self.ensure_stores(peer, spec.get("stores") or (), store_provider)
+            peer.send(
+                {
+                    "type": "task",
+                    "task_id": task_id,
+                    "task": spec["task"],
+                    "ship": spec.get("ship") or {},
+                },
+                spec.get("arrays"),
+            )
+            pending[task_id] = index
+            assignments[index] = peer
+
+        selector = selectors.DefaultSelector()
+        try:
+            while pending or undispatched:
+                if time.monotonic() > deadline:
+                    raise ClusterError(
+                        f"cluster round timed out with "
+                        f"{len(pending) + len(undispatched)} task(s) "
+                        f"outstanding after {self.timeout:.1f}s"
+                    )
+                while undispatched:
+                    index = undispatched[0]
+                    pool = alive_peers()
+                    if not pool:
+                        raise ClusterError(
+                            f"{len(undispatched)} task(s) outstanding and "
+                            "no live cluster peer to issue them to"
+                        )
+                    hint = tasks[index].get("peer")
+                    if (
+                        hint is not None
+                        and 0 <= hint < len(self.peers)
+                        and self.peers[hint].alive
+                    ):
+                        peer = self.peers[hint]
+                    else:
+                        peer = pool[index % len(pool)]
+                    try:
+                        dispatch(index, peer)
+                    except ConnectionError:
+                        kill_peer(peer)
+                        continue
+                    undispatched.popleft()
+                if not pending:
+                    continue
+                busy = {
+                    peer
+                    for index, peer in assignments.items()
+                    if results[index] is None and peer.alive
+                }
+                watched = []
+                for peer in busy:
+                    if peer.sock is None:
+                        continue
+                    selector.register(peer.sock, selectors.EVENT_READ, peer)
+                    watched.append(peer)
+                if not watched:
+                    # Every owing peer died while we weren't looking.
+                    for index, peer in list(assignments.items()):
+                        if results[index] is None:
+                            kill_peer(peer)
+                    continue
+                try:
+                    events = selector.select(timeout=0.25)
+                finally:
+                    for peer in watched:
+                        try:
+                            selector.unregister(peer.sock)
+                        except (KeyError, ValueError):  # pragma: no cover
+                            pass
+                if not events:
+                    # Idle tick: notice silently-dead spawned workers.
+                    for peer in watched:
+                        if (
+                            peer.spawned
+                            and peer.proc is not None
+                            and peer.proc.poll() is not None
+                        ):
+                            kill_peer(peer)
+                    continue
+                for key, _mask in events:
+                    peer = key.data
+                    try:
+                        header, arrays = peer.recv()
+                    except ConnectionError:
+                        kill_peer(peer)
+                        continue
+                    task_id = header.get("task_id")
+                    if task_id in self._abandoned:
+                        self._abandoned.discard(task_id)
+                        continue
+                    index = pending.pop(task_id, None)
+                    if index is None:
+                        continue  # duplicate reply from a re-issued task
+                    status = header.get("status")
+                    if status == "ok":
+                        results[index] = (header, arrays)
+                    elif status == "missing":
+                        peer.shipped.difference_update(
+                            header.get("stores") or ()
+                        )
+                        undispatched.append(index)
+                    elif status == "resume_lost":
+                        use_fallback(index)
+                        undispatched.append(index)
+                    elif status == "stale":
+                        stale = StaleShardError(
+                            header.get("message", "stale store")
+                        )
+                        for tid in list(pending):
+                            self._abandoned.add(tid)
+                        pending.clear()
+                        undispatched.clear()
+                    else:
+                        raise ClusterError(
+                            "cluster worker error: "
+                            + str(header.get("message"))
+                            + "\n"
+                            + str(header.get("traceback") or "")
+                        )
+                    if stale is not None:
+                        break
+                if stale is not None:
+                    break
+        finally:
+            selector.close()
+        if stale is not None:
+            raise stale
+        assert all(result is not None for result in results)
+        return [result for result in results if result is not None]

@@ -12,6 +12,8 @@ schema for them all:
   admission bound, coalescing, result cache, process offload).
 * :class:`ParallelConfig` — the multi-core engine (worker-process pool,
   decline threshold, partitioner, IPC timeout).
+* :class:`ClusterConfig` — the socket-cluster engine (spawned or addressed
+  workers, shard count, ship policy, round timeout).
 
 Every entry point normalizes through :meth:`~ServiceConfig.coerce`, which
 accepts an instance, a plain mapping (e.g. a parsed JSON section), or bare
@@ -30,7 +32,7 @@ from typing import Mapping, Optional, Union
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["ServiceConfig", "ParallelConfig"]
+__all__ = ["ServiceConfig", "ParallelConfig", "ClusterConfig"]
 
 
 class _FrozenConfig:
@@ -107,7 +109,8 @@ class ServiceConfig(_FrozenConfig):
     ``coalesce``/``coalesce_limit`` govern fused shared scans;
     ``cache_entries`` sizes the result cache (0 disables);
     ``processes=True`` offloads unpinned queries to the process-parallel
-    backend.
+    backend; ``cluster=True`` offloads them to the socket-cluster backend
+    instead (mutually exclusive with ``processes``).
     """
 
     workers: int = 0
@@ -116,6 +119,7 @@ class ServiceConfig(_FrozenConfig):
     coalesce_limit: int = 64
     cache_entries: int = 512
     processes: bool = False
+    cluster: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workers", int(self.workers))
@@ -124,6 +128,12 @@ class ServiceConfig(_FrozenConfig):
         object.__setattr__(self, "coalesce_limit", int(self.coalesce_limit))
         object.__setattr__(self, "cache_entries", int(self.cache_entries))
         object.__setattr__(self, "processes", bool(self.processes))
+        object.__setattr__(self, "cluster", bool(self.cluster))
+        if self.processes and self.cluster:
+            raise InvalidParameterError(
+                "processes=True and cluster=True are mutually exclusive; "
+                "unpinned queries can offload to one sharded backend only"
+            )
         if self.workers < 0:
             raise InvalidParameterError(
                 f"workers must be >= 0, got {self.workers}"
@@ -176,6 +186,84 @@ class ParallelConfig(_FrozenConfig):
             raise InvalidParameterError(
                 f"timeout must be > 0, got {self.timeout}"
             )
+
+    def to_engine_kwargs(self) -> dict:
+        """Engine-constructor kwargs (``None`` fields fall to the engine)."""
+        out = {name: getattr(self, name) for name in self._field_names()}
+        return {k: v for k, v in out.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_FrozenConfig):
+    """Configuration of one :class:`~repro.cluster.engine.ClusterEngine`.
+
+    ``workers`` is either a count of locally spawned ``cluster-worker``
+    processes (the single-machine form) or a list/tuple of ``host:port``
+    addresses of already-running workers (the multi-machine form).
+    ``shards`` defaults to the worker count; a smaller value leaves standby
+    workers that only serve re-issued tasks.  ``ship_policy`` is
+    ``"threshold"`` (θ-shipping + adaptive quotas, the default) or
+    ``"all"`` (naive ship-everything, the bench baseline).
+    """
+
+    workers: object = 2
+    shards: Optional[int] = None
+    min_nodes: Optional[int] = None
+    partitioner: str = "bfs"
+    seed: int = 2010
+    timeout: float = 120.0
+    ship_policy: str = "threshold"
+
+    def __post_init__(self) -> None:
+        workers = self.workers
+        if isinstance(workers, int):
+            if workers < 1:
+                raise InvalidParameterError(
+                    f"workers must be >= 1, got {workers}"
+                )
+        elif isinstance(workers, (list, tuple)):
+            if not workers:
+                raise InvalidParameterError(
+                    "workers address list must not be empty"
+                )
+            object.__setattr__(
+                self, "workers", tuple(str(a) for a in workers)
+            )
+        else:
+            raise InvalidParameterError(
+                "workers must be an int (spawn locally) or a list of "
+                f"host:port addresses, got {type(workers).__name__}"
+            )
+        if self.shards is not None:
+            object.__setattr__(self, "shards", int(self.shards))
+            if self.shards < 1:
+                raise InvalidParameterError(
+                    f"shards must be >= 1, got {self.shards}"
+                )
+        if self.min_nodes is not None:
+            object.__setattr__(self, "min_nodes", int(self.min_nodes))
+            if self.min_nodes < 0:
+                raise InvalidParameterError(
+                    f"min_nodes must be >= 0, got {self.min_nodes}"
+                )
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "timeout", float(self.timeout))
+        if self.timeout <= 0:
+            raise InvalidParameterError(
+                f"timeout must be > 0, got {self.timeout}"
+            )
+        if self.ship_policy not in ("threshold", "all"):
+            raise InvalidParameterError(
+                "ship_policy must be 'threshold' or 'all', "
+                f"got {self.ship_policy!r}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict (the workers tuple serializes as a list)."""
+        out = asdict(self)
+        if isinstance(out.get("workers"), tuple):
+            out["workers"] = list(out["workers"])
+        return out
 
     def to_engine_kwargs(self) -> dict:
         """Engine-constructor kwargs (``None`` fields fall to the engine)."""

@@ -12,16 +12,21 @@ algorithms:
   over shared-memory CSR shards (see :mod:`repro.parallel`).  Requires
   numpy; the engine itself declines graphs too small to amortize the
   process/IPC fixed cost and runs them in-process instead.
+* ``"cluster"`` — the same sharded kernels run by socket-connected
+  ``cluster-worker`` processes, locally spawned or on other machines (see
+  :mod:`repro.cluster`).  Requires numpy; declines like parallel does,
+  with a higher fixed cost (socket rounds, store shipping).
 
 ``"auto"`` (the default everywhere) resolves to ``"numpy"`` when numpy is
 importable and falls back to ``"python"`` otherwise, so the library keeps
 working — with identical answers — on a bare interpreter.  ``"parallel"``
-is never chosen implicitly: multi-process execution is an explicit opt-in
-(builder ``.backend("parallel")``, CLI ``--backend parallel``, or
-``Network.service(processes=True)``).  All backends return *entry-for-entry
+and ``"cluster"`` are never chosen implicitly: multi-process/multi-machine
+execution is an explicit opt-in (builder ``.backend("parallel")``, CLI
+``--backend cluster``, ``Network.service(processes=True)``, or
+``Network.cluster(...)``).  All backends return *entry-for-entry
 identical* top-k results; only the work counters (pruning/traversal
 accounting) may differ, because the vectorized backends process candidates
-in blocks and the parallel backend additionally splits them across shards.
+in blocks and the sharded backends additionally split them across shards.
 
 This module is the seam later execution strategies (GPU, remote, ...) plug
 into: they add a name here and a dispatch arm in the algorithm front doors.
@@ -41,7 +46,7 @@ __all__ = [
 ]
 
 #: Recognized backend names (``"auto"`` is resolved, never executed).
-BACKENDS = ("auto", "python", "numpy", "parallel")
+BACKENDS = ("auto", "python", "numpy", "parallel", "cluster")
 
 _NUMPY_AVAILABLE: Optional[bool] = None
 
@@ -77,7 +82,7 @@ def resolve_backend(backend: str) -> str:
         )
     if backend == "auto":
         return "numpy" if numpy_available() else "python"
-    if backend in ("numpy", "parallel") and not numpy_available():
+    if backend in ("numpy", "parallel", "cluster") and not numpy_available():
         raise BackendUnavailableError(
             f"backend {backend!r} requested but numpy is not importable; "
             "install numpy or use backend='auto'/'python'"

@@ -162,11 +162,11 @@ def batch_base_topk(
     ]
 
     concrete = resolve_backend(backend)
-    if concrete == "parallel":
-        # Sharded execution needs a session context (worker pool + shared
-        # exports live there); the standalone function runs the same fused
-        # kernel in-process.  BatchTopKEngine dispatches shards when it
-        # holds a context.
+    if concrete in ("parallel", "cluster"):
+        # Sharded execution needs a session context (worker pool / socket
+        # transport + shard exports live there); the standalone function
+        # runs the same fused kernel in-process.  BatchTopKEngine
+        # dispatches shards when it holds a context.
         concrete = "numpy"
     if concrete == "numpy":
         _shared_scan_numpy(
@@ -407,11 +407,17 @@ class BatchTopKEngine:
         if shared_indices:
             concrete = resolve_backend(self.backend)
             shared_results = None
-            if concrete == "parallel" and self._ctx is not None:
-                # One fused scan per shard across the worker pool; the
-                # engine declines (None) below its size floor and the
-                # batch falls through to the in-process fused kernel.
-                shared_results = self._ctx.parallel_engine().run_batch(
+            if concrete in ("parallel", "cluster") and self._ctx is not None:
+                # One fused scan per shard across the worker pool (or the
+                # socket cluster); the engine declines (None) below its
+                # size floor and the batch falls through to the in-process
+                # fused kernel.
+                engine = (
+                    self._ctx.parallel_engine()
+                    if concrete == "parallel"
+                    else self._ctx.cluster_engine()
+                )
+                shared_results = engine.run_batch(
                     [batch[i] for i in shared_indices],
                     hops=self.hops,
                     include_self=self.include_self,

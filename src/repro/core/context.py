@@ -71,6 +71,8 @@ class GraphContext:
         "_dist_ball_cache",
         "_parallel",
         "_parallel_options",
+        "_cluster",
+        "_cluster_options",
         "_graph_version",
         "_lock",
     )
@@ -97,6 +99,8 @@ class GraphContext:
         self._dist_ball_cache = None
         self._parallel = None
         self._parallel_options: dict = {}
+        self._cluster = None
+        self._cluster_options: dict = {}
         self._graph_version = getattr(graph, "version", None)
         self._lock = threading.RLock()
 
@@ -317,20 +321,60 @@ class GraphContext:
         with self._lock:
             return self._parallel is not None and not self._parallel.closed
 
+    # ------------------------------------------------------------------
+    # Socket-cluster engine (the "cluster" backend)
+    # ------------------------------------------------------------------
+    def cluster_engine(self, _remember: bool = True, **options):
+        """The session-scoped :class:`~repro.cluster.engine.ClusterEngine`.
+
+        Same lifecycle contract as :meth:`parallel_engine`: lazy creation,
+        options reconfigure (previous engine closed outside the ctx lock),
+        remembered options survive a close/reopen cycle.  Creating the
+        engine never spawns or connects workers — the transport starts on
+        the first query it accepts.
+        """
+        from repro.cluster.engine import ClusterEngine
+
+        while True:
+            with self._lock:
+                previous = self._cluster if options else None
+                if previous is None:
+                    if self._cluster is None or self._cluster.closed:
+                        create = options or self._cluster_options
+                        self._cluster = ClusterEngine(self, **create)
+                        if options and _remember:
+                            self._cluster_options = dict(options)
+                    return self._cluster
+                self._cluster = None
+            previous.close()
+
+    def cluster_configured(self) -> bool:
+        """Whether the session explicitly configured the cluster engine."""
+        with self._lock:
+            return bool(self._cluster_options)
+
+    def has_cluster_engine(self) -> bool:
+        """Whether a cluster engine exists (without creating one)."""
+        with self._lock:
+            return self._cluster is not None and not self._cluster.closed
+
     def close(self) -> None:
-        """Release out-of-process resources (worker pool, shared memory).
+        """Release out-of-process resources (worker pool, shared memory,
+        cluster peers).
 
         In-process caches need no teardown; this exists so ``Network.close``
-        (and tests) can deterministically free the parallel engine instead
-        of waiting for garbage collection.  The engine is closed outside
-        the ctx lock for the same lock-ordering reason as
+        (and tests) can deterministically free the sharded engines instead
+        of waiting for garbage collection.  Engines are closed outside the
+        ctx lock for the same lock-ordering reason as
         :meth:`parallel_engine`.
         """
         with self._lock:
-            engine = self._parallel
+            engines = [self._parallel, self._cluster]
             self._parallel = None
-        if engine is not None:
-            engine.close()
+            self._cluster = None
+        for engine in engines:
+            if engine is not None:
+                engine.close()
 
     def cache_stats(self) -> Dict[str, Optional[dict]]:
         """Hit/eviction counters of the session ball caches (None = unbuilt)."""

@@ -146,7 +146,22 @@ def plan(
             index_available=ctx.diff_index is not None,
             backend=request.backend,
         )
-    return planner.plan(request.spec(), amortize_index=amortize_index)
+    execution_plan = planner.plan(request.spec(), amortize_index=amortize_index)
+    if execution_plan.backend == "cluster":
+        from repro.cluster.comm import comm_forecast
+
+        # Shard/worker counts come from the session's configured engine
+        # when one exists; otherwise the forecast assumes the default
+        # two-worker cluster.  Forecasting must never spawn workers —
+        # reading engine attributes does not touch its transport.
+        shards = workers = 2
+        if ctx.cluster_configured():
+            engine = ctx.cluster_engine()
+            shards, workers = engine.shards, engine.workers
+        execution_plan.comm = comm_forecast(
+            shards, request.spec().k, workers=workers
+        )
+    return execution_plan
 
 
 def execute(
@@ -196,8 +211,13 @@ def execute(
                 "(supported: auto, base, relational, view)"
             )
         _reject_inapplicable_knobs(request, "filtered")
-        if concrete == "parallel":
-            result = ctx.parallel_engine().execute_scan(
+        if concrete in ("parallel", "cluster"):
+            engine = (
+                ctx.parallel_engine()
+                if concrete == "parallel"
+                else ctx.cluster_engine()
+            )
+            result = engine.execute_scan(
                 scores, spec, "base", candidates=request.candidates
             )
             if result is not None:
@@ -214,12 +234,12 @@ def execute(
         algorithm = plan(ctx, scores, request, planner=planner).chosen
     _reject_inapplicable_knobs(request, algorithm)
 
-    if concrete == "parallel":
-        # Sharded multi-process execution (repro.parallel) behind the same
-        # seam; the engine returns None when it declines — graph below its
-        # min_nodes floor or a single-worker pool — and the query falls
-        # through to the in-process vectorized path below.
-        result = _parallel_execute(ctx, scores, request, algorithm)
+    if concrete in ("parallel", "cluster"):
+        # Sharded execution (multi-process repro.parallel, or the socket
+        # cluster) behind the same seam; the engine returns None when it
+        # declines — graph below its min_nodes floor or too few workers —
+        # and the query falls through to the in-process vectorized path.
+        result = _sharded_execute(ctx, scores, request, algorithm, concrete)
         if result is not None:
             return result
     vectorized = concrete != "python"
@@ -252,16 +272,22 @@ def execute(
     )
 
 
-def _parallel_execute(
-    ctx: GraphContext, scores: ScoreVector, request: QueryRequest, algorithm: str
+def _sharded_execute(
+    ctx: GraphContext,
+    scores: ScoreVector,
+    request: QueryRequest,
+    algorithm: str,
+    concrete: str,
 ):
-    """Dispatch one resolved algorithm to the sharded parallel engine.
+    """Dispatch one resolved algorithm to a sharded engine (parallel/cluster).
 
     Returns None — caller falls back to in-process numpy — for algorithms
-    the engine does not cover (it covers base/forward/backward; relational
+    the engines do not cover (they cover base/forward/backward; relational
     and view never reach here) or when the engine declines the graph.
     """
-    engine = ctx.parallel_engine()
+    engine = (
+        ctx.parallel_engine() if concrete == "parallel" else ctx.cluster_engine()
+    )
     spec = request.spec()
     if algorithm in ("base", "forward"):
         return engine.execute_scan(scores, spec, algorithm)
@@ -303,8 +329,13 @@ def execute_weighted(
     vectorized = concrete != "python"
     if algorithm == "base":
         _reject_unknown_options(options)
-        if concrete == "parallel":
-            result = ctx.parallel_engine().execute_weighted(scores, spec, profile)
+        if concrete in ("parallel", "cluster"):
+            engine = (
+                ctx.parallel_engine()
+                if concrete == "parallel"
+                else ctx.cluster_engine()
+            )
+            result = engine.execute_weighted(scores, spec, profile)
             if result is not None:
                 return result
         return weighted_base_topk(
@@ -320,7 +351,7 @@ def execute_weighted(
     exact_sizes = bool(options.pop("exact_sizes", False))
     _reject_unknown_options(options)
     if (
-        concrete == "parallel"
+        concrete in ("parallel", "cluster")
         and gamma == "auto"
         and fraction == 0.1
         and not exact_sizes
@@ -329,7 +360,12 @@ def execute_weighted(
         # only stands in for backward when the distribution knobs are at
         # their defaults — a tuned gamma must reach the kernel that honors
         # it, so those queries run in-process.
-        result = ctx.parallel_engine().execute_weighted(scores, spec, profile)
+        engine = (
+            ctx.parallel_engine()
+            if concrete == "parallel"
+            else ctx.cluster_engine()
+        )
+        result = engine.execute_weighted(scores, spec, profile)
         if result is not None:
             return result
     return weighted_backward_topk(

@@ -43,7 +43,7 @@ prune-light LONA-Forward run that wins under python.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.aggregates.functions import AggregateKind
 from repro.core.backends import resolve_backend
@@ -85,6 +85,11 @@ BACKEND_COST_FACTORS = {
     # numpy factor / nominal 4-worker scaling (scans split ~perfectly,
     # backward keeps a serial merge + TA-round component).
     "parallel": {"base": 0.06, "forward": 0.07, "backward": 0.08},
+    # Same sharded kernels as parallel, but every round crosses a socket:
+    # frame serialization and candidate shipping add a per-expansion tax on
+    # top of the parallel factors (heaviest on backward, whose TA rounds
+    # are the chattiest).
+    "cluster": {"base": 0.07, "forward": 0.08, "backward": 0.11},
 }
 
 #: Fixed per-query overhead of a backend, in the same ball-expansion
@@ -99,6 +104,10 @@ BACKEND_FIXED_COSTS = {
     "python": 0.0,
     "numpy": 0.0,
     "parallel": 2000.0,
+    # Socket rounds cost strictly more than queue IPC: connection fan-out,
+    # frame encode/decode, and store shipping on cold peers.  The runtime
+    # twin is the cluster engine's min_nodes decline rule.
+    "cluster": 8000.0,
 }
 
 
@@ -152,6 +161,10 @@ class ExecutionPlan:
     #: (:data:`BACKEND_COST_FACTORS`), so the ranking — and therefore the
     #: chosen algorithm — is backend-sensitive.
     backend: str = "python"
+    #: Communication forecast, set only for ``backend="cluster"`` plans:
+    #: shard count and the naive candidate volume (``shards * k`` entries,
+    #: 16 bytes each) that θ-shipping and adaptive quotas prune below.
+    comm: "Optional[dict]" = None
 
     def estimate_for(self, algorithm: str) -> CostEstimate:
         """The estimate of one algorithm."""
@@ -170,6 +183,7 @@ class ExecutionPlan:
             "chosen": self.chosen,
             "amortize_index": self.amortize_index,
             "backend": self.backend,
+            **({"comm": dict(self.comm)} if self.comm else {}),
             "estimates": [
                 {
                     "algorithm": est.algorithm,
@@ -197,8 +211,21 @@ class ExecutionPlan:
                 if self.backend == "numpy"
                 else " (sharded multi-process)"
                 if self.backend == "parallel"
+                else " (socket cluster)"
+                if self.backend == "cluster"
                 else ""
             ),
+        ]
+        if self.comm:
+            shards = self.comm.get("shards")
+            naive = self.comm.get("predicted_candidates")
+            naive_bytes = self.comm.get("predicted_candidate_bytes")
+            lines.append(
+                f"communication: {shards:g} shards, naive candidate volume "
+                f"{naive:g} entries ({naive_bytes:g} bytes); θ-shipping and "
+                "adaptive quotas prune below this"
+            )
+        lines += [
             "",
             "estimated cost (ball expansions):",
         ]

@@ -51,6 +51,7 @@ __all__ = [
     "PartitionError",
     "ParallelError",
     "StaleShardError",
+    "ClusterError",
     "ERROR_CODES",
     "error_from_wire",
 ]
@@ -308,3 +309,10 @@ class StaleShardError(ParallelError):
     """A worker refused a task naming a shared-memory version that moved."""
 
     code = "stale_shard"
+
+
+class ClusterError(QueryError, RuntimeError):
+    """The socket-transport cluster backend failed (peer death, protocol
+    violation, round timeout with no healthy peer left to re-issue to)."""
+
+    code = "cluster_error"

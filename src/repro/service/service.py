@@ -80,6 +80,16 @@ class QueryService:
         # to the "parallel" backend at execution time (the cache key stays
         # the original request — same answer either way).
         self._processes = cfg.processes
+        # Cluster mode is the same lane policy over the socket-cluster
+        # engine: unpinned requests are rewritten to "cluster" and execute
+        # on remote cluster-worker processes.  ServiceConfig rejects
+        # processes+cluster together, so at most one rewrite applies.
+        self._cluster = cfg.cluster
+        if self._cluster:
+            # net.cluster(...) wins when the session configured the engine
+            # explicitly; otherwise the default (2 local spawned workers)
+            # is created lazily on the first cluster execution.
+            network._ctx.cluster_engine()
         if self._processes:
             # Size the worker-process pool to the service — unless the
             # session explicitly configured the engine (net.parallel(...)
@@ -206,12 +216,17 @@ class QueryService:
         payload = dict(self._stats.snapshot())
         payload["workers"] = self.workers
         payload["processes"] = self._processes
+        payload["cluster_mode"] = self._cluster
         payload["pending"] = self._scheduler.pending
         payload["inflight"] = self._scheduler.inflight
         payload["result_cache"] = self.cache.stats()
         payload["session_caches"] = self._net._ctx.cache_stats()
         if self._net._ctx.has_parallel_engine():
             payload["parallel"] = self._net._ctx.parallel_engine().stats()
+        if self._net._ctx.has_cluster_engine():
+            # Includes the measured communication totals and the last
+            # query's per-round MessageStats twin (``last_comm``).
+            payload["cluster"] = self._net._ctx.cluster_engine().stats()
         return payload
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -259,13 +274,19 @@ class QueryService:
         )
 
     def _effective_request(self, request: QueryRequest) -> QueryRequest:
-        """Process mode rewrites unpinned requests to the parallel backend."""
+        """Process/cluster mode rewrites unpinned requests to its backend."""
         if (
             self._processes
             and request.backend != "parallel"
             and not request.is_pinned("backend")
         ):
             return request.replace(backend="parallel")
+        if (
+            self._cluster
+            and request.backend != "cluster"
+            and not request.is_pinned("backend")
+        ):
+            return request.replace(backend="cluster")
         return request
 
     def _version_token(self, score: str) -> tuple:
@@ -363,11 +384,16 @@ class QueryService:
                 # contract the single-query path honors.  (Pins to a
                 # backend other than the session's are never coalescible,
                 # so a pinned member here pinned the session backend.)
-                use_parallel = self._processes and all(
+                unpinned = all(
                     not h.request.is_pinned("backend") for h in missing
                 )
+                group_backend = None
+                if unpinned and self._processes:
+                    group_backend = "parallel"
+                elif unpinned and self._cluster:
+                    group_backend = "cluster"
                 results = self._net._run_batch(
-                    queries, backend="parallel" if use_parallel else None
+                    queries, backend=group_backend
                 )
                 if len(missing) > 1:
                     self._stats.incr("coalesced_batches")

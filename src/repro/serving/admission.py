@@ -77,9 +77,17 @@ class AdmissionController:
     Parameters
     ----------
     cost_of:
-        ``cost_of(request) -> float`` — the planner's amortized cost
-        estimate for the request (the server memoizes it per shape and
-        graph version).  ``None`` disables cost shedding.
+        ``cost_of(request) -> float`` — the planner's amortized *online*
+        cost estimate for the request (the server memoizes it per shape
+        and graph version).  ``None`` disables cost shedding.
+    fixed_cost_of:
+        ``fixed_cost_of(request) -> float`` — the backend fixed cost
+        (:data:`~repro.core.planner.BACKEND_FIXED_COSTS`) the request
+        would pay on its effective backend: process-pool dispatch for
+        ``parallel``, socket rounds and store shipping for ``cluster``.
+        Added to ``cost_of`` in the shed comparison, so under pressure a
+        cluster-routed query is priced with its communication tax, not
+        just its scan work.  ``None`` prices fixed costs at zero.
     load_of:
         ``load_of() -> float`` in ``[0, 1]`` — current queued+inflight
         occupancy across the replica lanes.  ``None`` disables shedding.
@@ -100,6 +108,7 @@ class AdmissionController:
         self,
         *,
         cost_of: Optional[Callable[[QueryRequest], float]] = None,
+        fixed_cost_of: Optional[Callable[[QueryRequest], float]] = None,
         load_of: Optional[Callable[[], float]] = None,
         rate: Optional[float] = None,
         burst: Optional[float] = None,
@@ -114,6 +123,7 @@ class AdmissionController:
                 f"shed_watermark must be in [0, 1), got {shed_watermark}"
             )
         self._cost_of = cost_of
+        self._fixed_cost_of = fixed_cost_of
         self._load_of = load_of
         self._rate = rate
         self._burst = burst
@@ -224,6 +234,8 @@ class AdmissionController:
         headroom = (1.0 - load) / (1.0 - self._watermark)
         budget = self._cost_limit * headroom
         cost = float(self._cost_of(request))
+        if self._fixed_cost_of is not None:
+            cost += float(self._fixed_cost_of(request))
         if cost <= budget:
             return
         self._count("shed")

@@ -40,7 +40,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.config import ParallelConfig, ServiceConfig, _FrozenConfig
+from repro.config import (
+    ClusterConfig,
+    ParallelConfig,
+    ServiceConfig,
+    _FrozenConfig,
+)
 from repro.core.request import QueryRequest
 from repro.errors import (
     InvalidParameterError,
@@ -82,9 +87,9 @@ _POLL_INTERVAL = 0.02
 class ServerConfig(_FrozenConfig):
     """Everything one :class:`QueryServer` needs, as one frozen object.
 
-    Accepts nested ``service`` / ``parallel`` sections as config objects
-    *or* plain mappings (so a JSON config file round-trips through
-    :meth:`from_file`); unknown keys are rejected at every level.
+    Accepts nested ``service`` / ``parallel`` / ``cluster`` sections as
+    config objects *or* plain mappings (so a JSON config file round-trips
+    through :meth:`from_file`); unknown keys are rejected at every level.
     ``port=0`` binds an ephemeral port (the bound address is on
     ``QueryServer.address`` after ``start()``).
     """
@@ -94,6 +99,7 @@ class ServerConfig(_FrozenConfig):
     replicas: int = 2
     service: object = None  # ServiceConfig | mapping | None
     parallel: object = None  # ParallelConfig | mapping | None
+    cluster: object = None  # ClusterConfig | mapping | None
     quota: Optional[int] = None
     tenant_rate: Optional[float] = None
     tenant_burst: Optional[float] = None
@@ -117,6 +123,10 @@ class ServerConfig(_FrozenConfig):
         if parallel is not None and not isinstance(parallel, ParallelConfig):
             parallel = ParallelConfig.coerce(parallel)
         object.__setattr__(self, "parallel", parallel)
+        cluster = self.cluster
+        if cluster is not None and not isinstance(cluster, ClusterConfig):
+            cluster = ClusterConfig.coerce(cluster)
+        object.__setattr__(self, "cluster", cluster)
         if self.replicas < 1:
             raise InvalidParameterError(
                 f"replicas must be >= 1, got {self.replicas}"
@@ -185,11 +195,14 @@ class QueryServer:
         self._net = network
         if cfg.parallel is not None:
             network.parallel(cfg.parallel)
+        if cfg.cluster is not None:
+            network.cluster(cfg.cluster)
         self.replicas = ReplicaSet(
             network, cfg.service, replicas=cfg.replicas
         )
         self.admission = AdmissionController(
             cost_of=self._cost_of,
+            fixed_cost_of=self._fixed_cost_of,
             load_of=self._load,
             rate=cfg.tenant_rate,
             burst=cfg.tenant_burst,
@@ -317,6 +330,27 @@ class QueryServer:
             while len(self._cost_cache) > 512:
                 self._cost_cache.popitem(last=False)
         return cost
+
+    def _fixed_cost_of(self, request: QueryRequest) -> float:
+        """The backend fixed overhead the request would actually pay.
+
+        The lanes rewrite unpinned requests to the sharded backend the
+        service is configured for, so admission prices pinned requests by
+        their pin and unpinned ones by the lane policy — a cluster-routed
+        query is charged its socket/store-shipping tax
+        (:data:`~repro.core.planner.BACKEND_FIXED_COSTS`) even when its
+        scan cost alone would pass the shed budget.
+        """
+        from repro.core.planner import BACKEND_FIXED_COSTS
+
+        backend = request.backend
+        if backend == "auto":
+            service = self.config.service
+            if service.cluster:
+                backend = "cluster"
+            elif service.processes:
+                backend = "parallel"
+        return float(BACKEND_FIXED_COSTS.get(backend, 0.0))
 
     # ------------------------------------------------------------------
     # HTTP plumbing

@@ -183,7 +183,7 @@ class QueryBuilder:
 
     def backend(self, backend: str) -> "QueryBuilder":
         """Pin the execution backend
-        (``auto``/``python``/``numpy``/``parallel``)."""
+        (``auto``/``python``/``numpy``/``parallel``/``cluster``)."""
         return self._with(backend=str(backend))
 
     def gamma(self, gamma: Union[str, float]) -> "QueryBuilder":
@@ -581,6 +581,38 @@ class Network:
             return self._ctx.parallel_engine()
         cfg = ParallelConfig.coerce(config, options)
         return self._ctx.parallel_engine(**cfg.to_engine_kwargs())
+
+    # ------------------------------------------------------------------
+    # Multi-machine execution (the "cluster" backend)
+    # ------------------------------------------------------------------
+    def cluster(self, config: object = None, **options: object):
+        """The session's socket-cluster engine (configure or inspect).
+
+        Queries opt in per request (``.backend("cluster")``, CLI
+        ``--backend cluster``) or service-wide
+        (``net.service(cluster=True)``).  ``workers`` is a count of
+        locally spawned ``cluster-worker`` processes or a list of
+        ``host:port`` addresses of workers already running elsewhere::
+
+            net.cluster(ClusterConfig(workers=4))            # spawn 4 local
+            net.cluster(workers=["10.0.0.2:7070",
+                                 "10.0.0.3:7070"])           # connect remote
+
+        ``config`` is a frozen :class:`~repro.config.ClusterConfig` (or a
+        plain mapping); bare keyword options normalize to the same object
+        and unknown names are rejected with the valid ones.  Configuring
+        the engine spawns/connects nothing — the transport starts on the
+        first accepted cluster query.  Graphs smaller than ``min_nodes``
+        decline and run on the in-process numpy backend — same entries
+        either way.  Reconfiguring closes the previous engine (and its
+        workers/connections) first.
+        """
+        from repro.config import ClusterConfig
+
+        if config is None and not options:
+            return self._ctx.cluster_engine()
+        cfg = ClusterConfig.coerce(config, options)
+        return self._ctx.cluster_engine(**cfg.to_engine_kwargs())
 
     def close(self) -> None:
         """Release out-of-process resources: serving threads, worker

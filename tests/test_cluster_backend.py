@@ -1,0 +1,642 @@
+"""Socket-cluster backend: parity, wire protocol, comm policies, resilience.
+
+The contract mirrors the parallel backend's
+(``tests/test_parallel_backend.py``): ``backend="cluster"`` must return
+entry-for-entry the numpy answer on every route it covers — base (all
+aggregates), forward, backward, weighted, filtered, batch — while actually
+running the partition-aware kernels in socket-connected ``cluster-worker``
+processes.  Beyond parity, this module pins the communication policies
+(θ-shipping prunes, adaptive quotas bound round-1 volume, ``ship_policy=
+"all"`` is the exact naive baseline), the delta re-export after dynamic
+mutations, and worker-failure recovery (kill a remote worker mid-stream →
+the coordinator re-issues to a respawned or standby worker).
+
+The graphs here are far below the engine's production ``min_nodes`` floor,
+so every fixture forces the cluster path with ``min_nodes=0``; the decline
+rule itself is tested explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ClusterConfig, ServiceConfig
+from repro.core.backends import BACKENDS
+from repro.core.request import QueryRequest
+from repro.errors import ClusterError, InvalidParameterError
+from repro.graph.graph import Graph
+from repro.session import Network
+from tests.conftest import random_graph
+
+np = pytest.importorskip("numpy")
+
+from repro.cluster.frames import decode_payload, encode_frame  # noqa: E402
+
+#: Spawned cluster-worker count for the test engines; the CI cluster-smoke
+#: job exercises externally-started workers via addresses instead.
+WORKERS = 2
+
+
+def _entries(result):
+    return [(node, round(value, 9)) for node, value in result.entries]
+
+
+def _dense_scores(n, seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+def _sparse_scores(n, seed, nonzero=0.03):
+    rng = random.Random(seed)
+    values = [0.0] * n
+    for u in rng.sample(range(n), max(1, int(nonzero * n))):
+        values[u] = rng.random()
+    return values
+
+
+@pytest.fixture(scope="module")
+def cluster_net():
+    g = random_graph(400, 0.015, seed=42)
+    net = Network(g, hops=2)
+    net.add_scores("dense", _dense_scores(400, 1))
+    net.add_scores("sparse", _sparse_scores(400, 2))
+    net.add_scores("binary", [1.0 if u % 9 == 0 else 0.0 for u in range(400)])
+    net.cluster(workers=WORKERS, min_nodes=0)
+    yield net
+    net.close()
+
+
+class TestRegistrationAndConfig:
+    def test_cluster_is_a_backend(self):
+        assert "cluster" in BACKENDS
+
+    def test_request_accepts_cluster(self):
+        request = QueryRequest(k=3, backend="cluster")
+        assert request.spec().backend == "cluster"
+
+    def test_cluster_config_normalizes_addresses(self):
+        cfg = ClusterConfig(workers=["a:1", "b:2"])
+        assert cfg.workers == ("a:1", "b:2")
+        assert cfg.as_dict()["workers"] == ["a:1", "b:2"]
+        assert cfg.to_engine_kwargs()["workers"] == ("a:1", "b:2")
+
+    def test_cluster_config_validates(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterConfig(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ClusterConfig(workers=[])
+        with pytest.raises(InvalidParameterError):
+            ClusterConfig(ship_policy="sometimes")
+        with pytest.raises(InvalidParameterError):
+            ClusterConfig(timeout=0)
+
+    def test_service_rejects_processes_and_cluster_together(self):
+        with pytest.raises(InvalidParameterError, match="mutually exclusive"):
+            ServiceConfig(processes=True, cluster=True)
+
+    def test_configuring_engine_spawns_nothing(self):
+        g = random_graph(100, 0.03, seed=77)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 3))
+        engine = net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            stats = engine.stats()
+            assert stats["started"] is False
+            assert stats["alive_peers"] == 0
+        finally:
+            net.close()
+
+
+class TestFrameCodec:
+    def test_header_round_trip(self):
+        frame = encode_frame({"type": "hello", "rounds": 3})
+        # First 4 bytes are the total-length prefix the socket readers use.
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+        header, arrays = decode_payload(frame[4:])
+        assert header["type"] == "hello"
+        assert header["rounds"] == 3
+        assert arrays == {}
+
+    def test_arrays_round_trip(self):
+        nodes = np.asarray([3, 1, 4], dtype=np.int64)
+        values = np.asarray([0.5, -1.5, 2.25], dtype=np.float64)
+        frame = encode_frame(
+            {"type": "result"}, {"nodes": nodes, "values": values}
+        )
+        header, arrays = decode_payload(frame[4:])
+        assert header["type"] == "result"
+        assert arrays["nodes"].tolist() == [3, 1, 4]
+        assert arrays["values"].tolist() == [0.5, -1.5, 2.25]
+        assert arrays["nodes"].dtype == np.int64
+
+    def test_empty_arrays_round_trip(self):
+        frame = encode_frame(
+            {"type": "result"}, {"nodes": np.empty(0, dtype=np.int64)}
+        )
+        _, arrays = decode_payload(frame[4:])
+        assert arrays["nodes"].size == 0
+
+
+class TestScanParity:
+    @pytest.mark.parametrize("aggregate", ["sum", "avg", "count", "max", "min"])
+    def test_base_all_aggregates(self, cluster_net, aggregate):
+        run = lambda backend: (  # noqa: E731
+            cluster_net.query("dense")
+            .limit(10)
+            .aggregate(aggregate)
+            .algorithm("base")
+            .backend(backend)
+            .run()
+        )
+        got, ref = run("cluster"), run("numpy")
+        assert _entries(got) == _entries(ref)
+        assert got.stats.backend == "cluster"
+        assert got.stats.extra["shards"] == float(WORKERS)
+        assert got.stats.extra["comm_rounds"] >= 1.0
+
+    def test_forward(self, cluster_net):
+        got = (
+            cluster_net.query("dense").limit(8)
+            .algorithm("forward").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("dense").limit(8)
+            .algorithm("forward").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+        assert got.stats.algorithm == "forward"
+
+    @pytest.mark.parametrize("score", ["sparse", "dense"])
+    def test_backward(self, cluster_net, score):
+        got = (
+            cluster_net.query(score).limit(7)
+            .algorithm("backward").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query(score).limit(7)
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+        assert got.stats.backend == "cluster"
+        assert got.stats.extra["gamma"] == ref.stats.extra["gamma"]
+        assert got.stats.extra["rest_bound"] == ref.stats.extra["rest_bound"]
+
+    def test_backward_avg(self, cluster_net):
+        got = (
+            cluster_net.query("sparse").limit(5).aggregate("avg")
+            .algorithm("backward").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("sparse").limit(5).aggregate("avg")
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+
+    def test_backward_binary_shortcut_declines(self, cluster_net):
+        # Same decline rule as the parallel engine: the exact-shortcut
+        # regime's answers are order-sensitive partial sums, so the engine
+        # hands the query back to the in-process backend.
+        got = (
+            cluster_net.query("binary").limit(7)
+            .algorithm("backward").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("binary").limit(7)
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+        assert got.stats.backend == "numpy"
+        assert got.stats.extra["exact_shortcut"] == 1.0
+
+    def test_count_ties_at_rank_k(self, cluster_net):
+        # COUNT over a regular-ish graph produces heavy value ties around
+        # rank k; θ must ship every >=θ candidate (strictly-below prune)
+        # so node-id tie resolution matches the reference exactly.
+        got = (
+            cluster_net.query("binary").limit(9).aggregate("count")
+            .algorithm("base").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("binary").limit(9).aggregate("count")
+            .algorithm("base").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+
+    def test_filtered_where(self, cluster_net):
+        candidates = tuple(range(0, 400, 3))
+        got = (
+            cluster_net.query("dense").limit(6)
+            .where(candidates).backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("dense").limit(6)
+            .where(candidates).backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+        assert got.stats.extra["candidates"] == float(len(candidates))
+
+    def test_weighted(self, cluster_net):
+        from repro.core import executor
+
+        spec_got = QueryRequest(k=6, backend="cluster").spec()
+        spec_ref = QueryRequest(k=6, backend="numpy").spec()
+        got = executor.execute_weighted(
+            cluster_net._ctx, cluster_net.scores_of("dense"), spec_got
+        )
+        ref = executor.execute_weighted(
+            cluster_net._ctx, cluster_net.scores_of("dense"), spec_ref
+        )
+        assert _entries(got) == _entries(ref)
+        assert got.stats.backend == "cluster"
+
+    def test_batch_coalesced_parity(self, cluster_net):
+        from repro.core.batch import BatchQuery
+
+        queries = [
+            BatchQuery(scores=cluster_net.scores_of("dense"), k=6),
+            BatchQuery(
+                scores=cluster_net.scores_of("dense"), k=4, aggregate="avg"
+            ),
+        ]
+        got = cluster_net._run_batch(queries, backend="cluster")
+        ref = cluster_net._run_batch(queries, backend="numpy")
+        for g_, r in zip(got, ref):
+            assert _entries(g_) == _entries(r)
+        assert got[0].stats.backend == "cluster"
+        assert got[0].stats.extra["batch_size"] == 2.0
+
+    def test_directed_graph_backward(self, tmp_path):
+        rng = random.Random(5)
+        edges = {(rng.randrange(120), rng.randrange(120)) for _ in range(400)}
+        g = Graph.from_edges(
+            sorted((u, v) for u, v in edges if u != v),
+            num_nodes=120,
+            directed=True,
+        )
+        net = Network(g, hops=2)
+        net.add_scores("s", _sparse_scores(120, 9))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            got = (
+                net.query("s").limit(5)
+                .algorithm("backward").backend("cluster").run()
+            )
+            ref = (
+                net.query("s").limit(5)
+                .algorithm("backward").backend("numpy").run()
+            )
+            assert _entries(got) == _entries(ref)
+        finally:
+            net.close()
+
+
+class TestCommPolicies:
+    def test_theta_shipping_prunes_candidates(self, cluster_net):
+        result = (
+            cluster_net.query("dense").limit(5)
+            .algorithm("base").backend("cluster").run()
+        )
+        extra = result.stats.extra
+        naive = float(WORKERS * 5)
+        assert extra["candidates_shipped"] + extra["candidates_pruned"] >= naive
+        assert extra["candidates_shipped"] < naive * 2  # quotas bound volume
+        assert extra["shipped_candidate_bytes"] == extra[
+            "candidates_shipped"
+        ] * 16.0
+
+    def test_ship_all_is_exact_and_unpruned(self):
+        g = random_graph(300, 0.02, seed=55)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 12))
+        net.cluster(workers=WORKERS, min_nodes=0, ship_policy="all")
+        try:
+            got = net.query("s").limit(6).backend("cluster").run()
+            ref = net.query("s").limit(6).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            assert got.stats.extra["candidates_pruned"] == 0.0
+        finally:
+            net.close()
+
+    def test_measured_comm_surfaces_in_engine_stats(self, cluster_net):
+        cluster_net.query("dense").limit(4).backend("cluster").run()
+        stats = cluster_net.cluster().stats()
+        assert stats["last_comm"] is not None
+        assert stats["last_comm"]["comm_rounds"] >= 1.0
+        assert stats["comm"]["bytes_sent"] > 0
+        assert stats["queries_served"] >= 1
+
+    def test_worker_stats_round_trip(self, cluster_net):
+        cluster_net.query("dense").limit(4).backend("cluster").run()
+        rows = cluster_net.cluster().worker_stats()
+        assert len(rows) == WORKERS
+        for row in rows:
+            assert row["alive"] is True
+            assert row["tasks"] >= 1
+
+    def test_plan_carries_comm_forecast(self, cluster_net):
+        plan = (
+            cluster_net.query("dense").limit(10)
+            .backend("cluster").explain()
+        )
+        comm = plan.as_dict()["comm"]
+        assert comm["shards"] == float(WORKERS)
+        assert comm["predicted_candidates"] == float(WORKERS * 10)
+        assert comm["predicted_candidate_bytes"] == float(WORKERS * 10 * 16)
+        text = plan.explain()
+        assert "socket cluster" in text
+        assert "communication" in text
+
+
+class TestShardEdgeCases:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_graphs_smaller_than_the_shard_count(self, n):
+        # With 2 shards over <=2 nodes some shards are empty; empty owned
+        # arrays must flow through scan/merge without special-casing.
+        rng = random.Random(100 + n)
+        edges = [(u, u + 1) for u in range(n - 1)]
+        g = Graph.from_edges(edges, num_nodes=n)
+        net = Network(g, hops=2)
+        net.add_scores("s", [rng.random() for _ in range(n)])
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            got = net.query("s").limit(3).backend("cluster").run()
+            ref = net.query("s").limit(3).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            assert got.stats.backend == "cluster"
+        finally:
+            net.close()
+
+    def test_more_shards_than_workers(self):
+        g = random_graph(300, 0.02, seed=60)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 13))
+        net.cluster(workers=WORKERS, shards=4, min_nodes=0)
+        try:
+            got = net.query("s").limit(6).backend("cluster").run()
+            ref = net.query("s").limit(6).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            assert got.stats.extra["shards"] == 4.0
+        finally:
+            net.close()
+
+    def test_more_workers_than_shards_keeps_standby(self):
+        g = random_graph(300, 0.02, seed=61)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 14))
+        net.cluster(workers=3, shards=2, min_nodes=0)
+        try:
+            got = net.query("s").limit(6).backend("cluster").run()
+            ref = net.query("s").limit(6).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            engine = net.cluster()
+            assert engine.stats()["alive_peers"] == 3
+        finally:
+            net.close()
+
+
+class TestDynamicInvalidation:
+    def test_delta_reexport_after_add_edge(self):
+        from repro.dynamic.graph import DynamicGraph
+
+        g = DynamicGraph.from_graph(random_graph(200, 0.02, seed=12))
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(200, 5))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            engine = net.cluster()
+            first = net.query("s").limit(5).backend("cluster").run()
+            old_version = engine.stats()["store_version"]
+            net.add_edge(0, 199)
+            got = net.query("s").limit(5).backend("cluster").run()
+            ref = net.query("s").limit(5).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            # Only graph-derived stores were re-exported (new version
+            # stamp); score stores persisted across the mutation.
+            assert engine.stats()["store_version"] != old_version
+            assert first.entries  # sanity: pre-mutation answer existed
+        finally:
+            net.close()
+
+    def test_score_update_flows_to_workers(self):
+        from repro.dynamic.graph import DynamicGraph
+
+        g = DynamicGraph.from_graph(random_graph(200, 0.02, seed=13))
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(200, 6))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            probe = lambda: (  # noqa: E731 - F(7) includes f(7) itself
+                net.query("s").limit(1).where([7]).backend("cluster").run()
+            )
+            before = probe()
+            net.update_score("s", 7, 1.0)
+            got = net.query("s").limit(5).backend("cluster").run()
+            ref = net.query("s").limit(5).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            after = probe()
+            assert _entries(after) != _entries(before)
+        finally:
+            net.close()
+
+
+class TestResilience:
+    def test_worker_kill_respawns_and_answers_exactly(self):
+        g = random_graph(300, 0.02, seed=20)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 15))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            engine = net.cluster()
+            net.query("s").limit(3).backend("cluster").run()
+            transport = engine._resources["transport"]
+            victim = transport.peers[0]
+            victim.proc.terminate()
+            victim.proc.wait(timeout=10)
+            got = net.query("s").limit(3).backend("cluster").run()
+            ref = net.query("s").limit(3).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            # The dead slot was refilled (stores re-shipped to the fresh
+            # worker on demand) and the whole peer set is serving again.
+            assert transport.respawns == 1
+            assert transport.alive_peers == WORKERS
+        finally:
+            net.close()
+
+    def test_standby_worker_absorbs_kill_without_respawn_budget(self):
+        # 3 workers over 2 shards: kill a shard owner mid-stream and
+        # exhaust the respawn budget first — the round must re-issue the
+        # orphaned task to the standby worker.
+        g = random_graph(300, 0.02, seed=21)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 16))
+        net.cluster(workers=3, shards=2, min_nodes=0)
+        try:
+            engine = net.cluster()
+            net.query("s").limit(3).backend("cluster").run()
+            transport = engine._resources["transport"]
+            transport.respawn_budget = 0
+            victim = transport.peers[0]
+            victim.proc.terminate()
+            victim.proc.wait(timeout=10)
+            got = net.query("s").limit(3).backend("cluster").run()
+            ref = net.query("s").limit(3).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            assert transport.respawns == 0
+            assert transport.alive_peers == 2
+        finally:
+            net.close()
+
+    def test_all_workers_dead_raises_cluster_error(self):
+        g = random_graph(300, 0.02, seed=22)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 17))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            engine = net.cluster()
+            net.query("s").limit(3).backend("cluster").run()
+            transport = engine._resources["transport"]
+            transport.respawn_budget = 0
+            for peer in transport.peers:
+                peer.proc.terminate()
+                peer.proc.wait(timeout=10)
+            with pytest.raises(ClusterError):
+                net.query("s").limit(3).backend("cluster").run()
+        finally:
+            net.close()
+
+    def test_engine_close_is_idempotent(self):
+        g = random_graph(100, 0.03, seed=23)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 18))
+        engine = net.cluster(workers=WORKERS, min_nodes=0)
+        net.query("s").limit(3).backend("cluster").run()
+        net.close()
+        net.close()
+        assert engine.closed
+        with pytest.raises(ClusterError):
+            engine.execute_scan(
+                net.scores_of("s"), QueryRequest(k=3).spec(), "base"
+            )
+
+
+class TestAddressedWorkers:
+    def test_connect_to_externally_started_workers(self):
+        # The multi-machine form: workers started out-of-band (here via
+        # spawn_local_worker, exactly what `repro.cli cluster-worker`
+        # runs), the engine given only their host:port addresses.
+        from repro.cluster import spawn_local_worker
+
+        ext = [spawn_local_worker(100), spawn_local_worker(101)]
+        g = random_graph(300, 0.02, seed=30)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 19))
+        net.cluster(workers=[p.address for p in ext], min_nodes=0)
+        try:
+            got = net.query("s").limit(5).backend("cluster").run()
+            ref = net.query("s").limit(5).backend("numpy").run()
+            assert _entries(got) == _entries(ref)
+            assert got.stats.backend == "cluster"
+        finally:
+            net.close()
+            for peer in ext:
+                peer.close()
+
+
+class TestDeclineRule:
+    def test_small_graph_declines_without_spawning(self):
+        g = random_graph(100, 0.04, seed=40)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 8))
+        engine = net.cluster(workers=WORKERS)  # default min_nodes floor
+        try:
+            result = net.query("s").limit(4).backend("cluster").run()
+            ref = net.query("s").limit(4).backend("numpy").run()
+            assert _entries(result) == _entries(ref)
+            # Declined: ran in-process; no worker process ever spawned.
+            assert result.stats.backend == "numpy"
+            assert engine.stats()["declined"] >= 1
+            assert engine.stats()["started"] is False
+        finally:
+            net.close()
+
+    def test_single_worker_declines(self):
+        g = random_graph(100, 0.04, seed=41)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(100, 9))
+        net.cluster(workers=1, min_nodes=0)
+        try:
+            result = net.query("s").limit(4).backend("cluster").run()
+            assert result.stats.backend == "numpy"
+        finally:
+            net.close()
+
+    def test_planner_charges_cluster_fixed_cost(self):
+        from repro.core.planner import BACKEND_FIXED_COSTS, QueryPlanner
+        from repro.core.query import QuerySpec
+
+        g = random_graph(120, 0.03, seed=42)
+        scores = _dense_scores(120, 10)
+        clu = QueryPlanner(g, scores, hops=2, backend="cluster").plan(
+            QuerySpec(k=5)
+        )
+        par = QueryPlanner(g, scores, hops=2, backend="parallel").plan(
+            QuerySpec(k=5)
+        )
+        fixed = BACKEND_FIXED_COSTS["cluster"]
+        assert fixed > BACKEND_FIXED_COSTS["parallel"]
+        for algorithm in ("base", "backward"):
+            assert clu.estimate_for(algorithm).fixed_cost == fixed
+        # Socket rounds cost strictly more than queue IPC on this tiny
+        # graph, mirroring the runtime decline rules.
+        assert (
+            clu.estimate_for("base").total_amortized()
+            > par.estimate_for("base").total_amortized()
+        )
+        assert "socket cluster" in clu.explain()
+
+
+class TestServiceClusterMode:
+    def test_service_runs_queries_on_cluster_backend(self):
+        g = random_graph(300, 0.02, seed=50)
+        net = Network(g, hops=2)
+        net.add_scores("a", _dense_scores(300, 11))
+        net.add_scores("b", _dense_scores(300, 12))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            net.service(workers=2, cluster=True)
+            handles = [
+                net.query(s).limit(5).submit(cached=False)
+                for s in ("a", "b", "a", "b")
+            ]
+            results = [h.result(timeout=120) for h in handles]
+            backends = {r.stats.backend for r in results}
+            assert backends <= {"cluster"}
+            refs = [
+                net.query(s).limit(5).backend("numpy").run()
+                for s in ("a", "b", "a", "b")
+            ]
+            for got, ref in zip(results, refs):
+                assert _entries(got) == _entries(ref)
+            stats = net.service().stats()
+            assert stats["cluster_mode"] is True
+            assert stats["cluster"]["last_comm"] is not None
+            assert stats["cluster"]["comm"]["bytes_sent"] > 0
+        finally:
+            net.close()
+
+    def test_pinned_backend_survives_cluster_mode(self):
+        g = random_graph(300, 0.02, seed=51)
+        net = Network(g, hops=2)
+        net.add_scores("a", _dense_scores(300, 13))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            net.service(workers=2, cluster=True)
+            result = (
+                net.query("a").limit(5).backend("numpy")
+                .submit(cached=False).result(timeout=120)
+            )
+            assert result.stats.backend == "numpy"
+        finally:
+            net.close()

@@ -22,6 +22,7 @@ CASES = [
     ("gene_coexpression.py", []),
     ("intrusion_detection.py", ["0.15"]),
     ("distributed_topk.py", ["3"]),
+    ("cluster_topk.py", ["2"]),
     ("relational_comparison.py", []),
     ("weighted_influence.py", []),
     ("dynamic_monitoring.py", []),

@@ -286,6 +286,28 @@ class TestAdmission:
         assert info.value.retry_after > 0
         assert controller.counters["shed"] == 1
 
+    def test_shedding_prices_backend_fixed_cost(self):
+        # Satellite of the cluster backend: the shed comparison adds the
+        # backend's fixed overhead, so a query that passes in-process is
+        # rejected when routed to a backend whose dispatch tax alone
+        # overflows the budget.
+        controller = AdmissionController(
+            cost_of=lambda request: float(request.k),
+            fixed_cost_of=lambda request: (
+                15.0 if request.backend == "cluster" else 0.0
+            ),
+            load_of=lambda: 0.9,
+            shed_watermark=0.5,
+            cost_limit=100.0,
+        )
+        # budget = 100 * (1 - 0.9) / (1 - 0.5) = 20; k=10 in-process passes
+        controller.admit(QueryRequest(k=10))()
+        # ... but the same k pinned to cluster pays 10 + 15 = 25 > 20.
+        with pytest.raises(ServiceOverloadedError) as info:
+            controller.admit(QueryRequest(k=10, backend="cluster"))
+        assert info.value.estimated_cost == 25.0
+        assert controller.counters["shed"] == 1
+
     def test_no_shedding_below_watermark(self):
         controller = AdmissionController(
             cost_of=lambda request: 1e9,
