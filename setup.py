@@ -18,4 +18,11 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    extras_require={
+        # Everything runs dependency-free on the python backend; numpy
+        # unlocks the vectorized/parallel/cluster tiers and numba the
+        # compiled kernel tier (backend="native").
+        "numpy": ["numpy"],
+        "native": ["numpy", "numba"],
+    },
 )

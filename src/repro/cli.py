@@ -398,8 +398,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     query.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel", "cluster"),
-        help="execution backend (auto = vectorized when numpy is installed; "
+        choices=("auto", "python", "numpy", "native", "parallel", "cluster"),
+        help="execution backend (auto = compiled kernels when numba is "
+        "installed, else vectorized numpy; native = jitted CSR kernels; "
         "parallel = multi-process shared-memory shards; cluster = "
         "socket-connected cluster workers)",
     )
@@ -433,7 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     explain.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel", "cluster"),
+        choices=("auto", "python", "numpy", "native", "parallel", "cluster"),
         help="execution backend the plan will run on",
     )
     explain.add_argument(
@@ -490,7 +491,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "python", "numpy", "parallel", "cluster"),
+        choices=("auto", "python", "numpy", "native", "parallel", "cluster"),
         help="execution backend",
     )
     serve.add_argument(

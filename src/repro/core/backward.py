@@ -129,7 +129,22 @@ def backward_topk(
         reused across queries for verification-phase expansions.  Ignored
         by the Python backend.
     """
-    if resolve_backend(spec.backend) != "python":
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native":
+        from repro.native.engine import backward_topk_native
+
+        return backward_topk_native(
+            graph,
+            scores,
+            spec,
+            gamma=gamma,
+            distribution_fraction=distribution_fraction,
+            sizes=sizes,
+            csr=csr,  # type: ignore[arg-type]
+            rev_csr=rev_csr,  # type: ignore[arg-type]
+            ball_cache=ball_cache,
+        )
+    if concrete != "python":
         from repro.core.vectorized import backward_topk_numpy
 
         return backward_topk_numpy(

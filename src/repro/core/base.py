@@ -50,7 +50,14 @@ def base_topk(
     :class:`~repro.graph.csr.CSRGraph` view (sessions cache one across
     queries); ignored by the Python backend.
     """
-    if resolve_backend(spec.backend) != "python":
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native":
+        from repro.native.engine import base_topk_native
+
+        return base_topk_native(
+            graph, scores, spec, node_order=node_order, csr=csr  # type: ignore[arg-type]
+        )
+    if concrete != "python":
         from repro.core.vectorized import base_topk_numpy
 
         return base_topk_numpy(

@@ -168,7 +168,14 @@ def batch_base_topk(
         # runs the same fused kernel in-process.  BatchTopKEngine
         # dispatches shards when it holds a context.
         concrete = "numpy"
-    if concrete == "numpy":
+    if concrete == "native":
+        from repro.native.engine import shared_scan_native
+
+        shared_scan_native(
+            graph, batch, folded_scores, accumulators, hops, include_self,
+            counter, csr=csr,
+        )
+    elif concrete == "numpy":
         _shared_scan_numpy(
             graph, batch, folded_scores, accumulators, hops, include_self,
             counter, csr=csr,

@@ -79,6 +79,24 @@ def choose_algorithm(
     return "base"
 
 
+def _kernel_tier(backend: str) -> str:
+    """Which kernel tier a concrete backend's hot loops run on.
+
+    ``parallel``/``cluster`` workers run the numpy kernels (unless a result
+    already carries a more specific tag); ``native`` results tag themselves
+    with compile provenance in the native engine.
+    """
+    if backend in ("python", "native"):
+        return backend
+    return "numpy"
+
+
+def _with_kernel(result: TopKResult) -> TopKResult:
+    """Stamp kernel-tier provenance into ``stats.extra`` (idempotent)."""
+    result.stats.extra.setdefault("kernel", _kernel_tier(result.stats.backend))
+    return result
+
+
 def _check_context_match(ctx: GraphContext, request: QueryRequest) -> None:
     """The context's caches are built for one (hops, ball convention);
     serving a request with a different one would be silently unsound."""
@@ -196,8 +214,10 @@ def execute(
         from repro.relational.engine import relational_topk
 
         _reject_inapplicable_knobs(request, "relational")
-        return relational_topk(
-            ctx.graph, scores.values(), spec, candidates=request.candidates
+        return _with_kernel(
+            relational_topk(
+                ctx.graph, scores.values(), spec, candidates=request.candidates
+            )
         )
     concrete = resolve_backend(spec.backend)
     if request.candidates is not None:
@@ -221,8 +241,8 @@ def execute(
                 scores, spec, "base", candidates=request.candidates
             )
             if result is not None:
-                return result
-        return _filtered_topk(ctx, scores, request)
+                return _with_kernel(result)
+        return _with_kernel(_filtered_topk(ctx, scores, request))
     if algorithm == "auto":
         algorithm = choose_algorithm(
             scores,
@@ -241,34 +261,38 @@ def execute(
         # and the query falls through to the in-process vectorized path.
         result = _sharded_execute(ctx, scores, request, algorithm, concrete)
         if result is not None:
-            return result
+            return _with_kernel(result)
     vectorized = concrete != "python"
     csr = ctx.csr() if vectorized else None
     if algorithm == "base":
-        return base_topk(ctx.graph, scores, spec, csr=csr)
+        return _with_kernel(base_topk(ctx.graph, scores, spec, csr=csr))
     if algorithm == "forward":
         ctx.build_indexes()
-        return forward_topk(
-            ctx.graph,
-            scores,
-            spec,
-            diff_index=ctx.diff_index,
-            ordering=request.ordering,
-            seed=request.seed,
-            csr=csr,
+        return _with_kernel(
+            forward_topk(
+                ctx.graph,
+                scores,
+                spec,
+                diff_index=ctx.diff_index,
+                ordering=request.ordering,
+                seed=request.seed,
+                csr=csr,
+            )
         )
     # backward
     sizes = ctx.size_index(exact=request.exact_sizes)
-    return backward_topk(
-        ctx.graph,
-        scores,
-        spec,
-        gamma=request.gamma,  # type: ignore[arg-type]
-        distribution_fraction=request.distribution_fraction,
-        sizes=sizes,
-        csr=csr,
-        rev_csr=ctx.rev_csr() if vectorized else None,
-        ball_cache=ctx.ball_cache() if vectorized else None,
+    return _with_kernel(
+        backward_topk(
+            ctx.graph,
+            scores,
+            spec,
+            gamma=request.gamma,  # type: ignore[arg-type]
+            distribution_fraction=request.distribution_fraction,
+            sizes=sizes,
+            csr=csr,
+            rev_csr=ctx.rev_csr() if vectorized else None,
+            ball_cache=ctx.ball_cache() if vectorized else None,
+        )
     )
 
 
@@ -337,9 +361,12 @@ def execute_weighted(
             )
             result = engine.execute_weighted(scores, spec, profile)
             if result is not None:
-                return result
-        return weighted_base_topk(
-            ctx.graph, scores, spec, profile, csr=ctx.csr() if vectorized else None
+                return _with_kernel(result)
+        return _with_kernel(
+            weighted_base_topk(
+                ctx.graph, scores, spec, profile,
+                csr=ctx.csr() if vectorized else None,
+            )
         )
     if algorithm != "backward":
         raise InvalidParameterError(
@@ -367,18 +394,20 @@ def execute_weighted(
         )
         result = engine.execute_weighted(scores, spec, profile)
         if result is not None:
-            return result
-    return weighted_backward_topk(
-        ctx.graph,
-        scores,
-        spec,
-        profile,
-        gamma=gamma,  # type: ignore[arg-type]
-        distribution_fraction=fraction,
-        sizes=ctx.size_index(exact=exact_sizes),
-        csr=ctx.csr() if vectorized else None,
-        rev_csr=ctx.rev_csr() if vectorized else None,
-        dist_ball_cache=ctx.dist_ball_cache() if vectorized else None,
+            return _with_kernel(result)
+    return _with_kernel(
+        weighted_backward_topk(
+            ctx.graph,
+            scores,
+            spec,
+            profile,
+            gamma=gamma,  # type: ignore[arg-type]
+            distribution_fraction=fraction,
+            sizes=ctx.size_index(exact=exact_sizes),
+            csr=ctx.csr() if vectorized else None,
+            rev_csr=ctx.rev_csr() if vectorized else None,
+            dist_ball_cache=ctx.dist_ball_cache() if vectorized else None,
+        )
     )
 
 
@@ -409,7 +438,21 @@ def _iter_exact_values(
     either way.
     """
     kind = spec.aggregate
-    if resolve_backend(spec.backend) != "python" and len(order) > 0:
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native" and len(order) > 0:
+        import numpy as np
+
+        from repro.native.engine import iter_exact_values_native
+
+        csr = ctx.csr()
+        folded = np.asarray(fold_scores(kind, scores), dtype=np.float64)
+        eff_kind = AggregateKind.SUM if kind is AggregateKind.COUNT else kind
+        yield from iter_exact_values_native(
+            csr, order, folded, eff_kind, spec.hops, spec.include_self,
+            counter, ctx.graph.num_nodes,
+        )
+        return
+    if concrete != "python" and len(order) > 0:
         import numpy as np
 
         from repro.core.vectorized import aggregate_ball_segments, resolve_block_size

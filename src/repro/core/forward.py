@@ -87,7 +87,20 @@ def forward_topk(
         ``graph`` (the engine caches one across queries).  Ignored by the
         Python backend.
     """
-    if resolve_backend(spec.backend) != "python":
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native":
+        from repro.native.engine import forward_topk_native
+
+        return forward_topk_native(
+            graph,
+            scores,
+            spec,
+            diff_index=diff_index,
+            ordering=ordering,
+            seed=seed,
+            csr=csr,  # type: ignore[arg-type]
+        )
+    if concrete != "python":
         from repro.core.vectorized import forward_topk_numpy
 
         return forward_topk_numpy(

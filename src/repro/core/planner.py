@@ -82,6 +82,14 @@ BACKEND_COST_FACTORS = {
     # 1 / measured route speedup, benchmarks/BENCH_backend_coverage.json
     # (fig1, scale 1.0): base 4.19x, forward 3.67x, backward 6.09x.
     "numpy": {"base": 0.24, "forward": 0.27, "backward": 0.16},
+    # Compiled CSR kernels (numba) on top of the numpy skeletons: base is
+    # fully in-kernel (biggest win), forward keeps numpy bookkeeping around
+    # the jitted ball/prune loops, backward only compiles its verification
+    # phase (distribution stays numpy for bit-parity), so it gains the
+    # least relative to numpy.  Targets from benchmarks/BENCH_native.json;
+    # the ordering (native < numpy per route) is what the calibration
+    # tests pin.
+    "native": {"base": 0.11, "forward": 0.13, "backward": 0.08},
     # numpy factor / nominal 4-worker scaling (scans split ~perfectly,
     # backward keeps a serial merge + TA-round component).
     "parallel": {"base": 0.06, "forward": 0.07, "backward": 0.08},
@@ -95,15 +103,22 @@ BACKEND_COST_FACTORS = {
 #: Fixed per-query overhead of a backend, in the same ball-expansion
 #: currency, charged once on top of the per-expansion cost.  In-process
 #: backends have none; the parallel backend pays process dispatch + queue
-#: IPC + merge every query (~1 ms even with a warm pool — thousands of
-#: vectorized expansions' worth), which is why a small graph should route
-#: to in-process numpy even when the per-expansion factor favors parallel.
+#: IPC + merge every query, which is why a small graph should route to
+#: in-process numpy even when the per-expansion factor favors parallel.
 #: The runtime twin of this term is the engine's ``min_nodes`` decline rule
 #: (:data:`repro.parallel.engine.DEFAULT_MIN_NODES`).
 BACKEND_FIXED_COSTS = {
     "python": 0.0,
     "numpy": 0.0,
-    "parallel": 2000.0,
+    # Warm-up happens once per process (repro.native.compile_cache), not
+    # per query, so the native tier carries no per-query fixed cost.
+    "native": 0.0,
+    # Recalibrated for the leaner round (shared-memory reply buffers
+    # replaced pickled pipe replies; benchmarks/bench_native.py): a warm
+    # backward query now measures ~50-105 expansion-equivalents of round
+    # overhead vs ~1 ms (thousands) before.  Kept conservative at 500 —
+    # multi-round plans pay it repeatedly and cold exports cost more.
+    "parallel": 500.0,
     # Socket rounds cost strictly more than queue IPC: connection fan-out,
     # frame encode/decode, and store shipping on cold peers.  The runtime
     # twin is the cluster engine's min_nodes decline rule.
@@ -209,6 +224,8 @@ class ExecutionPlan:
             + (
                 " (vectorized CSR)"
                 if self.backend == "numpy"
+                else " (compiled CSR kernels)"
+                if self.backend == "native"
                 else " (sharded multi-process)"
                 if self.backend == "parallel"
                 else " (socket cluster)"

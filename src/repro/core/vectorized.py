@@ -101,9 +101,20 @@ _CELL_BUDGET = 1 << 25
 #: expansion stays cache-resident instead of thrashing on dense graphs.
 _SLAB_BUDGET = 1 << 20
 
+#: Block ceiling for the native (compiled) kernel tier.  Its per-center
+#: stamp-BFS carries no ``block * num_nodes`` visited buffer and no
+#: neighbor-slab gathers, so neither budget above applies; bigger blocks
+#: just amortize the per-call dispatch further.  4096 keeps the per-block
+#: scratch (centers + two result vectors) inside L2.
+_NATIVE_MAX_BLOCK = 4096
+
 
 def adaptive_block_size(
-    num_nodes: int, num_arcs: int, *, pruning: bool = False
+    num_nodes: int,
+    num_arcs: int,
+    *,
+    pruning: bool = False,
+    backend: str = "numpy",
 ) -> int:
     """Candidates per multi-source BFS round, from graph size and degree.
 
@@ -119,9 +130,21 @@ def adaptive_block_size(
     ~1/8 of the graph, at most 256: threshold-driven kernels only re-check
     the rising ``topklbound`` *between* blocks, so evaluating a large slice
     of the graph per round would erase the pruning the blocking exists for.
+
+    ``backend="native"`` swaps in the compiled tier's profile: its
+    per-center stamp-BFS allocates no block-by-graph buffer and no neighbor
+    slabs, so neither memory budget applies — blocks run to
+    ``_NATIVE_MAX_BLOCK`` (dispatch amortization only), and the pruning cap
+    relaxes to 1024 because a compiled block is cheap enough that re-checking
+    the threshold less often costs less than it saves.
     """
     if num_nodes <= 0:
         return _MIN_BLOCK
+    if backend == "native":
+        block = min(_NATIVE_MAX_BLOCK, max(_MIN_BLOCK, num_nodes))
+        if pruning:
+            block = min(block, max(_MIN_BLOCK, min(1024, num_nodes // 8)))
+        return block
     avg_degree = num_arcs / num_nodes
     slab_cap = int(_SLAB_BUDGET / max(avg_degree, 1.0))
     cell_cap = _CELL_BUDGET // num_nodes
@@ -132,12 +155,23 @@ def adaptive_block_size(
 
 
 def resolve_block_size(
-    requested: Optional[int], num_nodes: int, num_arcs: int, *, pruning: bool = False
+    requested: Optional[int],
+    num_nodes: int,
+    num_arcs: int,
+    *,
+    pruning: bool = False,
+    backend: str = "numpy",
 ) -> int:
     """``None`` -> :func:`adaptive_block_size`; explicit requests only get
-    clamped to the visited-buffer budget (tests pin tiny blocks on purpose)."""
+    clamped to the visited-buffer budget (tests pin tiny blocks on purpose).
+    The native tier has no such buffer, so its explicit requests pass
+    through unclamped."""
     if requested is None:
-        return adaptive_block_size(num_nodes, num_arcs, pruning=pruning)
+        return adaptive_block_size(
+            num_nodes, num_arcs, pruning=pruning, backend=backend
+        )
+    if backend == "native":
+        return max(1, int(requested))
     return max(1, min(int(requested), _CELL_BUDGET // max(num_nodes, 1)))
 
 

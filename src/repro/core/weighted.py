@@ -71,7 +71,14 @@ def weighted_base_topk(
     numpy CSR view (ignored by the Python backend).
     """
     _check_spec(spec)
-    if resolve_backend(spec.backend) != "python":
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native":
+        from repro.native.engine import weighted_base_topk_native
+
+        return weighted_base_topk_native(
+            graph, scores, spec, profile, csr=csr  # type: ignore[arg-type]
+        )
+    if concrete != "python":
         from repro.core.vectorized import weighted_base_topk_numpy
 
         return weighted_base_topk_numpy(
@@ -133,7 +140,23 @@ def weighted_backward_topk(
     All three are ignored by the Python backend.
     """
     _check_spec(spec)
-    if resolve_backend(spec.backend) != "python":
+    concrete = resolve_backend(spec.backend)
+    if concrete == "native":
+        from repro.native.engine import weighted_backward_topk_native
+
+        return weighted_backward_topk_native(
+            graph,
+            scores,
+            spec,
+            profile,
+            gamma=gamma,
+            distribution_fraction=distribution_fraction,
+            sizes=sizes,
+            csr=csr,  # type: ignore[arg-type]
+            rev_csr=rev_csr,  # type: ignore[arg-type]
+            dist_ball_cache=dist_ball_cache,
+        )
+    if concrete != "python":
         from repro.core.vectorized import weighted_backward_topk_numpy
 
         return weighted_backward_topk_numpy(

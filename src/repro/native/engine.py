@@ -1,0 +1,864 @@
+"""Route adapters for ``backend="native"`` — numpy's route table, compiled.
+
+One function per executor route, mirroring :mod:`repro.core.vectorized`
+argument-for-argument so the front doors (:func:`repro.core.base.base_topk`
+and friends) dispatch here exactly like they dispatch to the numpy twins.
+The division of labor per route follows where the profile says the python
+orchestration cost lives:
+
+* **base / weighted base / batch / exact values** — fully native: each
+  candidate block is one kernel call (stamp-BFS + sorted-member
+  aggregation), no per-block numpy temporaries at all.
+* **forward** — the numpy skeleton (ordering, lazy bound cuts, offers)
+  with native kernels for the two hot phases: ball evaluation and the
+  Eq. 1 arc-level prune loop.
+* **backward / weighted backward** — phases 1–2 (distribution + Eq. 3
+  bounds) reuse the numpy code *verbatim*: their per-block ``bincount``
+  accumulation order is part of the float contract (in the exact-shortcut
+  regime the partials are the answers), so re-ordering it in a kernel
+  would diverge in the last ulp.  Only phase 3 — TA verification, the
+  numpy backend's known weak spot (one python-driven expansion per
+  candidate) — is replaced with blocked native kernels, cut at the rising
+  threshold like the weighted numpy kernel's blocked verification.
+
+Every result reports ``backend="native"`` plus kernel provenance in
+``stats.extra`` (``kernel``/``kernel_mode``/``jit_compile_sec``); jit
+warm-up runs *before* the query timer starts so compile cost never lands
+in ``elapsed_sec``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from repro.aggregates.functions import AggregateKind
+from repro.core.deadline import check_deadline
+from repro.core.query import QuerySpec
+from repro.core.results import QueryStats, TopKResult
+from repro.core.topk import TopKAccumulator
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph, batched_hop_balls, to_csr
+from repro.graph.diffindex import DifferentialIndex, build_differential_index
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import NeighborhoodSizeIndex
+from repro.graph.traversal import TraversalCounter
+from repro.native import kernels
+from repro.native.compile_cache import ensure_warm
+
+__all__ = [
+    "base_topk_native",
+    "forward_topk_native",
+    "backward_topk_native",
+    "weighted_base_topk_native",
+    "weighted_backward_topk_native",
+    "shared_scan_native",
+    "iter_exact_values_native",
+]
+
+_KIND_CODES = {
+    AggregateKind.SUM: kernels.KIND_SUM,
+    AggregateKind.AVG: kernels.KIND_AVG,
+    AggregateKind.MAX: kernels.KIND_MAX,
+    AggregateKind.MIN: kernels.KIND_MIN,
+}
+
+
+class _Workspace:
+    """Per-query kernel scratch: stamp array, member/dist buffers, gens."""
+
+    __slots__ = ("stamp", "member_buf", "dist_buf", "scaled_buf", "_gen", "_np")
+
+    def __init__(self, np, n: int) -> None:
+        self._np = np
+        self.stamp = np.zeros(max(n, 1), dtype=np.int64)
+        self.member_buf = np.empty(max(n, 1), dtype=np.int64)
+        self.dist_buf = None
+        self.scaled_buf = None
+        self._gen = 0
+
+    def take(self, count: int) -> int:
+        """Reserve ``count`` fresh stamp generations; returns the first."""
+        first = self._gen + 1
+        self._gen += max(count, 1)
+        return first
+
+    def with_distances(self):
+        np = self._np
+        if self.dist_buf is None:
+            self.dist_buf = np.empty(self.member_buf.size, dtype=np.int64)
+            self.scaled_buf = np.empty(self.member_buf.size, dtype=np.int64)
+        return self
+
+
+def _stamp_kernel_extra(stats: QueryStats, compile_sec: float) -> None:
+    stats.extra["kernel"] = "native"
+    stats.extra["kernel_mode"] = kernels.KERNEL_MODE
+    stats.extra["jit_compile_sec"] = compile_sec
+
+
+def _native_block_size(requested, n, num_arcs, *, pruning=False):
+    from repro.core.vectorized import resolve_block_size
+
+    return resolve_block_size(
+        requested, n, num_arcs, pruning=pruning, backend="native"
+    )
+
+
+def base_topk_native(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    node_order: Optional[Sequence[int]] = None,
+    csr: Optional[CSRGraph] = None,
+    block_size: Optional[int] = None,
+) -> TopKResult:
+    """Base (exhaustive forward processing), fully in-kernel per block."""
+    import numpy as np
+
+    compile_sec = ensure_warm()
+    kind = spec.aggregate
+    scores_arr = np.asarray(scores, dtype=np.float64)
+    eff_kind = kind
+    if kind is AggregateKind.COUNT:
+        scores_arr = np.where(scores_arr > 0.0, 1.0, 0.0)
+        eff_kind = AggregateKind.SUM
+
+    start = time.perf_counter()
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    n = graph.num_nodes
+    order = np.asarray(
+        node_order if node_order is not None else graph.nodes(), dtype=np.int64
+    )
+    block_size = _native_block_size(block_size, n, int(csr.num_arcs))
+    include_self = spec.include_self
+    kcode = _KIND_CODES[eff_kind]
+    acc = TopKAccumulator(spec.k)
+    ws = _Workspace(np, n)
+    values_buf = np.empty(block_size, dtype=np.float64)
+    sizes_buf = np.empty(block_size, dtype=np.int64)
+    edges_scanned = 0
+    nodes_visited = 0
+    from repro.core.vectorized import _offer_block
+
+    for lo in range(0, int(order.size), block_size):
+        check_deadline()
+        centers = order[lo : lo + block_size]
+        count = int(centers.size)
+        edges, pairs = kernels.aggregate_blocks(
+            csr.indptr, csr.indices, scores_arr, centers, spec.hops,
+            include_self, kcode, ws.stamp, ws.take(count), ws.member_buf,
+            values_buf[:count], sizes_buf[:count],
+        )
+        edges_scanned += int(edges)
+        nodes_visited += int(pairs) + (0 if include_self else count)
+        _offer_block(np, acc, centers, values_buf[:count])
+    stats = QueryStats(
+        algorithm="base",
+        aggregate=kind.value,
+        backend="native",
+        hops=spec.hops,
+        k=spec.k,
+        elapsed_sec=time.perf_counter() - start,
+        nodes_evaluated=int(order.size),
+        edges_scanned=edges_scanned,
+        nodes_visited=nodes_visited,
+        balls_expanded=int(order.size),
+    )
+    stats.extra["block_size"] = float(block_size)
+    _stamp_kernel_extra(stats, compile_sec)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def forward_topk_native(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    diff_index: Optional[DifferentialIndex] = None,
+    ordering: str = "ubound",
+    seed: Optional[int] = None,
+    csr: Optional[CSRGraph] = None,
+    block_size: Optional[int] = None,
+) -> TopKResult:
+    """LONA-Forward: numpy skeleton, native ball-eval + Eq. 1 prune loop."""
+    import numpy as np
+
+    from repro.core.vectorized import _as_scores_array, _ubound_order
+
+    compile_sec = ensure_warm()
+    kind = spec.aggregate
+    if not kind.lona_supported:
+        raise InvalidParameterError(
+            f"LONA-Forward supports SUM/AVG/COUNT, not {kind.value}; "
+            "use algorithm='base' for MAX/MIN"
+        )
+    scores_arr, kind = _as_scores_array(np, scores, kind)
+    is_avg = kind is AggregateKind.AVG
+
+    build_sec = 0.0
+    if diff_index is None:
+        build_start = time.perf_counter()
+        diff_index = build_differential_index(
+            graph, spec.hops, include_self=spec.include_self
+        )
+        build_sec = time.perf_counter() - build_start
+    diff_index.check_compatible(graph, spec.hops, spec.include_self)
+
+    start = time.perf_counter()
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    deltas = np.asarray(diff_index.flat_deltas(), dtype=np.float64)
+    n = graph.num_nodes
+    hops = spec.hops
+    include_self = spec.include_self
+    sizes = np.asarray(diff_index.sizes.upper_values(), dtype=np.int64)
+
+    if include_self:
+        static_ub = np.maximum(sizes - 1, 0) + scores_arr
+    else:
+        static_ub = sizes.astype(np.float64)
+    ubound_sum = static_ub.copy()
+    inv_size = 1.0 / np.maximum(sizes, 1) if is_avg else np.ones(1)
+
+    pruned = np.zeros(n, dtype=np.bool_)
+    evaluated = np.zeros(n, dtype=np.bool_)
+
+    stats = QueryStats(
+        algorithm="forward",
+        aggregate=spec.aggregate.value,
+        backend="native",
+        hops=hops,
+        k=spec.k,
+        index_build_sec=build_sec,
+    )
+
+    if ordering == "ubound":
+        order = _ubound_order(np, kind, scores_arr, diff_index.sizes)
+    else:
+        from repro.core.ordering import make_order
+
+        order = np.asarray(
+            make_order(
+                ordering, graph, scores_arr.tolist(), kind=kind,
+                sizes=diff_index.sizes, seed=seed,
+            ),
+            dtype=np.int64,
+        )
+
+    acc = TopKAccumulator(spec.k)
+    bound_evals = 0
+    pruned_count = 0
+    evaluated_count = 0
+    edges_scanned = 0
+    nodes_visited = 0
+    neg_inf = float("-inf")
+    block_size = _native_block_size(
+        block_size, n, int(csr.num_arcs), pruning=True
+    )
+    ws = _Workspace(np, n)
+    values_buf = np.empty(block_size, dtype=np.float64)
+    sizes_buf = np.empty(block_size, dtype=np.int64)
+
+    position = 0
+    while position < order.size:
+        check_deadline()
+        block = order[position : position + block_size]
+        position += block_size
+        live = block[~(evaluated[block] | pruned[block])]
+        if live.size == 0:
+            continue
+        threshold = acc.threshold
+        effective = ubound_sum[live] * inv_size[live] if is_avg else ubound_sum[live]
+        if threshold != neg_inf:
+            cut = effective <= threshold
+            newly_pruned = live[cut]
+            pruned[newly_pruned] = True
+            pruned_count += int(newly_pruned.size)
+            live = live[~cut]
+            if live.size == 0:
+                continue
+
+        # Exact forward processing: one native stamp-BFS pass, SUM + sizes.
+        count = int(live.size)
+        edges, pairs = kernels.aggregate_blocks(
+            csr.indptr, csr.indices, scores_arr, live, hops, include_self,
+            kernels.KIND_SUM, ws.stamp, ws.take(count), ws.member_buf,
+            values_buf[:count], sizes_buf[:count],
+        )
+        edges_scanned += int(edges)
+        nodes_visited += int(pairs) + (0 if include_self else count)
+        ball_sums = values_buf[:count]
+        ball_sizes = sizes_buf[:count]
+        evaluated[live] = True
+        evaluated_count += count
+        if is_avg:
+            values = np.divide(
+                ball_sums,
+                ball_sizes,
+                out=np.zeros(count, dtype=np.float64),
+                where=ball_sizes > 0,
+            )
+        else:
+            values = ball_sums
+        offer = acc.offer
+        for node, value in zip(live.tolist(), values.tolist()):
+            offer(node, value)
+        threshold = acc.threshold
+
+        # pruneNodes for the block, arc-level (same Eq. 1 gate as numpy).
+        gate = ball_sums <= threshold
+        sources = live[gate]
+        if sources.size == 0:
+            continue
+        source_sums = np.ascontiguousarray(ball_sums[gate])
+        be, pc = kernels.forward_prune_block(
+            csr.indptr, csr.indices, deltas, sources, source_sums,
+            ubound_sum, evaluated, pruned, float(threshold), is_avg,
+            inv_size, ws.stamp, ws.take(1), ws.member_buf,
+        )
+        bound_evals += int(be)
+        pruned_count += int(pc)
+
+    stats.nodes_evaluated = evaluated_count
+    stats.pruned_nodes = pruned_count
+    stats.bound_evaluations = bound_evals
+    stats.elapsed_sec = time.perf_counter() - start
+    stats.edges_scanned = edges_scanned
+    stats.nodes_visited = nodes_visited
+    stats.balls_expanded = evaluated_count
+    stats.extra["ordering"] = ordering
+    stats.extra["block_size"] = float(block_size)
+    _stamp_kernel_extra(stats, compile_sec)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def backward_topk_native(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    *,
+    gamma: Union[float, str] = "auto",
+    distribution_fraction: float = 0.1,
+    sizes: Optional[NeighborhoodSizeIndex] = None,
+    csr: Optional[CSRGraph] = None,
+    rev_csr: Optional[CSRGraph] = None,
+    ball_cache=None,
+) -> TopKResult:
+    """LONA-Backward: numpy phases 1–2, blocked native TA verification.
+
+    ``ball_cache`` is accepted for signature parity with the numpy twin but
+    unused — the blocked kernel re-expands candidates faster than the
+    python-driven cache walk it replaces.
+    """
+    import numpy as np
+
+    from repro.core.vectorized import (
+        _as_scores_array,
+        backward_distribution_split,
+        backward_eq3_bounds,
+        backward_shortcut_values,
+        resolve_block_size,
+    )
+
+    compile_sec = ensure_warm()
+    kind = spec.aggregate
+    if not kind.lona_supported:
+        raise InvalidParameterError(
+            f"LONA-Backward supports SUM/AVG/COUNT, not {kind.value}; "
+            "use algorithm='base' for MAX/MIN"
+        )
+    scores_arr, kind = _as_scores_array(np, scores, kind)
+    is_avg = kind is AggregateKind.AVG
+
+    build_sec = 0.0
+    if sizes is None:
+        build_start = time.perf_counter()
+        sizes = NeighborhoodSizeIndex.estimated(
+            graph, spec.hops, include_self=spec.include_self
+        )
+        build_sec = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    counter = TraversalCounter()
+    n = graph.num_nodes
+    include_self = spec.include_self
+    stats = QueryStats(
+        algorithm="backward",
+        aggregate=spec.aggregate.value,
+        backend="native",
+        hops=spec.hops,
+        k=spec.k,
+        index_build_sec=build_sec,
+    )
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+
+    # Phases 1–2 run the numpy code verbatim: the per-block bincount
+    # accumulation order is part of the float contract (exact-shortcut
+    # partials ARE the answers), so it must not be re-associated.
+    distributed, effective_gamma, rest_bound = backward_distribution_split(
+        np, scores_arr, gamma, distribution_fraction
+    )
+    if not graph.directed:
+        dist_csr = csr
+    elif rev_csr is not None:
+        dist_csr = rev_csr
+    else:
+        dist_csr = to_csr(graph.reversed(), use_numpy=True)
+    partial = np.zeros(n, dtype=np.float64)
+    covered = np.zeros(n, dtype=np.int64)
+    self_distributed = np.zeros(n, dtype=bool)
+    pushes = 0
+    block_size = resolve_block_size(None, n, int(dist_csr.num_arcs))
+    for lo in range(0, int(distributed.size), block_size):
+        check_deadline()
+        block = distributed[lo : lo + block_size]
+        owners, members, edges = batched_hop_balls(
+            dist_csr, block, spec.hops, include_self=include_self
+        )
+        counter.edges_scanned += edges
+        counter.nodes_visited += int(members.size) + (
+            0 if include_self else int(block.size)
+        )
+        counter.balls_expanded += int(block.size)
+        ball_sizes = np.bincount(owners, minlength=block.size)
+        partial += np.bincount(
+            members, weights=np.repeat(scores_arr[block], ball_sizes), minlength=n
+        )
+        covered += np.bincount(members, minlength=n)
+        pushes += int(members.size)
+    stats.distribution_pushes = pushes
+    if include_self:
+        self_distributed[distributed] = True
+
+    bounds = backward_eq3_bounds(
+        np,
+        scores_arr,
+        partial,
+        covered,
+        self_distributed,
+        sizes,
+        rest_bound,
+        include_self=include_self,
+        is_avg=is_avg,
+    )
+    stats.bound_evaluations = n
+    candidate_order = np.lexsort((np.arange(n), -bounds))
+
+    # Phase 3: blocked TA verification with the native ball kernel — the
+    # cut-at-threshold pattern of the weighted numpy kernel.  Over-verified
+    # candidates inside a chunk are rejected by strictly-greater
+    # acceptance, so entries match the one-at-a-time numpy loop exactly.
+    exact_shortcut = rest_bound == 0.0 and (not is_avg or sizes.is_exact)
+    shortcut_values = None
+    if exact_shortcut:
+        shortcut_values = backward_shortcut_values(
+            np,
+            scores_arr,
+            partial,
+            self_distributed,
+            sizes,
+            include_self=include_self,
+            is_avg=is_avg,
+        )
+    acc = TopKAccumulator(spec.k)
+    offered = 0
+    position = 0
+    # Verification is threshold-driven: the rising topklbound is only
+    # re-checked between chunks, so use the pruning block profile — a full
+    # native block would swallow small graphs whole and erase the TA stop.
+    vblock = _native_block_size(None, n, int(csr.num_arcs), pruning=True)
+    ws = _Workspace(np, n)
+    values_buf = np.empty(vblock, dtype=np.float64)
+    sizes_buf = np.empty(vblock, dtype=np.int64)
+    while position < n:
+        check_deadline()
+        chunk = candidate_order[position : position + vblock]
+        position += int(chunk.size)
+        if acc.is_full:
+            live = bounds[chunk] > acc.threshold
+            if not live.all():
+                # Bounds are non-increasing along candidate_order, so the
+                # survivors are a prefix; everything after is pruned.
+                chunk = chunk[: int(np.argmin(live))]
+                stats.early_terminated = True
+        if chunk.size == 0:
+            break
+        count = int(chunk.size)
+        if exact_shortcut:
+            values = shortcut_values[chunk]
+        else:
+            chunk = np.ascontiguousarray(chunk)
+            edges, pairs = kernels.aggregate_blocks(
+                csr.indptr, csr.indices, scores_arr, chunk, spec.hops,
+                include_self, kernels.KIND_SUM, ws.stamp, ws.take(count),
+                ws.member_buf, values_buf[:count], sizes_buf[:count],
+            )
+            counter.edges_scanned += int(edges)
+            counter.nodes_visited += int(pairs) + (0 if include_self else count)
+            counter.balls_expanded += count
+            if is_avg:
+                values = np.divide(
+                    values_buf[:count],
+                    sizes_buf[:count],
+                    out=np.zeros(count, dtype=np.float64),
+                    where=sizes_buf[:count] > 0,
+                )
+            else:
+                values = values_buf[:count]
+            stats.nodes_evaluated += count
+            stats.candidates_verified += count
+        offer = acc.offer
+        for node, value in zip(chunk.tolist(), values.tolist()):
+            offer(node, value)
+        offered += count
+        if stats.early_terminated:
+            break
+
+    stats.pruned_nodes = n - offered
+    stats.elapsed_sec = time.perf_counter() - start
+    stats.edges_scanned = counter.edges_scanned
+    stats.nodes_visited = counter.nodes_visited
+    stats.balls_expanded = counter.balls_expanded
+    stats.extra["gamma"] = effective_gamma
+    stats.extra["distributed_nodes"] = float(distributed.size)
+    stats.extra["rest_bound"] = rest_bound
+    stats.extra["exact_shortcut"] = float(exact_shortcut)
+    _stamp_kernel_extra(stats, compile_sec)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def weighted_base_topk_native(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    profile=None,
+    *,
+    csr: Optional[CSRGraph] = None,
+    block_size: Optional[int] = None,
+) -> TopKResult:
+    """Naive weighted scan, fully in-kernel per block (footnote 1)."""
+    import numpy as np
+
+    from repro.aggregates.weighted import inverse_distance, precompute_weights
+    from repro.core.vectorized import _check_weighted_spec, _offer_block
+
+    compile_sec = ensure_warm()
+    _check_weighted_spec(spec)
+    if profile is None:
+        profile = inverse_distance
+    weights = np.asarray(precompute_weights(profile, spec.hops), dtype=np.float64)
+    scores_arr = np.asarray(scores, dtype=np.float64)
+
+    start = time.perf_counter()
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    n = graph.num_nodes
+    block_size = _native_block_size(block_size, n, int(csr.num_arcs))
+    include_self = spec.include_self
+    acc = TopKAccumulator(spec.k)
+    ws = _Workspace(np, n).with_distances()
+    values_buf = np.empty(block_size, dtype=np.float64)
+    sizes_buf = np.empty(block_size, dtype=np.int64)
+    edges_scanned = 0
+    nodes_visited = 0
+    for lo in range(0, n, block_size):
+        check_deadline()
+        centers = np.arange(lo, min(lo + block_size, n), dtype=np.int64)
+        count = int(centers.size)
+        edges, pairs = kernels.distance_aggregate_blocks(
+            csr.indptr, csr.indices, scores_arr, weights, centers, spec.hops,
+            include_self, ws.stamp, ws.take(count), ws.member_buf,
+            ws.dist_buf, ws.scaled_buf, values_buf[:count], sizes_buf[:count],
+        )
+        edges_scanned += int(edges)
+        nodes_visited += int(pairs) + (0 if include_self else count)
+        _offer_block(np, acc, centers, values_buf[:count])
+    stats = QueryStats(
+        algorithm="weighted-base",
+        aggregate="sum",
+        backend="native",
+        hops=spec.hops,
+        k=spec.k,
+        elapsed_sec=time.perf_counter() - start,
+        nodes_evaluated=n,
+        edges_scanned=edges_scanned,
+        nodes_visited=nodes_visited,
+        balls_expanded=n,
+    )
+    stats.extra["block_size"] = float(block_size)
+    _stamp_kernel_extra(stats, compile_sec)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def weighted_backward_topk_native(
+    graph: Graph,
+    scores: Sequence[float],
+    spec: QuerySpec,
+    profile=None,
+    *,
+    gamma: Union[float, str] = "auto",
+    distribution_fraction: float = 0.1,
+    sizes: Optional[NeighborhoodSizeIndex] = None,
+    csr: Optional[CSRGraph] = None,
+    rev_csr: Optional[CSRGraph] = None,
+    dist_ball_cache=None,
+) -> TopKResult:
+    """Weighted LONA-Backward: numpy phases 1–2, blocked native verify.
+
+    ``dist_ball_cache`` is accepted for signature parity but unused (see
+    :func:`backward_topk_native`).
+    """
+    import numpy as np
+
+    from repro.aggregates.weighted import inverse_distance, precompute_weights
+    from repro.core.backward import resolve_gamma
+    from repro.core.vectorized import _check_weighted_spec, resolve_block_size
+    from repro.graph.csr import batched_hop_balls_with_distances
+
+    compile_sec = ensure_warm()
+    _check_weighted_spec(spec)
+    if profile is None:
+        profile = inverse_distance
+    weights = np.asarray(precompute_weights(profile, spec.hops), dtype=np.float64)
+    w_max = float(weights[1:].max()) if weights.size > 1 else 0.0
+    scores_arr = np.asarray(scores, dtype=np.float64)
+
+    build_sec = 0.0
+    if sizes is None:
+        build_start = time.perf_counter()
+        sizes = NeighborhoodSizeIndex.estimated(
+            graph, spec.hops, include_self=spec.include_self
+        )
+        build_sec = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    counter = TraversalCounter()
+    n = graph.num_nodes
+    include_self = spec.include_self
+    stats = QueryStats(
+        algorithm="weighted-backward",
+        aggregate="sum",
+        backend="native",
+        hops=spec.hops,
+        k=spec.k,
+        index_build_sec=build_sec,
+    )
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+
+    # Phases 1–2: numpy code verbatim (float contract — see backward).
+    nonzero_ids = np.nonzero(scores_arr > 0.0)[0]
+    nonzero_scores = scores_arr[nonzero_ids]
+    desc = np.lexsort((nonzero_ids, -nonzero_scores))
+    ordered_ids = nonzero_ids[desc]
+    ordered_scores = nonzero_scores[desc]
+    effective_gamma = resolve_gamma(
+        gamma, ordered_scores.tolist(), distribution_fraction=distribution_fraction
+    )
+    cut = int(np.searchsorted(-ordered_scores, -effective_gamma, side="right"))
+    distributed = ordered_ids[:cut]
+    rest_bound = float(ordered_scores[cut]) if cut < ordered_scores.size else 0.0
+
+    if not graph.directed:
+        dist_csr = csr
+    elif rev_csr is not None:
+        dist_csr = rev_csr
+    else:
+        dist_csr = to_csr(graph.reversed(), use_numpy=True)
+    partial = np.zeros(n, dtype=np.float64)
+    covered = np.zeros(n, dtype=np.int64)
+    self_distributed = np.zeros(n, dtype=bool)
+    pushes = 0
+    block_size = resolve_block_size(None, n, int(dist_csr.num_arcs))
+    for lo in range(0, int(distributed.size), block_size):
+        check_deadline()
+        block = distributed[lo : lo + block_size]
+        owners, members, dists, edges = batched_hop_balls_with_distances(
+            dist_csr, block, spec.hops, include_self=include_self
+        )
+        counter.edges_scanned += edges
+        counter.nodes_visited += int(members.size) + (
+            0 if include_self else int(block.size)
+        )
+        counter.balls_expanded += int(block.size)
+        ball_sizes = np.bincount(owners, minlength=block.size)
+        partial += np.bincount(
+            members,
+            weights=np.repeat(scores_arr[block], ball_sizes) * weights[dists],
+            minlength=n,
+        )
+        covered += np.bincount(members, minlength=n)
+        pushes += int(members.size)
+    stats.distribution_pushes = pushes
+    if include_self:
+        self_distributed[distributed] = True
+
+    upper = np.asarray(sizes.upper_values(), dtype=np.int64)
+    self_known = self_distributed | (not include_self)
+    unknown = np.where(self_known, upper - covered, upper - covered - 1)
+    extra = np.where(self_known, 0.0, weights[0] * scores_arr)
+    bounds = partial + (w_max * rest_bound) * np.maximum(unknown, 0) + extra
+    stats.bound_evaluations = n
+    candidate_order = np.lexsort((np.arange(n), -bounds))
+
+    # Phase 3: blocked native verification (distance kernel), cut at the
+    # rising threshold exactly like the numpy weighted kernel.
+    exact_shortcut = rest_bound == 0.0
+    acc = TopKAccumulator(spec.k)
+    offered = 0
+    position = 0
+    # Threshold-driven chunking: same pruning profile as the unweighted
+    # backward — see the comment there.
+    vblock = _native_block_size(None, n, int(csr.num_arcs), pruning=True)
+    ws = _Workspace(np, n).with_distances()
+    values_buf = np.empty(vblock, dtype=np.float64)
+    sizes_buf = np.empty(vblock, dtype=np.int64)
+    while position < n:
+        check_deadline()
+        chunk = candidate_order[position : position + vblock]
+        position += int(chunk.size)
+        if acc.is_full:
+            live = bounds[chunk] > acc.threshold
+            if not live.all():
+                chunk = chunk[: int(np.argmin(live))]
+                stats.early_terminated = True
+        if chunk.size == 0:
+            break
+        count = int(chunk.size)
+        if exact_shortcut:
+            values = partial[chunk] + np.where(
+                self_distributed[chunk] | (not include_self),
+                0.0,
+                weights[0] * scores_arr[chunk],
+            )
+        else:
+            chunk = np.ascontiguousarray(chunk)
+            edges, pairs = kernels.distance_aggregate_blocks(
+                csr.indptr, csr.indices, scores_arr, weights, chunk,
+                spec.hops, include_self, ws.stamp, ws.take(count),
+                ws.member_buf, ws.dist_buf, ws.scaled_buf,
+                values_buf[:count], sizes_buf[:count],
+            )
+            counter.edges_scanned += int(edges)
+            counter.nodes_visited += int(pairs) + (0 if include_self else count)
+            counter.balls_expanded += count
+            values = values_buf[:count]
+            stats.nodes_evaluated += count
+            stats.candidates_verified += count
+        offer = acc.offer
+        for node, value in zip(chunk.tolist(), values.tolist()):
+            offer(node, value)
+        offered += count
+        if stats.early_terminated:
+            break
+
+    stats.pruned_nodes = n - offered
+    stats.elapsed_sec = time.perf_counter() - start
+    stats.edges_scanned = counter.edges_scanned
+    stats.nodes_visited = counter.nodes_visited
+    stats.balls_expanded = counter.balls_expanded
+    stats.extra["gamma"] = effective_gamma
+    stats.extra["distributed_nodes"] = float(distributed.size)
+    stats.extra["rest_bound"] = rest_bound
+    stats.extra["exact_shortcut"] = float(exact_shortcut)
+    _stamp_kernel_extra(stats, compile_sec)
+    return TopKResult(entries=acc.entries(), stats=stats)
+
+
+def shared_scan_native(
+    graph: Graph,
+    batch,
+    folded_scores,
+    accumulators,
+    hops: int,
+    include_self: bool,
+    counter: TraversalCounter,
+    csr: Optional[CSRGraph] = None,
+    block_size: Optional[int] = None,
+) -> None:
+    """Fused multi-query shared scan with the batch kernel.
+
+    Drop-in twin of :func:`repro.core.batch._shared_scan_numpy`: one BFS
+    per center block, every query row accumulated in-kernel, offers
+    threshold-gated per query.
+    """
+    import numpy as np
+
+    from repro.core.vectorized import _offer_block
+
+    ensure_warm()
+    if csr is None:
+        csr = to_csr(graph, use_numpy=True)
+    matrix = np.asarray(folded_scores, dtype=np.float64)
+    n = graph.num_nodes
+    if block_size is None:
+        block_size = max(
+            4,
+            _native_block_size(None, n, int(csr.num_arcs))
+            // max(len(batch), 1),
+        )
+    else:
+        block_size = _native_block_size(block_size, n, int(csr.num_arcs))
+    avg_flags = np.asarray(
+        [entry.aggregate is AggregateKind.AVG for entry in batch], dtype=np.bool_
+    )
+    ws = _Workspace(np, n)
+    for lo in range(0, n, block_size):
+        check_deadline()
+        centers = np.arange(lo, min(lo + block_size, n), dtype=np.int64)
+        count = int(centers.size)
+        values = np.empty((len(batch), count), dtype=np.float64)
+        edges, pairs = kernels.batch_aggregate_blocks(
+            csr.indptr, csr.indices, matrix, avg_flags, centers, hops,
+            include_self, ws.stamp, ws.take(count), ws.member_buf, values,
+        )
+        counter.edges_scanned += int(edges)
+        counter.nodes_visited += int(pairs) + (0 if include_self else count)
+        counter.balls_expanded += count
+        for i, acc in enumerate(accumulators):
+            _offer_block(np, acc, centers, values[i])
+
+
+def iter_exact_values_native(
+    csr: CSRGraph,
+    order,
+    folded,
+    eff_kind: AggregateKind,
+    hops: int,
+    include_self: bool,
+    counter: TraversalCounter,
+    n: int,
+):
+    """``(node, exact value)`` pairs for the filtered/streamed scan.
+
+    The native arm of :func:`repro.core.executor._iter_exact_values`:
+    candidate blocks evaluate with one kernel call each, all aggregate
+    kinds (MAX/MIN included) via the kind-code dispatch.
+    """
+    import numpy as np
+
+    ensure_warm()
+    nodes = np.ascontiguousarray(np.asarray(order, dtype=np.int64))
+    block = _native_block_size(None, n, int(csr.num_arcs))
+    kcode = _KIND_CODES[eff_kind]
+    ws = _Workspace(np, n)
+    values_buf = np.empty(block, dtype=np.float64)
+    sizes_buf = np.empty(block, dtype=np.int64)
+    for lo in range(0, int(nodes.size), block):
+        check_deadline()
+        centers = nodes[lo : lo + block]
+        count = int(centers.size)
+        edges, pairs = kernels.aggregate_blocks(
+            csr.indptr, csr.indices, folded, centers, hops, include_self,
+            kcode, ws.stamp, ws.take(count), ws.member_buf,
+            values_buf[:count], sizes_buf[:count],
+        )
+        counter.edges_scanned += int(edges)
+        counter.nodes_visited += int(pairs) + (0 if include_self else count)
+        counter.balls_expanded += count
+        for j in range(count):
+            yield int(centers[j]), float(values_buf[j])

@@ -42,7 +42,11 @@ from repro.core.results import QueryStats, TopKResult
 from repro.core.topk import TopKAccumulator
 from repro.errors import InvalidParameterError, ParallelError, StaleShardError
 from repro.graph.csr import SharedArray, SharedCSR
-from repro.parallel.merge import merge_counters, merge_shard_entries
+from repro.parallel.merge import (
+    merge_counters,
+    merge_entry_buffers,
+    merge_shard_entries,
+)
 from repro.parallel.pool import ShardWorkerPool
 from repro.parallel.shards import ShardPlan, build_shard_plan
 
@@ -61,6 +65,11 @@ _BOUND_EXPORT_LIMIT = 8
 
 #: Candidates verified per TA round of the sharded backward pipeline.
 _VERIFY_ROUND = 256
+
+#: Max work-stealing chunks per shard scan.  A few pieces per shard is
+#: enough for idle workers to absorb a skewed partition's tail; many more
+#: would multiply per-task fixed cost for no extra overlap.
+_STEAL_CHUNKS = 4
 
 
 def _close_resources(resources: dict) -> None:
@@ -98,6 +107,8 @@ class ParallelEngine:
         partitioner: str = "bfs",
         seed: int = 2010,
         timeout: float = 120.0,
+        work_stealing: bool = True,
+        result_buffers: bool = True,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -109,6 +120,8 @@ class ParallelEngine:
         self.partitioner = partitioner
         self.seed = seed
         self.timeout = timeout
+        self.work_stealing = bool(work_stealing)
+        self.result_buffers = bool(result_buffers)
         self._lock = threading.RLock()
         self._closed = False
         # All process/shared-memory state lives in one dict so a weakref
@@ -125,6 +138,14 @@ class ParallelEngine:
         # built* may already be referenced by task metas of that round;
         # they are parked here and unlinked only after the round returns.
         self._deferred_drops: List[SharedArray] = []
+        # Per-task-slot shared reply buffers (float64 (capacity, 2) rows of
+        # [node, value]); rotated — never reused — after any round that
+        # respawned a worker or raised, because a straggler holding the old
+        # mapping could still write it.
+        self._reply_buffers: List[SharedArray] = []
+        self._reply_capacity = 0
+        self._reply_dirty = False
+        self._native: Optional[bool] = None
         self._export_version: Optional[int] = None
         self.queries_served = 0
         self.declined = 0
@@ -195,6 +216,10 @@ class ParallelEngine:
         for _vec, export in self._bound_exports.values():
             self._drop_export(export)
         self._bound_exports.clear()
+        for export in self._reply_buffers:
+            self._drop_export(export)
+        self._reply_buffers = []
+        self._reply_capacity = 0
         self._flush_deferred_drops()
         self._plan = None
         self._export_version = None
@@ -315,6 +340,98 @@ class ParallelEngine:
             block = max(4, block // queries)
         return block
 
+    def _workers_native(self) -> bool:
+        """Whether worker tasks should ask for the compiled kernel tier.
+
+        Workers gate on their own import, but probing here keeps the task
+        flag honest (and cheap: one import attempt per engine).  Only the
+        *compiled* tier is offered — interpreted kernels are a parity
+        device and lose to numpy — unless the wiring-test escape hatch
+        ``REPRO_PARALLEL_NATIVE_INTERPRETED`` is set.
+        """
+        if self._native is None:
+            try:
+                from repro.native import kernels
+
+                self._native = kernels.KERNEL_MODE == "compiled" or bool(
+                    os.environ.get("REPRO_PARALLEL_NATIVE_INTERPRETED")
+                )
+            except Exception:  # pragma: no cover - partial numba installs
+                self._native = False
+        return self._native
+
+    # ------------------------------------------------------------------
+    # Shared reply buffers
+    # ------------------------------------------------------------------
+    def _reply_metas(self, count: int, rows: int) -> List[Optional[dict]]:
+        """Reply-buffer descriptors for a round of ``count`` tasks.
+
+        Buffers are preallocated once and reused round after round; they
+        only grow (capacity highwater) and are rotated to fresh segments
+        when ``_reply_dirty`` says a straggler from a respawned or failed
+        round might still hold a writable mapping of the old ones.
+        Unlinking a possibly-still-mapped segment is safe: POSIX keeps the
+        pages alive until the last map closes, and nobody reads retired
+        buffers.
+        """
+        if not self.result_buffers or count == 0:
+            return [None] * count
+        import numpy as np
+
+        rows = max(int(rows), 1)
+        if (
+            self._reply_dirty
+            or rows > self._reply_capacity
+            or count > len(self._reply_buffers)
+        ):
+            needed = max(count, len(self._reply_buffers))
+            capacity = max(rows, self._reply_capacity)
+            for export in self._reply_buffers:
+                self._drop_export(export)
+            self._reply_buffers = []
+            for _ in range(needed):
+                export = SharedArray.create(
+                    np.zeros((capacity, 2), dtype=np.float64)
+                )
+                self._track(export)
+                self._reply_buffers.append(export)
+            self._reply_capacity = capacity
+            self._reply_dirty = False
+        return [
+            {
+                "buffer": self._reply_buffers[i].meta(),
+                "capacity": self._reply_capacity,
+            }
+            for i in range(count)
+        ]
+
+    def _result_pairs(self, result: dict, index: int, key: str):
+        """One task's ``(node, value)`` rows: buffer view or pipe payload.
+
+        ``index`` is the task's position in its round (buffer slots are
+        assigned positionally).  Re-issued tasks after a worker death come
+        back over the pipe even when a buffer was offered, so both forms
+        can appear within one round.
+        """
+        if key in result:
+            return result[key]
+        n = int(result[key + "_n"])
+        return self._reply_buffers[index].array[:n]
+
+    def _pipe_snapshot(self) -> Tuple[int, int]:
+        pool = self._pool()
+        return pool.bytes_sent, pool.bytes_received
+
+    def _stamp_pipe_bytes(self, stats: QueryStats, snapshot: Tuple[int, int]) -> None:
+        """Record this query's pipe traffic (both directions) in its stats."""
+        pool = self._resources["pool"]
+        if pool is None:  # pragma: no cover - closed mid-query
+            return
+        stats.extra["pipe_bytes_sent"] = float(pool.bytes_sent - snapshot[0])
+        stats.extra["pipe_bytes_received"] = float(
+            pool.bytes_received - snapshot[1]
+        )
+
     # ------------------------------------------------------------------
     # Dispatch plumbing
     # ------------------------------------------------------------------
@@ -334,20 +451,34 @@ class ParallelEngine:
         size = self.ctx.graph.num_nodes if work_items is None else work_items
         return size < self.min_nodes
 
-    def _run_round(self, build_tasks) -> List[dict]:
+    def _run_round(self, build_tasks, *, dynamic: bool = False) -> List[dict]:
         """Build tasks against fresh exports and run them, retrying once if
-        a worker reports the exports went stale under us."""
+        a worker reports the exports went stale under us.
+
+        Any abnormal outcome — stale retry, worker respawn, error, timeout
+        — marks the reply buffers dirty: a task of the broken round may
+        still be running somewhere with a writable mapping, so the next
+        round must not reuse those segments.
+        """
         for attempt in (0, 1):
             check_deadline()  # before committing a full round of worker IPC
             self._refresh()
             tasks = build_tasks()
+            pool = self._pool()
             try:
-                return self._pool().run(tasks)
+                results = pool.run(tasks, dynamic=dynamic)
+                if pool.last_run_respawned:
+                    self._reply_dirty = True
+                return results
             except StaleShardError:
                 self.stale_retries += 1
+                self._reply_dirty = True
                 self._invalidate_exports()
                 if attempt:
                     raise
+            except BaseException:
+                self._reply_dirty = True
+                raise
             finally:
                 # LRU evictions deferred during task building are safe to
                 # unlink now — no task of this round is in flight anymore.
@@ -403,12 +534,15 @@ class ParallelEngine:
                 self.declined += 1
                 return None
             start = time.perf_counter()
+            pipe0 = self._pipe_snapshot()
             block = self._block_size()
             candidate_arr = (
                 None
                 if candidates is None
                 else np.asarray(sorted(candidates), dtype=np.int64)
             )
+            steal = self.work_stealing and candidate_arr is None
+            native = self._workers_native()
 
             def build() -> List[dict]:
                 assert self._csr_export is not None and self._plan is not None
@@ -434,17 +568,39 @@ class ParallelEngine:
                         "k": spec.k,
                         "block": block,
                         "bounds": bounds_meta,
+                        "native": native,
                     }
                     if candidate_arr is not None:
                         task["centers"] = candidate_arr[
                             parts[candidate_arr] == shard
                         ]
-                    tasks.append(task)
+                        tasks.append(task)
+                    elif steal:
+                        tasks.extend(
+                            self._chunked(task, self._plan.owned[shard].size, block)
+                        )
+                    else:
+                        tasks.append(task)
+                if steal:
+                    # Heavy chunks first: the dynamic dispatcher then hands
+                    # a skewed shard's tail to whichever worker idles first.
+                    tasks.sort(
+                        key=lambda t: t.get("hi", 0) - t.get("lo", 0),
+                        reverse=True,
+                    )
+                for task, reply in zip(
+                    tasks, self._reply_metas(len(tasks), spec.k)
+                ):
+                    task["reply"] = reply
                 return tasks
 
-            results = self._run_round(build)
-            entries = merge_shard_entries(
-                (result["entries"] for result in results), spec.k
+            results = self._run_round(build, dynamic=steal)
+            entries = merge_entry_buffers(
+                (
+                    self._result_pairs(result, i, "entries")
+                    for i, result in enumerate(results)
+                ),
+                spec.k,
             )
             stats = self._base_stats(
                 algorithm, spec, time.perf_counter() - start
@@ -453,8 +609,29 @@ class ParallelEngine:
             stats.pruned_nodes = sum(result["pruned"] for result in results)
             if candidate_arr is not None:
                 stats.extra["candidates"] = float(candidate_arr.size)
+            stats.extra["tasks"] = float(len(results))
+            self._stamp_pipe_bytes(stats, pipe0)
             self.queries_served += 1
             return TopKResult(entries=entries, stats=stats)
+
+    def _chunked(self, task: dict, owned_size: int, block: int) -> List[dict]:
+        """Split one shard scan into owned-array slices for work-stealing.
+
+        Chunks are ``lo``/``hi`` ranges of the already-exported owned
+        array (nothing extra crosses the pipe).  A shard only splits when
+        each piece still covers at least one kernel block — chunking a
+        small shard would just multiply fixed task cost.
+        """
+        size = int(owned_size)
+        pieces = min(_STEAL_CHUNKS, max(1, size // max(int(block), 1)))
+        if pieces <= 1:
+            return [task]
+        bounds = [size * p // pieces for p in range(pieces + 1)]
+        return [
+            {**task, "lo": bounds[p], "hi": bounds[p + 1]}
+            for p in range(pieces)
+            if bounds[p + 1] > bounds[p]
+        ]
 
     def execute_backward(
         self,
@@ -486,6 +663,7 @@ class ParallelEngine:
                 self.declined += 1
                 return None
             start = time.perf_counter()
+            pipe0 = self._pipe_snapshot()
             n = self.ctx.graph.num_nodes
             values = scores.values() if hasattr(scores, "values") else list(scores)
             scores_arr = np.asarray(values, dtype=np.float64)
@@ -625,6 +803,7 @@ class ParallelEngine:
             stats.extra["rest_bound"] = rest_bound
             stats.extra["exact_shortcut"] = 0.0  # shortcut shapes declined
             stats.extra["verify_rounds"] = float(verify_rounds)
+            self._stamp_pipe_bytes(stats, pipe0)
             stats.elapsed_sec = time.perf_counter() - start
             self.queries_served += 1
             return TopKResult(entries=acc.entries(), stats=stats)
@@ -633,6 +812,7 @@ class ParallelEngine:
         self, scores, spec, frontier, block: int, stats: QueryStats
     ) -> Dict[int, float]:
         """Exact values of ``frontier`` candidates, from their owning shards."""
+        native = self._workers_native()
 
         def build() -> List[dict]:
             assert self._csr_export is not None and self._plan is not None
@@ -640,10 +820,12 @@ class ParallelEngine:
             scores_meta = self._score_meta(scores)
             parts = self._plan.partition.as_array()
             tasks = []
+            rows = 1
             for shard in range(self._plan.num_shards):
                 mine = frontier[parts[frontier] == shard]
                 if mine.size == 0:
                     continue
+                rows = max(rows, int(mine.size))
                 tasks.append(
                     {
                         "kind": "verify",
@@ -654,15 +836,19 @@ class ParallelEngine:
                         "hops": spec.hops,
                         "include_self": spec.include_self,
                         "block": block,
+                        "native": native,
                     }
                 )
+            for task, reply in zip(tasks, self._reply_metas(len(tasks), rows)):
+                task["reply"] = reply
             return tasks
 
         results = self._run_round(build)
         merge_counters(stats, (result["counters"] for result in results))
         exact: Dict[int, float] = {}
-        for result in results:
-            exact.update(result["pairs"])
+        for i, result in enumerate(results):
+            for node, value in self._result_pairs(result, i, "pairs"):
+                exact[int(node)] = float(value)
         return exact
 
     def execute_weighted(
@@ -678,17 +864,21 @@ class ParallelEngine:
                 self.declined += 1
                 return None
             start = time.perf_counter()
+            pipe0 = self._pipe_snapshot()
             weights = precompute_weights(
                 profile if profile is not None else inverse_distance, spec.hops
             )
             block = self._block_size()
+            steal = self.work_stealing
+            native = self._workers_native()
 
             def build() -> List[dict]:
                 assert self._csr_export is not None and self._plan is not None
                 csr_meta = self._csr_export.meta()
                 scores_meta = self._score_meta(scores)
-                return [
-                    {
+                tasks: List[dict] = []
+                for shard in range(self._plan.num_shards):
+                    task = {
                         "kind": "weighted",
                         "csr": csr_meta,
                         "scores": scores_meta,
@@ -698,18 +888,39 @@ class ParallelEngine:
                         "include_self": spec.include_self,
                         "k": spec.k,
                         "block": block,
+                        "native": native,
                     }
-                    for shard in range(self._plan.num_shards)
-                ]
+                    if steal:
+                        tasks.extend(
+                            self._chunked(task, self._plan.owned[shard].size, block)
+                        )
+                    else:
+                        tasks.append(task)
+                if steal:
+                    tasks.sort(
+                        key=lambda t: t.get("hi", 0) - t.get("lo", 0),
+                        reverse=True,
+                    )
+                for task, reply in zip(
+                    tasks, self._reply_metas(len(tasks), spec.k)
+                ):
+                    task["reply"] = reply
+                return tasks
 
-            results = self._run_round(build)
-            entries = merge_shard_entries(
-                (result["entries"] for result in results), spec.k
+            results = self._run_round(build, dynamic=steal)
+            entries = merge_entry_buffers(
+                (
+                    self._result_pairs(result, i, "entries")
+                    for i, result in enumerate(results)
+                ),
+                spec.k,
             )
             stats = self._base_stats(
                 "weighted-base", spec, time.perf_counter() - start
             )
             merge_counters(stats, (result["counters"] for result in results))
+            stats.extra["tasks"] = float(len(results))
+            self._stamp_pipe_bytes(stats, pipe0)
             self.queries_served += 1
             return TopKResult(entries=entries, stats=stats)
 
@@ -728,6 +939,7 @@ class ParallelEngine:
                 self.declined += 1 if batch else 0
                 return None
             start = time.perf_counter()
+            pipe0 = self._pipe_snapshot()
             block = self._block_size(queries=len(batch))
 
             def build() -> List[dict]:
@@ -778,6 +990,7 @@ class ParallelEngine:
                 assert self._plan is not None
                 stats.extra["shards"] = float(self._plan.num_shards)
                 stats.extra["workers"] = float(self.workers)
+                self._stamp_pipe_bytes(stats, pipe0)
                 outputs.append(TopKResult(entries=entries, stats=stats))
             self.queries_served += 1
             return outputs
@@ -800,4 +1013,11 @@ class ParallelEngine:
                 "shards": None if self._plan is None else self._plan.sizes(),
                 "score_exports": len(self._score_exports),
                 "export_version": self._export_version,
+                "work_stealing": self.work_stealing,
+                "result_buffers": self.result_buffers,
+                "reply_buffers": len(self._reply_buffers),
+                "pipe_bytes_sent": 0 if pool is None else pool.bytes_sent,
+                "pipe_bytes_received": (
+                    0 if pool is None else pool.bytes_received
+                ),
             }

@@ -22,8 +22,25 @@ A :class:`ShardWorkerPool` owns ``workers`` spawned processes running
   are safe to re-issue.  If a worker dies mid-round (killed, OOM, bug),
   the collector sees its pipe close, replaces the dead process, and
   re-issues every task still outstanding under a fresh id; duplicate late
-  results are ignored.  A round that cannot finish within ``timeout``
-  raises :class:`~repro.errors.ParallelError` instead of hanging.
+  results are ignored.  A re-issued task additionally has its shared
+  reply-buffer descriptor stripped (``"reply": None``): the original
+  issue may still be running on a straggler that writes the buffer, and
+  answering the re-issue over the pipe is what guarantees the two
+  writers can never interleave in shared memory.  A round that cannot
+  finish within ``timeout`` raises :class:`~repro.errors.ParallelError`
+  instead of hanging.
+* **Metered, explicitly framed IPC.**  The parent pickles task messages
+  itself and moves raw frames with ``send_bytes``/``recv_bytes`` (the
+  worker's plain ``Connection.send``/``recv`` speaks the same wire
+  format), so every byte crossing a pipe is counted in ``bytes_sent`` /
+  ``bytes_received``.  The counters are what the shared-reply-buffer
+  optimization is benchmarked against.
+* **Two dispatch modes.**  The default deals the round's tasks
+  round-robin up front.  ``run(tasks, dynamic=True)`` enables
+  work-stealing: one task is primed per worker and each completion pulls
+  the next off the backlog, so when the engine splits a skewed shard
+  into chunks, the heavy shard's tail drains onto idle siblings instead
+  of serializing on its owner.
 * **One round at a time.**  ``run()`` is serialized by a lock: concurrent
   queries queue here rather than interleaving result streams.  (The
   serving scheduler already provides cross-query concurrency; the pool's
@@ -33,9 +50,11 @@ A :class:`ShardWorkerPool` owns ``workers`` spawned processes running
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, Optional, Set
 
 from repro.errors import ParallelError, StaleShardError
 
@@ -79,6 +98,11 @@ class ShardWorkerPool:
         self._lock = threading.Lock()
         self._closed = False
         self.respawns = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_run_bytes_sent = 0
+        self.last_run_bytes_received = 0
+        self.last_run_respawned = False
 
     # ------------------------------------------------------------------
     @property
@@ -124,10 +148,12 @@ class ShardWorkerPool:
         self._members = live
 
     # ------------------------------------------------------------------
-    def run(self, tasks: List[dict]) -> List[dict]:
+    def run(self, tasks: List[dict], *, dynamic: bool = False) -> List[dict]:
         """Execute ``tasks`` across the pool; results in input order.
 
-        Tasks are dealt round-robin onto the per-worker pipes.  Raises
+        The default deals tasks round-robin onto the per-worker pipes;
+        ``dynamic=True`` primes one task per worker and feeds the rest to
+        whichever worker finishes first (work-stealing).  Raises
         :class:`~repro.errors.StaleShardError` if any worker refused a task
         over an invalidated shared-memory export (the engine refreshes its
         exports and retries), and :class:`~repro.errors.ParallelError` on
@@ -137,55 +163,106 @@ class ShardWorkerPool:
             return []
         with self._lock:
             self._ensure_started_locked()
-            return self._run_locked(tasks)
-
-    def _dispatch(self, tasks: List[dict], positions: List[int]) -> Dict[int, int]:
-        """Deal ``tasks[positions]`` round-robin; return task id -> position.
-
-        A send that finds a worker's pipe already broken is skipped — the
-        collector's death branch re-issues whatever never got out.
-        """
-        pending: Dict[int, int] = {}
-        for slot, position in enumerate(positions):
-            task_id = next(self._task_ids)
-            pending[task_id] = position
-            member = self._members[slot % len(self._members)]
+            self.last_run_respawned = False
+            sent_before = self.bytes_sent
+            received_before = self.bytes_received
             try:
-                member.conn.send((task_id, tasks[position]))
-            except (BrokenPipeError, OSError):
-                pass  # collector notices the death and re-dispatches
-        return pending
+                return self._run_locked(tasks, dynamic)
+            finally:
+                self.last_run_bytes_sent = self.bytes_sent - sent_before
+                self.last_run_bytes_received = (
+                    self.bytes_received - received_before
+                )
 
-    def _run_locked(self, tasks: List[dict]) -> List[dict]:
+    def _issue(
+        self,
+        slot: int,
+        tasks: List[dict],
+        position: int,
+        pending: Dict[int, int],
+        stripped: Set[int],
+    ) -> None:
+        """Send ``tasks[position]`` to worker ``slot`` under a fresh id.
+
+        The parent pickles the frame itself so the pipe traffic is
+        countable.  A send that finds the worker's pipe already broken is
+        skipped — the collector's death branch re-issues whatever never
+        got out.  Positions in ``stripped`` were in flight when a worker
+        died: an earlier issue may still be writing the shared reply
+        buffer on a straggler, so the re-issue answers over the pipe.
+        """
+        task_id = next(self._task_ids)
+        pending[task_id] = position
+        task = tasks[position]
+        if position in stripped and task.get("reply") is not None:
+            task = dict(task)
+            task["reply"] = None
+        frame = pickle.dumps((task_id, task), protocol=pickle.HIGHEST_PROTOCOL)
+        member = self._members[slot % len(self._members)]
+        try:
+            member.conn.send_bytes(frame)
+            self.bytes_sent += len(frame)
+        except (BrokenPipeError, OSError):
+            pass  # collector notices the death and re-dispatches
+
+    def _run_locked(self, tasks: List[dict], dynamic: bool) -> List[dict]:
         from multiprocessing.connection import wait
 
         results: List[Optional[dict]] = [None] * len(tasks)
-        pending = self._dispatch(tasks, list(range(len(tasks))))
+        pending: Dict[int, int] = {}
+        stripped: Set[int] = set()
+        backlog: "deque[int]" = deque()
+        if dynamic and len(tasks) > len(self._members):
+            # Work-stealing: one task in flight per worker, the rest fed
+            # on completion, so a heavy chunk's siblings drain the backlog.
+            backlog.extend(range(len(tasks)))
+            for slot in range(len(self._members)):
+                if not backlog:
+                    break
+                self._issue(slot, tasks, backlog.popleft(), pending, stripped)
+        else:
+            for position in range(len(tasks)):
+                self._issue(position, tasks, position, pending, stripped)
         deadline = time.monotonic() + self.timeout
         respawn_budget = 2 * self.workers
-        while pending:
+        while pending or backlog:
+            slot_of = {
+                id(m.conn): slot for slot, m in enumerate(self._members)
+            }
             ready = wait([m.conn for m in self._members], timeout=0.25)
             if time.monotonic() > deadline:
                 raise ParallelError(
                     f"parallel round timed out after {self.timeout:.0f}s "
-                    f"({len(pending)} of {len(tasks)} tasks outstanding)"
+                    f"({len(pending) + len(backlog)} of {len(tasks)} "
+                    "tasks outstanding)"
                 )
             dead = False
             for conn in ready:
                 try:
-                    task_id, status, payload = conn.recv()
+                    frame = conn.recv_bytes()
                 except (EOFError, OSError):
                     dead = True  # this member's pipe closed under us
                     continue
+                self.bytes_received += len(frame)
+                task_id, status, payload = pickle.loads(frame)
                 position = pending.pop(task_id, None)
-                if position is None:
-                    continue  # duplicate from a re-issued round
-                if status == "stale":
-                    raise StaleShardError(str(payload))
-                if status == "error":
-                    raise ParallelError(f"shard worker failed: {payload}")
-                results[position] = payload
-            if not pending:
+                if position is not None:
+                    if status == "stale":
+                        raise StaleShardError(str(payload))
+                    if status == "error":
+                        raise ParallelError(f"shard worker failed: {payload}")
+                    results[position] = payload
+                # Any reply (even a duplicate from a re-issued round) means
+                # this worker is idle — feed it the next backlog task.
+                if backlog:
+                    self._issue(
+                        slot_of[id(conn)],
+                        tasks,
+                        backlog.popleft(),
+                        pending,
+                        stripped,
+                    )
+            if not pending and not backlog:
                 break
             if dead or self.alive_workers < len(self._members):
                 # A worker died; its pipe died with it, so we cannot know
@@ -206,7 +283,21 @@ class ShardWorkerPool:
                         "worker processes"
                     )
                 self._ensure_started_locked()
-                pending = self._dispatch(tasks, sorted(pending.values()))
+                self.last_run_respawned = True
+                outstanding = sorted(pending.values())
+                stripped.update(outstanding)
+                pending.clear()
+                # Re-prime: the swallowed tasks first (they block the
+                # round), then the untouched backlog, fed on completion.
+                requeue: "deque[int]" = deque(outstanding)
+                requeue.extend(backlog)
+                backlog = requeue
+                for slot in range(len(self._members)):
+                    if not backlog:
+                        break
+                    self._issue(
+                        slot, tasks, backlog.popleft(), pending, stripped
+                    )
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 

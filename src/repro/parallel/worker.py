@@ -17,11 +17,28 @@ Every kernel reuses the in-process numpy machinery —
 :func:`repro.core.vectorized.aggregate_ball_segments`, the
 threshold-gated ``_offer_block`` — over the worker's *owned* centers only,
 which is what makes a shard's answer exact for its members and the merged
-answer exact globally (see :mod:`repro.parallel.merge`).
+answer exact globally (see :mod:`repro.parallel.merge`).  When a task
+carries ``"native": True`` and this worker's interpreter can load the
+compiled kernel tier (:mod:`repro.native.kernels` with numba present),
+the per-block ball evaluation runs on the jitted stamp-BFS kernels
+instead — bit-identical values (the kernels accumulate in bincount
+order), just faster.  The compiled gate is deliberately stricter than
+``native_available()``: interpreted kernels are a parity-testing device
+and would be slower than numpy here, so workers only switch when numba
+actually compiled (or under ``REPRO_PARALLEL_NATIVE_INTERPRETED``, the
+wiring-test escape hatch).
+
+Results travel back one of two ways.  By default a task's entries ride
+the reply pipe as pickled tuples.  A task carrying a ``"reply"``
+descriptor instead writes its ``(node, value)`` rows into the named
+shared-memory buffer the engine preallocated for that task slot and
+replies with just the row count — the reply shrinks to a counters dict
+regardless of ``k``, which is the measured pipe-byte win.
 """
 
 from __future__ import annotations
 
+import os
 import traceback
 from typing import Dict, List
 
@@ -103,6 +120,146 @@ def _fold(np, scores, aggregate: str):
     return scores, kind
 
 
+# ----------------------------------------------------------------------
+# Compiled kernel tier (optional, per-task opt-in)
+# ----------------------------------------------------------------------
+_NATIVE_KERNELS = None  # None = unprobed, False = unavailable, module = ready
+
+
+def _native_kernels():
+    """The jitted kernel module, or ``None`` when this worker cannot win.
+
+    Only the *compiled* tier is worth switching to — the interpreted
+    fallback exists for parity testing and loses to numpy — so the probe
+    requires numba to have actually compiled, unless the
+    ``REPRO_PARALLEL_NATIVE_INTERPRETED`` escape hatch asks to exercise
+    the wiring anyway.
+    """
+    global _NATIVE_KERNELS
+    if _NATIVE_KERNELS is None:
+        _NATIVE_KERNELS = False
+        try:
+            from repro.native import kernels
+
+            if kernels.KERNEL_MODE == "compiled" or os.environ.get(
+                "REPRO_PARALLEL_NATIVE_INTERPRETED"
+            ):
+                from repro.native.compile_cache import ensure_warm
+
+                ensure_warm()
+                _NATIVE_KERNELS = kernels
+        except Exception:  # pragma: no cover - partial numba installs
+            _NATIVE_KERNELS = False
+    return _NATIVE_KERNELS or None
+
+
+_KIND_CODES = {
+    AggregateKind.SUM: 0,
+    AggregateKind.AVG: 1,
+    AggregateKind.MAX: 2,
+    AggregateKind.MIN: 3,
+}
+
+
+class _NativeScratch:
+    """Per-worker stamp/member scratch reused across tasks (one graph size)."""
+
+    __slots__ = ("n", "gen", "stamp", "member_buf", "dist_buf", "scaled_buf")
+
+    def __init__(self) -> None:
+        self.n = -1
+        self.gen = 0
+        self.stamp = None
+        self.member_buf = None
+        self.dist_buf = None
+        self.scaled_buf = None
+
+    def take(self, np, n: int, count: int) -> int:
+        """Reserve ``count`` fresh generations; returns the first one."""
+        if n != self.n:
+            self.stamp = np.full(n, -1, dtype=np.int64)
+            self.member_buf = np.empty(n, dtype=np.int64)
+            self.dist_buf = None
+            self.scaled_buf = None
+            self.n = n
+            self.gen = 0
+        gen0 = self.gen + 1
+        self.gen += count
+        return gen0
+
+    def distance_buffers(self, np, n: int):
+        if self.dist_buf is None:
+            self.dist_buf = np.empty(n, dtype=np.int64)
+            self.scaled_buf = np.empty(n, dtype=np.int64)
+        return self.dist_buf, self.scaled_buf
+
+
+_SCRATCH = _NativeScratch()
+
+
+def _native_eval(np, kernels, csr, chunk, folded, kind, hops, include_self, counters):
+    """One block's aggregates on the jitted kernel (numpy-order identical)."""
+    count = int(chunk.size)
+    gen0 = _SCRATCH.take(np, int(csr.num_nodes), count)
+    values = np.empty(count, dtype=np.float64)
+    sizes = np.empty(count, dtype=np.int64)
+    edges, pairs = kernels.aggregate_blocks(
+        csr.indptr,
+        csr.indices,
+        folded,
+        np.ascontiguousarray(chunk, dtype=np.int64),
+        hops,
+        include_self,
+        _KIND_CODES[kind],
+        _SCRATCH.stamp,
+        gen0,
+        _SCRATCH.member_buf,
+        values,
+        sizes,
+    )
+    counters["edges_scanned"] += int(edges)
+    counters["nodes_visited"] += int(pairs) + (0 if include_self else count)
+    counters["balls_expanded"] += count
+    return values
+
+
+def _eval_block(np, task, csr, chunk, folded, kind, counters, native):
+    """Exact aggregates of one center block: jitted when offered, else numpy."""
+    from repro.core.vectorized import aggregate_ball_segments
+
+    hops = task["hops"]
+    include_self = task["include_self"]
+    if native is not None:
+        return _native_eval(
+            np, native, csr, chunk, folded, kind, hops, include_self, counters
+        )
+    owners, members = _expand_block(np, csr, chunk, hops, include_self, counters)
+    return aggregate_ball_segments(
+        np, kind, owners, folded[members], int(chunk.size)
+    )
+
+
+def _ship_pairs(np, cache, task, out: dict, pairs, key: str) -> dict:
+    """Attach ``(node, value)`` pairs to a reply, via shared buffer if offered.
+
+    With a usable ``"reply"`` descriptor the pairs land in the engine's
+    preallocated shared segment as float64 rows and only their count
+    crosses the pipe; otherwise (no buffer, stripped re-issue, or an
+    overflow that should never happen for ``k``-bounded results) they ride
+    the pipe as before.
+    """
+    reply = task.get("reply")
+    if reply is None or len(pairs) > reply["capacity"]:
+        out[key] = pairs
+        return out
+    buffer = cache.array(reply["buffer"])
+    n = len(pairs)
+    if n:
+        buffer[:n] = np.asarray(pairs, dtype=np.float64)
+    out[key + "_n"] = n
+    return out
+
+
 def _counters() -> Dict[str, int]:
     return {
         "edges_scanned": 0,
@@ -134,8 +291,12 @@ def _scan_task(np, cache: _AttachmentCache, task: dict) -> dict:
     bound order and the scan stops once no unseen owned node can beat the
     shard's k-th value — the per-shard analogue of Algorithm 1's
     threshold test.
+
+    ``lo``/``hi`` (optional) select a slice of the owned array — the
+    engine's work-stealing chunks name sub-ranges of the already-exported
+    shard instead of shipping center lists per chunk.
     """
-    from repro.core.vectorized import _offer_block, aggregate_ball_segments
+    from repro.core.vectorized import _offer_block
 
     attached = cache.csr(task["csr"])
     csr = attached.csr
@@ -144,11 +305,12 @@ def _scan_task(np, cache: _AttachmentCache, task: dict) -> dict:
         centers = np.asarray(task["centers"], dtype=np.int64)
     else:
         centers = cache.array(task["owned"])
+        if "hi" in task:
+            centers = centers[task.get("lo", 0) : task["hi"]]
     folded, kind = _fold(np, scores, task["aggregate"])
-    hops = task["hops"]
-    include_self = task["include_self"]
     block = task["block"]
     counters = _counters()
+    native = _native_kernels() if task.get("native") else None
     acc = TopKAccumulator(task["k"])
     bounds_meta = task.get("bounds")
     ordered_bounds = None
@@ -168,19 +330,16 @@ def _scan_task(np, cache: _AttachmentCache, task: dict) -> dict:
             pruned = int(centers.size) - evaluated
             break
         chunk = centers[lo : lo + block]
-        owners, members = _expand_block(np, csr, chunk, hops, include_self, counters)
-        values = aggregate_ball_segments(
-            np, kind, owners, folded[members], int(chunk.size)
-        )
+        values = _eval_block(np, task, csr, chunk, folded, kind, counters, native)
         _offer_block(np, acc, chunk, values)
         evaluated += int(chunk.size)
     counters["nodes_evaluated"] = evaluated
-    return {
-        "entries": acc.entries(),
+    out = {
         "counters": counters,
         "evaluated": evaluated,
         "pruned": pruned,
     }
+    return _ship_pairs(np, cache, task, out, acc.entries(), "entries")
 
 
 def _batch_task(np, cache: _AttachmentCache, task: dict) -> dict:
@@ -278,29 +437,25 @@ def _distribute_task(np, cache: _AttachmentCache, task: dict) -> dict:
 
 def _verify_task(np, cache: _AttachmentCache, task: dict) -> dict:
     """Exact aggregates of an explicit candidate set (TA verification)."""
-    from repro.core.vectorized import aggregate_ball_segments
-
     attached = cache.csr(task["csr"])
     csr = attached.csr
     scores = cache.array(task["scores"])
     centers = np.asarray(task["centers"], dtype=np.int64)
     folded, kind = _fold(np, scores, task["aggregate"])
-    hops = task["hops"]
-    include_self = task["include_self"]
     block = task["block"]
     counters = _counters()
+    native = _native_kernels() if task.get("native") else None
     nodes: List[int] = []
     values: List[float] = []
     for lo in range(0, int(centers.size), block):
         chunk = centers[lo : lo + block]
-        owners, members = _expand_block(np, csr, chunk, hops, include_self, counters)
-        chunk_values = aggregate_ball_segments(
-            np, kind, owners, folded[members], int(chunk.size)
-        )
+        chunk_values = _eval_block(np, task, csr, chunk, folded, kind, counters, native)
         nodes.extend(int(c) for c in chunk)
         values.extend(float(v) for v in chunk_values)
     counters["nodes_evaluated"] = int(centers.size)
-    return {"pairs": list(zip(nodes, values)), "counters": counters}
+    return _ship_pairs(
+        np, cache, task, {"counters": counters}, list(zip(nodes, values)), "pairs"
+    )
 
 
 def _weighted_task(np, cache: _AttachmentCache, task: dict) -> dict:
@@ -316,34 +471,68 @@ def _weighted_task(np, cache: _AttachmentCache, task: dict) -> dict:
     csr = attached.csr
     scores = cache.array(task["scores"])
     centers = cache.array(task["owned"])
+    if "hi" in task:
+        centers = centers[task.get("lo", 0) : task["hi"]]
     weights = np.asarray(task["weights"], dtype=np.float64)
     hops = task["hops"]
     include_self = task["include_self"]
     block = task["block"]
     counters = _counters()
+    native = _native_kernels() if task.get("native") else None
     acc = TopKAccumulator(task["k"])
     from repro.core.vectorized import _offer_block
 
     for lo in range(0, int(centers.size), block):
         chunk = centers[lo : lo + block]
-        owners, members, dists, edges = batched_hop_balls_with_distances(
-            csr, chunk, hops, include_self=include_self
-        )
         count = int(chunk.size)
-        counters["edges_scanned"] += edges
-        counters["nodes_visited"] += int(members.size) + (0 if include_self else count)
-        counters["balls_expanded"] += count
-        values = np.bincount(
-            owners, weights=weights[dists] * scores[members], minlength=count
-        )
+        if native is not None:
+            gen0 = _SCRATCH.take(np, int(csr.num_nodes), count)
+            dist_buf, scaled_buf = _SCRATCH.distance_buffers(
+                np, int(csr.num_nodes)
+            )
+            values = np.empty(count, dtype=np.float64)
+            sizes = np.empty(count, dtype=np.int64)
+            edges, pairs = native.distance_aggregate_blocks(
+                csr.indptr,
+                csr.indices,
+                scores,
+                weights,
+                np.ascontiguousarray(chunk, dtype=np.int64),
+                hops,
+                include_self,
+                _SCRATCH.stamp,
+                gen0,
+                _SCRATCH.member_buf,
+                dist_buf,
+                scaled_buf,
+                values,
+                sizes,
+            )
+            counters["edges_scanned"] += int(edges)
+            counters["nodes_visited"] += int(pairs) + (
+                0 if include_self else count
+            )
+            counters["balls_expanded"] += count
+        else:
+            owners, members, dists, edges = batched_hop_balls_with_distances(
+                csr, chunk, hops, include_self=include_self
+            )
+            counters["edges_scanned"] += edges
+            counters["nodes_visited"] += int(members.size) + (
+                0 if include_self else count
+            )
+            counters["balls_expanded"] += count
+            values = np.bincount(
+                owners, weights=weights[dists] * scores[members], minlength=count
+            )
         _offer_block(np, acc, chunk, values)
     counters["nodes_evaluated"] = int(centers.size)
-    return {
-        "entries": acc.entries(),
+    out = {
         "counters": counters,
         "evaluated": int(centers.size),
         "pruned": 0,
     }
+    return _ship_pairs(np, cache, task, out, acc.entries(), "entries")
 
 
 _HANDLERS = {

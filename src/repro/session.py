@@ -182,8 +182,10 @@ class QueryBuilder:
         return self._with(algorithm=str(algorithm))
 
     def backend(self, backend: str) -> "QueryBuilder":
-        """Pin the execution backend
-        (``auto``/``python``/``numpy``/``parallel``/``cluster``)."""
+        """Pin the execution backend (``auto``/``python``/``numpy``/
+        ``native``/``parallel``/``cluster``).  ``auto`` prefers the
+        compiled ``native`` tier when numba is importable, then ``numpy``,
+        then ``python``."""
         return self._with(backend=str(backend))
 
     def gamma(self, gamma: Union[str, float]) -> "QueryBuilder":

@@ -2,11 +2,12 @@
 
 The acceptance bar for the backend-coverage work: every executor route —
 base (all aggregates), forward, backward, batch, filtered, weighted base
-and weighted backward — resolves to a numpy kernel under ``backend="auto"``
-when numpy is importable, the session reuses ball expansions across
-queries (version-invalidated on dynamic graphs), the block-size heuristic
-adapts to graph size and degree, and the planner's cost model is
-backend-sensitive.
+and weighted backward — resolves to a vectorized kernel under
+``backend="auto"`` when numpy is importable (the compiled native tier when
+*it* is available, plain numpy otherwise), the session reuses ball
+expansions across queries (version-invalidated on dynamic graphs), the
+block-size heuristic adapts to graph size and degree, and the planner's
+cost model is backend-sensitive.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import random
 
 import pytest
 
+from repro.core.backends import resolve_backend
 from repro.core.planner import BACKEND_COST_FACTORS, QueryPlanner
 from repro.core.query import QuerySpec
 from repro.errors import InvalidParameterError
@@ -22,6 +24,11 @@ from repro.session import Network, _builder_refinements
 from tests.conftest import random_graph
 
 np = pytest.importorskip("numpy")
+
+#: What ``backend="auto"`` resolves to here: "native" when the compiled
+#: tier can load (numba installed, or REPRO_NATIVE_INTERPRETED set),
+#: "numpy" otherwise.  Either way the route ran on a vectorized kernel.
+AUTO_BACKEND = resolve_backend("auto")
 
 
 def continuous_scores(n: int, seed: int, level: float = 0.9) -> list:
@@ -42,7 +49,7 @@ def net(cov_graph):
 
 
 class TestRouteCoverage:
-    """Every route runs on the numpy kernel under ``backend="auto"``."""
+    """Every route runs on a vectorized kernel under ``backend="auto"``."""
 
     @pytest.mark.parametrize(
         "aggregate", ["sum", "avg", "count", "max", "min"]
@@ -52,14 +59,14 @@ class TestRouteCoverage:
             net.query("dense").limit(5).aggregate(aggregate)
             .algorithm("base").run()
         )
-        assert result.stats.backend == "numpy"
+        assert result.stats.backend == AUTO_BACKEND
 
     @pytest.mark.parametrize("algorithm", ["forward", "backward"])
     def test_lona_routes(self, net, algorithm):
         result = (
             net.query("dense").limit(5).algorithm(algorithm).run()
         )
-        assert result.stats.backend == "numpy"
+        assert result.stats.backend == AUTO_BACKEND
 
     @pytest.mark.parametrize("aggregate", ["sum", "max"])
     def test_filtered_route(self, net, aggregate):
@@ -67,7 +74,7 @@ class TestRouteCoverage:
             net.query("dense").limit(5).aggregate(aggregate)
             .where(range(0, 40)).run()
         )
-        assert result.stats.backend == "numpy"
+        assert result.stats.backend == AUTO_BACKEND
 
     def test_batch_route(self, net):
         batch = net.batch(
@@ -77,18 +84,18 @@ class TestRouteCoverage:
             ]
         )
         for result in batch:
-            assert result.stats.backend == "numpy"
+            assert result.stats.backend == AUTO_BACKEND
 
     @pytest.mark.parametrize("algorithm", ["base", "backward"])
     def test_weighted_routes(self, net, algorithm):
         result = net.topk_weighted("dense", 5, algorithm=algorithm)
-        assert result.stats.backend == "numpy"
+        assert result.stats.backend == AUTO_BACKEND
 
     def test_auto_resolution_covers_default_route(self, net):
         # No pins at all: the "auto" algorithm on the "auto" backend must
         # still land on a vectorized kernel.
         result = net.query("dense").limit(5).run()
-        assert result.stats.backend == "numpy"
+        assert result.stats.backend == AUTO_BACKEND
 
 
 class TestAdaptiveBlockSize:
@@ -134,7 +141,18 @@ class TestAdaptiveBlockSize:
 
 
 class TestSessionBallCache:
-    def test_backward_reuses_verification_balls(self, net):
+    """The segment ball caches are a numpy-backend feature — the native
+    tier's per-center stamp-BFS recomputes balls in-kernel instead of
+    caching them — so these sessions pin ``backend="numpy"``."""
+
+    @pytest.fixture()
+    def np_net(self, cov_graph):
+        session = Network(cov_graph, hops=2, backend="numpy")
+        session.add_scores("dense", continuous_scores(60, seed=412))
+        return session
+
+    def test_backward_reuses_verification_balls(self, np_net):
+        net = np_net
         ctx = net._ctx
         cache = ctx.ball_cache()
         assert len(cache) == 0
@@ -148,7 +166,8 @@ class TestSessionBallCache:
         # (or almost no) new expansions, and strictly less charged BFS work.
         assert second.stats.balls_expanded < first.stats.balls_expanded
 
-    def test_weighted_backward_reuses_distance_balls(self, net):
+    def test_weighted_backward_reuses_distance_balls(self, np_net):
+        net = np_net
         ctx = net._ctx
         cache = ctx.dist_ball_cache()
         first = net.topk_weighted("dense", 5, algorithm="backward")
@@ -159,16 +178,18 @@ class TestSessionBallCache:
         assert ctx.dist_ball_cache() is cache
         assert second.stats.balls_expanded < first.stats.balls_expanded
 
-    def test_cache_not_charged_to_later_counters(self, net):
+    def test_cache_not_charged_to_later_counters(self, np_net):
         # After a query returns, the session cache must stop charging that
         # query's counter (it would corrupt later stats).
-        net.query("dense").limit(5).algorithm("backward").run()
-        assert net._ctx.ball_cache().counter is None
+        np_net.query("dense").limit(5).algorithm("backward").run()
+        assert np_net._ctx.ball_cache().counter is None
 
     def test_dynamic_mutation_invalidates(self, cov_graph):
         from repro.dynamic.graph import DynamicGraph
 
-        session = Network(DynamicGraph.from_graph(cov_graph), hops=2)
+        session = Network(
+            DynamicGraph.from_graph(cov_graph), hops=2, backend="numpy"
+        )
         session.add_scores("dense", continuous_scores(60, seed=413))
         session.query("dense").limit(5).algorithm("backward").run()
         stale = session._ctx.ball_cache()
