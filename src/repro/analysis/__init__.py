@@ -1,0 +1,33 @@
+"""repro-check: project-invariant static analysis for this codebase.
+
+Run with ``python -m repro.analysis`` or ``repro check``.  The suite is
+dependency-free (ast/tokenize/json only) so it runs on the no-numpy CI
+cell.  See DESIGN.md §9 for the invariants each rule enforces.
+"""
+
+from repro.analysis.baseline import BASELINE_NAME, load_baseline, write_baseline
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    Report,
+    all_checkers,
+    register,
+    run_checkers,
+)
+from repro.analysis.reporting import render_json, render_text
+
+__all__ = [
+    "BASELINE_NAME",
+    "Checker",
+    "Finding",
+    "Project",
+    "Report",
+    "all_checkers",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "run_checkers",
+    "write_baseline",
+]

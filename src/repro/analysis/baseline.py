@@ -1,0 +1,43 @@
+"""Committed-baseline mechanism for grandfathered findings.
+
+A baseline is a JSON file of finding fingerprints (rule + path + message,
+deliberately line-independent).  ``repro-check --write-baseline`` records
+every currently-active finding; later runs silently ignore exactly those
+— new violations still fail.  The repo aims for an *empty* baseline (the
+acceptance bar of the suite is zero unsuppressed findings), but the
+mechanism is what lets a new rule land in CI before its last fix does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set
+
+__all__ = ["BASELINE_NAME", "load_baseline", "write_baseline"]
+
+#: Default baseline path, relative to the analysis root.
+BASELINE_NAME = "repro-check-baseline.json"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` (empty set when absent)."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(path: Path, fingerprints: Iterable[str]) -> int:
+    """Write ``fingerprints`` (sorted, deduplicated); returns the count."""
+    entries = sorted(set(fingerprints))
+    payload = {
+        "comment": (
+            "Grandfathered repro-check findings. Remove entries as the "
+            "debt is paid; never add to this file to dodge a new finding."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,250 @@
+"""The declared project contracts the checkers enforce.
+
+Every rule in :mod:`repro.analysis.rules` is *map-driven*: it checks the
+files and symbols named here, nothing guessed.  The maps double as rot
+guards — a declared function or class that stops existing is itself a
+finding, so refactors must keep this file honest.
+
+Tests build small :class:`AnalysisConfig` instances pointing at fixture
+trees; the live suite runs :data:`DEFAULT_CONFIG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "HotModule",
+    "LockContract",
+    "AnalysisConfig",
+    "DEFAULT_CONFIG",
+]
+
+
+@dataclass(frozen=True)
+class HotModule:
+    """RC001 contract for one module on the kernel/task hot path.
+
+    ``functions``: scan/round drivers whose expansion loops must poll
+    :func:`repro.core.deadline.check_deadline` at block boundaries.
+    ``helpers``: per-block helpers that expand neighborhoods but are only
+    ever called from inside an already-polled loop (exempt by contract).
+    ``delegates``: callables that poll on the caller's behalf — a loop
+    that calls one (e.g. a round dispatcher) is covered.
+    """
+
+    functions: FrozenSet[str] = frozenset()
+    helpers: FrozenSet[str] = frozenset()
+    delegates: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class LockContract:
+    """RC002 contract for one module: class -> declared mutator methods.
+
+    A declared mutator must enter one of ``locks`` (``with self._lock:``
+    or ``with self._write_guard():`` style) or call a sibling declared
+    mutator that does.
+    """
+
+    mutators: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    locks: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything the rule modules need to know about the tree."""
+
+    # ---- RC001 deadline coverage -------------------------------------
+    hot_paths: Dict[str, HotModule] = field(default_factory=dict)
+    #: Calls that mark a loop as "does neighborhood-expansion-scale work".
+    expansion_primitives: FrozenSet[str] = frozenset()
+    #: The polling call every covered loop must reach.
+    poll_call: str = "check_deadline"
+
+    # ---- RC002 lock discipline ---------------------------------------
+    lock_contracts: Dict[str, LockContract] = field(default_factory=dict)
+
+    # ---- RC003 backend-registry parity -------------------------------
+    backends_module: str = "src/repro/core/backends.py"
+    backends_symbol: str = "BACKENDS"
+    #: Registry entries that are resolution policies, not concrete backends.
+    virtual_backends: FrozenSet[str] = frozenset({"auto"})
+    planner_module: str = "src/repro/core/planner.py"
+    planner_symbols: Tuple[str, ...] = ("BACKEND_COST_FACTORS", "BACKEND_FIXED_COSTS")
+    cli_module: str = "src/repro/cli.py"
+    cli_flag: str = "--backend"
+    executor_module: str = "src/repro/core/executor.py"
+    readme: str = "README.md"
+
+    # ---- RC004 wire-code exhaustiveness ------------------------------
+    errors_module: str = "src/repro/errors.py"
+    errors_base: str = "ReproError"
+    protocol_module: str = "src/repro/serving/protocol.py"
+    status_map_symbol: str = "_STATUS_BY_CLASS"
+
+    # ---- RC005 spawn/frame safety ------------------------------------
+    #: Modules whose dispatch sinks move payloads across process/machine
+    #: boundaries; arguments must stay frame/pickle-safe.
+    dispatch_modules: Tuple[str, ...] = ()
+    sink_names: FrozenSet[str] = frozenset({"encode_frame", "write_frame"})
+    sink_attrs: FrozenSet[str] = frozenset({"send", "request", "dumps"})
+
+    # ---- RC006 njit purity -------------------------------------------
+    kernels_module: str = "src/repro/native/kernels.py"
+    njit_decorators: FrozenSet[str] = frozenset({"njit"})
+    njit_allowed_calls: FrozenSet[str] = frozenset(
+        {"range", "len", "min", "max", "abs", "int", "float", "bool"}
+    )
+    njit_allowed_method_calls: FrozenSet[str] = frozenset({"sort"})
+
+
+#: Names whose presence in a loop marks it as expansion-scale work.  The
+#: list spans the python reference (``hop_ball``/``.ball``), the numpy
+#: kernels (``batched_hop_balls*``), the worker-task helpers, and the
+#: jitted kernels — anything that walks neighborhoods.
+_EXPANSION_PRIMITIVES = frozenset(
+    {
+        "hop_ball",
+        "ball",
+        "batched_hop_balls",
+        "batched_hop_balls_with_distances",
+        "_expand_block",
+        "_eval_block",
+        "_native_eval",
+        "_verify_weighted_chunk",
+        "aggregate_blocks",
+        "distance_aggregate_blocks",
+        "batch_aggregate_blocks",
+        "forward_prune_block",
+    }
+)
+
+#: The live tree's RC001 hot-path map.  ``core/batch.py`` is deliberately
+#: absent: coalesced fused-scan groups answer many callers with different
+#: deadlines, and aborting the shared scan for the most impatient member
+#: would take everyone else's answer with it (see repro/core/deadline.py).
+_HOT_PATHS = {
+    "src/repro/core/base.py": HotModule(functions=frozenset({"base_topk"})),
+    "src/repro/core/forward.py": HotModule(functions=frozenset({"forward_topk"})),
+    "src/repro/core/backward.py": HotModule(functions=frozenset({"backward_topk"})),
+    "src/repro/core/executor.py": HotModule(
+        functions=frozenset(
+            {"_iter_exact_values", "_filtered_topk", "_stream_updates"}
+        ),
+        delegates=frozenset({"_iter_exact_values"}),
+    ),
+    "src/repro/core/vectorized.py": HotModule(
+        functions=frozenset(
+            {
+                "base_topk_numpy",
+                "forward_topk_numpy",
+                "backward_topk_numpy",
+                "weighted_base_topk_numpy",
+                "weighted_backward_topk_numpy",
+            }
+        ),
+        helpers=frozenset({"_verify_weighted_chunk"}),
+    ),
+    "src/repro/native/engine.py": HotModule(
+        functions=frozenset(
+            {
+                "base_topk_native",
+                "forward_topk_native",
+                "backward_topk_native",
+                "weighted_base_topk_native",
+                "weighted_backward_topk_native",
+                "shared_scan_native",
+                "iter_exact_values_native",
+            }
+        ),
+    ),
+    "src/repro/parallel/worker.py": HotModule(
+        functions=frozenset(
+            {
+                "_scan_task",
+                "_batch_task",
+                "_distribute_task",
+                "_verify_task",
+                "_weighted_task",
+            }
+        ),
+        helpers=frozenset({"_expand_block", "_eval_block", "_native_eval"}),
+    ),
+    "src/repro/parallel/engine.py": HotModule(
+        functions=frozenset(
+            {
+                "ParallelEngine.execute_scan",
+                "ParallelEngine.execute_backward",
+                "ParallelEngine.execute_weighted",
+                "ParallelEngine.run_batch",
+                "ParallelEngine._verify_frontier",
+            }
+        ),
+        delegates=frozenset({"_run_round", "_verify_frontier"}),
+    ),
+    "src/repro/cluster/engine.py": HotModule(
+        functions=frozenset(
+            {
+                "ClusterEngine._collect_topk",
+                "ClusterEngine.execute_scan",
+                "ClusterEngine.execute_backward",
+                "ClusterEngine.execute_weighted",
+                "ClusterEngine.run_batch",
+                "ClusterEngine._verify_frontier",
+            }
+        ),
+        delegates=frozenset({"_run_round", "_verify_frontier"}),
+    ),
+    # The cluster worker runs the *parallel* worker's task handlers under
+    # a per-task deadline scope; it owns no expansion loop itself.  Listed
+    # with no functions so new loops added here surface as findings.
+    "src/repro/cluster/worker.py": HotModule(),
+}
+
+_LOCK_CONTRACTS = {
+    "src/repro/session.py": LockContract(
+        mutators={
+            "Network": (
+                "add_scores",
+                "add_edge",
+                "remove_edge",
+                "update_score",
+            )
+        },
+        locks=frozenset({"_write_guard"}),
+    ),
+    "src/repro/core/context.py": LockContract(
+        mutators={
+            "GraphContext": (
+                "invalidate",
+                "check_fresh",
+                "build_indexes",
+                "load_index",
+                "close",
+            )
+        },
+        locks=frozenset({"_lock"}),
+    ),
+    "src/repro/service/cache.py": LockContract(
+        mutators={
+            "ResultCache": ("put", "clear", "invalidate_score")
+        },
+        locks=frozenset({"_lock"}),
+    ),
+}
+
+DEFAULT_CONFIG = AnalysisConfig(
+    hot_paths=_HOT_PATHS,
+    expansion_primitives=_EXPANSION_PRIMITIVES,
+    lock_contracts=_LOCK_CONTRACTS,
+    dispatch_modules=(
+        "src/repro/parallel/pool.py",
+        "src/repro/parallel/engine.py",
+        "src/repro/cluster/engine.py",
+        "src/repro/cluster/transport.py",
+        "src/repro/cluster/worker.py",
+        "src/repro/cluster/frames.py",
+    ),
+)

@@ -1,0 +1,61 @@
+"""Reporters for ``repro-check`` runs — text for humans, JSON for CI."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.framework import Report
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: Report, show_waived: bool = False) -> str:
+    """Human-readable report, one finding per line, summary last."""
+    lines: List[str] = []
+    for finding in report.active:
+        lines.append(finding.render())
+    if show_waived:
+        for finding in report.waived:
+            lines.append(finding.render())
+        for finding in report.baselined:
+            lines.append(f"{finding.render()}  (baselined)")
+    summary = (
+        f"repro-check: {len(report.active)} finding(s), "
+        f"{len(report.waived)} waived, {len(report.baselined)} baselined "
+        f"[{', '.join(report.rules_run)}]"
+    )
+    if not report.active:
+        summary = "OK " + summary
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (stable keys, sorted findings)."""
+
+    def encode(finding, disposition: str) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "disposition": disposition,
+            "fingerprint": finding.fingerprint(),
+        }
+
+    payload = {
+        "rules_run": list(report.rules_run),
+        "counts": {
+            "active": len(report.active),
+            "waived": len(report.waived),
+            "baselined": len(report.baselined),
+        },
+        "findings": (
+            [encode(f, "active") for f in report.active]
+            + [encode(f, "waived") for f in report.waived]
+            + [encode(f, "baselined") for f in report.baselined]
+        ),
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,153 @@
+"""RC001 — deadline coverage of hot-path expansion loops.
+
+The serving tier enforces query deadlines *cooperatively*: kernels poll
+:func:`repro.core.deadline.check_deadline` at block boundaries (see
+DESIGN.md §6).  The contract is per-function and declared — the hot-path
+map in :mod:`repro.analysis.project` names every scan/round driver — so
+this rule can distinguish a kernel loop that must poll from a bookkeeping
+loop that must not pay for it.
+
+For each declared function, every outermost statement loop that does
+expansion-scale work — it calls a neighborhood-expansion primitive, or it
+contains a nested statement loop — must reach ``check_deadline()`` (or a
+declared polling delegate such as a round dispatcher) somewhere in its
+body or iterator expression.  Functions *not* in the map may not call
+expansion primitives at all: new kernels must be added to the map (or the
+module's ``helpers`` set, for per-block helpers only called from polled
+loops) deliberately, not discovered by timeout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    call_name,
+    calls_in,
+    function_table,
+    register,
+)
+from repro.analysis.project import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = ["DeadlineCoverage"]
+
+_LOOPS = (ast.For, ast.While)
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _outermost_loops(fn: ast.AST) -> List[ast.AST]:
+    """Outermost For/While statements of a def, nested defs excluded."""
+    loops: List[ast.AST] = []
+
+    def scan(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _DEFS):
+                continue
+            if isinstance(child, _LOOPS):
+                loops.append(child)
+                continue  # nested loops belong to this one's subtree
+            scan(child)
+
+    scan(fn)
+    return loops
+
+
+def _subtree_calls(loop: ast.AST) -> Iterator[str]:
+    for call in calls_in(loop):
+        name = call_name(call)
+        if name is not None:
+            yield name
+
+
+def _has_nested_loop(loop: ast.AST) -> bool:
+    stack = list(ast.iter_child_nodes(loop))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _DEFS):
+            continue
+        if isinstance(child, _LOOPS):
+            return True
+        stack.extend(ast.iter_child_nodes(child))
+    return False
+
+
+@register
+class DeadlineCoverage(Checker):
+    rule = "RC001"
+    name = "deadline-coverage"
+    description = (
+        "hot-path kernel loops must poll check_deadline() at block "
+        "boundaries (declared hot-path map)"
+    )
+
+    def __init__(self, config: AnalysisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for rel, module in sorted(self.config.hot_paths.items()):
+            source = project.source(rel)
+            if source is None:
+                yield self.missing(rel)
+                continue
+            table = function_table(source.tree)
+            declared = module.functions | module.helpers
+            for qualname in sorted(declared):
+                if qualname not in table:
+                    yield project.finding(
+                        self.rule,
+                        rel,
+                        1,
+                        f"hot-path map names {qualname!r}, which no longer "
+                        f"exists in this module (update the map in "
+                        f"repro/analysis/project.py)",
+                    )
+            for qualname in sorted(module.functions):
+                fn = table.get(qualname)
+                if fn is None:
+                    continue
+                yield from self._check_function(
+                    project, rel, qualname, fn, module
+                )
+            yield from self._check_unlisted(project, rel, table, module)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, project, rel, qualname, fn, module):
+        satisfying = {self.config.poll_call} | set(module.delegates)
+        for loop in _outermost_loops(fn):
+            names = set(_subtree_calls(loop))
+            expands = bool(names & self.config.expansion_primitives)
+            if not expands and not _has_nested_loop(loop):
+                continue  # bookkeeping loop: polling not required
+            if names & satisfying:
+                continue
+            yield project.finding(
+                self.rule,
+                rel,
+                loop.lineno,
+                f"expansion loop in {qualname} never calls "
+                f"{self.config.poll_call}() — a served query cannot "
+                f"observe its deadline here",
+            )
+
+    def _check_unlisted(self, project, rel, table, module):
+        declared = module.functions | module.helpers
+        for qualname, fn in sorted(table.items()):
+            if qualname in declared:
+                continue
+            primitives = sorted(
+                set(_subtree_calls(fn)) & self.config.expansion_primitives
+            )
+            if primitives:
+                yield project.finding(
+                    self.rule,
+                    rel,
+                    fn.lineno,
+                    f"{qualname} calls expansion primitive "
+                    f"{primitives[0]!r} but is not in the deadline "
+                    f"hot-path map (add it to functions= or helpers= in "
+                    f"repro/analysis/project.py)",
+                )

@@ -1,0 +1,144 @@
+"""RC002 — writer-lock discipline for declared graph mutators.
+
+Concurrent serving isolates mutations from in-flight queries with a
+writer-preferring readers-writer lock (`Network._write_guard`) and
+per-object mutex locks on the shared caches.  The discipline is a
+convention: nothing stops a new mutator from touching shared state bare.
+This rule makes the convention mechanical — the lock-contract map in
+:mod:`repro.analysis.project` declares, per module and class, the methods
+that mutate shared state and the lock entry they must take.
+
+A declared mutator satisfies the rule when its body (nested defs
+excluded) either
+
+* enters a ``with`` block on one of the contract's lock expressions —
+  ``with self._lock:`` / ``with self._write_guard():`` / a lock object's
+  ``.write()`` section — or
+* calls a sibling *declared* mutator of the same class (delegation: the
+  callee takes the lock).
+
+Declared methods that no longer exist are findings too, so the map rots
+loudly, not silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    register,
+    walk_function,
+)
+from repro.analysis.project import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = ["LockDiscipline"]
+
+
+def _self_attr_token(expr: ast.AST) -> Optional[str]:
+    """``self._lock`` -> "_lock", ``self._write_guard()`` -> "_write_guard",
+    ``self._rw.write()`` -> "write" — the terminal attribute of a
+    self-rooted expression (calls unwrapped)."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        while isinstance(base, (ast.Attribute, ast.Call)):
+            base = base.func if isinstance(base, ast.Call) else base.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return expr.attr
+    return None
+
+
+def _with_tokens(fn: ast.AST) -> Set[str]:
+    """Terminal self-attribute names of every ``with`` context in ``fn``."""
+    tokens: Set[str] = set()
+    for node in walk_function(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                token = _self_attr_token(item.context_expr)
+                if token is not None:
+                    tokens.add(token)
+    return tokens
+
+
+def _self_calls(fn: ast.AST) -> Set[str]:
+    """Names of methods invoked as ``self.<name>(...)`` in ``fn``."""
+    calls: Set[str] = set()
+    for node in walk_function(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                calls.add(node.func.attr)
+    return calls
+
+
+@register
+class LockDiscipline(Checker):
+    rule = "RC002"
+    name = "lock-discipline"
+    description = (
+        "declared graph mutators must take the writer lock or delegate "
+        "to a declared mutator that does"
+    )
+
+    def __init__(self, config: AnalysisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for rel, contract in sorted(self.config.lock_contracts.items()):
+            source = project.source(rel)
+            if source is None:
+                yield self.missing(rel)
+                continue
+            classes = {
+                node.name: node
+                for node in source.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+            for cls_name, methods in sorted(contract.mutators.items()):
+                cls = classes.get(cls_name)
+                if cls is None:
+                    yield project.finding(
+                        self.rule,
+                        rel,
+                        1,
+                        f"lock-contract map names class {cls_name!r}, "
+                        f"which no longer exists in this module",
+                    )
+                    continue
+                defs = {
+                    item.name: item
+                    for item in cls.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                declared = set(methods)
+                for method in methods:
+                    fn = defs.get(method)
+                    if fn is None:
+                        yield project.finding(
+                            self.rule,
+                            rel,
+                            cls.lineno,
+                            f"lock-contract map names {cls_name}.{method}, "
+                            f"which no longer exists (update "
+                            f"repro/analysis/project.py)",
+                        )
+                        continue
+                    if _with_tokens(fn) & contract.locks:
+                        continue
+                    delegated = _self_calls(fn) & (declared - {method})
+                    if delegated:
+                        continue
+                    locks = ", ".join(sorted(contract.locks))
+                    yield project.finding(
+                        self.rule,
+                        rel,
+                        fn.lineno,
+                        f"{cls_name}.{method} is a declared graph mutator "
+                        f"but neither enters a lock section ({locks}) nor "
+                        f"delegates to a declared mutator",
+                    )

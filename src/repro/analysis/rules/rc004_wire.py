@@ -1,0 +1,210 @@
+"""RC004 — wire-code exhaustiveness of the error taxonomy.
+
+The serving tier moves errors between processes and machines as stable
+string codes (``ReproError.code``); clients rehydrate them with
+:func:`repro.errors.error_from_wire`.  Three static properties keep that
+contract airtight, checked against the class hierarchy *as written* (no
+imports, so the rule runs on the no-numpy cell):
+
+* **Own code per class** — every exception class in ``repro/errors.py``
+  declares its own ``code`` string in its class body.  A subclass that
+  inherits its parent's code decodes back to the *parent* class: the
+  round-trip property silently breaks.
+* **Unique codes** — two classes sharing a code make ``error_from_wire``
+  ambiguous (the runtime registry raises at import time, but only for
+  modules that actually get imported; this rule catches it tree-wide).
+* **Deliberate HTTP status** — every exception class must be covered by
+  the protocol's class -> status map through its ancestry, so no library
+  error ever falls back to a generic 500.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.framework import Checker, Finding, Project, register
+from repro.analysis.project import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = ["WireCodeExhaustiveness"]
+
+
+def _class_defs(tree: ast.Module) -> List[ast.ClassDef]:
+    return [node for node in tree.body if isinstance(node, ast.ClassDef)]
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _own_code(node: ast.ClassDef):
+    """The ``code = "..."`` assignment in the class body, if any."""
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "code":
+                    if isinstance(item.value, ast.Constant) and isinstance(
+                        item.value.value, str
+                    ):
+                        return item.value.value, item.lineno
+                    return None, item.lineno
+    return None, None
+
+
+def _error_hierarchy(tree: ast.Module, root: str) -> Dict[str, ast.ClassDef]:
+    """Name -> def for classes deriving (transitively) from ``root``."""
+    classes = {node.name: node for node in _class_defs(tree)}
+    family: Set[str] = {root}
+    grew = True
+    while grew:
+        grew = False
+        for name, node in classes.items():
+            if name in family:
+                continue
+            if set(_base_names(node)) & family:
+                family.add(name)
+                grew = True
+    return {
+        name: node
+        for name, node in classes.items()
+        if name in family and name != root
+    }
+
+
+def _status_map_names(tree: ast.Module, symbol: str) -> List[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if symbol in targets and isinstance(node.value, (ast.Tuple, ast.List)):
+                names = []
+                for element in node.value.elts:
+                    if (
+                        isinstance(element, (ast.Tuple, ast.List))
+                        and element.elts
+                        and isinstance(element.elts[0], ast.Name)
+                    ):
+                        names.append(element.elts[0].id)
+                return names
+    return []
+
+
+@register
+class WireCodeExhaustiveness(Checker):
+    rule = "RC004"
+    name = "wire-code-exhaustiveness"
+    description = (
+        "every exception needs its own unique wire code and a deliberate "
+        "HTTP status mapping"
+    )
+
+    def __init__(self, config: AnalysisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        cfg = self.config
+        source = project.source(cfg.errors_module)
+        if source is None:
+            yield self.missing(cfg.errors_module)
+            return
+        family = _error_hierarchy(source.tree, cfg.errors_base)
+        all_classes = {node.name: node for node in _class_defs(source.tree)}
+        root = all_classes.get(cfg.errors_base)
+        if root is None:
+            yield project.finding(
+                self.rule,
+                cfg.errors_module,
+                1,
+                f"base class {cfg.errors_base!r} not found",
+            )
+            return
+
+        codes: Dict[str, str] = {}
+        root_code, _line = _own_code(root)
+        if root_code is not None:
+            codes[root_code] = cfg.errors_base
+        for name, node in sorted(family.items()):
+            code, line = _own_code(node)
+            if code is None:
+                yield project.finding(
+                    self.rule,
+                    cfg.errors_module,
+                    line or node.lineno,
+                    f"{name} does not declare its own string `code` — it "
+                    f"would decode to its parent class after a wire "
+                    f"round-trip",
+                )
+                continue
+            if code in codes:
+                yield project.finding(
+                    self.rule,
+                    cfg.errors_module,
+                    node.lineno,
+                    f"{name} reuses wire code {code!r} already taken by "
+                    f"{codes[code]} — error_from_wire becomes ambiguous",
+                )
+            else:
+                codes[code] = name
+
+        yield from self._check_status_map(project, family, all_classes)
+
+    # ------------------------------------------------------------------
+    def _check_status_map(self, project, family, all_classes):
+        cfg = self.config
+        source = project.source(cfg.protocol_module)
+        if source is None:
+            yield self.missing(cfg.protocol_module)
+            return
+        mapped = _status_map_names(source.tree, cfg.status_map_symbol)
+        if not mapped:
+            yield project.finding(
+                self.rule,
+                cfg.protocol_module,
+                1,
+                f"{cfg.status_map_symbol} is missing or not a literal "
+                f"sequence of (class, status) pairs",
+            )
+            return
+        for name in mapped:
+            if name not in family and name != cfg.errors_base:
+                yield project.finding(
+                    self.rule,
+                    cfg.protocol_module,
+                    1,
+                    f"{cfg.status_map_symbol} maps {name!r}, which is not "
+                    f"an exception class in {cfg.errors_module}",
+                )
+        mapped_set = set(mapped)
+
+        def covered(name: str) -> bool:
+            seen = set()
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                if current in mapped_set:
+                    return True
+                if current in seen:
+                    continue
+                seen.add(current)
+                node = all_classes.get(current)
+                if node is not None:
+                    frontier.extend(_base_names(node))
+            return False
+
+        for name, node in sorted(family.items()):
+            if not covered(name):
+                yield project.finding(
+                    self.rule,
+                    cfg.errors_module,
+                    node.lineno,
+                    f"{name} is not covered by the protocol status map "
+                    f"({cfg.status_map_symbol}) — it would serve as a "
+                    f"generic HTTP 500",
+                )

@@ -1,0 +1,153 @@
+"""RC005 — spawn/frame safety of dispatched payloads.
+
+Task payloads cross two hard boundaries: pickled over duplex pipes into
+*spawn*-started pool processes (``parallel/pool.py``), and JSON+binary
+frames over sockets to cluster workers (``cluster/frames.py``).  Neither
+boundary can carry a lambda, a closure over local state, or a generator —
+pickle refuses or (worse) rebinds, and the frame codec only speaks JSON
+scalars plus numpy blobs.  The existing convention (e.g. the weighted
+route pre-evaluating its decay profile into a per-hop weight list because
+"callables do not cross process boundaries") is enforced here.
+
+The rule scans the declared dispatch modules for *sink calls* — functions
+named ``encode_frame``/``write_frame``, and ``.send(...)`` /
+``.request(...)`` / ``.dumps(...)`` method calls — and inspects every
+argument expression (following one level of local assignment, so
+``header = {...}; peer.send(header)`` is seen through).  Forbidden inside
+a payload expression:
+
+* ``lambda`` expressions and generator expressions,
+* references to *locally defined* functions (closures — they capture
+  frame state that cannot cross a spawn or socket boundary),
+* ``yield`` (a payload must be a value, not a suspended frame).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    register,
+    walk_function,
+)
+from repro.analysis.project import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = ["SpawnFrameSafety"]
+
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _nested_def_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined *inside* another function anywhere in
+    the module — referencing one in a payload is a closure crossing."""
+    nested: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, _DEFS):
+            for child in walk_function(node):
+                if isinstance(child, _DEFS):
+                    nested.add(child.name)
+    return nested
+
+
+def _local_assignments(fn: ast.AST) -> Dict[str, ast.AST]:
+    """Single-target local assignments of ``fn`` (nested defs excluded)."""
+    table: Dict[str, ast.AST] = {}
+    for node in walk_function(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                table[target.id] = node.value
+    return table
+
+
+def _violations(expr: ast.AST, nested: Set[str]) -> List[Tuple[int, str]]:
+    """(line, description) for every frame-unsafe construct in ``expr``."""
+    found = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Lambda):
+            found.append((node.lineno, "a lambda"))
+        elif isinstance(node, ast.GeneratorExp):
+            found.append((node.lineno, "a generator expression"))
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            found.append((node.lineno, "a yield expression"))
+        elif (
+            isinstance(node, ast.Name)
+            and node.id in nested
+            and isinstance(node.ctx, ast.Load)
+        ):
+            found.append(
+                (node.lineno, f"locally-defined function {node.id!r}")
+            )
+    return found
+
+
+@register
+class SpawnFrameSafety(Checker):
+    rule = "RC005"
+    name = "spawn-frame-safety"
+    description = (
+        "no lambdas/closures/generators in payloads crossing the pool "
+        "pipe or the cluster frame codec"
+    )
+
+    def __init__(self, config: AnalysisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for rel in self.config.dispatch_modules:
+            source = project.source(rel)
+            if source is None:
+                yield self.missing(rel)
+                continue
+            nested = _nested_def_names(source.tree)
+            for fn in self._all_functions(source.tree):
+                assigns = _local_assignments(fn)
+                # Sink calls attributed to their *immediate* enclosing
+                # def (walk_function stops at nested defs), so each call
+                # site is inspected exactly once.
+                for call in self._sink_calls(fn):
+                    sink = (
+                        call.func.id
+                        if isinstance(call.func, ast.Name)
+                        else call.func.attr
+                    )
+                    arguments = list(call.args) + [
+                        kw.value for kw in call.keywords
+                    ]
+                    for arg in arguments:
+                        expr = arg
+                        # See through `payload = {...}; sink(payload)`.
+                        if isinstance(expr, ast.Name) and expr.id in assigns:
+                            expr = assigns[expr.id]
+                        for line, what in _violations(expr, nested):
+                            yield project.finding(
+                                self.rule,
+                                rel,
+                                line,
+                                f"{what} reaches dispatch sink {sink}() — "
+                                f"it cannot cross the spawn/frame boundary",
+                            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _all_functions(tree: ast.Module) -> Iterator[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, _DEFS):
+                yield node
+
+    def _sink_calls(self, fn: ast.AST) -> Iterator[ast.Call]:
+        for node in walk_function(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self.config.sink_names:
+                yield node
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.config.sink_attrs
+            ):
+                yield node

@@ -1,0 +1,190 @@
+"""RC006 — nopython purity of the compiled kernel tier.
+
+``repro/native/kernels.py`` compiles its kernels with numba's ``@njit``
+when numba is present, and falls back to running the *same* bodies
+interpreted when it is not (the dual-execution hatch).  That only works
+if every kernel body stays inside the intersection of "numba nopython
+supports it" and "plain CPython runs it identically" — and the fallback
+means a violation does not fail locally: the interpreted hatch happily
+runs constructs that nopython compilation would reject months later on a
+machine that *has* numba.
+
+This rule pins the kernel dialect by allowlist.  A decorated kernel body
+may use plain control flow (``for``/``while``/``if``), arithmetic,
+subscripting, tuple packing/unpacking, ``break``/``continue``/``return``,
+and calls to a small builtin set (``range``, ``len``, ``min``, ``max``,
+``abs``, numeric constructors) plus in-place array methods such as
+``.sort()``.  Everything else — comprehensions, ``with``/``try``,
+f-strings, dict/set/list literals, closures, ``yield``, ``assert``,
+imports, object attribute access beyond method calls — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    register,
+    walk_function,
+)
+from repro.analysis.project import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = ["NjitPurity"]
+
+#: Statement/expression node types that are outside the kernel dialect,
+#: with the human name used in the finding message.
+_BANNED: Tuple[Tuple[type, str], ...] = (
+    (ast.With, "a `with` block"),
+    (ast.AsyncWith, "an `async with` block"),
+    (ast.Try, "a `try` block"),
+    (ast.Raise, "a `raise` statement"),
+    (ast.Import, "an `import`"),
+    (ast.ImportFrom, "an `import`"),
+    (ast.Global, "a `global` declaration"),
+    (ast.Nonlocal, "a `nonlocal` declaration"),
+    (ast.ClassDef, "a class definition"),
+    (ast.FunctionDef, "a nested function"),
+    (ast.AsyncFunctionDef, "a nested function"),
+    (ast.Lambda, "a lambda"),
+    (ast.Yield, "a `yield`"),
+    (ast.YieldFrom, "a `yield from`"),
+    (ast.Await, "an `await`"),
+    (ast.ListComp, "a list comprehension"),
+    (ast.SetComp, "a set comprehension"),
+    (ast.DictComp, "a dict comprehension"),
+    (ast.GeneratorExp, "a generator expression"),
+    (ast.Dict, "a dict literal"),
+    (ast.Set, "a set literal"),
+    (ast.List, "a list literal"),
+    (ast.JoinedStr, "an f-string"),
+    (ast.Starred, "a starred expression"),
+    (ast.NamedExpr, "a walrus assignment"),
+    (ast.Assert, "an `assert`"),
+    (ast.Delete, "a `del` statement"),
+)
+
+
+def _decorator_name(node: ast.AST) -> str:
+    """``@njit`` -> "njit", ``@njit(cache=True)`` -> "njit"."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _body_nodes(fn: ast.FunctionDef) -> List[ast.stmt]:
+    """The kernel body with a leading docstring statement dropped."""
+    body = list(fn.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    return body
+
+
+@register
+class NjitPurity(Checker):
+    rule = "RC006"
+    name = "njit-purity"
+    description = (
+        "@njit kernel bodies must stay inside the numba-nopython dialect "
+        "(allowlisted constructs and calls only)"
+    )
+
+    def __init__(self, config: AnalysisConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        cfg = self.config
+        source = project.source(cfg.kernels_module)
+        if source is None:
+            yield self.missing(cfg.kernels_module)
+            return
+        kernels = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.FunctionDef)
+            and any(
+                _decorator_name(d) in cfg.njit_decorators
+                for d in node.decorator_list
+            )
+        ]
+        if not kernels:
+            yield project.finding(
+                self.rule,
+                cfg.kernels_module,
+                1,
+                "no @njit-decorated kernels found — the compiled tier is "
+                "gone or the decorator was renamed",
+            )
+            return
+        for fn in kernels:
+            yield from self._check_kernel(project, fn)
+
+    # ------------------------------------------------------------------
+    def _check_kernel(self, project, fn: ast.FunctionDef):
+        cfg = self.config
+        rel = cfg.kernels_module
+        for stmt in _body_nodes(fn):
+            for node in ast.walk(stmt):
+                banned = self._banned_name(node)
+                if banned is not None:
+                    yield project.finding(
+                        self.rule,
+                        rel,
+                        node.lineno,
+                        f"kernel {fn.name} contains {banned} — outside the "
+                        f"nopython dialect (numba would reject it at "
+                        f"compile time)",
+                    )
+                    continue
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(project, fn, node)
+
+    @staticmethod
+    def _banned_name(node: ast.AST):
+        for node_type, label in _BANNED:
+            if isinstance(node, node_type):
+                return label
+        return None
+
+    def _check_call(self, project, fn: ast.FunctionDef, call: ast.Call):
+        cfg = self.config
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id not in cfg.njit_allowed_calls:
+                yield project.finding(
+                    self.rule,
+                    cfg.kernels_module,
+                    call.lineno,
+                    f"kernel {fn.name} calls {func.id}(), which is not in "
+                    f"the nopython allowlist (see repro/analysis/"
+                    f"project.py: njit_allowed_calls)",
+                )
+        elif isinstance(func, ast.Attribute):
+            if func.attr not in cfg.njit_allowed_method_calls:
+                yield project.finding(
+                    self.rule,
+                    cfg.kernels_module,
+                    call.lineno,
+                    f"kernel {fn.name} calls method .{func.attr}(), which "
+                    f"is not in the nopython method allowlist",
+                )
+        else:
+            yield project.finding(
+                self.rule,
+                cfg.kernels_module,
+                call.lineno,
+                f"kernel {fn.name} makes an indirect call — nopython "
+                f"kernels must call names directly",
+            )

@@ -372,6 +372,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the repro-check static-analysis suite (see DESIGN.md §9).
+
+    Thin shim over ``python -m repro.analysis`` so the suite is reachable
+    from the installed entry point; both spellings share one argparse
+    definition and exit-code contract (0 = no active findings).
+    """
+    from repro.analysis.__main__ import run as check_run
+
+    return check_run(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -555,6 +567,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_graph_arguments(profile)
     profile.add_argument("--hops", type=int, default=2)
     profile.set_defaults(func=_cmd_profile)
+
+    from repro.analysis.__main__ import build_parser as _check_parser
+
+    check = subparsers.add_parser(
+        "check",
+        help="run the repro-check static-analysis suite",
+        parents=[_check_parser(add_help=False)],
+    )
+    check.set_defaults(func=_cmd_check)
 
     args = parser.parse_args(argv)
     try:

@@ -909,6 +909,7 @@ class ClusterEngine:
         comm.rounds += 1
         exact: Dict[int, float] = {}
         for header, arrays in results:
+            check_deadline()  # merge boundary: one poll per shard reply
             comm.ingest(header)
             merge_counters(stats, [header["counters"]])
             nodes = arrays.get("nodes")
@@ -1048,8 +1049,9 @@ class ClusterEngine:
             outputs: List[TopKResult] = []
             comm_stats: Optional[Dict[str, float]] = None
             for i, entry in enumerate(batch):
+                check_deadline()  # merge boundary: one poll per batch entry
                 shard_entries = []
-                for header, arrays in results:
+                for _header, arrays in results:
                     nodes = arrays.get(f"nodes_{i}")
                     values = arrays.get(f"values_{i}")
                     if nodes is None or not len(nodes):

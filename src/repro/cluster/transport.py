@@ -35,7 +35,8 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.frames import read_frame, write_frame
-from repro.errors import ClusterError, StaleShardError
+from repro.core.deadline import active_deadline
+from repro.errors import ClusterError, StaleShardError, error_from_wire
 
 __all__ = ["ClusterPeer", "ClusterTransport", "spawn_local_worker"]
 
@@ -45,6 +46,20 @@ _SPAWN_TIMEOUT = 30.0
 #: Hard ceiling on reading one frame after the selector reported the
 #: socket readable — a peer that stalls mid-frame this long is dead.
 _FRAME_READ_TIMEOUT = 30.0
+
+
+def _remaining_budget() -> Optional[float]:
+    """Seconds left on the coordinator's active query deadline, or None.
+
+    Shipped with every task frame as a *relative* budget: absolute
+    monotonic timestamps are meaningless on another machine, so the worker
+    re-anchors the budget against its own clock on receipt (the one-way
+    frame latency is the scheme's slack, spent in the query's favor).
+    """
+    deadline_at = active_deadline()
+    if deadline_at is None:
+        return None
+    return max(0.0, deadline_at - time.monotonic())
 
 
 class ClusterPeer:
@@ -335,6 +350,7 @@ class ClusterTransport:
         assignments: Dict[int, ClusterPeer] = {}
         undispatched = deque(range(len(tasks)))
         stale: Optional[StaleShardError] = None
+        timed_out: Optional[BaseException] = None
         # Peers kill_peer already processed this round.  send/recv clear
         # ``peer.alive`` themselves before raising, so the alive flag can
         # NOT double as the "first kill" marker — only this set makes
@@ -378,15 +394,16 @@ class ClusterTransport:
             self._task_serial += 1
             task_id = f"t{index}.{self._task_serial}"
             self.ensure_stores(peer, spec.get("stores") or (), store_provider)
-            peer.send(
-                {
-                    "type": "task",
-                    "task_id": task_id,
-                    "task": spec["task"],
-                    "ship": spec.get("ship") or {},
-                },
-                spec.get("arrays"),
-            )
+            frame = {
+                "type": "task",
+                "task_id": task_id,
+                "task": spec["task"],
+                "ship": spec.get("ship") or {},
+            }
+            budget = _remaining_budget()
+            if budget is not None:
+                frame["deadline"] = budget
+            peer.send(frame, spec.get("arrays"))
             pending[task_id] = index
             assignments[index] = peer
 
@@ -492,6 +509,17 @@ class ClusterTransport:
                             self._abandoned.add(tid)
                         pending.clear()
                         undispatched.clear()
+                    elif status == "deadline":
+                        # A worker's local deadline scope fired mid-task:
+                        # the whole query is over.  Abandon the round like
+                        # a stale store and re-raise the worker's error —
+                        # wire-coded, so the serving tier maps it to the
+                        # same 504 an in-process timeout gets.
+                        timed_out = error_from_wire(header.get("error") or {})
+                        for tid in list(pending):
+                            self._abandoned.add(tid)
+                        pending.clear()
+                        undispatched.clear()
                     else:
                         raise ClusterError(
                             "cluster worker error: "
@@ -499,12 +527,14 @@ class ClusterTransport:
                             + "\n"
                             + str(header.get("traceback") or "")
                         )
-                    if stale is not None:
+                    if stale is not None or timed_out is not None:
                         break
-                if stale is not None:
+                if stale is not None or timed_out is not None:
                     break
         finally:
             selector.close()
+        if timed_out is not None:
+            raise timed_out
         if stale is not None:
             raise stale
         assert all(result is not None for result in results)

@@ -27,12 +27,15 @@ free port) so spawners can discover the address.
 
 from __future__ import annotations
 
+import time
 import traceback
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.frames import encode_frame, read_frame_async
-from repro.errors import StaleShardError
+from repro.core.deadline import deadline_scope
+from repro.errors import DeadlineExceededError, StaleShardError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ClusterWorker", "cluster_worker_main", "parse_listen"]
@@ -233,20 +236,37 @@ class ClusterWorker:
         reply: dict = {"type": "result", "task_id": task_id}
         out_arrays: Dict[str, object] = {}
         self.counters["tasks"] += 1
+        # The coordinator ships its *remaining* deadline budget in seconds
+        # (absolute timestamps do not cross machines); the task runs under
+        # a local deadline scope so the shared kernels' block-boundary
+        # check_deadline() polls observe it (repro-check RC001).
+        budget = header.get("deadline")
+        scope = (
+            deadline_scope(time.monotonic() + float(budget))
+            if budget is not None
+            else nullcontext()
+        )
         try:
-            task = header.get("task") or {}
-            if task.get("kind") == "resume":
-                payload, out_arrays = self._run_resume(task, ship)
-            else:
-                if "centers" in arrays:
-                    task = dict(task, centers=arrays["centers"])
-                missing = _missing_stores_of(task, self.stores)
-                if missing:
-                    raise _MissingStoreError(missing)
-                result = _HANDLERS[task["kind"]](self.np, self.stores, task)
-                payload, out_arrays = self._package(task, result, ship, task_id)
+            with scope:
+                task = header.get("task") or {}
+                if task.get("kind") == "resume":
+                    payload, out_arrays = self._run_resume(task, ship)
+                else:
+                    if "centers" in arrays:
+                        task = dict(task, centers=arrays["centers"])
+                    missing = _missing_stores_of(task, self.stores)
+                    if missing:
+                        raise _MissingStoreError(missing)
+                    result = _HANDLERS[task["kind"]](self.np, self.stores, task)
+                    payload, out_arrays = self._package(
+                        task, result, ship, task_id
+                    )
             reply["status"] = "ok"
             reply.update(payload)
+        except DeadlineExceededError as exc:
+            reply["status"] = "deadline"
+            reply["error"] = exc.to_wire()
+            out_arrays = {}
         except _MissingStoreError as exc:
             reply["status"] = "missing"
             reply["stores"] = exc.names

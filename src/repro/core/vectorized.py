@@ -633,6 +633,7 @@ def backward_topk_numpy(
     acc = TopKAccumulator(spec.k)
     offered = 0
     for v in candidate_order:
+        check_deadline()
         bound = float(bounds[v])
         if acc.is_full and bound <= acc.threshold:
             stats.early_terminated = True

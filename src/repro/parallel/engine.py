@@ -847,6 +847,7 @@ class ParallelEngine:
         merge_counters(stats, (result["counters"] for result in results))
         exact: Dict[int, float] = {}
         for i, result in enumerate(results):
+            check_deadline()  # merge boundary: one poll per shard reply
             for node, value in self._result_pairs(result, i, "pairs"):
                 exact[int(node)] = float(value)
         return exact

@@ -43,6 +43,7 @@ import traceback
 from typing import Dict, List
 
 from repro.aggregates.functions import AggregateKind
+from repro.core.deadline import check_deadline
 from repro.core.topk import TopKAccumulator
 from repro.errors import StaleShardError
 from repro.graph.csr import AttachedArray, AttachedCSR
@@ -322,6 +323,7 @@ def _scan_task(np, cache: _AttachmentCache, task: dict) -> dict:
     evaluated = 0
     pruned = 0
     for lo in range(0, int(centers.size), block):
+        check_deadline()  # block boundary (live under a cluster task scope)
         if (
             ordered_bounds is not None
             and acc.is_full
@@ -369,6 +371,7 @@ def _batch_task(np, cache: _AttachmentCache, task: dict) -> dict:
     block = task["block"]
     counters = _counters()
     for lo in range(0, int(centers.size), block):
+        check_deadline()  # block boundary (live under a cluster task scope)
         chunk = centers[lo : lo + block]
         owners, members = _expand_block(np, csr, chunk, hops, include_self, counters)
         count = int(chunk.size)
@@ -413,6 +416,7 @@ def _distribute_task(np, cache: _AttachmentCache, task: dict) -> dict:
     counters = _counters()
     pushes = 0
     for lo in range(0, int(mine.size), block):
+        check_deadline()  # block boundary (live under a cluster task scope)
         chunk = mine[lo : lo + block]
         owners, members = _expand_block(np, csr, chunk, hops, include_self, counters)
         ball_sizes = np.bincount(owners, minlength=chunk.size)
@@ -448,6 +452,7 @@ def _verify_task(np, cache: _AttachmentCache, task: dict) -> dict:
     nodes: List[int] = []
     values: List[float] = []
     for lo in range(0, int(centers.size), block):
+        check_deadline()  # block boundary (live under a cluster task scope)
         chunk = centers[lo : lo + block]
         chunk_values = _eval_block(np, task, csr, chunk, folded, kind, counters, native)
         nodes.extend(int(c) for c in chunk)
@@ -483,6 +488,7 @@ def _weighted_task(np, cache: _AttachmentCache, task: dict) -> dict:
     from repro.core.vectorized import _offer_block
 
     for lo in range(0, int(centers.size), block):
+        check_deadline()  # block boundary (live under a cluster task scope)
         chunk = centers[lo : lo + block]
         count = int(chunk.size)
         if native is not None:

@@ -28,6 +28,7 @@ from typing import Dict, Type
 from repro.core.results import QueryStats, StreamUpdate, TopKResult
 from repro.errors import (
     DeadlineExceededError,
+    DistributedError,
     GraphError,
     InvalidParameterError,
     ProtocolError,
@@ -35,6 +36,8 @@ from repro.errors import (
     QueryError,
     QuotaExceededError,
     RateLimitedError,
+    RelationalError,
+    RelevanceError,
     ReproError,
     ServiceOverloadedError,
     ServiceShutdownError,
@@ -148,6 +151,12 @@ _STATUS_BY_CLASS = (
     (InvalidParameterError, 400),
     (GraphError, 404),
     (QueryError, 400),
+    # Caller handed the library something malformed: client errors.
+    (RelevanceError, 400),
+    (RelationalError, 400),
+    # The simulated distributed engine failing is a server-side fault; a
+    # 500 here is deliberate, not the fallback (repro-check RC004).
+    (DistributedError, 500),
 )  # type: tuple
 
 

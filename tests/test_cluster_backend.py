@@ -640,3 +640,118 @@ class TestServiceClusterMode:
             assert result.stats.backend == "numpy"
         finally:
             net.close()
+
+
+class TestWorkerDeadline:
+    """Deadline budgets ship with task frames and fire inside workers.
+
+    The coordinator has no way to interrupt a remote kernel; instead
+    :func:`repro.cluster.transport._remaining_budget` ships the active
+    deadline's remaining seconds in every task frame, the worker installs
+    a local :func:`~repro.core.deadline.deadline_scope`, and the shared
+    task handlers' block-boundary ``check_deadline()`` polls observe it
+    (repro-check rule RC001).
+    """
+
+    @staticmethod
+    def _worker_with_store():
+        from repro.cluster.worker import ClusterWorker
+
+        worker = ClusterWorker()
+        worker.handle(
+            {"type": "put", "store": "csr", "kind": "csr", "version": 0},
+            {
+                "indptr": np.array([0, 1, 2], dtype=np.int64),
+                "indices": np.array([1, 0], dtype=np.int64),
+            },
+        )
+        worker.handle(
+            {"type": "put", "store": "s"},
+            {"data": np.array([1.0, 2.0], dtype=np.float64)},
+        )
+        return worker
+
+    @staticmethod
+    def _scan_task():
+        return {
+            "kind": "scan",
+            "csr": {"store": "csr", "version": 0},
+            "scores": {"store": "s"},
+            "centers": [0, 1],
+            "aggregate": "sum",
+            "hops": 1,
+            "include_self": True,
+            "block": 1,
+            "k": 2,
+        }
+
+    def test_zero_budget_task_reports_deadline_status(self):
+        worker = self._worker_with_store()
+        header, arrays = worker.handle(
+            {
+                "type": "task",
+                "task_id": "t-dl",
+                "task": self._scan_task(),
+                "ship": {"mode": "all"},
+                "deadline": 0.0,
+            },
+            {},
+        )
+        assert header["status"] == "deadline"
+        assert header["error"]["code"] == "deadline_exceeded"
+        assert not arrays
+
+    def test_task_without_budget_runs_to_completion(self):
+        worker = self._worker_with_store()
+        header, arrays = worker.handle(
+            {
+                "type": "task",
+                "task_id": "t-ok",
+                "task": self._scan_task(),
+                "ship": {"mode": "all"},
+            },
+            {},
+        )
+        assert header["status"] == "ok"
+        got = sorted(zip(arrays["nodes"].tolist(), arrays["values"].tolist()))
+        assert got == [(0, 3.0), (1, 3.0)]
+
+    def test_shipped_budget_enforced_end_to_end(self, cluster_net, monkeypatch):
+        from repro.cluster import transport
+        from repro.errors import DeadlineExceededError
+
+        monkeypatch.setattr(transport, "_remaining_budget", lambda: 0.0)
+        with pytest.raises(DeadlineExceededError):
+            (
+                cluster_net.query("dense").limit(5)
+                .algorithm("base").backend("cluster").run()
+            )
+
+    def test_round_abort_recovers(self, cluster_net):
+        # Runs after the aborted round above (same module-scoped engine):
+        # abandoned task ids must not poison the next round.
+        got = (
+            cluster_net.query("dense").limit(6)
+            .algorithm("base").backend("cluster").run()
+        )
+        ref = (
+            cluster_net.query("dense").limit(6)
+            .algorithm("base").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)
+
+    def test_parity_under_generous_deadline(self, cluster_net):
+        import time
+
+        from repro.core.deadline import deadline_scope
+
+        with deadline_scope(time.monotonic() + 60.0):
+            got = (
+                cluster_net.query("dense").limit(6)
+                .algorithm("backward").backend("cluster").run()
+            )
+        ref = (
+            cluster_net.query("dense").limit(6)
+            .algorithm("backward").backend("numpy").run()
+        )
+        assert _entries(got) == _entries(ref)

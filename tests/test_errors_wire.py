@@ -1,0 +1,114 @@
+"""Runtime mirror of repro-check RC004: the wire-error contract.
+
+The static rule checks the error taxonomy *as written*; these tests check
+the same properties on the *imported* hierarchy — every exception class
+has its own unique wire code, the registry decodes each code back to
+exactly its class, and the serving status map covers the whole family so
+no library error ever serves as the generic 500 fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ERROR_CODES,
+    DeadlineExceededError,
+    NodeNotFoundError,
+    ProtocolError,
+    ReproError,
+    error_from_wire,
+)
+
+
+def _all_error_classes():
+    """Every ReproError subclass defined in repro.errors (transitively)."""
+    seen = []
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            if sub.__module__ == "repro.errors" and sub not in seen:
+                seen.append(sub)
+                stack.append(sub)
+    return sorted(seen, key=lambda cls: cls.__name__)
+
+
+ALL_CLASSES = _all_error_classes()
+
+
+class TestCodes:
+    def test_hierarchy_is_nontrivial(self):
+        assert len(ALL_CLASSES) >= 20
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_every_class_declares_its_own_code(self, cls):
+        # `code` must live in the class's own __dict__, not be inherited:
+        # an inherited code decodes back to the parent class.
+        assert "code" in vars(cls), f"{cls.__name__} inherits its code"
+        assert isinstance(vars(cls)["code"], str)
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in ALL_CLASSES] + [ReproError.code]
+        assert len(codes) == len(set(codes))
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_registry_maps_each_code_to_its_class(self, cls):
+        assert ERROR_CODES[cls.code] is cls
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_code_decodes_to_exact_class(self, cls):
+        err = error_from_wire({"code": cls.code, "message": "boom"})
+        assert type(err) is cls
+        assert str(err) == "boom"
+
+    def test_extras_survive_the_round_trip(self):
+        err = error_from_wire(NodeNotFoundError(7).to_wire())
+        assert type(err) is NodeNotFoundError
+        assert err.node == 7
+
+    def test_deadline_error_round_trips(self):
+        wire = DeadlineExceededError("deadline exceeded mid-scan").to_wire()
+        err = error_from_wire(wire)
+        assert type(err) is DeadlineExceededError
+        assert "mid-scan" in str(err)
+
+    def test_unknown_code_degrades_to_base_class(self):
+        err = error_from_wire({"code": "from_the_future", "message": "m"})
+        assert type(err) is ReproError
+
+    def test_malformed_payload_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            error_from_wire({"message": "no code"})
+        with pytest.raises(ProtocolError):
+            error_from_wire("not a dict")
+
+
+class TestStatusMap:
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_every_class_is_deliberately_mapped(self, cls):
+        from repro.serving.protocol import _STATUS_BY_CLASS
+
+        err = error_from_wire({"code": cls.code, "message": "m"})
+        matched = [
+            status for mapped, status in _STATUS_BY_CLASS
+            if isinstance(err, mapped)
+        ]
+        assert matched, (
+            f"{cls.__name__} hits the generic 500 fallback — add it (or an "
+            f"ancestor) to _STATUS_BY_CLASS"
+        )
+
+    def test_deadline_maps_to_504(self):
+        from repro.serving.protocol import status_for
+
+        assert status_for(DeadlineExceededError("late")) == 504
+
+    def test_distributed_failures_are_deliberate_500s(self):
+        from repro.serving.protocol import status_for
+
+        assert status_for(errors.DistributedError("shard fault")) == 500
+        assert status_for(errors.PartitionError("bad cut")) == 500
