@@ -70,8 +70,9 @@ from repro.relevance import (
     indicator_scores,
     uniform_scores,
 )
-from repro.client import RemoteNetwork
+from repro.client import RemoteNetwork, RetryPolicy
 from repro.errors import error_from_wire
+from repro.faults import FaultPlan
 from repro.service import QueryHandle, QueryService
 from repro.session import Network, QueryBuilder
 
@@ -92,6 +93,8 @@ __all__ = [
     "ServiceConfig",
     "ParallelConfig",
     "RemoteNetwork",
+    "RetryPolicy",
+    "FaultPlan",
     "error_from_wire",
     "QueryRequest",
     "StreamUpdate",

@@ -99,6 +99,20 @@ class AnalysisConfig:
     )
     njit_allowed_method_calls: FrozenSet[str] = frozenset({"sort"})
 
+    # ---- RC007 fault-point hygiene -----------------------------------
+    #: Registered fault-point name -> the one module allowed to declare it.
+    #: Doubles as the rot guard: a registered name that stops existing in
+    #: its module is a finding, and so is an unregistered hook call.
+    fault_points: Dict[str, str] = field(default_factory=dict)
+    #: The injection-hook callables whose first argument is a point name.
+    fault_hook_names: FrozenSet[str] = frozenset(
+        {"fault_point", "fault_frame"}
+    )
+    #: The package owning plan state; the only code allowed to install one.
+    faults_package: str = "src/repro/faults"
+    #: Source tree scanned for production installs of a fault plan.
+    source_root: str = "src/repro"
+
 
 #: Names whose presence in a loop marks it as expansion-scale work.  The
 #: list spans the python reference (``hop_ball``/``.ball``), the numpy
@@ -235,6 +249,21 @@ _LOCK_CONTRACTS = {
     ),
 }
 
+#: The live tree's RC007 fault-point catalog.  One module per name: the
+#: seam a fault simulates lives in exactly one place, and a second
+#: declaration of the same name would make chaos-plan hit counters lie.
+_FAULT_POINTS = {
+    "cluster.connect": "src/repro/cluster/transport.py",
+    "cluster.frame.send": "src/repro/cluster/frames.py",
+    "cluster.frame.recv": "src/repro/cluster/frames.py",
+    "cluster.worker.frame.recv": "src/repro/cluster/frames.py",
+    "cluster.worker.task": "src/repro/cluster/worker.py",
+    "parallel.worker.task": "src/repro/parallel/worker.py",
+    "parallel.pipe.send": "src/repro/parallel/pool.py",
+    "parallel.reply.recv": "src/repro/parallel/pool.py",
+    "serving.connection": "src/repro/serving/server.py",
+}
+
 DEFAULT_CONFIG = AnalysisConfig(
     hot_paths=_HOT_PATHS,
     expansion_primitives=_EXPANSION_PRIMITIVES,
@@ -247,4 +276,5 @@ DEFAULT_CONFIG = AnalysisConfig(
         "src/repro/cluster/worker.py",
         "src/repro/cluster/frames.py",
     ),
+    fault_points=_FAULT_POINTS,
 )

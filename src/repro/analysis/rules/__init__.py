@@ -7,4 +7,5 @@ from repro.analysis.rules import (  # noqa: F401
     rc004_wire,
     rc005_spawn,
     rc006_njit,
+    rc007_faults,
 )

@@ -359,7 +359,7 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
     from repro.cluster import cluster_worker_main
 
     try:
-        cluster_worker_main(args.listen)
+        cluster_worker_main(args.listen, ident=args.ident)
     except KeyboardInterrupt:
         pass
     return 0
@@ -558,6 +558,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="HOST:PORT",
         help="bind address (port 0 picks an ephemeral port; the bound "
         "address is printed as 'listening on host:port')",
+    )
+    cluster_worker.add_argument(
+        "--ident",
+        type=int,
+        default=-1,
+        help="spawner-assigned peer identity (surfaced in stats; fault "
+        "plans match their 'peer' label against it)",
     )
     cluster_worker.set_defaults(func=_cmd_cluster_worker)
 

@@ -31,8 +31,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
+import uuid
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from urllib.parse import urlencode, urlsplit
 
@@ -48,7 +51,7 @@ from repro.errors import (
 )
 from repro.serving.protocol import decode_result, decode_update
 
-__all__ = ["RemoteNetwork", "RemoteQueryBuilder", "RemoteHandle"]
+__all__ = ["RemoteNetwork", "RemoteQueryBuilder", "RemoteHandle", "RetryPolicy"]
 
 #: Seconds of server-side wait requested per long-poll round trip.
 _POLL_CHUNK = 2.0
@@ -70,6 +73,57 @@ _FIELD_REFINEMENTS = (
     "priority",
     "deadline",
 )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`RemoteNetwork` retries transient failures.
+
+    A call is retried only when it failed with a connection-level error
+    (``OSError`` / ``http.client`` breakage) or a decoded
+    :class:`~repro.errors.ReproError` whose ``retryable`` flag is true —
+    the server's own judgment of whether a retry can help, carried over
+    the wire.  The wait before attempt ``i`` is exponential
+    (``base_delay * multiplier**i`` capped at ``max_delay``), raised to
+    any server-provided ``retry_after`` hint, then stretched by up to
+    ``jitter`` of itself so synchronized clients do not retry in phase.
+    ``max_delay`` doubles as the policy's patience: a ``retry_after``
+    hint beyond it is futile to wait out, so the error is raised instead
+    of slept on.
+
+    ``attempts`` counts total tries, so ``attempts=1`` disables retries;
+    construct with ``jitter=0.0`` for deterministic timing in tests.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise InvalidParameterError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+        for name in ("base_delay", "max_delay", "multiplier", "jitter"):
+            if getattr(self, name) < 0:
+                raise InvalidParameterError(
+                    f"retry {name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    def delay_for(
+        self,
+        attempt: int,
+        retry_after: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (0-based)."""
+        backoff = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        delay = max(backoff, float(retry_after or 0.0))
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
 
 
 class RemoteQueryBuilder:
@@ -290,6 +344,13 @@ class RemoteNetwork:
         the unit of the server's quota and rate-limit accounting.
     timeout:
         Socket timeout per HTTP round trip (long-polls add their own wait).
+    retry:
+        A :class:`RetryPolicy` governing transient-failure retries, or
+        ``None`` to fail fast on the first error.  The default retries
+        connection breakage and ``retryable`` wire errors three times
+        with jittered exponential backoff; submissions carry an
+        idempotency key so a retried ``/v1/submit`` can never run the
+        same query twice.
     """
 
     def __init__(
@@ -298,6 +359,7 @@ class RemoteNetwork:
         *,
         tenant: Optional[str] = None,
         timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = RetryPolicy(),
     ) -> None:
         parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
         if parts.scheme != "http" or not parts.hostname:
@@ -308,6 +370,8 @@ class RemoteNetwork:
         self._port = parts.port or 80
         self._timeout = float(timeout)
         self.tenant = tenant
+        self.retry = retry
+        self._rng = random.Random()  # jitter only; never affects results
         self._conn: Optional[http.client.HTTPConnection] = None
         self._conn_lock = threading.Lock()
         self._defaults: Optional[Dict[str, object]] = None
@@ -316,6 +380,46 @@ class RemoteNetwork:
     # Transport
     # ------------------------------------------------------------------
     def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        *,
+        query: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        """One logical call: round trips with transient-failure retries.
+
+        Retries (per :class:`RetryPolicy`) only on connection-level
+        failures and wire errors the server marked ``retryable`` —
+        honoring any ``retry_after`` hint the error carried.  A hint
+        beyond the policy's ``max_delay`` means no in-budget retry can
+        succeed (the server said "not before then"), so the typed error
+        surfaces immediately instead of blocking the caller.  Every route
+        this client retries is safe to repeat: queries are pure reads and
+        ``/v1/submit`` bodies carry an idempotency key.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                return self._call_once(method, path, body, query=query)
+            except ReproError as exc:
+                exhausted = policy is None or attempt + 1 >= policy.attempts
+                if exhausted or not getattr(exc, "retryable", False):
+                    raise
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None and (
+                    float(retry_after) > policy.max_delay
+                ):
+                    raise
+            except (OSError, http.client.HTTPException):
+                if policy is None or attempt + 1 >= policy.attempts:
+                    raise
+            time.sleep(policy.delay_for(attempt, retry_after, self._rng))
+            attempt += 1
+
+    def _call_once(
         self,
         method: str,
         path: str,
@@ -446,10 +550,19 @@ class RemoteNetwork:
     def _submit(
         self, request: QueryRequest, *, stream: bool, cached: bool
     ) -> RemoteHandle:
+        # The key is minted once per logical submission, *outside* the
+        # retry loop: a retried request replays the same key and the
+        # server's dedup journal answers with the original query id
+        # instead of executing the query a second time.
         payload = self._call(
             "POST",
             "/v1/submit",
-            {"request": request.to_dict(), "stream": stream, "cached": cached},
+            {
+                "request": request.to_dict(),
+                "stream": stream,
+                "cached": cached,
+                "idempotency_key": uuid.uuid4().hex,
+            },
         )
         query_id = payload.get("query_id")
         if not isinstance(query_id, str):

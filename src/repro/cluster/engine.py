@@ -132,13 +132,22 @@ class ClusterEngine:
         partitioner: str = "bfs",
         seed: int = 2010,
         timeout: float = 120.0,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 30.0,
+        hedge: bool = True,
         ship_policy: str = "threshold",
     ) -> None:
         if ship_policy not in ("threshold", "all"):
             raise InvalidParameterError(
                 f"ship_policy must be 'threshold' or 'all', got {ship_policy!r}"
             )
-        transport = ClusterTransport(workers, timeout=timeout)
+        transport = ClusterTransport(
+            workers,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+            hedge=hedge,
+        )
         if transport.num_peers < 1:
             raise InvalidParameterError("cluster needs at least one worker")
         self.ctx = ctx
@@ -1099,8 +1108,18 @@ class ClusterEngine:
             out: List[dict] = []
             if transport is None or not transport.started:
                 return out
+            health = {
+                board["peer"]: board
+                for board in transport.health_snapshot()
+            }
             for peer in transport.peers:
                 entry = {"peer": peer.address, "alive": bool(peer.alive)}
+                board = health.get(peer.ident)
+                if board is not None:
+                    entry["health"] = {
+                        k: board[k]
+                        for k in ("state", "failures", "successes", "trips")
+                    }
                 if peer.alive:
                     try:
                         header, _ = peer.request({"type": "stats"})
@@ -1124,6 +1143,15 @@ class ClusterEngine:
                 "started": started,
                 "alive_peers": transport.alive_peers if started else 0,
                 "respawns": transport.respawns if transport is not None else 0,
+                "hedges": transport.hedges if transport is not None else 0,
+                "hedge_wins": transport.hedge_wins
+                if transport is not None
+                else 0,
+                "transients": transport.transients
+                if transport is not None
+                else 0,
+                "revivals": transport.revivals if transport is not None else 0,
+                "health": transport.health_snapshot() if started else [],
                 "queries_served": self.queries_served,
                 "declined": self.declined,
                 "stale_retries": self.stale_retries,

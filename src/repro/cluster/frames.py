@@ -29,6 +29,7 @@ import struct
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ClusterError
+from repro.faults import fault_frame
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -123,6 +124,9 @@ def read_frame(sock) -> Tuple[dict, Dict[str, object], int]:
     if total > MAX_FRAME_BYTES:
         raise ClusterError(f"incoming frame of {total} bytes exceeds the limit")
     body = _recv_exact(sock, total)
+    # Body starts at the header-length word, so the JSON region begins at
+    # offset 4 here (vs. 8 in a full frame).
+    body = fault_frame("cluster.frame.recv", body, header_offset=4)
     header, arrays = decode_payload(body)
     return header, arrays, total + 4
 
@@ -132,7 +136,17 @@ def write_frame(
 ) -> int:
     """Write one frame to a blocking socket; returns bytes sent."""
     frame = encode_frame(header, arrays)
-    sock.sendall(frame)
+    faulted = fault_frame("cluster.frame.send", frame)
+    if len(faulted) < len(frame):
+        # Injected mid-frame cut: ship the prefix, then fail exactly like
+        # a connection that died under us — the receiver must never be
+        # left waiting on bytes that will not come.
+        try:
+            sock.sendall(faulted)
+        except OSError:
+            pass
+        raise ConnectionError("frame truncated mid-send (injected fault)")
+    sock.sendall(faulted)
     return len(frame)
 
 
@@ -155,5 +169,6 @@ async def read_frame_async(reader) -> Tuple[dict, Dict[str, object], int]:
         body = await reader.readexactly(total)
     except asyncio.IncompleteReadError as exc:
         raise ConnectionError("peer disconnected mid-frame") from exc
+    body = fault_frame("cluster.worker.frame.recv", body, header_offset=4)
     header, arrays = decode_payload(body)
     return header, arrays, total + 4

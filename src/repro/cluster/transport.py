@@ -18,6 +18,27 @@ re-ship + retry), so any survivor can run any shard's task.  A re-issued
 parked remainder died with it — and the engine's per-shard candidate
 de-duplication absorbs the overlap.
 
+Beyond crash recovery, the transport defends against *degraded* peers:
+
+* **Timeouts everywhere** — connects use a dedicated ``connect_timeout``
+  and every socket keeps a permanent I/O timeout (``io_timeout``), so a
+  down or wedged peer surfaces as a typed
+  :class:`~repro.errors.ClusterError` instead of a hang (blocking
+  ``sendall`` against a full buffer included).
+* **Straggler hedging** — per-peer reply latencies feed quantile
+  trackers; a task pending far past what the *fastest* peer's p95 says it
+  should take is hedged to an idle peer, first reply wins, the loser's
+  late reply drains through the existing abandoned-task set.
+* **Health scoreboard + circuit breaker** — every failure (death,
+  transient error, garbage frame) scores against the peer; repeated
+  consecutive failures trip its breaker and eject it from dispatch for a
+  cool-off.  Tripped-but-alive peers are readmitted by their next
+  successfully-probed dispatch; dead *address* peers (the multi-machine
+  form, which has no respawn lever) are re-connected and hello-probed
+  once per cool-off, so a rebooted remote worker rejoins by itself.
+  ``health_snapshot()`` surfaces the whole board (engine
+  ``worker_stats()`` / ``/v1/stats``).
+
 Every frame in and out is counted per peer; the engine turns snapshots of
 those counters into the per-query ``bytes_sent``/``bytes_received`` the
 bench gates compare against the BSP simulator's message volume.
@@ -32,19 +53,30 @@ import subprocess
 import sys
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cluster.frames import read_frame, write_frame
 from repro.core.deadline import active_deadline
 from repro.errors import ClusterError, StaleShardError, error_from_wire
+from repro.faults import fault_point
 
-__all__ = ["ClusterPeer", "ClusterTransport", "spawn_local_worker"]
+__all__ = [
+    "ClusterPeer",
+    "ClusterTransport",
+    "PeerHealth",
+    "spawn_local_worker",
+]
 
 #: Seconds granted to a spawned worker to print its listen address.
 _SPAWN_TIMEOUT = 30.0
 
-#: Hard ceiling on reading one frame after the selector reported the
-#: socket readable — a peer that stalls mid-frame this long is dead.
+#: Default ceiling on connect() to a worker address — a down peer must
+#: surface as a typed error promptly, never hang for the round timeout.
+_CONNECT_TIMEOUT = 10.0
+
+#: Default permanent socket I/O timeout: bounds a blocking ``sendall``
+#: against a wedged peer and reading one frame after the selector reported
+#: the socket readable.  A peer that stalls mid-frame this long is dead.
 _FRAME_READ_TIMEOUT = 30.0
 
 
@@ -62,6 +94,85 @@ def _remaining_budget() -> Optional[float]:
     return max(0.0, deadline_at - time.monotonic())
 
 
+class PeerHealth:
+    """Failure scoreboard + circuit breaker for one peer.
+
+    States: ``closed`` (healthy), ``open`` (ejected from dispatch until
+    ``retry_at``), ``half_open`` (cool-off elapsed; the next dispatch or
+    reconnect is the probe).  ``threshold`` consecutive failures trip the
+    breaker; any success closes it.
+    """
+
+    def __init__(self, *, threshold: int = 3, cooloff: float = 2.0) -> None:
+        self.threshold = threshold
+        self.cooloff = cooloff
+        self.state = "closed"
+        self.failures = 0
+        self.successes = 0
+        self.consecutive = 0
+        self.trips = 0
+        self.retry_at = 0.0
+        self.last_error: Optional[str] = None
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.consecutive = 0
+        self.state = "closed"
+
+    def record_failure(self, error: object = None) -> None:
+        self.failures += 1
+        self.consecutive += 1
+        if error is not None:
+            self.last_error = str(error)
+        if self.state == "half_open" or (
+            self.state == "closed" and self.consecutive >= self.threshold
+        ):
+            self.state = "open"
+            self.trips += 1
+            self.retry_at = time.monotonic() + self.cooloff
+
+    def admits(self, now: Optional[float] = None) -> bool:
+        """May this peer take new work?  Open -> half-open after cool-off."""
+        if self.state == "closed":
+            return True
+        now = time.monotonic() if now is None else now
+        if self.state == "open" and now >= self.retry_at:
+            self.state = "half_open"
+        return self.state == "half_open"
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "successes": self.successes,
+            "consecutive": self.consecutive,
+            "trips": self.trips,
+            "last_error": self.last_error,
+        }
+
+
+class _LatencyTracker:
+    """Sliding window of task reply latencies for one peer."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self, window: int = 64) -> None:
+        self.samples: deque = deque(maxlen=window)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def quantile(self, q: float) -> Optional[float]:
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
 class ClusterPeer:
     """One worker connection: socket, shipped-store set, byte counters."""
 
@@ -72,11 +183,13 @@ class ClusterPeer:
         port: int,
         *,
         proc: Optional[subprocess.Popen] = None,
+        io_timeout: float = _FRAME_READ_TIMEOUT,
     ) -> None:
         self.ident = ident
         self.host = host
         self.port = port
         self.proc = proc
+        self.io_timeout = io_timeout
         self.sock: Optional[socket.socket] = None
         self.alive = False
         self.shipped: set = set()
@@ -94,8 +207,12 @@ class ClusterPeer:
         return self.proc is not None
 
     def connect(self, timeout: float) -> None:
+        fault_point("cluster.connect", peer=self.ident, address=self.address)
         self.sock = socket.create_connection((self.host, self.port), timeout)
-        self.sock.settimeout(None)
+        # Keep a permanent I/O timeout: a blocking sendall against a
+        # wedged peer's full buffer must fail instead of hanging the
+        # coordinator.  recv() tightens/restores it per call.
+        self.sock.settimeout(self.io_timeout)
         self.alive = True
 
     def send(self, header: dict, arrays: Optional[dict] = None) -> None:
@@ -108,13 +225,17 @@ class ClusterPeer:
         self.bytes_sent += nbytes
         self.frames_sent += 1
 
-    def recv(self, timeout: float = _FRAME_READ_TIMEOUT) -> Tuple[dict, dict]:
+    def recv(self, timeout: Optional[float] = None) -> Tuple[dict, dict]:
         assert self.sock is not None
         try:
-            self.sock.settimeout(timeout)
+            self.sock.settimeout(self.io_timeout if timeout is None else timeout)
             header, arrays, nbytes = read_frame(self.sock)
-            self.sock.settimeout(None)
-        except (OSError, ConnectionError, ValueError):
+            self.sock.settimeout(self.io_timeout)
+        except (OSError, ValueError, ClusterError):
+            # ClusterError here means the peer shipped garbage (oversize
+            # length word, undecodable header): treat a protocol-broken
+            # peer exactly like a dead one — the caller kills it and the
+            # round re-issues; the respawn budget bounds repetition.
             self.alive = False
             raise ConnectionError(f"peer {self.address} is gone") from None
         self.bytes_received += nbytes
@@ -170,7 +291,10 @@ def _worker_env() -> dict:
 
 
 def spawn_local_worker(
-    ident: int, *, timeout: float = _SPAWN_TIMEOUT
+    ident: int,
+    *,
+    timeout: float = _SPAWN_TIMEOUT,
+    io_timeout: float = _FRAME_READ_TIMEOUT,
 ) -> ClusterPeer:
     """Spawn ``cluster-worker`` on a free localhost port and connect to it."""
     proc = subprocess.Popen(
@@ -181,6 +305,8 @@ def spawn_local_worker(
             "cluster-worker",
             "--listen",
             "127.0.0.1:0",
+            "--ident",
+            str(ident),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -201,7 +327,7 @@ def spawn_local_worker(
         proc.terminate()
         raise ClusterError("spawned cluster worker never reported its address")
     host, _, port = address.rpartition(":")
-    peer = ClusterPeer(ident, host, int(port), proc=proc)
+    peer = ClusterPeer(ident, host, int(port), proc=proc, io_timeout=io_timeout)
     peer.connect(timeout)
     return peer
 
@@ -209,11 +335,27 @@ def spawn_local_worker(
 class ClusterTransport:
     """The coordinator's peer set plus the round dispatch/re-issue loop."""
 
+    #: Hedging: a pending task is late once it exceeds
+    #: ``hedge_multiplier x`` the fastest peer's p95 reply latency (but
+    #: never sooner than ``hedge_min_delay`` — cheap insurance against
+    #: spurious duplicate work on noisy machines).
+    hedge_quantile = 0.95
+    hedge_multiplier = 3.0
+    hedge_min_delay = 0.25
+
+    #: Circuit breaker: consecutive failures before a peer is ejected,
+    #: and how long it sits out before a probe readmits it.
+    breaker_threshold = 3
+    breaker_cooloff = 2.0
+
     def __init__(
         self,
         workers: Union[int, Sequence[str]],
         *,
         timeout: float = 120.0,
+        connect_timeout: float = _CONNECT_TIMEOUT,
+        io_timeout: float = _FRAME_READ_TIMEOUT,
+        hedge: bool = True,
     ) -> None:
         if isinstance(workers, int):
             self._spawn_count = workers
@@ -222,9 +364,16 @@ class ClusterTransport:
             self._spawn_count = 0
             self._addresses = [str(a) for a in workers]
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.hedge_enabled = hedge
         self.peers: List[ClusterPeer] = []
         self.started = False
         self.respawns = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.transients = 0
+        self.revivals = 0
         # Same budget rule as the process pool: each worker slot may be
         # respawned twice over the transport's lifetime before a crash is
         # treated as systematic and surfaced.
@@ -232,6 +381,8 @@ class ClusterTransport:
         self._next_ident = 0
         self._task_serial = 0
         self._abandoned: set = set()
+        self._health: Dict[int, PeerHealth] = {}
+        self._latency: Dict[int, _LatencyTracker] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -243,6 +394,30 @@ class ClusterTransport:
     def alive_peers(self) -> int:
         return sum(1 for peer in self.peers if peer.alive)
 
+    def health_for(self, peer: ClusterPeer) -> PeerHealth:
+        health = self._health.get(peer.ident)
+        if health is None:
+            health = PeerHealth(
+                threshold=self.breaker_threshold,
+                cooloff=self.breaker_cooloff,
+            )
+            self._health[peer.ident] = health
+        return health
+
+    def health_snapshot(self) -> List[dict]:
+        """The per-peer scoreboard, for ``worker_stats()``/``/v1/stats``."""
+        board = []
+        for peer in self.peers:
+            entry = {
+                "peer": peer.ident,
+                "address": peer.address,
+                "alive": peer.alive,
+                "spawned": peer.spawned,
+            }
+            entry.update(self.health_for(peer).snapshot())
+            board.append(entry)
+        return board
+
     def start(self) -> None:
         if self.started:
             return
@@ -253,16 +428,27 @@ class ClusterTransport:
                     raise ClusterError(
                         f"worker address must be host:port, got {address!r}"
                     )
-                peer = ClusterPeer(self._next_ident, host, int(port))
+                peer = ClusterPeer(
+                    self._next_ident,
+                    host,
+                    int(port),
+                    io_timeout=self.io_timeout,
+                )
                 self._next_ident += 1
-                peer.connect(self.timeout)
+                peer.connect(self.connect_timeout)
                 self.peers.append(peer)
             for _ in range(self._spawn_count):
-                self.peers.append(spawn_local_worker(self._next_ident))
+                self.peers.append(
+                    spawn_local_worker(
+                        self._next_ident, io_timeout=self.io_timeout
+                    )
+                )
                 self._next_ident += 1
         except (OSError, ConnectionError) as exc:
             self.close()
             raise ClusterError(f"could not start cluster peers: {exc}") from None
+        for peer in self.peers:
+            self.health_for(peer)
         self.started = True
 
     def close(self) -> None:
@@ -325,6 +511,39 @@ class ClusterTransport:
             peer.shipped.difference_update(names)
 
     # ------------------------------------------------------------------
+    # Peer readmission (the breaker's probe path for address peers)
+    # ------------------------------------------------------------------
+    def _revive_address_peers(self) -> None:
+        """Reconnect + hello-probe dead address peers whose cool-off passed.
+
+        Spawned peers have the respawn lever instead; address peers are
+        the multi-machine form, where the remote worker may well have
+        rebooted and be ready to serve again.
+        """
+        for peer in self.peers:
+            if peer.alive or peer.spawned:
+                continue
+            health = self.health_for(peer)
+            if not health.admits():
+                continue
+            try:
+                peer.connect(self.connect_timeout)
+                header, _ = peer.request({"type": "hello"})
+                if header.get("status") != "ok":
+                    raise ConnectionError(
+                        f"hello probe refused: {header.get('message')}"
+                    )
+            except (OSError, ConnectionError, ClusterError) as exc:
+                health.record_failure(exc)
+                peer.alive = False
+                continue
+            # A reconnected worker may be a fresh process: forget what we
+            # think it holds and re-ship stores on demand.
+            peer.shipped.clear()
+            health.record_success()
+            self.revivals += 1
+
+    # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
     def run(
@@ -347,10 +566,18 @@ class ClusterTransport:
         deadline = time.monotonic() + self.timeout
         results: List[Optional[Tuple[dict, dict]]] = [None] * len(tasks)
         pending: Dict[str, int] = {}
-        assignments: Dict[int, ClusterPeer] = {}
+        owner: Dict[str, ClusterPeer] = {}
+        sent_at: Dict[str, float] = {}
+        tids_of: Dict[int, Set[str]] = {}
+        hedged: Set[int] = set()
         undispatched = deque(range(len(tasks)))
         stale: Optional[StaleShardError] = None
         timed_out: Optional[BaseException] = None
+        # Bounded tolerance for injected/typed transient task failures:
+        # enough to absorb a flaky spell, small enough that a peer that
+        # only ever fails still surfaces as a ClusterError.
+        transient_budget = 3 * len(tasks) + 4
+        hedge_budget = len(tasks)
         # Peers kill_peer already processed this round.  send/recv clear
         # ``peer.alive`` themselves before raising, so the alive flag can
         # NOT double as the "first kill" marker — only this set makes
@@ -360,44 +587,81 @@ class ClusterTransport:
         def alive_peers() -> List[ClusterPeer]:
             return [p for p in self.peers if p.alive]
 
+        def admitted_peers() -> List[ClusterPeer]:
+            now = time.monotonic()
+            pool = [
+                p for p in alive_peers() if self.health_for(p).admits(now)
+            ]
+            # Availability beats the breaker: with every breaker open,
+            # dispatching to a suspect peer is still better than failing
+            # the round outright.
+            return pool or alive_peers()
+
+        def load_of(peer: ClusterPeer) -> int:
+            return sum(1 for tid in pending if owner[tid] is peer)
+
         def use_fallback(index: int) -> None:
             spec = tasks[index]
             if spec.get("fallback") is not None:
                 tasks[index] = dict(spec, task=spec["fallback"], fallback=None)
 
-        def kill_peer(dead: ClusterPeer) -> None:
+        def drop_duplicates(index: int, keep: Optional[str]) -> None:
+            """Abandon every other in-flight attempt at ``index``."""
+            for tid in list(tids_of.get(index, ())):
+                if tid != keep and tid in pending:
+                    pending.pop(tid, None)
+                    self._abandoned.add(tid)
+
+        def reissue(index: int) -> None:
+            """Queue ``index`` again unless another attempt is in flight."""
+            if results[index] is not None:
+                return
+            if any(tid in pending for tid in tids_of.get(index, ())):
+                return
+            use_fallback(index)
+            undispatched.append(index)
+
+        def kill_peer(dead: ClusterPeer, error: object = None) -> None:
             first = dead not in killed
             killed.add(dead)
             dead.alive = False
-            for task_id, index in list(pending.items()):
-                if assignments.get(index) is dead:
-                    pending.pop(task_id, None)
+            if first:
+                self.health_for(dead).record_failure(
+                    error or "peer died mid-round"
+                )
+            for task_id in list(pending):
+                if owner.get(task_id) is dead:
+                    index = pending.pop(task_id)
                     self._abandoned.add(task_id)
                     # A parked remainder died with the peer: re-run the
-                    # full task on whoever picks this up.
-                    use_fallback(index)
-                    undispatched.append(index)
+                    # full task on whoever picks this up (unless a hedge
+                    # is still in flight elsewhere).
+                    reissue(index)
             if first and dead.spawned and self.respawn_budget > 0:
                 self.respawn_budget -= 1
                 dead.close(shutdown=False)
                 try:
-                    replacement = spawn_local_worker(self._next_ident)
+                    replacement = spawn_local_worker(
+                        self._next_ident, io_timeout=self.io_timeout
+                    )
                 except ClusterError:
                     return
                 self._next_ident += 1
                 self.respawns += 1
                 slot = self.peers.index(dead)
                 self.peers[slot] = replacement
+                self.health_for(replacement)
 
-        def dispatch(index: int, peer: ClusterPeer) -> None:
-            spec = tasks[index]
+        def send_task(
+            index: int, peer: ClusterPeer, task_payload: dict, spec: dict
+        ) -> str:
             self._task_serial += 1
             task_id = f"t{index}.{self._task_serial}"
             self.ensure_stores(peer, spec.get("stores") or (), store_provider)
             frame = {
                 "type": "task",
                 "task_id": task_id,
-                "task": spec["task"],
+                "task": task_payload,
                 "ship": spec.get("ship") or {},
             }
             budget = _remaining_budget()
@@ -405,7 +669,67 @@ class ClusterTransport:
                 frame["deadline"] = budget
             peer.send(frame, spec.get("arrays"))
             pending[task_id] = index
-            assignments[index] = peer
+            owner[task_id] = peer
+            sent_at[task_id] = time.monotonic()
+            tids_of.setdefault(index, set()).add(task_id)
+            return task_id
+
+        def dispatch(index: int, peer: ClusterPeer) -> None:
+            spec = tasks[index]
+            send_task(index, peer, spec["task"], spec)
+
+        def hedge_threshold() -> Optional[float]:
+            """Lateness bar: the fastest peer's p95, scaled."""
+            quantiles = []
+            for tracker in self._latency.values():
+                if len(tracker) >= 4:
+                    value = tracker.quantile(self.hedge_quantile)
+                    if value is not None:
+                        quantiles.append(value)
+            if not quantiles:
+                return None
+            return max(self.hedge_min_delay, self.hedge_multiplier * min(quantiles))
+
+        def maybe_hedge() -> None:
+            nonlocal hedge_budget
+            if not self.hedge_enabled or hedge_budget <= 0 or not pending:
+                return
+            bar = hedge_threshold()
+            if bar is None:
+                return
+            now = time.monotonic()
+            for task_id, index in list(pending.items()):
+                if hedge_budget <= 0:
+                    break
+                if index in hedged or results[index] is not None:
+                    continue
+                if now - sent_at.get(task_id, now) <= bar:
+                    continue
+                slow = owner[task_id]
+                standby = [
+                    p
+                    for p in admitted_peers()
+                    if p is not slow and load_of(p) == 0
+                ]
+                if not standby:
+                    continue
+                target = standby[0]
+                spec = tasks[index]
+                # A resume task is pinned to the slow peer's parked state;
+                # the hedge runs the original full task instead.
+                payload = (
+                    spec["fallback"]
+                    if spec.get("fallback") is not None
+                    else spec["task"]
+                )
+                try:
+                    send_task(index, target, payload, spec)
+                except ConnectionError as exc:
+                    kill_peer(target, exc)
+                    continue
+                hedged.add(index)
+                hedge_budget -= 1
+                self.hedges += 1
 
         selector = selectors.DefaultSelector()
         try:
@@ -416,9 +740,11 @@ class ClusterTransport:
                         f"{len(pending) + len(undispatched)} task(s) "
                         f"outstanding after {self.timeout:.1f}s"
                     )
+                if undispatched:
+                    self._revive_address_peers()
                 while undispatched:
                     index = undispatched[0]
-                    pool = alive_peers()
+                    pool = admitted_peers()
                     if not pool:
                         raise ClusterError(
                             f"{len(undispatched)} task(s) outstanding and "
@@ -429,22 +755,24 @@ class ClusterTransport:
                         hint is not None
                         and 0 <= hint < len(self.peers)
                         and self.peers[hint].alive
+                        and self.peers[hint] in pool
                     ):
                         peer = self.peers[hint]
                     else:
                         peer = pool[index % len(pool)]
                     try:
                         dispatch(index, peer)
-                    except ConnectionError:
-                        kill_peer(peer)
+                    except ConnectionError as exc:
+                        kill_peer(peer, exc)
                         continue
                     undispatched.popleft()
                 if not pending:
                     continue
+                maybe_hedge()
                 busy = {
-                    peer
-                    for index, peer in assignments.items()
-                    if results[index] is None and peer.alive
+                    owner[task_id]
+                    for task_id in pending
+                    if owner[task_id].alive
                 }
                 watched = []
                 for peer in busy:
@@ -454,9 +782,8 @@ class ClusterTransport:
                     watched.append(peer)
                 if not watched:
                     # Every owing peer died while we weren't looking.
-                    for index, peer in list(assignments.items()):
-                        if results[index] is None:
-                            kill_peer(peer)
+                    for task_id in list(pending):
+                        kill_peer(owner[task_id])
                     continue
                 try:
                     events = selector.select(timeout=0.25)
@@ -480,25 +807,56 @@ class ClusterTransport:
                     peer = key.data
                     try:
                         header, arrays = peer.recv()
-                    except ConnectionError:
-                        kill_peer(peer)
+                    except ConnectionError as exc:
+                        kill_peer(peer, exc)
                         continue
                     task_id = header.get("task_id")
+                    if task_id in sent_at:
+                        tracker = self._latency.get(peer.ident)
+                        if tracker is None:
+                            tracker = _LatencyTracker()
+                            self._latency[peer.ident] = tracker
+                        tracker.add(time.monotonic() - sent_at[task_id])
                     if task_id in self._abandoned:
                         self._abandoned.discard(task_id)
                         continue
                     index = pending.pop(task_id, None)
                     if index is None:
                         continue  # duplicate reply from a re-issued task
+                    # First reply wins: any concurrent hedge attempt at
+                    # this index drains through the abandoned set.
+                    if index in hedged and any(
+                        tid in pending for tid in tids_of.get(index, ())
+                    ):
+                        self.hedge_wins += 1
+                    drop_duplicates(index, keep=None)
                     status = header.get("status")
                     if status == "ok":
                         results[index] = (header, arrays)
+                        self.health_for(peer).record_success()
                     elif status == "missing":
                         peer.shipped.difference_update(
                             header.get("stores") or ()
                         )
                         undispatched.append(index)
                     elif status == "resume_lost":
+                        use_fallback(index)
+                        undispatched.append(index)
+                    elif status == "transient":
+                        # A typed, retryable worker failure (today: only
+                        # injected faults): score it and re-issue, bounded
+                        # so a never-healthy round still fails loudly.
+                        self.transients += 1
+                        transient_budget -= 1
+                        self.health_for(peer).record_failure(
+                            header.get("message")
+                        )
+                        if transient_budget <= 0:
+                            raise ClusterError(
+                                "cluster round exhausted its transient-"
+                                "failure budget: "
+                                + str(header.get("message"))
+                            )
                         use_fallback(index)
                         undispatched.append(index)
                     elif status == "stale":

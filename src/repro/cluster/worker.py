@@ -35,7 +35,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.frames import encode_frame, read_frame_async
 from repro.core.deadline import deadline_scope
-from repro.errors import DeadlineExceededError, StaleShardError
+from repro.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    StaleShardError,
+)
+from repro.faults import fault_point
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ClusterWorker", "cluster_worker_main", "parse_listen"]
@@ -167,10 +173,13 @@ def _entries_arrays(np, entries: List[Tuple[int, float]]) -> Dict[str, object]:
 class ClusterWorker:
     """One worker's state: the store, the resume cache, message counters."""
 
-    def __init__(self) -> None:
+    def __init__(self, ident: int = -1) -> None:
         import numpy as np
 
         self.np = np
+        #: Spawner-assigned identity; fault plans match on it (``peer``
+        #: labels) so a schedule can target one specific worker.
+        self.ident = ident
         self.stores = _StoreCache()
         self.resume: "OrderedDict[str, List[Tuple[int, float]]]" = OrderedDict()
         self.counters = {
@@ -249,6 +258,11 @@ class ClusterWorker:
         try:
             with scope:
                 task = header.get("task") or {}
+                fault_point(
+                    "cluster.worker.task",
+                    peer=self.ident,
+                    kind=task.get("kind"),
+                )
                 if task.get("kind") == "resume":
                     payload, out_arrays = self._run_resume(task, ship)
                 else:
@@ -277,6 +291,12 @@ class ClusterWorker:
             out_arrays = {}
         except _ResumeLostError:
             reply["status"] = "resume_lost"
+            out_arrays = {}
+        except FaultInjectedError as exc:
+            # An injected transient: typed as retryable, so the
+            # coordinator re-issues (bounded) instead of failing the query.
+            reply["status"] = "transient"
+            reply["message"] = str(exc)
             out_arrays = {}
         except BaseException as exc:  # report, keep serving
             reply["status"] = "error"
@@ -399,6 +419,12 @@ class ClusterWorker:
                     header, arrays, nbytes = await read_frame_async(reader)
                 except ConnectionError:
                     break
+                except ClusterError:
+                    # Undecodable frame (truncated/corrupted on the wire):
+                    # drop the connection — resynchronizing mid-stream is
+                    # impossible — and let the coordinator's kill/re-issue
+                    # machinery recover.
+                    break
                 self.counters["frames_received"] += 1
                 self.counters["bytes_received"] += nbytes
                 reply = self.handle(header, arrays)
@@ -432,17 +458,18 @@ def parse_listen(listen: str) -> Tuple[str, int]:
     return host, int(port)
 
 
-def cluster_worker_main(listen: str = "127.0.0.1:0") -> None:
+def cluster_worker_main(listen: str = "127.0.0.1:0", ident: int = -1) -> None:
     """Entry point of the ``cluster-worker`` CLI command.
 
     Binds, prints ``listening on <host>:<port>`` (flushed, so a spawning
     coordinator can parse the chosen port), then serves until a
-    ``shutdown`` frame arrives.
+    ``shutdown`` frame arrives.  ``ident`` is the spawner-assigned peer
+    identity; fault plans use it to target a specific worker.
     """
     import asyncio
 
     host, port = parse_listen(listen)
-    worker = ClusterWorker()
+    worker = ClusterWorker(ident)
 
     async def main() -> None:
         server = await asyncio.start_server(worker.serve_client, host, port)

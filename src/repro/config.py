@@ -221,6 +221,9 @@ class ClusterConfig(_FrozenConfig):
     partitioner: str = "bfs"
     seed: int = 2010
     timeout: float = 120.0
+    connect_timeout: float = 10.0
+    io_timeout: float = 30.0
+    hedge: bool = True
     ship_policy: str = "threshold"
 
     def __post_init__(self) -> None:
@@ -261,6 +264,13 @@ class ClusterConfig(_FrozenConfig):
             raise InvalidParameterError(
                 f"timeout must be > 0, got {self.timeout}"
             )
+        for name in ("connect_timeout", "io_timeout"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+            if getattr(self, name) <= 0:
+                raise InvalidParameterError(
+                    f"{name} must be > 0, got {getattr(self, name)}"
+                )
+        object.__setattr__(self, "hedge", bool(self.hedge))
         if self.ship_policy not in ("threshold", "all"):
             raise InvalidParameterError(
                 "ship_policy must be 'threshold' or 'all', "

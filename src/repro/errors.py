@@ -19,6 +19,13 @@ Codes are part of the public protocol: renaming one is a wire-breaking
 change.  Unknown codes decode to plain :class:`ReproError` (forward
 compatibility with newer servers), and extra payload fields such as
 ``retry_after`` survive the round-trip as attributes.
+
+Every payload also carries ``retryable`` — the *server's* verdict on
+whether the identical request may safely be retried (overload, rate
+limits, transient cluster failures: yes; invalid parameters, missing
+nodes: no).  Client-side retry loops (:class:`repro.client.RetryPolicy`)
+must consult the decoded attribute rather than guess from the class, so
+the authority stays on the serving side of the wire.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ __all__ = [
     "ParallelError",
     "StaleShardError",
     "ClusterError",
+    "FaultInjectedError",
     "ERROR_CODES",
     "error_from_wire",
 ]
@@ -68,9 +76,12 @@ class ReproError(Exception):
 
     Class attribute ``code`` is the stable wire identifier; subclasses
     override it and are automatically registered in :data:`ERROR_CODES`.
+    ``retryable`` marks errors whose identical request may safely be
+    retried after a backoff; it rides in every wire payload.
     """
 
     code: str = "repro_error"
+    retryable: bool = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -95,7 +106,11 @@ class ReproError(Exception):
         ``retry_after``) whose values are JSON scalars; they come back as
         attributes on the decoded instance.
         """
-        payload: dict = {"code": self.code, "message": str(self)}
+        payload: dict = {
+            "code": self.code,
+            "message": str(self),
+            "retryable": bool(self.retryable),
+        }
         for name, value in vars(self).items():
             if name.startswith("_") or name in _WIRE_STRUCTURAL:
                 continue
@@ -211,6 +226,7 @@ class ServiceOverloadedError(ServiceError):
     """
 
     code = "service_overloaded"
+    retryable = True
 
     def __init__(
         self,
@@ -306,13 +322,38 @@ class ParallelError(QueryError, RuntimeError):
 
 
 class StaleShardError(ParallelError):
-    """A worker refused a task naming a shared-memory version that moved."""
+    """A worker refused a task naming a shared-memory version that moved.
+
+    Retryable: the engine re-snapshots its stores and re-runs the round;
+    a remote caller seeing one merely raced a mutation.
+    """
 
     code = "stale_shard"
+    retryable = True
 
 
 class ClusterError(QueryError, RuntimeError):
     """The socket-transport cluster backend failed (peer death, protocol
-    violation, round timeout with no healthy peer left to re-issue to)."""
+    violation, round timeout with no healthy peer left to re-issue to).
+
+    Retryable: peer failures are transient by design — the transport
+    respawns/readmits workers between rounds, so an identical request may
+    well succeed.
+    """
 
     code = "cluster_error"
+    retryable = True
+
+
+class FaultInjectedError(ReproError, RuntimeError):
+    """A deterministic ``transient_error`` fault fired (:mod:`repro.faults`).
+
+    Only fault plans raise this; production code never does.  It is
+    retryable by construction — the injection machinery models exactly the
+    class of failure a retry is supposed to absorb, and the resilience
+    layers (pool/transport re-issue, client backoff) are expected to make
+    it invisible to callers.
+    """
+
+    code = "fault_injected"
+    retryable = True

@@ -1,0 +1,35 @@
+"""Deterministic fault injection (see :mod:`repro.faults.plan`).
+
+The catalog of fault-point names lives in
+``repro/analysis/project.py`` (``DEFAULT_CONFIG.fault_points``) and is
+enforced by repro-check rule RC007: names are unique, registered, and no
+production code path installs a plan.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    FAULT_KINDS,
+    PRESET_NAMES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    fault_frame,
+    fault_point,
+    install_plan,
+    preset_plan,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "PRESET_NAMES",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear_plan",
+    "fault_frame",
+    "fault_point",
+    "install_plan",
+    "preset_plan",
+]

@@ -56,7 +56,8 @@ import time
 from collections import deque
 from typing import Dict, List, Optional, Set
 
-from repro.errors import ParallelError, StaleShardError
+from repro.errors import FaultInjectedError, ParallelError, StaleShardError
+from repro.faults import fault_point
 
 __all__ = ["ShardWorkerPool"]
 
@@ -200,6 +201,17 @@ class ShardWorkerPool:
         frame = pickle.dumps((task_id, task), protocol=pickle.HIGHEST_PROTOCOL)
         member = self._members[slot % len(self._members)]
         try:
+            fault_point(
+                "parallel.pipe.send",
+                worker=slot % len(self._members),
+                position=position,
+            )
+        except FaultInjectedError:
+            # An injected transient send hiccup; the send below is its
+            # retransmission (a swallowed frame would stall the round, so
+            # the hook may delay or crash but never silently drop).
+            pass
+        try:
             member.conn.send_bytes(frame)
             self.bytes_sent += len(frame)
         except (BrokenPipeError, OSError):
@@ -225,6 +237,10 @@ class ShardWorkerPool:
                 self._issue(position, tasks, position, pending, stripped)
         deadline = time.monotonic() + self.timeout
         respawn_budget = 2 * self.workers
+        # Bounded tolerance for typed transient task failures (today only
+        # injected faults reply "transient"): re-issue, but a worker set
+        # that only ever fails must still surface as a ParallelError.
+        transient_budget = 3 * len(tasks) + 4
         while pending or backlog:
             slot_of = {
                 id(m.conn): slot for slot, m in enumerate(self._members)
@@ -239,7 +255,16 @@ class ShardWorkerPool:
             dead = False
             for conn in ready:
                 try:
+                    fault_point(
+                        "parallel.reply.recv", worker=slot_of.get(id(conn))
+                    )
                     frame = conn.recv_bytes()
+                except FaultInjectedError:
+                    # Injected lost-reply: fall into the death branch so
+                    # outstanding work is re-issued; the reply still in
+                    # the pipe drains later as a dropped duplicate.
+                    dead = True
+                    continue
                 except (EOFError, OSError):
                     dead = True  # this member's pipe closed under us
                     continue
@@ -249,9 +274,20 @@ class ShardWorkerPool:
                 if position is not None:
                     if status == "stale":
                         raise StaleShardError(str(payload))
-                    if status == "error":
+                    if status == "transient":
+                        # Typed retryable failure: the task never ran, so
+                        # its reply buffer is untouched — re-queue as-is.
+                        transient_budget -= 1
+                        if transient_budget < 0:
+                            raise ParallelError(
+                                "parallel round exhausted its transient-"
+                                f"failure budget: {payload}"
+                            )
+                        backlog.append(position)
+                    elif status == "error":
                         raise ParallelError(f"shard worker failed: {payload}")
-                    results[position] = payload
+                    else:
+                        results[position] = payload
                 # Any reply (even a duplicate from a re-issued round) means
                 # this worker is idle — feed it the next backlog task.
                 if backlog:

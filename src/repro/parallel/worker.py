@@ -45,7 +45,8 @@ from typing import Dict, List
 from repro.aggregates.functions import AggregateKind
 from repro.core.deadline import check_deadline
 from repro.core.topk import TopKAccumulator
-from repro.errors import StaleShardError
+from repro.errors import FaultInjectedError, StaleShardError
+from repro.faults import fault_point
 from repro.graph.csr import AttachedArray, AttachedCSR
 
 __all__ = ["worker_main"]
@@ -572,10 +573,15 @@ def worker_main(conn) -> None:
                 break
             task_id, payload = message
             try:
+                fault_point("parallel.worker.task", kind=payload.get("kind"))
                 handler = _HANDLERS[payload["kind"]]
                 conn.send((task_id, "ok", handler(np, cache, payload)))
             except StaleShardError as exc:
                 conn.send((task_id, "stale", str(exc)))
+            except FaultInjectedError as exc:
+                # Typed retryable failure, raised before the handler ran:
+                # the pool re-queues the position (bounded budget).
+                conn.send((task_id, "transient", str(exc)))
             except BaseException as exc:  # report, keep serving
                 conn.send(
                     (

@@ -29,6 +29,7 @@ from repro.core.results import QueryStats, StreamUpdate, TopKResult
 from repro.errors import (
     DeadlineExceededError,
     DistributedError,
+    FaultInjectedError,
     GraphError,
     InvalidParameterError,
     ProtocolError,
@@ -157,6 +158,9 @@ _STATUS_BY_CLASS = (
     # The simulated distributed engine failing is a server-side fault; a
     # 500 here is deliberate, not the fallback (repro-check RC004).
     (DistributedError, 500),
+    # An injected fault surfacing all the way out is a retryable 503 —
+    # chaos runs exercise exactly the path real transient outages take.
+    (FaultInjectedError, 503),
 )  # type: tuple
 
 

@@ -48,11 +48,13 @@ from repro.config import (
 )
 from repro.core.request import QueryRequest
 from repro.errors import (
+    FaultInjectedError,
     InvalidParameterError,
     ProtocolError,
     ReproError,
     ServiceOverloadedError,
 )
+from repro.faults import active_plan, fault_point
 from repro.serving.admission import AdmissionController
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
@@ -81,6 +83,11 @@ _REASONS = {
 
 #: Seconds between wakeups while a long-poll waits for stream updates.
 _POLL_INTERVAL = 0.02
+
+#: Remembered ``idempotency_key`` -> submit response pairs.  Bounds the
+#: dedup journal; old keys age out FIFO (a client retry storm is seconds
+#: long, not thousands of distinct submissions long).
+_IDEMPOTENCY_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -214,6 +221,8 @@ class QueryServer:
         )
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._entries_lock = threading.Lock()
+        self._idempotency: "OrderedDict[str, dict]" = OrderedDict()
+        self._idempotency_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._cost_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._cost_lock = threading.Lock()
@@ -357,6 +366,10 @@ class QueryServer:
     # ------------------------------------------------------------------
     async def _handle_client(self, reader, writer) -> None:
         try:
+            # Connection-scope fault hook: refuse/crash/delay one accepted
+            # connection before any request is read (a delay here blocks
+            # the loop — injected latency is server-wide, as intended).
+            fault_point("serving.connection")
             while True:
                 request_line = await reader.readline()
                 if not request_line or request_line in (b"\r\n", b"\n"):
@@ -398,6 +411,7 @@ class QueryServer:
             asyncio.IncompleteReadError,
             ConnectionError,
             asyncio.CancelledError,
+            FaultInjectedError,
         ):
             pass
         finally:
@@ -505,13 +519,20 @@ class QueryServer:
             counters = dict(self._counters)
         with self._entries_lock:
             open_handles = len(self._entries)
-        return {
+        with self._idempotency_lock:
+            idempotency_keys = len(self._idempotency)
+        payload = {
             "requests": counters,
             "load": used / capacity,
             "open_handles": open_handles,
+            "idempotency_keys": idempotency_keys,
             "admission": self.admission.stats(),
             "replicas": self.replicas.stats(),
         }
+        plan = active_plan()
+        if plan is not None:
+            payload["faults"] = plan.stats()
+        return payload
 
     def _admit_and_submit(
         self, payload: dict, tenant: str, *, stream: bool
@@ -538,17 +559,37 @@ class QueryServer:
 
     async def _route_submit(self, payload: dict, tenant: str) -> Tuple[int, dict]:
         stream = bool(payload.get("stream", False))
+        idem = payload.get("idempotency_key")
+        if idem is not None and not isinstance(idem, str):
+            raise ProtocolError("'idempotency_key' must be a string")
+        if idem:
+            # Exactly-once across client retries: a key seen before means
+            # the earlier attempt's 202 was lost in flight, not that the
+            # work should run again.  The journal check and the insert
+            # below run without an intervening await, so two racing
+            # retries of the same key cannot both submit.
+            with self._idempotency_lock:
+                hit = self._idempotency.get(idem)
+            if hit is not None:
+                self._bump("idempotent_hits")
+                return 202, dict(hit, deduplicated=True)
         self._evict_entries()
         index, handle = self._admit_and_submit(payload, tenant, stream=stream)
         entry = _Entry(f"q{next(self._ids)}", handle, index)
         with self._entries_lock:
             self._entries[entry.id] = entry
+        response = {"query_id": entry.id, "replica": index, "stream": stream}
+        if idem:
+            with self._idempotency_lock:
+                self._idempotency[idem] = dict(response)
+                while len(self._idempotency) > _IDEMPOTENCY_LIMIT:
+                    self._idempotency.popitem(last=False)
         if stream:
             pump = threading.Thread(
                 target=self._pump_updates, args=(entry,), daemon=True
             )
             pump.start()
-        return 202, {"query_id": entry.id, "replica": index, "stream": stream}
+        return 202, response
 
     def _evict_entries(self) -> None:
         """Bound the handle table: delivered entries go first, then any

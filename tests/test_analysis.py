@@ -32,6 +32,7 @@ from repro.analysis.rules.rc003_backends import BackendRegistryParity
 from repro.analysis.rules.rc004_wire import WireCodeExhaustiveness
 from repro.analysis.rules.rc005_spawn import SpawnFrameSafety
 from repro.analysis.rules.rc006_njit import NjitPurity
+from repro.analysis.rules.rc007_faults import FaultPointHygiene
 
 REPO_ROOT = __file__.rsplit("/tests/", 1)[0]
 
@@ -486,6 +487,94 @@ class TestRC006:
 
 
 # ----------------------------------------------------------------------
+# RC007 fault-point hygiene
+# ----------------------------------------------------------------------
+class TestRC007:
+    CFG = AnalysisConfig(
+        fault_points={"net.send": "net.py", "net.recv": "net.py"},
+        faults_package="faults",
+        source_root=".",
+    )
+
+    def test_registered_literal_points_pass(self, tmp_path):
+        _tree(tmp_path, {"net.py": """
+            def ship(data):
+                fault_point("net.send", peer=0)
+                return fault_frame("net.recv", data)
+        """})
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert report.active == []
+
+    def test_computed_name_is_flagged(self, tmp_path):
+        _tree(tmp_path, {"net.py": """
+            def ship(data, name):
+                fault_point("net." + name)
+                fault_point("net.send")
+                fault_frame("net.recv", data)
+        """})
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert len(report.active) == 1
+        assert "string literal" in report.active[0].message
+
+    def test_unregistered_name_is_flagged(self, tmp_path):
+        _tree(tmp_path, {"net.py": """
+            def ship(data):
+                fault_point("net.send")
+                fault_point("net.mystery")
+                fault_frame("net.recv", data)
+        """})
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert len(report.active) == 1
+        assert "not registered" in report.active[0].message
+
+    def test_duplicate_declaration_is_flagged(self, tmp_path):
+        _tree(tmp_path, {"net.py": """
+            def ship(data):
+                fault_point("net.send")
+                fault_frame("net.recv", data)
+
+            def ship_again():
+                fault_point("net.send")
+        """})
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert len(report.active) == 1
+        assert "more than once" in report.active[0].message
+
+    def test_rotted_registration_is_flagged(self, tmp_path):
+        _tree(tmp_path, {"net.py": """
+            def ship(data):
+                fault_point("net.send")
+        """})
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert len(report.active) == 1
+        assert "no longer declared" in report.active[0].message
+        assert "net.recv" in report.active[0].message
+
+    def test_production_install_plan_is_flagged(self, tmp_path):
+        _tree(tmp_path, {
+            "net.py": """
+                def ship(data):
+                    fault_point("net.send")
+                    fault_frame("net.recv", data)
+            """,
+            "sneaky.py": """
+                from faults import install_plan
+
+                def enable():
+                    install_plan(object())
+            """,
+            "faults/plan.py": """
+                def _bootstrap():
+                    install_plan(None)  # the package itself may
+            """,
+        })
+        report = _run(tmp_path, FaultPointHygiene(self.CFG))
+        assert len(report.active) == 1
+        assert report.active[0].path.endswith("sneaky.py")
+        assert "never install" in report.active[0].message
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, baseline, reporters, registry
 # ----------------------------------------------------------------------
 class TestFramework:
@@ -582,7 +671,9 @@ class TestFramework:
 
     def test_registry_is_complete_and_ordered(self):
         rules = [cls.rule for cls in all_checkers()]
-        assert rules == ["RC001", "RC002", "RC003", "RC004", "RC005", "RC006"]
+        assert rules == [
+            "RC001", "RC002", "RC003", "RC004", "RC005", "RC006", "RC007",
+        ]
 
 
 # ----------------------------------------------------------------------

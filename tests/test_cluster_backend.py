@@ -488,6 +488,65 @@ class TestResilience:
         finally:
             net.close()
 
+    def test_worker_kill_mid_weighted_respawns_and_answers_exactly(self):
+        from repro.core import executor
+
+        g = random_graph(300, 0.02, seed=24)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 25))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            engine = net.cluster()
+            spec_got = QueryRequest(k=6, backend="cluster").spec()
+            spec_ref = QueryRequest(k=6, backend="numpy").spec()
+            executor.execute_weighted(
+                net._ctx, net.scores_of("s"), spec_got
+            )
+            transport = engine._resources["transport"]
+            victim = transport.peers[0]
+            victim.proc.terminate()
+            victim.proc.wait(timeout=10)
+            got = executor.execute_weighted(
+                net._ctx, net.scores_of("s"), spec_got
+            )
+            ref = executor.execute_weighted(
+                net._ctx, net.scores_of("s"), spec_ref
+            )
+            assert _entries(got) == _entries(ref)
+            assert got.stats.backend == "cluster"
+            assert transport.respawns == 1
+            assert transport.alive_peers == WORKERS
+        finally:
+            net.close()
+
+    def test_worker_kill_mid_batch_respawns_and_answers_exactly(self):
+        from repro.core.batch import BatchQuery
+
+        g = random_graph(300, 0.02, seed=26)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(300, 27))
+        net.cluster(workers=WORKERS, min_nodes=0)
+        try:
+            engine = net.cluster()
+            queries = [
+                BatchQuery(scores=net.scores_of("s"), k=6),
+                BatchQuery(scores=net.scores_of("s"), k=4, aggregate="avg"),
+            ]
+            net._run_batch(queries, backend="cluster")
+            transport = engine._resources["transport"]
+            victim = transport.peers[0]
+            victim.proc.terminate()
+            victim.proc.wait(timeout=10)
+            got = net._run_batch(queries, backend="cluster")
+            ref = net._run_batch(queries, backend="numpy")
+            for g_, r in zip(got, ref):
+                assert _entries(g_) == _entries(r)
+            assert got[0].stats.backend == "cluster"
+            assert transport.respawns == 1
+            assert transport.alive_peers == WORKERS
+        finally:
+            net.close()
+
     def test_all_workers_dead_raises_cluster_error(self):
         g = random_graph(300, 0.02, seed=22)
         net = Network(g, hops=2)
@@ -542,6 +601,91 @@ class TestAddressedWorkers:
             net.close()
             for peer in ext:
                 peer.close()
+
+
+class TestSocketTimeouts:
+    """Address-connect mode never hangs: every connect/read is bounded.
+
+    The multi-machine form takes raw ``host:port`` addresses, so a down
+    or wedged remote worker must surface as a typed :class:`ClusterError`
+    within the configured timeout — not stall the coordinator for the
+    whole round budget (satellite of the resilience work; the timeouts
+    themselves are ``connect_timeout``/``io_timeout`` on
+    :class:`~repro.config.ClusterConfig`)."""
+
+    def _closed_port(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_down_address_raises_typed_error_promptly(self):
+        import time
+
+        from repro.cluster.transport import ClusterTransport
+
+        address = f"127.0.0.1:{self._closed_port()}"
+        transport = ClusterTransport([address, address], connect_timeout=2.0)
+        started = time.monotonic()
+        with pytest.raises(ClusterError, match="could not start"):
+            transport.start()
+        assert time.monotonic() - started < 5.0
+
+    def test_engine_surfaces_down_address_promptly(self):
+        import time
+
+        address = f"127.0.0.1:{self._closed_port()}"
+        g = random_graph(120, 0.03, seed=63)
+        net = Network(g, hops=2)
+        net.add_scores("s", _dense_scores(120, 20))
+        net.cluster(workers=[address, address], min_nodes=0,
+                    connect_timeout=2.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(ClusterError):
+                net.query("s").limit(3).backend("cluster").run()
+            assert time.monotonic() - started < 10.0
+        finally:
+            net.close()
+
+    def test_silent_server_read_is_bounded(self):
+        import socket
+        import threading
+        import time
+
+        from repro.cluster.transport import ClusterPeer
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def absorb():
+            try:
+                conn, _ = listener.accept()
+                accepted.append(conn)  # accept, then never reply
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=absorb, daemon=True)
+        thread.start()
+        peer = ClusterPeer(0, "127.0.0.1", port, io_timeout=0.5)
+        try:
+            peer.connect(2.0)
+            started = time.monotonic()
+            with pytest.raises((ConnectionError, ClusterError)):
+                peer.request({"type": "hello"})
+            assert time.monotonic() - started < 5.0
+            assert peer.alive is False
+        finally:
+            peer.close()
+            for conn in accepted:
+                conn.close()
+            listener.close()
 
 
 class TestDeclineRule:

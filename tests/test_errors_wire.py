@@ -87,6 +87,79 @@ class TestRoundTrip:
             error_from_wire("not a dict")
 
 
+class TestRetryability:
+    """``retryable`` is the server's verdict and must survive the wire.
+
+    Client retry loops (:class:`repro.client.RetryPolicy`) consult the
+    *decoded* attribute, never the local class default — so the payload
+    value wins even if it disagrees with what this client's version of
+    the taxonomy would assume."""
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_every_payload_carries_retryable(self, cls):
+        err = error_from_wire({"code": cls.code, "message": "m"})
+        assert err.to_wire()["retryable"] == bool(cls.retryable)
+
+    def test_retryable_round_trips(self):
+        wire = errors.ServiceOverloadedError(
+            "backlogged", retry_after=0.5
+        ).to_wire()
+        assert wire["retryable"] is True
+        err = error_from_wire(wire)
+        assert err.retryable is True
+        assert err.retry_after == 0.5
+
+    def test_non_retryable_round_trips(self):
+        wire = errors.InvalidParameterError("k must be positive").to_wire()
+        assert wire["retryable"] is False
+        assert error_from_wire(wire).retryable is False
+
+    def test_wire_verdict_overrides_local_class_default(self):
+        # A newer server may mark an error retryable that this client's
+        # taxonomy says is not (or vice versa): the payload is authoritative.
+        err = error_from_wire(
+            {"code": "invalid_parameter", "message": "m", "retryable": True}
+        )
+        assert err.retryable is True
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.ServiceOverloadedError,
+            errors.QuotaExceededError,
+            errors.RateLimitedError,
+            errors.StaleShardError,
+            errors.ClusterError,
+            errors.FaultInjectedError,
+        ],
+        ids=lambda c: c.__name__,
+    )
+    def test_transient_family_is_retryable(self, cls):
+        assert cls.retryable is True
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.InvalidParameterError,
+            errors.NodeNotFoundError,
+            errors.ProtocolError,
+            errors.DeadlineExceededError,
+        ],
+        ids=lambda c: c.__name__,
+    )
+    def test_caller_fault_family_is_not_retryable(self, cls):
+        assert cls.retryable is False
+
+    def test_fault_injected_error_code_and_status(self):
+        from repro.serving.protocol import status_for
+
+        err = errors.FaultInjectedError("injected transient at p")
+        decoded = error_from_wire(err.to_wire())
+        assert type(decoded) is errors.FaultInjectedError
+        assert decoded.retryable is True
+        assert status_for(err) == 503
+
+
 class TestStatusMap:
     @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
     def test_every_class_is_deliberately_mapped(self, cls):

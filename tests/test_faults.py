@@ -1,0 +1,557 @@
+"""Units for the fault-injection subsystem and its recovery machinery.
+
+Numpy-free by design (this file runs on the no-numpy CI cell): plan
+parsing/determinism, the frame-level fault semantics, the client
+retry policy, the peer-health circuit breaker, and the idempotent-submit
+contract over a real (stdlib-only) serving socket.  End-to-end chaos
+parity under presets lives in ``tests/test_chaos.py`` (needs numpy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.client import RemoteNetwork, RetryPolicy
+from repro.cluster.transport import PeerHealth
+from repro.errors import (
+    FaultInjectedError,
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloadedError,
+)
+from repro.faults import (
+    ENV_VAR,
+    PRESET_NAMES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    fault_frame,
+    fault_point,
+    install_plan,
+    preset_plan,
+)
+from repro.serving import QueryServer, ServerConfig
+from repro.session import Network
+from tests.conftest import random_graph
+from tests.test_service import quantized_scores
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with injection disabled."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: parsing, determinism, rule semantics
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_disabled_hooks_are_noops(self):
+        assert active_plan() is None
+        fault_point("cluster.worker.task", peer=0)  # must not raise
+        blob = b"\x00\x00\x00\x10payload-bytes!!"
+        assert fault_frame("cluster.frame.send", blob) is blob
+
+    def test_from_spec_rejects_unknown_fields(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault rule"):
+            FaultPlan.from_spec(
+                {"rules": [{"point": "x", "kind": "crash", "when": 3}]}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault kind"):
+            FaultRule(point="x", kind="explode")
+
+    def test_parse_inline_json(self):
+        plan = FaultPlan.parse(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "rules": [
+                        {"point": "a.b", "kind": "delay", "delay": 0.01}
+                    ],
+                }
+            )
+        )
+        assert plan.seed == 5
+        assert plan.rules[0].kind == "delay"
+
+    def test_parse_file_form(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps({"rules": [{"point": "p", "kind": "crash"}]})
+        )
+        plan = FaultPlan.parse(f"@{path}")
+        assert plan.rules[0].point == "p"
+
+    def test_parse_presets(self):
+        for name in PRESET_NAMES:
+            plan = FaultPlan.parse(f"preset:{name},seed=3")
+            assert plan.seed == 3
+            assert plan.rules
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.parse("not json at all")
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.parse("preset:crash-heavy,sneed=3")
+        with pytest.raises(InvalidParameterError):
+            preset_plan("no-such-preset")
+
+    def test_round_trip_spec(self):
+        plan = preset_plan("delay-heavy", seed=9)
+        again = FaultPlan.from_spec(plan.to_spec())
+        assert again.to_spec() == plan.to_spec()
+
+    def test_after_and_count_semantics(self):
+        plan = FaultPlan(
+            [FaultRule(point="p", kind="transient_error", after=2, count=2)]
+        )
+        decisions = [plan.decide("p", {}) is not None for _ in range(6)]
+        # Hits 1-2 pass (after=2), hits 3-4 fire (count=2), rest pass.
+        assert decisions == [False, False, True, True, False, False]
+
+    def test_match_labels(self):
+        plan = FaultPlan(
+            [FaultRule(point="p", kind="crash", match={"peer": 1})]
+        )
+        assert plan.decide("p", {"peer": 0}) is None
+        assert plan.decide("p", {"peer": 1}) is not None
+
+    def test_prefix_glob(self):
+        plan = FaultPlan([FaultRule(point="cluster.*", kind="crash")])
+        assert plan.decide("cluster.frame.send", {}) is not None
+        assert plan.decide("parallel.pipe.send", {}) is None
+
+    def test_probability_streams_are_seed_deterministic(self):
+        def firing_pattern(seed: int):
+            plan = FaultPlan(
+                [FaultRule(point="p", kind="delay", probability=0.5)],
+                seed=seed,
+            )
+            return [plan.decide("p", {}) is not None for _ in range(64)]
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+
+    def test_hits_and_stats(self):
+        plan = FaultPlan([FaultRule(point="p", kind="transient_error")])
+        plan.decide("p", {})
+        plan.decide("q", {})
+        assert plan.hits() == {"p": 1, "q": 1}
+        stats = plan.stats()
+        assert stats["fired"] == [("p", "transient_error", 1)]
+
+    def test_transient_error_is_retryable_repro_error(self):
+        install_plan(
+            FaultPlan([FaultRule(point="p", kind="transient_error")])
+        )
+        with pytest.raises(FaultInjectedError) as info:
+            fault_point("p")
+        assert isinstance(info.value, ReproError)
+        assert info.value.retryable is True
+
+    def test_refuse_connect_raises_connection_refused(self):
+        install_plan(
+            FaultPlan([FaultRule(point="p", kind="refuse_connect")])
+        )
+        with pytest.raises(ConnectionRefusedError):
+            fault_point("p")
+
+    def test_env_bootstrap_in_subprocess(self):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        spec = json.dumps(
+            {"seed": 2, "rules": [{"point": "p", "kind": "crash"}]}
+        )
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.faults import active_plan; "
+                "plan = active_plan(); "
+                "print(plan.seed if plan else 'none')",
+            ],
+            env={**os.environ, ENV_VAR: spec, "PYTHONPATH": src},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert out.stdout.strip() == "2"
+
+    def test_env_bootstrap_is_loud_on_garbage(self):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.faults"],
+            env={**os.environ, ENV_VAR: "{broken", "PYTHONPATH": src},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert out.returncode != 0
+        assert "fault plan" in out.stderr
+
+
+class TestFaultFrame:
+    def _frame(self) -> bytes:
+        header = json.dumps({"type": "task"}).encode()
+        body = len(header).to_bytes(4, "big") + header + b"\x01" * 32
+        return len(body).to_bytes(4, "big") + body
+
+    def test_truncate_cuts_into_header_region(self):
+        install_plan(
+            FaultPlan([FaultRule(point="f", kind="truncate_frame")])
+        )
+        frame = self._frame()
+        out = fault_frame("f", frame, header_offset=8)
+        assert len(out) == 10  # header_offset + 2
+        assert out == frame[:10]
+
+    def test_corrupt_flips_header_bytes_only(self):
+        install_plan(
+            FaultPlan([FaultRule(point="f", kind="corrupt_frame")])
+        )
+        frame = self._frame()
+        out = fault_frame("f", frame, header_offset=8)
+        assert len(out) == len(frame)
+        assert out[:8] == frame[:8]  # length words untouched
+        assert out[8:24] != frame[8:24]  # header region flipped
+        assert out[24:] == frame[24:]  # payload bytes untouched
+
+    def test_corrupted_cluster_frame_fails_decode_loudly(self):
+        from repro.cluster.frames import decode_payload, encode_frame
+        from repro.errors import ClusterError
+
+        frame = encode_frame({"type": "task", "task_id": "t1"})
+        install_plan(
+            FaultPlan([FaultRule(point="f", kind="corrupt_frame")])
+        )
+        # Frame bodies start after the 4-byte total-length word, so the
+        # header-length word sits at offset 4 of the body.
+        body = fault_frame("f", frame[4:], header_offset=4)
+        with pytest.raises(ClusterError):
+            decode_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.delay_for(i) for i in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_retry_after_dominates_backoff(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0)
+        assert policy.delay_for(0, retry_after=0.75) == 0.75
+
+    def test_jitter_bounds(self):
+        import random
+
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25, max_delay=1.0)
+        rng = random.Random(11)
+        for _ in range(50):
+            delay = policy.delay_for(0, rng=rng)
+            assert 1.0 <= delay <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# PeerHealth circuit breaker
+# ---------------------------------------------------------------------------
+class TestPeerHealth:
+    def test_trips_after_threshold_consecutive_failures(self):
+        health = PeerHealth(threshold=3, cooloff=60.0)
+        for _ in range(2):
+            health.record_failure("boom")
+        assert health.state == "closed" and health.admits()
+        health.record_failure("boom")
+        assert health.state == "open"
+        assert not health.admits()
+        assert health.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        health = PeerHealth(threshold=3, cooloff=60.0)
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        health.record_failure()
+        assert health.state == "closed"
+
+    def test_cooloff_half_opens_then_success_closes(self):
+        health = PeerHealth(threshold=1, cooloff=0.01)
+        health.record_failure("dead")
+        assert not health.admits()
+        time.sleep(0.02)
+        assert health.admits()  # open -> half_open probe
+        assert health.state == "half_open"
+        health.record_success()
+        assert health.state == "closed"
+
+    def test_half_open_failure_retrips_immediately(self):
+        health = PeerHealth(threshold=3, cooloff=0.01)
+        for _ in range(3):
+            health.record_failure()
+        time.sleep(0.02)
+        assert health.admits()
+        health.record_failure()  # the probe failed
+        assert health.state == "open"
+        assert health.trips == 2
+
+    def test_snapshot_shape(self):
+        health = PeerHealth()
+        health.record_failure("why")
+        snap = health.snapshot()
+        assert snap["failures"] == 1
+        assert snap["last_error"] == "why"
+        assert snap["state"] == "closed"
+
+
+# ---------------------------------------------------------------------------
+# Client retries + idempotent submission over a live server
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fault_net():
+    graph = random_graph(40, 0.12, seed=86)
+    session = Network(graph, hops=2)
+    session.add_scores("s", quantized_scores(40, seed=87, density=0.8))
+    yield session
+    session.close()
+
+
+@pytest.fixture(scope="module")
+def fault_server(fault_net):
+    server = QueryServer(fault_net, ServerConfig(replicas=1)).start()
+    yield server
+    server.close()
+
+
+class TestClientRetry:
+    def _flaky(self, client, failures):
+        """Wrap ``_call_once`` to fail ``failures`` times, then pass."""
+        calls = {"n": 0}
+        original = client._call_once
+
+        def wrapped(*args, **kwargs):
+            calls["n"] += 1
+            if failures:
+                raise failures.pop(0)
+            return original(*args, **kwargs)
+
+        client._call_once = wrapped
+        return calls
+
+    def test_retries_retryable_wire_errors(self, fault_server):
+        with RemoteNetwork(
+            fault_server.url,
+            retry=RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0),
+        ) as client:
+            client.health()  # prime session defaults outside the flaky window
+            calls = self._flaky(
+                client,
+                [
+                    ServiceOverloadedError("busy", retry_after=0.01),
+                    ServiceOverloadedError("busy", retry_after=0.01),
+                ],
+            )
+            result = client.topk("s", 3)
+        assert len(result.entries) == 3
+        assert calls["n"] == 3
+
+    def test_retry_after_beyond_patience_surfaces_immediately(
+        self, fault_server
+    ):
+        # A rate limiter can advertise a retry_after of minutes; waiting
+        # it out inside the client would look like a hang.  A hint past
+        # the policy's max_delay must surface the typed error at once.
+        with RemoteNetwork(
+            fault_server.url,
+            retry=RetryPolicy(attempts=5, base_delay=0.01, jitter=0.0),
+        ) as client:
+            client.health()
+            calls = self._flaky(
+                client,
+                [ServiceOverloadedError("busy", retry_after=900.0)],
+            )
+            started = time.monotonic()
+            with pytest.raises(ServiceOverloadedError):
+                client.topk("s", 3)
+        assert calls["n"] == 1
+        assert time.monotonic() - started < 5.0
+
+    def test_does_not_retry_non_retryable_errors(self, fault_server):
+        with RemoteNetwork(
+            fault_server.url,
+            retry=RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0),
+        ) as client:
+            calls = self._flaky(
+                client, [InvalidParameterError("bad request")]
+            )
+            with pytest.raises(InvalidParameterError):
+                client.topk("s", 3)
+        assert calls["n"] == 1
+
+    def test_retry_budget_exhausts(self, fault_server):
+        with RemoteNetwork(
+            fault_server.url,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+        ) as client:
+            calls = self._flaky(
+                client,
+                [ConnectionResetError("nope")] * 5,
+            )
+            with pytest.raises(OSError):
+                client.topk("s", 3)
+        assert calls["n"] == 2
+
+    def test_retry_none_fails_fast(self, fault_server):
+        with RemoteNetwork(fault_server.url, retry=None) as client:
+            calls = self._flaky(client, [ConnectionResetError("nope")])
+            with pytest.raises(OSError):
+                client.topk("s", 3)
+        assert calls["n"] == 1
+
+    def test_injected_connection_refusals_are_absorbed(self, fault_server):
+        # Server-side: the next two accepted connections die before any
+        # request is read; the client's retry loop must recover without
+        # the caller noticing.
+        install_plan(
+            FaultPlan(
+                [
+                    FaultRule(
+                        point="serving.connection",
+                        kind="refuse_connect",
+                        count=2,
+                    )
+                ]
+            )
+        )
+        try:
+            with RemoteNetwork(
+                fault_server.url,
+                retry=RetryPolicy(attempts=4, base_delay=0.01, jitter=0.0),
+            ) as client:
+                result = client.topk("s", 3)
+            assert len(result.entries) == 3
+        finally:
+            clear_plan()
+
+
+class TestIdempotentSubmit:
+    def test_submit_carries_idempotency_key(self, fault_server, fault_net):
+        with RemoteNetwork(fault_server.url) as client:
+            captured = {}
+            original = client._call_once
+
+            def spy(method, path, body=None, **kwargs):
+                if path == "/v1/submit":
+                    captured.update(body)
+                return original(method, path, body, **kwargs)
+
+            client._call_once = spy
+            handle = client.query("s").limit(3).submit()
+            assert handle.result(timeout=30).entries
+        key = captured.get("idempotency_key")
+        assert isinstance(key, str) and len(key) == 32
+
+    def test_replayed_submit_executes_exactly_once(self, fault_server):
+        with RemoteNetwork(fault_server.url) as client:
+            hits_before = client.stats()["requests"].get(
+                "idempotent_hits", 0
+            )
+            request = client.query("s").limit(3).request()
+            body = {
+                "request": request.to_dict(),
+                "stream": False,
+                "cached": False,
+                "idempotency_key": "retry-storm-0001",
+            }
+            first = client._call_once("POST", "/v1/submit", body)
+            # The client never saw the 202 and replays — twice.
+            second = client._call_once("POST", "/v1/submit", body)
+            third = client._call_once("POST", "/v1/submit", body)
+            assert second["query_id"] == first["query_id"]
+            assert third["query_id"] == first["query_id"]
+            assert second["deduplicated"] and third["deduplicated"]
+            stats = client.stats()
+            assert stats["requests"]["idempotent_hits"] == hits_before + 2
+            # Exactly one open handle came out of three submissions, and
+            # it delivers the answer normally.
+            from repro.client import RemoteHandle
+
+            handle = RemoteHandle(
+                client, first["query_id"], stream=False
+            )
+            assert len(handle.result(timeout=30).entries) == 3
+
+    def test_distinct_keys_execute_separately(self, fault_server):
+        with RemoteNetwork(fault_server.url) as client:
+            request = client.query("s").limit(2).request()
+
+            def submit(key):
+                return client._call_once(
+                    "POST",
+                    "/v1/submit",
+                    {
+                        "request": request.to_dict(),
+                        "idempotency_key": key,
+                    },
+                )
+
+            a, b = submit("key-a"), submit("key-b")
+            assert a["query_id"] != b["query_id"]
+
+    def test_malformed_key_rejected(self, fault_server):
+        with RemoteNetwork(fault_server.url) as client:
+            request = client.query("s").limit(2).request()
+            from repro.errors import ProtocolError
+
+            with pytest.raises(ProtocolError, match="idempotency_key"):
+                client._call_once(
+                    "POST",
+                    "/v1/submit",
+                    {"request": request.to_dict(), "idempotency_key": 7},
+                )
+
+
+# ---------------------------------------------------------------------------
+# Faults surface in stats
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_server_stats_include_plan_counters(self, fault_server):
+        install_plan(
+            FaultPlan([FaultRule(point="serving.connection", kind="delay",
+                                 delay=0.0)])
+        )
+        try:
+            with RemoteNetwork(fault_server.url) as client:
+                client.health()
+                stats = client.stats()
+            assert "faults" in stats
+            assert stats["faults"]["hits"].get("serving.connection", 0) >= 1
+            assert "idempotency_keys" in stats
+        finally:
+            clear_plan()
+
+    def test_public_exports(self):
+        assert repro.RetryPolicy is RetryPolicy
+        assert repro.FaultPlan is FaultPlan

@@ -31,6 +31,8 @@ EXPECTED_ALL = [
     "ServiceConfig",
     "ParallelConfig",
     "RemoteNetwork",
+    "RetryPolicy",
+    "FaultPlan",
     "error_from_wire",
     "QueryRequest",
     "StreamUpdate",

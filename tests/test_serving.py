@@ -540,7 +540,11 @@ class TestWireAdmission:
             net, replicas=1, shed_watermark=0.5, cost_limit=1e-9
         ).start()
         try:
-            with repro.RemoteNetwork(server.url) as remote:
+            # retry=None: the default policy would re-submit each shed
+            # request (retry_after here is within its patience), turning
+            # the exact admission-counter arithmetic below into a moving
+            # target.
+            with repro.RemoteNetwork(server.url, retry=None) as remote:
                 remote.topk("s", 2)  # idle: below watermark, no shedding
                 # Force the load reading past the watermark: any nonzero
                 # planner cost now exceeds the vanishing budget.
